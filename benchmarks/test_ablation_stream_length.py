@@ -1,0 +1,82 @@
+"""Ablation: stream length vs accuracy and latency.
+
+The central SC trade-off (paper Sec. IV-B + Table III footnote): longer
+streams buy accuracy linearly in exposure time.  Trains one LeNet-5 and
+sweeps the bitstream-exact accuracy and the LP-model latency of the
+LeNet conv stack across total stream lengths.
+"""
+
+from repro.analysis import format_table
+from repro.arch import AcousticConfig, LP_CONFIG, simulate_network
+from repro.datasets import synthetic_mnist
+from repro.networks import lenet5
+from repro.networks.zoo import LayerSpec, NetworkSpec, lenet5_spec
+from repro.simulator import FixedPointNetwork, SCConfig, SCNetwork
+from repro.training import Adam, CrossEntropyLoss, Trainer
+
+TOTAL_LENGTHS = [32, 64, 128, 256]
+
+
+def run_sweep():
+    (x_train, y_train), (x_test, y_test) = synthetic_mnist(
+        n_train=2500, n_test=200, seed=0
+    )
+    net = lenet5(or_mode="approx", seed=1, stream_length=32)
+    trainer = Trainer(net, Adam(net.layers, lr=3e-3),
+                      loss=CrossEntropyLoss(logit_gain=8.0))
+    trainer.fit(x_train, y_train, epochs=10, batch_size=64)
+    fp_acc = FixedPointNetwork(net).accuracy(x_test, y_test)
+
+    lenet = NetworkSpec("lenet5", lenet5_spec().layers)
+    # A compute-bound workload exposes the linear latency scaling; the
+    # tiny LeNet is dominated by a control/SNG-load latency floor.
+    heavy = NetworkSpec("heavy_conv", [
+        LayerSpec("conv", 512, 512, kernel=3, padding=1, in_size=16),
+    ])
+    rows = []
+    for total in TOTAL_LENGTHS:
+        sc = SCNetwork.from_trained(net, SCConfig(phase_length=total // 2))
+        acc = sc.accuracy(x_test[:120], y_test[:120])
+        config = AcousticConfig(
+            name=LP_CONFIG.name, geometry=LP_CONFIG.geometry,
+            clock_hz=LP_CONFIG.clock_hz, phase_length=total // 2,
+            weight_memory_bytes=LP_CONFIG.weight_memory_bytes,
+            activation_memory_bytes=LP_CONFIG.activation_memory_bytes,
+            dram=LP_CONFIG.dram,
+        )
+        lenet_perf = simulate_network(lenet, config)
+        heavy_perf = simulate_network(heavy, config)
+        rows.append((total, 100 * acc, lenet_perf.latency_s * 1e6,
+                     heavy_perf.latency_s * 1e6,
+                     heavy_perf.compute_cycles))
+    return fp_acc, rows
+
+
+def test_stream_length_tradeoff(benchmark, report):
+    fp_acc, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        ["total stream", "SC accuracy [%]", "LeNet latency [us]",
+         "3x3x512x512 conv latency [us]", "conv compute cycles"],
+        rows,
+        title=f"Ablation — stream length trade-off "
+              f"(8-bit fixed point reference: {100 * fp_acc:.1f}%)",
+    )
+    report("ablation_stream_length", table)
+
+    accs = [r[1] for r in rows]
+    lenet_lats = [r[2] for r in rows]
+    heavy_lats = [r[3] for r in rows]
+    cycles = [r[4] for r in rows]
+    # Accuracy must be non-decreasing (within a small noise band).
+    assert accs[-1] >= accs[0]
+    assert accs[-1] > 85.0
+    # Compute cycles scale exactly linearly with stream length; observed
+    # latency bends away from linear at the short end because the tiny
+    # LeNet sits on a control/SNG-load floor and the heavy layer on its
+    # own weight-DMA floor — both honest effects worth reporting.
+    assert cycles[-1] / cycles[0] == TOTAL_LENGTHS[-1] / TOTAL_LENGTHS[0]
+    assert all(lenet_lats[i] <= lenet_lats[i + 1]
+               for i in range(len(lenet_lats) - 1))
+    assert all(heavy_lats[i] < heavy_lats[i + 1]
+               for i in range(len(heavy_lats) - 1))

@@ -1,0 +1,56 @@
+"""Design-space exploration: the LP/ULP pair as points on a Pareto front.
+
+Sweeps MAC-engine geometries around the ULP operating point on the
+LeNet-5 conv workload and extracts the area-throughput frontier,
+generalizing how the paper arrived at its two configurations.
+"""
+
+from repro.analysis import format_table
+from repro.arch import ULP_CONFIG, pareto_frontier, sweep_geometries
+from repro.networks.zoo import NetworkSpec, lenet5_spec
+
+
+def run_sweep():
+    spec = NetworkSpec("lenet5_conv", lenet5_spec().conv_layers)
+    points = sweep_geometries(
+        spec, ULP_CONFIG,
+        rows_options=(1, 2, 4, 8),
+        arrays_options=(2, 4, 8),
+        macs_options=(8, 16),
+    )
+    return points, pareto_frontier(points)
+
+
+def test_dse_pareto(benchmark, report):
+    points, frontier = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    frontier_names = {p.name for p in frontier}
+    rows = [
+        (p.name, p.area_mm2, p.power_w * 1e3, p.frames_per_s,
+         p.throughput_density, "*" if p.name in frontier_names else "")
+        for p in sorted(points, key=lambda p: p.area_mm2)
+    ]
+    table = format_table(
+        ["geometry", "mm^2", "mW", "LeNet conv fr/s", "fr/s per mm^2",
+         "pareto"],
+        rows,
+        title="Design-space sweep around the ULP point "
+              "(* = area-throughput Pareto frontier)",
+    )
+    report("dse_pareto", table)
+
+    # Frontier sanity: monotone in both axes.
+    for a, b in zip(frontier, frontier[1:]):
+        assert a.area_mm2 <= b.area_mm2
+        assert a.frames_per_s < b.frames_per_s
+    # The shipped ULP geometry (R2 A4 M8) must be on or near the
+    # frontier: no sweep point dominates it strictly.
+    ulp_like = [p for p in points if p.name == "R2A4M8"]
+    assert ulp_like, "sweep must include the ULP geometry"
+    ulp = ulp_like[0]
+    dominated = [
+        p for p in points
+        if p.area_mm2 < ulp.area_mm2 * 0.98
+        and p.frames_per_s > ulp.frames_per_s * 1.02
+    ]
+    assert len(dominated) <= 2

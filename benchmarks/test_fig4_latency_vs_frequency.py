@@ -1,0 +1,69 @@
+"""Figure 4: layer latency vs clock frequency per DRAM interface.
+
+Workload: process a conv layer with 16x16x512 inputs and 512 3x3x512
+kernels while pre-loading 512 3x3x512 kernels for the next layer, with
+temporally-unrolled 256-long split-unipolar streams.  Latency is the max
+of compute time (scales with clock) and the weight-prefetch transfer
+(fixed per interface), giving the paper's memory-bound plateau below a
+~300 MHz knee for DDR3 interfaces.
+"""
+
+from repro.analysis import ascii_plot, format_table
+from repro.arch import DRAM_MODELS, LP_CONFIG, map_layer, simulate_layer_latency
+from repro.networks.zoo import LayerSpec
+
+FIG4_LAYER = LayerSpec("conv", 512, 512, kernel=3, padding=1, in_size=16)
+PREFETCH_BYTES = 512 * 3 * 3 * 512  # next layer's 8-bit weights
+INTERFACES = ["DDR3-800", "DDR3-1066", "DDR3-1333", "DDR3-1600",
+              "DDR3-1866", "DDR3-2133", "HBM"]
+FREQUENCIES_MHZ = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+
+def sweep():
+    curves = {}
+    for name in INTERFACES:
+        curves[name] = [
+            simulate_layer_latency(FIG4_LAYER, LP_CONFIG,
+                                   prefetch_bytes=PREFETCH_BYTES,
+                                   clock_hz=mhz * 1e6, dram=name) * 1e3
+            for mhz in FREQUENCIES_MHZ
+        ]
+    return curves
+
+
+def test_fig4_latency_vs_frequency(benchmark, report):
+    curves = benchmark(sweep)
+
+    rows = [
+        tuple([mhz] + [curves[name][i] for name in INTERFACES])
+        for i, mhz in enumerate(FREQUENCIES_MHZ)
+    ]
+    table = format_table(
+        ["MHz"] + INTERFACES, rows,
+        title="Figure 4 — conv-layer latency [ms] vs clock "
+              "(16x16x512 in, 512 3x3x512 kernels + prefetch, 256-long "
+              "streams)",
+    )
+    mapping = map_layer(FIG4_LAYER, LP_CONFIG)
+    knee = mapping.compute_cycles / DRAM_MODELS["DDR3-800"].transfer_seconds(
+        PREFETCH_BYTES
+    )
+    note = (f"compute: {mapping.compute_cycles} cycles; DDR3-800 knee at "
+            f"{knee / 1e6:.0f} MHz (paper: memory-limited at ~300 MHz or "
+            "below)")
+    plot = ascii_plot(
+        {name: list(zip(FREQUENCIES_MHZ, curves[name]))
+         for name in ("DDR3-800", "DDR3-1333", "DDR3-2133", "HBM")},
+        title="Figure 4 curve shapes (latency [ms] vs clock [MHz])",
+        x_label="MHz", y_label="ms",
+    )
+    report("fig4_latency_vs_frequency",
+           table + "\n\n" + note + "\n\n" + plot)
+
+    # Shape assertions: DDR3 curves plateau at high clock, HBM keeps
+    # scaling, all interfaces agree in the compute-bound region.
+    for name in ("DDR3-800", "DDR3-1066", "DDR3-1333"):
+        assert curves[name][-1] == curves[name][-2]  # plateaued
+    assert curves["HBM"][-1] < curves["HBM"][4]      # still scaling
+    assert curves["DDR3-800"][0] == curves["HBM"][0]  # compute-bound @100MHz
+    assert 200e6 < knee < 500e6

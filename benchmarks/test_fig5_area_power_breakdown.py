@@ -1,0 +1,61 @@
+"""Figure 5: area and power breakdowns for the LP and ULP variants.
+
+Regenerates the four pie charts as percentage tables from the component
+cost model.  The exact published percentages are not reproducible without
+the TSMC 28nm library, but the paper's qualitative reading must hold:
+MAC arrays dominate LP area and power; weight buffers take area but
+little power; the ULP variant shifts toward memory/periphery.
+"""
+
+from repro.analysis import format_table
+from repro.arch import LP_CONFIG, ULP_CONFIG, AcousticCostModel
+
+
+def build_breakdowns():
+    out = {}
+    for config in (LP_CONFIG, ULP_CONFIG):
+        model = AcousticCostModel(config)
+        out[config.name] = {
+            "area": model.area_breakdown_mm2(),
+            "power": model.power_breakdown_w(utilization=0.5),
+            "total_area": model.area_mm2,
+            "total_power": model.power_w(0.5),
+        }
+    return out
+
+
+def test_fig5_area_power_breakdown(benchmark, report):
+    data = benchmark(build_breakdowns)
+
+    sections = []
+    for name, entry in data.items():
+        for kind in ("area", "power"):
+            breakdown = entry[kind]
+            total = sum(breakdown.values())
+            rows = [
+                (component, value, 100 * value / total)
+                for component, value in sorted(breakdown.items(),
+                                               key=lambda kv: -kv[1])
+            ]
+            unit = "mm^2" if kind == "area" else "W"
+            sections.append(format_table(
+                ["component", unit, "%"], rows,
+                title=f"Figure 5 — {name} {kind} breakdown "
+                      f"(total {total:.3g} {unit})",
+            ))
+    report("fig5_area_power_breakdown", "\n\n".join(sections))
+
+    lp = data["ACOUSTIC-LP"]
+    # Envelope: paper reports 12 mm^2 / 0.35 W for LP.
+    assert abs(lp["total_area"] - 12.0) / 12.0 < 0.15
+    assert 0.1 < lp["total_power"] < 0.5
+    # Qualitative structure of the pies.
+    assert max(lp["area"], key=lp["area"].get) == "mac_array"
+    assert max(lp["power"], key=lp["power"].get) == "mac_array"
+    area_frac = lp["area"]["wgt_buf"] / sum(lp["area"].values())
+    power_frac = lp["power"]["wgt_buf"] / sum(lp["power"].values())
+    assert area_frac > 3 * power_frac
+    # ULP is an order of magnitude smaller in both.
+    ulp = data["ACOUSTIC-ULP"]
+    assert ulp["total_area"] < lp["total_area"] / 10
+    assert ulp["total_power"] < lp["total_power"] / 10

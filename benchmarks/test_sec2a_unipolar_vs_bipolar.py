@@ -1,0 +1,51 @@
+"""Sec. II-A: unipolar needs >= 2x shorter streams than bipolar.
+
+Sweeps stream lengths, measuring empirical RMS representation error for
+both formats against the analytic models sqrt(v(1-v)/n) and
+sqrt((1-v^2)/n), and reports the stream-length multiplier bipolar needs
+to reach unipolar's error.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, representation_error_study
+from repro.core.errors import bipolar_length_multiplier
+
+
+def test_unipolar_vs_bipolar_error(benchmark, report):
+    lengths = [16, 32, 64, 128, 256, 512]
+    results = benchmark.pedantic(
+        representation_error_study, args=(lengths,),
+        kwargs={"trials": 150}, rounds=1, iterations=1,
+    )
+
+    rows = []
+    for study in results:
+        # Equal-error length for bipolar: n_b such that analytic bipolar
+        # error at n_b equals unipolar error at study.length.
+        ratio = (study.bipolar_rms / study.unipolar_rms) ** 2
+        rows.append((study.length, study.unipolar_rms, study.bipolar_rms,
+                     study.unipolar_rms_analytic, study.bipolar_rms_analytic,
+                     ratio))
+    table = format_table(
+        ["length", "uni RMS", "bip RMS", "uni RMS (analytic)",
+         "bip RMS (analytic)", "length multiplier"],
+        rows,
+        title="Sec. II-A — representation error, unipolar vs bipolar "
+              "(paper: bipolar needs >= 2x longer streams)",
+    )
+    analytic = format_table(
+        ["value v", "(1+v)/v multiplier"],
+        [(v, float(bipolar_length_multiplier(v)))
+         for v in (0.1, 0.25, 0.5, 0.75, 1.0)],
+        title="Analytic equal-error length multiplier (always >= 2)",
+    )
+    report("sec2a_unipolar_vs_bipolar", table + "\n\n" + analytic)
+
+    # The >= 2x claim: measured multiplier must exceed 2 at every length.
+    for row in rows:
+        assert row[-1] > 2.0
+    # Empirical must track analytic within 25%.
+    for study in results:
+        assert np.isclose(study.unipolar_rms, study.unipolar_rms_analytic,
+                          rtol=0.25)

@@ -1,0 +1,44 @@
+"""Sec. II-B: OR-based scale-free accumulation vs MUX-based scaled addition.
+
+Monte-Carlo analysis of a 3x3x256 = 2304-wide accumulation (the paper's
+configuration), where OR shows roughly an order of magnitude less
+absolute error than MUX.  Also reports the relative MAC-structure area
+the paper cites (OR = 1x, APC-based [12] = 4.2x, per-product conversion
+[21] = 23.8x).
+"""
+
+from repro.analysis import accumulation_error_study, format_table
+from repro.core.accumulate import RELATIVE_AREA
+
+
+def test_or_vs_mux_accumulation(benchmark, report):
+    results = benchmark.pedantic(
+        accumulation_error_study,
+        kwargs=dict(fan_in=2304, length=256, trials=60,
+                    accumulators=("or", "mux", "apc")),
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        (name, study.fan_in, study.length, study.mean_abs_error,
+         study.rms_error)
+        for name, study in results.items()
+    ]
+    error_ratio = results["mux"].mean_abs_error / results["or"].mean_abs_error
+    table = format_table(
+        ["accumulator", "fan-in", "stream", "mean |err|", "RMS err"],
+        rows,
+        title="Sec. II-B — Monte-Carlo accumulation error, 2304-wide "
+              "(paper: OR has ~8x less absolute error than MUX)",
+    )
+    area = format_table(
+        ["accumulation style", "relative area @128-wide"],
+        sorted(RELATIVE_AREA.items(), key=lambda kv: kv[1]),
+        title="Relative MAC area (paper: OR 4.2x smaller than APC [12], "
+              "23.8x smaller than per-product conversion [21])",
+    )
+    ratio_line = f"measured MUX/OR absolute error ratio: {error_ratio:.1f}x"
+    report("sec2b_or_vs_mux", table + "\n\n" + ratio_line + "\n\n" + area)
+
+    # Who-wins and rough factor: OR must beat MUX by a wide margin.
+    assert error_ratio > 4.0

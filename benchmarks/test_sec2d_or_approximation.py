@@ -1,0 +1,68 @@
+"""Sec. II-D / Eq. (1): the 1 - exp(-s) OR-training approximation.
+
+Regenerates two claims:
+
+1. approximation error of Eq. (1) against exact OR is < 5% in the
+   operating regime of trained networks;
+2. training with the approximation is ~10x faster than with exact OR
+   accumulation (the paper reports 15x slowdown for exact, 10x+ recovery
+   from the approximation).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.training import SplitOrConv2d
+from repro.training.or_approx import approximation_error
+
+
+def time_training_step(or_mode: str, repeats: int = 3) -> float:
+    rng = np.random.default_rng(0)
+    layer = SplitOrConv2d(8, 16, 3, or_mode=or_mode,
+                          rng=np.random.default_rng(1))
+    x = rng.uniform(0, 1, (16, 8, 12, 12))
+    out = layer.forward(x, training=True)
+    layer.backward(np.ones_like(out))  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        out = layer.forward(x, training=True)
+        layer.backward(np.ones_like(out))
+    return (time.perf_counter() - start) / repeats
+
+
+def test_or_approximation_quality_and_speedup(benchmark, report):
+    rng = np.random.default_rng(0)
+
+    # Claim 1: approximation error across operating points.
+    rows = []
+    worst = 0.0
+    for fan_in in (64, 256, 1024, 2304):
+        for sum_target in (0.5, 1.0, 2.0):
+            t = rng.uniform(0, 2 * sum_target / fan_in, size=(200, fan_in))
+            err = approximation_error(t, axis=-1)
+            rows.append((fan_in, sum_target, float(err.mean()),
+                         float(err.max())))
+            worst = max(worst, float(err.max()))
+    table1 = format_table(
+        ["fan-in", "target sum", "mean |err|", "max |err|"],
+        rows,
+        title="Eq. (1) 1-exp(-s) vs exact OR (paper: error < 5%)",
+    )
+
+    # Claim 2: training-step speedup.
+    approx_s = benchmark(time_training_step, "approx")
+    exact_s = time_training_step("exact")
+    speedup = exact_s / approx_s
+    table2 = format_table(
+        ["forward/backward mode", "step time [s]"],
+        [("exact OR", exact_s), ("approx (Eq. 1)", approx_s),
+         ("speedup", speedup)],
+        title="Training-step cost (paper: exact OR ~15x slower; "
+              "approximation recovers 10x+)",
+    )
+    report("sec2d_or_approximation", table1 + "\n\n" + table2)
+
+    assert worst < 0.05
+    assert speedup > 3.0

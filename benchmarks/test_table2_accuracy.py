@@ -1,0 +1,134 @@
+"""Table II: accuracy — 8-bit fixed point vs ACOUSTIC stochastic inference.
+
+Pipeline per row (exactly the paper's flow, on synthetic datasets):
+
+1. train the network with split-unipolar OR layers, the Eq. (1)
+   approximation and stochastic-stream noise injection (Sec. II-D);
+2. evaluate 8-bit fixed-point accuracy (the "8-bit Fixed Pt" column);
+3. evaluate bitstream-exact SC accuracy at the paper's stream lengths
+   (paper stream length = 2 x phase length).
+
+Datasets are procedural stand-ins (see DESIGN.md), so absolute accuracies
+differ from the published MNIST/SVHN/CIFAR numbers; the reproduced
+quantity is the fixed-point-vs-SC *gap* and its decay with stream length.
+
+Environment knobs: set ``REPRO_TABLE2_FULL=1`` for larger train/eval
+sets (slower, tighter estimates).
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.datasets import synthetic_cifar10, synthetic_mnist, synthetic_svhn
+from repro.networks import cifar10_cnn, lenet5, svhn_cnn
+from repro.simulator import FixedPointNetwork, SCConfig, SCNetwork
+from repro.training import Adam, CrossEntropyLoss, Trainer
+
+FULL = bool(int(os.environ.get("REPRO_TABLE2_FULL", "0")))
+
+#: Paper Table II reference rows: (network, dataset, stream length,
+#: fixed-point accuracy, ACOUSTIC accuracy).
+PAPER_ROWS = [
+    ("LeNet-5", "MNIST", 128, 99.2, 99.3),
+    ("CNN", "SVHN", 256, 90.29, 86.75),
+    ("CNN", "SVHN", 512, 90.29, 89.02),
+    ("CNN", "CIFAR-10", 256, 79.9, 74.9),
+    ("CNN", "CIFAR-10", 512, 79.9, 78.04),
+]
+
+
+def run_row(name, dataset_fn, net_fn, stream_lengths, epochs, lr,
+            n_train, n_eval_fp, n_eval_sc, batch_size=64):
+    (x_train, y_train), (x_test, y_test) = dataset_fn(
+        n_train=n_train, n_test=max(n_eval_fp, n_eval_sc), seed=0
+    )
+    # Train with noise modelling the shortest evaluated stream.
+    net = net_fn(or_mode="approx", seed=1,
+                 stream_length=min(stream_lengths) // 2)
+    trainer = Trainer(net, Adam(net.layers, lr=lr),
+                      loss=CrossEntropyLoss(logit_gain=8.0))
+    trainer.fit(x_train, y_train, epochs=epochs, batch_size=batch_size)
+
+    fp_acc = FixedPointNetwork(net).accuracy(
+        x_test[:n_eval_fp], y_test[:n_eval_fp]
+    )
+    sc_accs = {}
+    for total_length in stream_lengths:
+        config = SCConfig(phase_length=total_length // 2, scheme="lfsr")
+        sc = SCNetwork.from_trained(net, config)
+        sc_accs[total_length] = sc.accuracy(
+            x_test[:n_eval_sc], y_test[:n_eval_sc]
+        )
+    return fp_acc, sc_accs
+
+
+def build_table2():
+    n_train = 6000 if FULL else 2500
+    rows = []
+    fp, sc = run_row(
+        "LeNet-5/MNIST", synthetic_mnist, lenet5, [128],
+        epochs=12, lr=3e-3, n_train=n_train,
+        n_eval_fp=400 if FULL else 300,
+        n_eval_sc=300 if FULL else 120,
+    )
+    rows.append(("LeNet-5", "MNIST-like", 128, 100 * fp, 100 * sc[128]))
+    # The SVHN-like task has a few-epoch saturated-OR plateau before the
+    # loss breaks (see EXPERIMENTS.md); 5 epochs clears it reliably.
+    for label, dataset_fn, net_fn, epochs in (
+        ("SVHN-like", synthetic_svhn, svhn_cnn, 8 if FULL else 5),
+        ("CIFAR-10-like", synthetic_cifar10, cifar10_cnn, 6 if FULL else 3),
+    ):
+        fp, sc = run_row(
+            label, dataset_fn, net_fn, [256, 512],
+            epochs=epochs, lr=3e-3,
+            n_train=4000 if FULL else 2000,
+            n_eval_fp=300 if FULL else 200,
+            n_eval_sc=100 if FULL else 25,
+            batch_size=96,
+        )
+        for length in (256, 512):
+            rows.append(("CNN", label, length, 100 * fp, 100 * sc[length]))
+    return rows
+
+
+def test_table2_accuracy(benchmark, report):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+
+    display = [
+        (net, dataset, length, fp, sc, sc - fp)
+        for net, dataset, length, fp, sc in rows
+    ]
+    measured = format_table(
+        ["network", "dataset", "stream", "8-bit fixed [%]", "ACOUSTIC [%]",
+         "gap [pp]"],
+        display,
+        title="Table II — accuracy (measured, synthetic datasets)",
+    )
+    paper = format_table(
+        ["network", "dataset", "stream", "8-bit fixed [%]", "ACOUSTIC [%]"],
+        PAPER_ROWS, title="Table II — paper reference (real datasets)",
+    )
+    report("table2_accuracy", measured + "\n\n" + paper)
+
+    by_key = {(net, ds, ln): (fp, sc) for net, ds, ln, fp, sc in rows}
+
+    # Shape 1: LeNet at stream 128 is near-lossless (paper: 99.2 vs 99.3).
+    fp, sc = by_key[("LeNet-5", "MNIST-like", 128)]
+    assert fp - sc < 6.0
+    assert sc > 80.0
+
+    # Shape 2: longer streams close the gap on the harder datasets
+    # (paper: SVHN 86.75 -> 89.02, CIFAR 74.9 -> 78.04).
+    for ds in ("SVHN-like", "CIFAR-10-like"):
+        fp256, sc256 = by_key[("CNN", ds, 256)]
+        fp512, sc512 = by_key[("CNN", ds, 512)]
+        # Longer streams no worse (wide band: the fast bench evaluates a
+        # small SC subset, so estimates carry sampling noise).
+        assert sc512 >= sc256 - 12.0
+        assert fp512 - sc512 < 20.0
+
+    # Shape 3: all SC rows clear chance decisively.
+    for _, _, _, _, sc_acc in rows:
+        assert sc_acc > 30.0

@@ -1,0 +1,72 @@
+"""Table IV: ACOUSTIC ULP vs MDL-CNN vs Conv-RAM on conv layers.
+
+The ULP rows come from the performance simulator (conv layers of LeNet-5
+and the CIFAR-10 CNN, 2x64 streams, no DRAM); the analog/time-domain
+comparison points are the published numbers the paper itself reproduces.
+"""
+
+from repro.analysis import PaperComparison, format_table
+from repro.arch import ULP_CONFIG, AcousticCostModel, simulate_network
+from repro.baselines import CONV_RAM, MDL_CNN, PAPER_TABLE4
+from repro.networks.zoo import NetworkSpec, cifar10_cnn_spec, lenet5_spec
+
+
+def conv_only(spec):
+    return NetworkSpec(spec.name + "_conv", spec.conv_layers)
+
+
+def build_table4():
+    results = {}
+    for spec_fn in (lenet5_spec, cifar10_cnn_spec):
+        spec = conv_only(spec_fn())
+        results[spec.name] = simulate_network(spec, ULP_CONFIG)
+    return results
+
+
+def test_table4_ulp_comparison(benchmark, report):
+    results = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    cost = AcousticCostModel(ULP_CONFIG)
+
+    lenet = results["lenet5_conv"]
+    cifar = results["cifar10_cnn_conv"]
+    rows = [
+        ("Conv-RAM", "analog", "6b/1b", CONV_RAM.area_mm2,
+         CONV_RAM.power_w * 1e3, CONV_RAM.clock_hz / 1e6,
+         f"{CONV_RAM.performance['lenet5_conv'][0]:.4g}",
+         f"{CONV_RAM.performance['lenet5_conv'][1]:.3g}", "n/a"),
+        ("MDL-CNN", "time", "8b/1b", MDL_CNN.area_mm2,
+         MDL_CNN.power_w * 1e3, MDL_CNN.clock_hz / 1e6,
+         f"{MDL_CNN.performance['lenet5_conv'][0]:.4g}",
+         f"{MDL_CNN.performance['lenet5_conv'][1]:.3g}", "n/a"),
+        ("ACOUSTIC-ULP", "SC", "8b/8b", cost.area_mm2,
+         cost.power_w(0.5) * 1e3, ULP_CONFIG.clock_hz / 1e6,
+         f"{lenet.frames_per_s:.4g}", f"{lenet.frames_per_j:.3g}",
+         f"{cifar.frames_per_s:.4g} / {cifar.frames_per_j:.3g}"),
+    ]
+    table = format_table(
+        ["accelerator", "domain", "precision", "mm^2", "mW", "MHz",
+         "LeNet5 fr/s", "LeNet5 fr/J", "CIFAR CNN fr/s / fr/J"],
+        rows, title="Table IV — ULP-class comparison on conv layers",
+    )
+
+    comparison = PaperComparison("Table IV paper-vs-measured (ACOUSTIC ULP)")
+    paper = PAPER_TABLE4["ACOUSTIC-ULP"]
+    comparison.add("LeNet-5 frames/s", paper["lenet5_conv"][0],
+                   lenet.frames_per_s)
+    comparison.add("LeNet-5 frames/J", paper["lenet5_conv"][1],
+                   lenet.frames_per_j)
+    comparison.add("CIFAR CNN frames/s", paper["cifar10_cnn_conv"][0],
+                   cifar.frames_per_s)
+    comparison.add("area mm^2", paper["area_mm2"], cost.area_mm2)
+    report("table4_ulp_comparison", table + "\n\n" + comparison.render())
+
+    # Headline ratios: large speedup over MDL-CNN (paper: up to 123x),
+    # large speedup over Conv-RAM (paper: 8.2x), comparable frames/J.
+    mdl_speedup = lenet.frames_per_s / MDL_CNN.performance["lenet5_conv"][0]
+    conv_ram_speedup = (
+        lenet.frames_per_s / CONV_RAM.performance["lenet5_conv"][0]
+    )
+    assert mdl_speedup > 30
+    assert conv_ram_speedup > 3
+    fpj_ratio = lenet.frames_per_j / CONV_RAM.performance["lenet5_conv"][1]
+    assert 0.2 < fpj_ratio < 5  # "similar energy efficiency"

@@ -1,0 +1,91 @@
+"""Bring your own network: the full ACOUSTIC flow for a custom model.
+
+The adoption path for a downstream user with their own CNN:
+
+1. define the trainable model from SplitOr* layers (constraints: no
+   bias, conv -> pool -> ReLU block order, activations in [0, 1]);
+2. train noise-aware, verify with the bitstream-exact simulator;
+3. describe the same shapes as a LayerSpec list and ask the
+   performance model for latency/energy on LP/ULP (or your own
+   geometry), checking capacity and ISA discipline on the way.
+
+Run:  python examples/custom_network.py
+"""
+
+import numpy as np
+
+from repro.arch import (LP_CONFIG, ULP_CONFIG, bottleneck_report,
+                        check_capacity, compile_network, lint_program,
+                        simulate_network)
+from repro.datasets import Augmenter, synthetic_mnist
+from repro.networks.zoo import LayerSpec, NetworkSpec
+from repro.simulator import FixedPointNetwork, SCConfig, SCNetwork
+from repro.training import (Adam, AvgPool2d, CrossEntropyLoss, Flatten,
+                            ReLU, Sequential, SplitOrConv2d, SplitOrLinear,
+                            Trainer)
+
+
+def build_model(seed=1, stream_length=64):
+    """A custom 2-conv CNN for 28x28 inputs (wider than LeNet-5)."""
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        SplitOrConv2d(1, 12, 3, padding=1, stream_length=stream_length,
+                      rng=rng),
+        AvgPool2d(2), ReLU(),                       # 28 -> 14
+        SplitOrConv2d(12, 24, 3, padding=1, stream_length=stream_length,
+                      rng=rng),
+        AvgPool2d(2), ReLU(),                       # 14 -> 7
+        Flatten(),
+        SplitOrLinear(24 * 7 * 7, 10, stream_length=stream_length, rng=rng),
+    ])
+
+
+def build_spec():
+    """The same shapes, for the performance models."""
+    return NetworkSpec("custom_cnn", [
+        LayerSpec("conv", 1, 12, kernel=3, padding=1, in_size=28, pool=2),
+        LayerSpec("conv", 12, 24, kernel=3, padding=1, in_size=14, pool=2),
+        LayerSpec("fc", 24 * 7 * 7, 10),
+    ])
+
+
+def main():
+    print("=== 1. Train (noise-aware, augmented) ===")
+    (x_train, y_train), (x_test, y_test) = synthetic_mnist(
+        n_train=2500, n_test=300, seed=0
+    )
+    net = build_model()
+    trainer = Trainer(net, Adam(net.layers, lr=3e-3),
+                      loss=CrossEntropyLoss(logit_gain=8.0))
+    trainer.fit(x_train, y_train, epochs=8, batch_size=64,
+                x_val=x_test, y_val=y_test, verbose=True,
+                augmenter=Augmenter(shift=1, noise=0.02, seed=0))
+
+    print("\n=== 2. Verify on the stochastic datapath ===")
+    fp_acc = FixedPointNetwork(net).accuracy(x_test, y_test)
+    sc = SCNetwork.from_trained(net, SCConfig(phase_length=64))
+    sc_acc = sc.accuracy(x_test[:120], y_test[:120])
+    print(f"8-bit fixed point: {100 * fp_acc:.1f}%   "
+          f"SC @ 2x64 streams: {100 * sc_acc:.1f}%")
+
+    print("\n=== 3. Cost it out on the accelerator ===")
+    spec = build_spec()
+    for config in (LP_CONFIG, ULP_CONFIG):
+        fits = check_capacity(spec, config)
+        if fits and config.dram is None:
+            print(f"{config.name}: does not fit ({fits[0]} ...)")
+            continue
+        program = compile_network(spec, config)
+        issues = lint_program(program, has_dram=config.dram is not None)
+        result = simulate_network(spec, config)
+        print(f"{config.name}: {result.frames_per_s:.0f} frames/s, "
+              f"{result.frames_per_j:.0f} frames/J "
+              f"({len(program)} instructions, "
+              f"lint {'clean' if not issues else issues})")
+
+    print()
+    print(bottleneck_report(spec, LP_CONFIG))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Edge-deployment study: ACOUSTIC vs fixed-point and exotic accelerators.
+
+Reproduces the paper's evaluation narrative with the performance models:
+
+- Table III class: ACOUSTIC LP vs Eyeriss (168/1024 PEs) vs SCOPE on
+  AlexNet / VGG-16 / ResNet-18 / CIFAR-10 CNN;
+- Table IV class: ACOUSTIC ULP vs MDL-CNN vs Conv-RAM on conv layers;
+- the per-layer view explaining *why* (FC layers are DRAM-bound, convs
+  ride the SC compute density).
+
+Run:  python examples/edge_deployment_study.py
+"""
+
+from repro.analysis import format_table
+from repro.arch import (LP_CONFIG, ULP_CONFIG, AcousticCostModel,
+                        simulate_network)
+from repro.baselines import (CONV_RAM, EYERISS_1K, EYERISS_BASE, MDL_CNN,
+                             SCOPE, EyerissModel)
+from repro.networks import NETWORK_SPECS
+from repro.networks.zoo import NetworkSpec
+
+
+def lp_study():
+    nets = ["alexnet", "vgg16", "resnet18", "cifar10_cnn"]
+    rows = []
+    for config in (EYERISS_BASE, EYERISS_1K):
+        model = EyerissModel(config)
+        cells = []
+        for net in nets:
+            if net == "cifar10_cnn":
+                cells.append("n/a")
+                continue
+            r = model.simulate(NETWORK_SPECS[net]())
+            cells.append(f"{r.frames_per_s:.4g} / {r.frames_per_j:.4g}")
+        rows.append((config.name, config.area_mm2, config.power_w, *cells))
+    scope_cells = [
+        (f"{SCOPE.performance[n][0]:.4g} / {SCOPE.performance[n][1]:.4g}"
+         if n in SCOPE.performance else "n/a")
+        for n in nets
+    ]
+    rows.append((SCOPE.name, SCOPE.area_mm2, "n/a", *scope_cells))
+    cost = AcousticCostModel(LP_CONFIG)
+    lp_cells = []
+    for net in nets:
+        r = simulate_network(NETWORK_SPECS[net](), LP_CONFIG)
+        lp_cells.append(f"{r.frames_per_s:.4g} / {r.frames_per_j:.4g}")
+    rows.append(("ACOUSTIC-LP", cost.area_mm2, cost.power_w(0.7), *lp_cells))
+    print(format_table(
+        ["accelerator", "mm^2", "W"] + [f"{n} (fr/s / fr/J)" for n in nets],
+        rows, title="LP-class comparison (Table III analogue)",
+    ))
+
+
+def ulp_study():
+    rows = [
+        ("Conv-RAM (analog 6b/1b)", CONV_RAM.area_mm2,
+         f"{CONV_RAM.performance['lenet5_conv'][0]:.4g}",
+         f"{CONV_RAM.performance['lenet5_conv'][1]:.3g}"),
+        ("MDL-CNN (time 8b/1b)", MDL_CNN.area_mm2,
+         f"{MDL_CNN.performance['lenet5_conv'][0]:.4g}",
+         f"{MDL_CNN.performance['lenet5_conv'][1]:.3g}"),
+    ]
+    spec = NETWORK_SPECS["lenet5"]()
+    conv_only = NetworkSpec("lenet5_conv", spec.conv_layers)
+    r = simulate_network(conv_only, ULP_CONFIG)
+    cost = AcousticCostModel(ULP_CONFIG)
+    rows.append(("ACOUSTIC-ULP (SC 8b/8b)", cost.area_mm2,
+                 f"{r.frames_per_s:.4g}", f"{r.frames_per_j:.3g}"))
+    print()
+    print(format_table(
+        ["accelerator", "mm^2", "LeNet-5 conv fr/s", "fr/J"],
+        rows, title="ULP-class comparison (Table IV analogue)",
+    ))
+    mdl_speedup = r.frames_per_s / MDL_CNN.performance["lenet5_conv"][0]
+    print(f"\nACOUSTIC ULP speedup over MDL-CNN: {mdl_speedup:.0f}x "
+          "(paper: up to 123x) — at full 8b/8b precision where the "
+          "comparisons binarize weights.")
+
+
+def why_view():
+    spec = NETWORK_SPECS["alexnet"]()
+    result = simulate_network(spec, LP_CONFIG)
+    rows = [
+        (layer.name, layer.kind, layer.compute_cycles,
+         f"{layer.utilization:.2f}", layer.weight_bytes)
+        for layer in result.layers
+    ]
+    print()
+    print(format_table(
+        ["layer", "kind", "compute cycles", "utilization", "weight bytes"],
+        rows,
+        title=f"AlexNet on ACOUSTIC LP — per-layer view "
+              f"(latency {result.latency_s * 1e3:.2f} ms, "
+              f"DRAM {result.dram_bytes / 1e6:.1f} MB)",
+    ))
+    print("\nThe FC layers carry ~95% of the weight bytes: AlexNet latency "
+          "is DRAM-bound, which is why the paper says FC layers dominate "
+          "AlexNet/VGG and why ResNet-18 (single small FC) runs faster "
+          "despite 2x the compute.")
+
+
+if __name__ == "__main__":
+    lp_study()
+    ulp_study()
+    why_view()

@@ -1,0 +1,70 @@
+"""Inside the accelerator: compile a CNN to the ACOUSTIC ISA and run it.
+
+Shows the programmable-accelerator side of the paper (Sec. III):
+
+1. compile LeNet-5 into the Table-I instruction set;
+2. disassemble the program (loops, barriers, DMA prefetch);
+3. execute it on the distributed-control timing model and report
+   per-unit occupancy;
+4. sweep the Figure-4 clock/DRAM design space for one heavy conv layer.
+
+Run:  python examples/isa_and_control.py
+"""
+
+from repro.analysis import format_table
+from repro.arch import (LP_CONFIG, Dispatcher, compile_network,
+                        disassemble, simulate_layer_latency)
+from repro.networks import NETWORK_SPECS
+from repro.networks.zoo import LayerSpec
+
+
+def compile_and_run():
+    spec = NETWORK_SPECS["lenet5"]()
+    program = compile_network(spec, LP_CONFIG)
+    listing = disassemble(program).splitlines()
+    print(f"Compiled {spec.name}: {len(program)} static instructions")
+    print("\nFirst 24 lines of the program:")
+    for line in listing[:24]:
+        print("   ", line)
+
+    stats = Dispatcher(LP_CONFIG).run(program)
+    print(f"\nExecution: {stats.total_cycles:.0f} cycles "
+          f"({stats.seconds(LP_CONFIG.clock_hz) * 1e6:.1f} us at "
+          f"{LP_CONFIG.clock_hz / 1e6:.0f} MHz), "
+          f"{stats.dispatched} dynamic instructions")
+    rows = [
+        (unit, busy, stats.unit_instructions[unit],
+         100 * busy / max(stats.total_cycles, 1))
+        for unit, busy in sorted(stats.unit_busy_cycles.items())
+    ]
+    print(format_table(
+        ["control unit", "busy cycles", "instructions", "occupancy [%]"],
+        rows, title="Per-unit occupancy (distributed control, Sec. III-C)",
+    ))
+
+
+def fig4_sweep():
+    layer = LayerSpec("conv", 512, 512, kernel=3, padding=1, in_size=16)
+    prefetch = 512 * 3 * 3 * 512
+    interfaces = ["DDR3-800", "DDR3-1600", "HBM"]
+    rows = []
+    for mhz in (100, 200, 300, 500, 1000):
+        rows.append((mhz, *(
+            simulate_layer_latency(layer, LP_CONFIG, prefetch_bytes=prefetch,
+                                   clock_hz=mhz * 1e6, dram=name) * 1e3
+            for name in interfaces
+        )))
+    print()
+    print(format_table(
+        ["clock MHz"] + [f"{n} [ms]" for n in interfaces],
+        rows,
+        title="Figure-4 design-space slice: one 3x3x512x512 conv layer "
+              "with next-layer weight prefetch",
+    ))
+    print("\nDDR3 plateaus above ~300 MHz (memory bound); HBM keeps "
+          "scaling with clock — the paper's Fig. 4 conclusion.")
+
+
+if __name__ == "__main__":
+    compile_and_run()
+    fig4_sweep()

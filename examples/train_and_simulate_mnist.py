@@ -1,0 +1,66 @@
+"""Train LeNet-5 for ACOUSTIC and verify it with bitstream-exact simulation.
+
+The full Table-II pipeline on the MNIST-like dataset:
+
+1. train LeNet-5 with split-unipolar OR layers, the Eq. (1) OR
+   approximation and stochastic-stream noise injection;
+2. measure the 8-bit fixed-point reference accuracy;
+3. convert the network into the functional SC simulator and measure
+   bitstream-exact accuracy across stream lengths.
+
+Run:  python examples/train_and_simulate_mnist.py [--fast]
+"""
+
+import argparse
+import time
+
+from repro.datasets import synthetic_mnist
+from repro.networks import lenet5
+from repro.simulator import FixedPointNetwork, SCConfig, SCNetwork
+from repro.training import Adam, CrossEntropyLoss, Trainer
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller dataset / fewer epochs")
+    args = parser.parse_args()
+
+    n_train = 1500 if args.fast else 4000
+    epochs = 6 if args.fast else 14
+    n_eval_sc = 80 if args.fast else 250
+
+    print("Generating MNIST-like dataset (synthetic stand-in, see "
+          "DESIGN.md)...")
+    (x_train, y_train), (x_test, y_test) = synthetic_mnist(
+        n_train=n_train, n_test=400, seed=0
+    )
+
+    print(f"Training LeNet-5 with OR-accumulation modelling "
+          f"({epochs} epochs)...")
+    net = lenet5(or_mode="approx", seed=1, stream_length=64)
+    trainer = Trainer(net, Adam(net.layers, lr=3e-3),
+                      loss=CrossEntropyLoss(logit_gain=8.0))
+    trainer.fit(x_train, y_train, epochs=epochs, batch_size=64,
+                x_val=x_test, y_val=y_test, verbose=True)
+
+    fp_acc = FixedPointNetwork(net).accuracy(x_test, y_test)
+    print(f"\n8-bit fixed-point accuracy: {100 * fp_acc:.2f}%")
+
+    print(f"\nBitstream-exact stochastic inference "
+          f"({n_eval_sc} test images):")
+    print(f"{'total stream':>12} | {'SC accuracy':>11} | {'gap':>7} | time")
+    for total_length in (64, 128, 256):
+        config = SCConfig(phase_length=total_length // 2, scheme="lfsr")
+        sc = SCNetwork.from_trained(net, config)
+        start = time.perf_counter()
+        acc = sc.accuracy(x_test[:n_eval_sc], y_test[:n_eval_sc])
+        elapsed = time.perf_counter() - start
+        print(f"{total_length:>12} | {100 * acc:>10.2f}% | "
+              f"{100 * (acc - fp_acc):>+6.2f}pp | {elapsed:.1f}s")
+    print("\nPaper Table II anchor: LeNet-5/MNIST at stream 128 loses "
+          "~0pp vs 8-bit fixed point (99.3% vs 99.2%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path
+when no ``[build-system]`` table is present, which is the only editable
+install that works offline here (PEP 660 requires ``bdist_wheel``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ACOUSTIC: Or-Unipolar Skipped Stochastic Computing CNN accelerator "
+        "(DATE 2020) reproduction"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,40 @@
+"""ACOUSTIC (DATE 2020) reproduction.
+
+Accelerating Convolutional Neural Networks through Or-Unipolar Skipped
+Stochastic Computing — a full-system Python reproduction: stochastic
+computing primitives, a bitstream-exact functional CNN simulator, a numpy
+training framework with OR-accumulation modelling, the ACOUSTIC ISA and
+cycle-level performance simulator, energy/area models, and the fixed-point
+and stochastic baselines used in the paper's evaluation.
+
+Subpackages
+-----------
+``repro.core``
+    SC primitives: split-unipolar representation, OR accumulation,
+    computation-skipping pooling (the paper's contribution).
+``repro.simulator``
+    Bitstream-exact functional simulator for SC CNN inference.
+``repro.training``
+    From-scratch numpy CNN training with the ``1 - exp(-s)`` OR model.
+``repro.arch``
+    ACOUSTIC ISA, compiler, distributed control, performance simulator,
+    memory and energy models, LP/ULP configurations.
+``repro.baselines``
+    Eyeriss-class fixed-point model; SCOPE / MDL-CNN / Conv-RAM data.
+``repro.networks``
+    Layer-spec zoo (LeNet-5 .. ResNet-18).
+``repro.datasets``
+    Synthetic stand-ins for MNIST / SVHN / CIFAR-10.
+``repro.analysis``
+    Monte-Carlo error studies and report-table helpers.
+"""
+
+__version__ = "1.0.0"
+
+from . import (analysis, arch, baselines, core, datasets, networks,
+               simulator, training)
+
+__all__ = [
+    "analysis", "arch", "baselines", "core", "datasets", "networks",
+    "simulator", "training", "__version__",
+]

@@ -1,0 +1,24 @@
+"""Monte-Carlo studies and report formatting."""
+
+from .allocation import (AllocationResult, AllocationStep,
+                         allocate_stream_lengths)
+from .asciiplot import ascii_plot
+from .faults import (FaultStudy, binary_fault_error, flip_binary_words,
+                     flip_stream_bits, network_fault_study,
+                     stream_fault_error)
+from .montecarlo import (AccumulationStudy, RepresentationStudy,
+                         accumulation_error_study,
+                         representation_error_study)
+from .snr import LayerSnr, layer_snr_profile
+from .reporting import PaperComparison, format_ratio, format_table
+
+__all__ = [
+    "AllocationResult", "AllocationStep", "allocate_stream_lengths",
+    "ascii_plot",
+    "AccumulationStudy", "RepresentationStudy",
+    "accumulation_error_study", "representation_error_study",
+    "PaperComparison", "format_ratio", "format_table",
+    "LayerSnr", "layer_snr_profile",
+    "FaultStudy", "binary_fault_error", "flip_binary_words",
+    "flip_stream_bits", "network_fault_study", "stream_fault_error",
+]

@@ -1,0 +1,68 @@
+"""Minimal ASCII line plots for benchmark figures.
+
+The benchmark harness reproduces the paper's *figures* as data tables;
+this module adds a terminal rendering of the curve shapes so a reader
+can eyeball, e.g., Fig. 4's memory-bound plateaus without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(series: dict, width: int = 64, height: int = 16,
+               title: str = None, x_label: str = "", y_label: str = "",
+               logy: bool = False) -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII chart.
+
+    Each series gets its own marker; overlapping points show the later
+    series' marker.  ``logy`` plots log10(y).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [math.log10(p[1]) if logy else p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            yy = math.log10(y) if logy else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((yy - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_lo_label = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    gutter = max(len(y_hi_label), len(y_lo_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_hi_label
+        elif row_index == height - 1:
+            label = y_lo_label
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |{''.join(row)}|")
+    lines.append(f"{'':>{gutter}} +{'-' * width}+")
+    x_axis = f"{x_lo:.3g}{x_label:^{max(0, width - 12)}}{x_hi:.3g}"
+    lines.append(f"{'':>{gutter}}  {x_axis}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{gutter}}  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""ASCII report tables for the benchmark harness."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_ratio", "PaperComparison"]
+
+
+def format_table(headers, rows, title: str = None) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` is an iterable of sequences; cells are stringified with
+    ``format_cell``.  Numeric cells are right-aligned.
+    """
+    rendered = [[_format_cell(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{cell:.3g}"
+        if magnitude >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """Render measured-vs-paper agreement as a multiplier string."""
+    if paper is None or paper == 0:
+        return "n/a"
+    return f"{measured / paper:.2f}x"
+
+
+class PaperComparison:
+    """Collects (quantity, paper, measured) triples and renders a table."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.rows = []
+
+    def add(self, quantity: str, paper, measured) -> None:
+        self.rows.append((quantity, paper, measured))
+
+    def render(self) -> str:
+        table_rows = [
+            (q, p if p is not None else "n/a", m,
+             format_ratio(m, p) if isinstance(m, (int, float)) and
+             isinstance(p, (int, float)) else "")
+            for q, p, m in self.rows
+        ]
+        return format_table(
+            ["quantity", "paper", "measured", "measured/paper"],
+            table_rows, title=self.title,
+        )

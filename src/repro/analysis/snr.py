@@ -1,0 +1,106 @@
+"""Per-layer signal-to-noise analysis of SC inference.
+
+Explains *where* stochastic noise enters a network: for each layer of a
+converted :class:`~repro.simulator.network.SCNetwork`, compares the SC
+layer outputs against the trained network's float forward pass and
+reports signal power, noise power and SNR.  This is the tool that
+surfaced the training insights recorded in EXPERIMENTS.md (e.g. deep
+layers of OR networks attenuate signal until stream noise dominates
+unless noise-aware training is used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.config import SCConfig
+from ..simulator.network import SCNetwork
+from ..training.network import Sequential
+
+__all__ = ["LayerSnr", "layer_snr_profile"]
+
+
+@dataclass
+class LayerSnr:
+    """Signal/noise statistics of one SC layer output."""
+
+    index: int
+    layer_type: str
+    signal_rms: float
+    noise_rms: float
+
+    @property
+    def snr(self) -> float:
+        """Linear signal-to-noise ratio (inf for noise-free layers)."""
+        if self.noise_rms == 0:
+            return float("inf")
+        return self.signal_rms / self.noise_rms
+
+    @property
+    def snr_db(self) -> float:
+        return 10 * np.log10(self.snr) if np.isfinite(self.snr) else \
+            float("inf")
+
+
+def layer_snr_profile(network: Sequential, x: np.ndarray,
+                      config: SCConfig = None) -> list:
+    """Per-layer SNR of the SC simulation against the float forward.
+
+    Runs the trained network layer by layer in float, and the converted
+    SC network layer by layer on bitstreams, feeding each SC layer the
+    *float* input so errors do not compound — the reported noise is each
+    layer's own contribution.
+    """
+    config = config if config is not None else SCConfig()
+    sc_net = SCNetwork.from_trained(network, config)
+
+    # Build the float reference activations at SC-layer granularity.
+    # SC layers fuse conv+pool, so walk the float net and collapse the
+    # same pairs.
+    float_inputs = []
+    current = np.asarray(x, dtype=np.float64)
+    from ..training import layers as tlayers
+    i = 0
+    source = list(network.layers)
+    while i < len(source):
+        float_inputs.append(current)
+        layer = source[i]
+        current = layer.forward(current, training=False)
+        if (isinstance(layer, (tlayers.SplitOrConv2d, tlayers.Conv2d))
+                and i + 1 < len(source)
+                and isinstance(source[i + 1], tlayers.AvgPool2d)):
+            current = source[i + 1].forward(current, training=False)
+            i += 1
+        i += 1
+
+    if len(float_inputs) != len(sc_net.layers):
+        raise ValueError(
+            "float/SC layer walk mismatch — unsupported network structure"
+        )
+
+    profile = []
+    reference = np.asarray(x, dtype=np.float64)
+    for index, sc_layer in enumerate(sc_net.layers):
+        float_in = float_inputs[index]
+        sc_out = sc_layer.forward(float_in, config, index)
+        # Recompute the float output of this (possibly fused) stage.
+        float_out = _float_stage_output(network, index, float_in,
+                                        float_inputs, reference)
+        noise = sc_out - float_out
+        profile.append(LayerSnr(
+            index=index,
+            layer_type=type(sc_layer).__name__,
+            signal_rms=float(np.sqrt(np.mean(float_out**2))),
+            noise_rms=float(np.sqrt(np.mean(noise**2))),
+        ))
+    return profile
+
+
+def _float_stage_output(network, index, float_in, float_inputs, x0):
+    """Float output of SC stage ``index`` — the next stage's input, or
+    the final forward output for the last stage."""
+    if index + 1 < len(float_inputs):
+        return float_inputs[index + 1]
+    return network.forward(np.asarray(x0, dtype=np.float64), training=False)

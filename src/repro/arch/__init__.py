@@ -1,0 +1,34 @@
+"""ACOUSTIC architecture model: ISA, compiler, control, perf/energy sim."""
+
+from .compiler import (CapacityError, LayerMapping, check_capacity,
+                       compile_layer, compile_network, map_layer)
+from .dispatcher import Dispatcher, ExecutionStats
+from .dse import (DesignPoint, best_under, pareto_frontier,
+                  sweep_geometries)
+from .energy import AcousticCostModel, ComponentCosts
+from .isa import Instruction, Opcode, Unit, barrier_mask
+from .memory import DRAM_MODELS, DramModel, SramModel
+from .params import LP_CONFIG, ULP_CONFIG, AcousticConfig, MacGeometry
+from .perfsim import (LayerPerf, PerfResult, simulate_layer_latency,
+                      simulate_network)
+from .program import Program, assemble, disassemble
+from .report import (LayerMappingReport, bottleneck_report, mapping_report)
+from .validation import LintIssue, lint_program
+from .trace import (ExecutionTrace, TraceEvent, TracingDispatcher,
+                    render_gantt)
+
+__all__ = [
+    "CapacityError", "LayerMapping", "check_capacity", "compile_layer",
+    "compile_network", "map_layer",
+    "Dispatcher", "ExecutionStats",
+    "DesignPoint", "best_under", "pareto_frontier", "sweep_geometries",
+    "AcousticCostModel", "ComponentCosts",
+    "Instruction", "Opcode", "Unit", "barrier_mask",
+    "DRAM_MODELS", "DramModel", "SramModel",
+    "LP_CONFIG", "ULP_CONFIG", "AcousticConfig", "MacGeometry",
+    "LayerPerf", "PerfResult", "simulate_layer_latency", "simulate_network",
+    "Program", "assemble", "disassemble",
+    "LayerMappingReport", "bottleneck_report", "mapping_report",
+    "ExecutionTrace", "TraceEvent", "TracingDispatcher", "render_gantt",
+    "LintIssue", "lint_program",
+]

@@ -1,0 +1,302 @@
+"""Compiler: CNN layer specs -> ACOUSTIC ISA programs.
+
+The mapping model follows Sec. III-B:
+
+- Each output position's fan-in (``kh * kw * C_in`` products) is covered
+  by a chain of ``ceil(fan_in / 96)`` MAC units whose partial streams the
+  configurable fabric ORs together.
+- A compute pass runs ``S*A*M // macs_per_output`` output positions and
+  ``R`` kernels concurrently for one split-unipolar phase pair
+  (``2 x phase_length`` clocks, shortened by the pooling area when
+  computation skipping applies).
+- Fully-connected layers run at the fixed 12.5% utilization the paper
+  derives from its 6-row FC mapping (87.5% underutilization).
+- Weights for the next layer are DMA-loaded while the current layer
+  computes; barriers enforce layer boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..networks.zoo import LayerSpec, NetworkSpec
+from .isa import Opcode, Unit, barrier_mask
+from .params import AcousticConfig
+from .program import Program
+
+__all__ = ["LayerMapping", "map_layer", "compile_layer", "compile_network"]
+
+
+@dataclass
+class LayerMapping:
+    """How one layer maps onto the MAC engine.
+
+    For pooled convolutions each position group iterates the
+    ``pool_passes`` window members with passes shortened by the pooling
+    area; the output counters accumulate across those passes without
+    resetting (computation skipping, Sec. II-C).
+    """
+
+    layer: LayerSpec
+    macs_per_output: int
+    positions_per_pass: int
+    kernel_groups: int
+    position_groups: int
+    pool_passes: int
+    pass_cycles: int
+    fc_cycles: int = 0
+
+    @property
+    def passes(self) -> int:
+        return self.kernel_groups * self.position_groups * self.pool_passes
+
+    @property
+    def compute_cycles(self) -> int:
+        if self.layer.kind == "fc":
+            return self.fc_cycles
+        return self.passes * self.pass_cycles
+
+
+def map_layer(layer: LayerSpec, config: AcousticConfig) -> LayerMapping:
+    """Compute the pass structure for one layer."""
+    g = config.geometry
+    stream_cycles = 2 * config.phase_length
+    if layer.kind == "fc":
+        products = layer.macs * stream_cycles
+        fc_cycles = math.ceil(
+            products / (g.peak_products_per_cycle * config.fc_utilization)
+        )
+        return LayerMapping(layer, macs_per_output=0, positions_per_pass=1,
+                            kernel_groups=1, position_groups=1,
+                            pool_passes=1, pass_cycles=0,
+                            fc_cycles=fc_cycles)
+
+    macs_per_output = math.ceil(layer.fan_in / g.mac_width)
+    row_macs = g.subrows_per_row * g.arrays_per_subrow * g.macs_per_array
+    positions_per_pass = max(1, row_macs // macs_per_output)
+    # Strided convolutions underutilize the fabric (Sec. III-B): the
+    # partially-shared activation wiring of an array serves contiguous
+    # positions, so a stride-s kernel only lands on 1/s of the slots.
+    if layer.stride > 1:
+        positions_per_pass = max(1, positions_per_pass // layer.stride)
+    pool = max(1, layer.pool)
+    # Ceiling division covers ragged edges when the pooling window does
+    # not tile the output exactly (the functional simulator rejects such
+    # shapes; the performance model schedules the partial windows).
+    pooled_positions = (-(-layer.out_size // pool)) ** 2 if pool > 1 \
+        else layer.out_size ** 2
+    position_groups = math.ceil(max(1, pooled_positions) / positions_per_pass)
+    kernel_groups = math.ceil(layer.out_channels / g.kernels_per_pass)
+    pass_cycles = max(1, stream_cycles // (pool * pool))
+    return LayerMapping(layer, macs_per_output=macs_per_output,
+                        positions_per_pass=positions_per_pass,
+                        kernel_groups=kernel_groups,
+                        position_groups=position_groups,
+                        pool_passes=pool * pool,
+                        pass_cycles=pass_cycles)
+
+
+def conv_utilization(mapping: LayerMapping, config: AcousticConfig) -> float:
+    """Fraction of peak bit-products a conv layer keeps busy."""
+    layer = mapping.layer
+    if layer.kind == "fc":
+        return config.fc_utilization
+    pool_area = max(1, layer.pool) ** 2
+    # Work actually required: every MAC of the layer needs pass_cycles
+    # product-bits (skipping already shortened the pass).
+    needed = layer.macs * mapping.pass_cycles
+    supplied = (mapping.passes * mapping.pass_cycles
+                * config.geometry.peak_products_per_cycle)
+    return min(1.0, needed / supplied) if supplied else 0.0
+
+
+def compile_layer(layer: LayerSpec, config: AcousticConfig,
+                  next_layer: LayerSpec = None,
+                  layer_index: int = 0) -> Program:
+    """Emit the instruction stream for one layer.
+
+    The WGTLD for ``next_layer`` is issued up front so the DMA engine
+    overlaps the fetch with this layer's compute (Sec. III-A).
+    """
+    g = config.geometry
+    program = Program(name=f"layer{layer_index}_{layer.kind}")
+    mapping = map_layer(layer, config)
+
+    spill = _activation_spill_bytes(layer, config)
+    if config.dram is not None:
+        # Wait for this layer's own weights (prefetched during the
+        # previous layer) and any spilled activations, then immediately
+        # start the next layer's prefetch so the DMA engine stays
+        # pipelined across layer boundaries.
+        if spill:
+            program.append(Opcode.ACTLD, bytes=spill,
+                           comment="reload spilled activations")
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.DMA),
+                       comment="weights/activations resident")
+        if next_layer is not None:
+            program.append(
+                Opcode.WGTLD, bytes=next_layer.weight_count,
+                comment=f"prefetch weights for layer {layer_index + 1}",
+            )
+
+    if layer.kind == "fc":
+        # The 6-row FC mapping: weights stream through the SNG buffers
+        # (WGTSHIFT) while the MAC fabric integrates.
+        program.append(Opcode.ACTRNG, entries=layer.in_channels)
+        program.append(Opcode.FOR, count=max(1, mapping.fc_cycles
+                                             // (2 * config.phase_length)),
+                       loop="batch")
+        program.append(Opcode.WGTRNG, entries=g.weight_sngs)
+        program.append(Opcode.WGTSHIFT)
+        program.append(Opcode.MAC, cycles=2 * config.phase_length)
+        program.append(Opcode.END, loop="batch")
+        program.append(Opcode.CNTST, entries=layer.out_channels)
+    else:
+        act_entries = g.activation_sngs
+        wgt_entries = min(g.weight_sngs,
+                          mapping.macs_per_output * g.mac_width
+                          * g.kernels_per_pass)
+        program.append(Opcode.FOR, count=mapping.kernel_groups, loop="kernel")
+        program.append(Opcode.WGTRNG, entries=wgt_entries)
+        if layer.padding:
+            # Edge positions use the shared shifting fabric to align
+            # weights with the padded window (Sec. III-B).
+            program.append(Opcode.WGTSHIFT,
+                           comment="align weights for padded edges")
+        program.append(Opcode.FOR, count=mapping.position_groups, loop="row")
+        if mapping.pool_passes > 1:
+            # Successive shortened passes over the pooling window; the
+            # counters accumulate without resetting between them.
+            program.append(Opcode.FOR, count=mapping.pool_passes,
+                           loop="pooling")
+            program.append(Opcode.ACTRNG, entries=act_entries)
+            program.append(Opcode.MAC, cycles=mapping.pass_cycles)
+            program.append(Opcode.END, loop="pooling")
+        else:
+            program.append(Opcode.ACTRNG, entries=act_entries)
+            program.append(Opcode.MAC, cycles=mapping.pass_cycles)
+        program.append(Opcode.CNTST,
+                       entries=mapping.positions_per_pass * g.rows)
+        program.append(Opcode.END, loop="row")
+        program.append(Opcode.END, loop="kernel")
+
+    if spill and config.dram is not None:
+        program.append(Opcode.ACTST, bytes=spill,
+                       comment="spill activations to DRAM")
+    # Compute-side layer boundary; the DMA engine is deliberately left
+    # out so next-layer prefetch keeps streaming.
+    program.append(Opcode.BARR,
+                   mask=barrier_mask(Unit.MAC, Unit.CNT, Unit.ACTRNG,
+                                     Unit.WGTRNG),
+                   comment="layer boundary")
+    program.validate()
+    return program
+
+
+class CapacityError(ValueError):
+    """A layer's working set cannot be placed on a DRAM-less device."""
+
+
+def check_capacity(spec: NetworkSpec, config: AcousticConfig) -> list:
+    """Return human-readable capacity violations for ``spec``.
+
+    On DRAM-backed configurations oversized working sets spill (modeled
+    as ACTLD/ACTST traffic); on DRAM-less devices they are hard errors —
+    the device physically cannot run the layer without a host streaming
+    interface.
+    """
+    problems = []
+    for i, layer in enumerate(spec.layers):
+        act_bytes = layer.input_activations + layer.output_activations
+        if act_bytes > config.activation_memory_bytes:
+            problems.append(
+                f"layer {i} ({layer.kind}): activations {act_bytes} B "
+                f"exceed the {config.activation_memory_bytes} B scratchpad"
+            )
+        if layer.weight_count > config.weight_memory_bytes:
+            problems.append(
+                f"layer {i} ({layer.kind}): weights {layer.weight_count} B "
+                f"exceed the {config.weight_memory_bytes} B weight memory"
+            )
+    return problems
+
+
+def compile_network(spec: NetworkSpec, config: AcousticConfig,
+                    batch: int = 1, strict: bool = False) -> Program:
+    """Compile a whole network, chaining layer programs with prefetch.
+
+    ``batch > 1`` wraps each layer in a batch loop: weights are loaded
+    once per layer and reused across the batch (the paper notes FC
+    layers "cannot re-use weights without employing batching" — this is
+    that batching), so weight DMA amortizes by the batch size.
+
+    ``strict=True`` raises :class:`CapacityError` when a DRAM-less
+    configuration cannot hold a layer's working set on chip (with DRAM,
+    oversized working sets spill and stream instead).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if strict and config.dram is None:
+        problems = check_capacity(spec, config)
+        if problems:
+            raise CapacityError(
+                f"{spec.name} does not fit {config.name} "
+                f"(no DRAM to spill to): " + "; ".join(problems)
+            )
+    program = Program(name=f"{spec.name}@{config.name}x{batch}")
+    if spec.layers and config.dram is not None:
+        program.append(Opcode.WGTLD, bytes=spec.layers[0].weight_count,
+                       comment="load first layer weights")
+        program.append(Opcode.ACTLD,
+                       bytes=spec.layers[0].input_activations * batch,
+                       comment="load input images")
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.DMA))
+    for i, layer in enumerate(spec.layers):
+        next_layer = spec.layers[i + 1] if i + 1 < len(spec.layers) else None
+        layer_program = compile_layer(layer, config, next_layer=next_layer,
+                                      layer_index=i)
+        if batch > 1:
+            program.append(Opcode.FOR, count=batch, loop="batch")
+            # The per-layer prefetch/barrier prologue must not repeat per
+            # image; only the compute body loops.
+            program.extend(_split_prologue(layer_program, program))
+            program.append(Opcode.END, loop="batch")
+        else:
+            program.extend(layer_program)
+    if spec.layers and config.dram is not None:
+        program.append(Opcode.ACTST,
+                       bytes=spec.layers[-1].output_activations * batch,
+                       comment="store final outputs")
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.DMA))
+    program.validate()
+    return program
+
+
+def _split_prologue(layer_program: Program, outer: Program) -> Program:
+    """Move DMA prologue instructions of a layer before the batch loop.
+
+    Mutates ``outer`` by inserting the prologue (weight prefetch, spill
+    reloads, residency barrier) just before the already-appended FOR, and
+    returns the remaining compute body.
+    """
+    body = Program(name=layer_program.name)
+    batch_for = outer.instructions.pop()  # the FOR we just appended
+    in_prologue = True
+    for instr in layer_program.instructions:
+        if in_prologue and instr.opcode in (Opcode.WGTLD, Opcode.ACTLD,
+                                            Opcode.BARR):
+            outer.instructions.append(instr)
+            continue
+        in_prologue = False
+        body.instructions.append(instr)
+    outer.instructions.append(batch_for)
+    return body
+
+
+def _activation_spill_bytes(layer: LayerSpec, config: AcousticConfig) -> int:
+    """DRAM traffic when a layer's activations exceed on-chip memory."""
+    footprint = layer.input_activations + layer.output_activations
+    if footprint <= config.activation_memory_bytes:
+        return 0
+    return footprint - config.activation_memory_bytes

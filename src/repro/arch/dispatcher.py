@@ -1,0 +1,164 @@
+"""Distributed control simulation: dispatcher, unit FSMs, barriers.
+
+The Dispatcher reads the program, expands loops, and forwards each
+instruction to the owning control module's FIFO.  Modules are simple
+counter-based FSMs that drain their FIFOs independently, so different
+phases overlap (e.g. next-layer weight DMA under current-layer compute).
+A BARR instruction stalls dispatch until every module in its mask has
+raised IDLE — exactly the scheme of Sec. III-C.
+
+The simulation is event-driven over per-unit completion times rather than
+cycle-stepped, which makes multi-million-cycle programs tractable while
+preserving the ordering semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Instruction, Opcode, Unit
+from .memory import DRAM_MODELS
+from .params import AcousticConfig
+from .program import Program
+
+__all__ = ["UnitState", "ExecutionStats", "Dispatcher"]
+
+#: FIFO depth of each control module (instructions buffered ahead).
+FIFO_DEPTH = 8
+
+#: SNG/counter transfer throughput, entries moved per cycle.  The SNG
+#: buffers are physically distributed across the 768 MAC arrays, each fed
+#: by its local weight-memory bank slice, so reloads are wide: 512
+#: 8-bit entries per clock keeps the reload of a full 73728-entry weight
+#: bank within one 256-clock compute pass (the double-buffered overlap
+#: WGTSHIFT exists to support).
+ENTRIES_PER_CYCLE = 512
+
+
+@dataclass
+class UnitState:
+    """One control module: a FIFO drained in order."""
+
+    unit: Unit
+    #: Completion time (cycles) of the most recent instruction.
+    finish: float = 0.0
+    #: Completion times of instructions still considered in-FIFO.
+    inflight: list = field(default_factory=list)
+    busy_cycles: float = 0.0
+    instructions: int = 0
+
+    def issue(self, dispatch_time: float, latency: float) -> float:
+        """Accept an instruction at ``dispatch_time``; returns the time
+        the FIFO slot freed (dispatch stalls when the FIFO is full)."""
+        self.inflight = [t for t in self.inflight if t > dispatch_time]
+        stall_until = dispatch_time
+        if len(self.inflight) >= FIFO_DEPTH:
+            stall_until = min(self.inflight)
+        start = max(stall_until, self.finish)
+        self.finish = start + latency
+        self.inflight.append(self.finish)
+        self.busy_cycles += latency
+        self.instructions += 1
+        return stall_until
+
+
+@dataclass
+class ExecutionStats:
+    """Result of executing a program."""
+
+    total_cycles: float
+    unit_busy_cycles: dict
+    unit_instructions: dict
+    dispatched: int
+    dram_bytes: float
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz
+
+
+class Dispatcher:
+    """Executes an ACOUSTIC program against the timing model."""
+
+    def __init__(self, config: AcousticConfig):
+        self.config = config
+        if config.dram is not None:
+            dram = DRAM_MODELS[config.dram]
+            self._dram_bytes_per_cycle = (
+                dram.bandwidth_bytes_per_s / config.clock_hz
+            )
+        else:
+            self._dram_bytes_per_cycle = None
+
+    def latency_cycles(self, instr: Instruction) -> float:
+        """Service latency of one instruction on its module."""
+        op = instr.opcode
+        if op in (Opcode.ACTLD, Opcode.ACTST, Opcode.WGTLD):
+            if self._dram_bytes_per_cycle is None:
+                raise ValueError(
+                    f"{op.value} requires DRAM but config "
+                    f"{self.config.name!r} has none"
+                )
+            return instr.operands["bytes"] / self._dram_bytes_per_cycle
+        if op is Opcode.MAC:
+            return float(instr.operands["cycles"])
+        if op in (Opcode.ACTRNG, Opcode.WGTRNG, Opcode.CNTLD, Opcode.CNTST):
+            return max(1.0, instr.operands.get("entries", 1)
+                       / ENTRIES_PER_CYCLE)
+        if op is Opcode.WGTSHIFT:
+            return 1.0
+        return 0.0
+
+    def run(self, program: Program) -> ExecutionStats:
+        units = {u: UnitState(u) for u in Unit if u is not Unit.DISPATCH}
+        time = 0.0
+        dispatched = 0
+        dram_bytes = 0.0
+        # Loop expansion via an explicit stack of (start_index, remaining).
+        instrs = program.instructions
+        loop_stack = []
+        pc = 0
+        while pc < len(instrs):
+            instr = instrs[pc]
+            op = instr.opcode
+            if op is Opcode.FOR:
+                loop_stack.append([pc, instr.operands.get("count", 1)])
+                pc += 1
+                continue
+            if op is Opcode.END:
+                if not loop_stack:
+                    raise ValueError("END without FOR during execution")
+                loop_stack[-1][1] -= 1
+                if loop_stack[-1][1] > 0:
+                    pc = loop_stack[-1][0] + 1
+                else:
+                    loop_stack.pop()
+                    pc += 1
+                continue
+            if op is Opcode.BARR:
+                mask = instr.operands.get("mask", ())
+                wait = [units[u].finish for u in units if u.value in mask]
+                if wait:
+                    time = max(time, max(wait))
+                pc += 1
+                dispatched += 1
+                continue
+            # Regular instruction: one dispatch cycle, then enqueue.
+            time += 1.0
+            unit = units[instr.unit]
+            latency = self.latency_cycles(instr)
+            stall = unit.issue(time, latency)
+            time = max(time, stall)
+            if op in (Opcode.ACTLD, Opcode.ACTST, Opcode.WGTLD):
+                dram_bytes += instr.operands["bytes"]
+            dispatched += 1
+            pc += 1
+        total = max([time] + [u.finish for u in units.values()])
+        return ExecutionStats(
+            total_cycles=total,
+            unit_busy_cycles={u.value: s.busy_cycles
+                              for u, s in units.items()},
+            unit_instructions={u.value: s.instructions
+                               for u, s in units.items()},
+            dispatched=dispatched,
+            dram_bytes=dram_bytes,
+        )

@@ -1,0 +1,108 @@
+"""Design-space exploration over ACOUSTIC engine configurations.
+
+Sweeps the MAC-engine geometry (rows, arrays, MACs per array), clock and
+stream length, evaluating each candidate's area/power (cost model) and
+throughput (performance simulator) on a target network, then extracts
+the area-throughput Pareto frontier.  This is the methodology behind the
+paper's LP/ULP pair, generalized: LP and ULP are two points of this
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..networks.zoo import NetworkSpec
+from .energy import AcousticCostModel
+from .params import AcousticConfig, MacGeometry
+from .perfsim import simulate_network
+
+__all__ = ["DesignPoint", "sweep_geometries", "pareto_frontier"]
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated configuration."""
+
+    name: str
+    rows: int
+    arrays: int
+    macs_per_array: int
+    area_mm2: float
+    power_w: float
+    frames_per_s: float
+    frames_per_j: float
+
+    @property
+    def throughput_density(self) -> float:
+        """Frames/s per mm^2 — the edge-silicon figure of merit."""
+        return self.frames_per_s / self.area_mm2
+
+
+def sweep_geometries(spec: NetworkSpec, base: AcousticConfig,
+                     rows_options=(2, 8, 16, 32),
+                     arrays_options=(2, 4, 8),
+                     macs_options=(8, 16)) -> list:
+    """Evaluate every geometry combination on ``spec``.
+
+    Memories and clock are inherited from ``base``; only the MAC-engine
+    shape varies.  Returns a list of :class:`DesignPoint`.
+    """
+    points = []
+    for rows in rows_options:
+        for arrays in arrays_options:
+            for macs in macs_options:
+                geometry = MacGeometry(
+                    mac_width=base.geometry.mac_width,
+                    macs_per_array=macs,
+                    arrays_per_subrow=arrays,
+                    subrows_per_row=base.geometry.subrows_per_row,
+                    rows=rows,
+                )
+                config = replace(base, geometry=geometry,
+                                 name=f"R{rows}A{arrays}M{macs}")
+                cost = AcousticCostModel(config)
+                result = simulate_network(spec, config, cost_model=cost)
+                points.append(DesignPoint(
+                    name=config.name,
+                    rows=rows, arrays=arrays, macs_per_array=macs,
+                    area_mm2=cost.area_mm2,
+                    power_w=cost.power_w(0.5),
+                    frames_per_s=result.frames_per_s,
+                    frames_per_j=result.frames_per_j,
+                ))
+    return points
+
+
+def best_under(points, area_budget_mm2: float = None,
+               power_budget_w: float = None,
+               objective: str = "frames_per_s"):
+    """The best design point within area/power budgets (None = feasible
+    set is empty).  ``objective`` is maximized."""
+    feasible = [
+        p for p in points
+        if (area_budget_mm2 is None or p.area_mm2 <= area_budget_mm2)
+        and (power_budget_w is None or p.power_w <= power_budget_w)
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: getattr(p, objective))
+
+
+def pareto_frontier(points, x_attr: str = "area_mm2",
+                    y_attr: str = "frames_per_s") -> list:
+    """Non-dominated subset: minimal ``x_attr``, maximal ``y_attr``.
+
+    Returned sorted by ``x_attr`` ascending; every retained point has
+    strictly higher ``y_attr`` than all cheaper points.
+    """
+    ordered = sorted(points, key=lambda p: (getattr(p, x_attr),
+                                            -getattr(p, y_attr)))
+    frontier = []
+    best_y = float("-inf")
+    for point in ordered:
+        y = getattr(point, y_attr)
+        if y > best_y:
+            frontier.append(point)
+            best_y = y
+    return frontier

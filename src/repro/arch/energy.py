@@ -1,0 +1,159 @@
+"""Area/power/energy component library (TSMC-28nm-class constants).
+
+The paper obtained component numbers from Synopsys Design Compiler with a
+TSMC 28nm library and CACTI 6.5.  Neither tool is available here, so this
+module substitutes a calibrated component library: per-instance area and
+per-toggle energy constants chosen such that the assembled LP totals land
+on the published envelope (~12 mm2, ~0.35 W at 200 MHz) and the
+qualitative structure of Fig. 5 holds (MAC arrays dominate LP area and
+power; weight buffers take area but little power; the ULP variant is
+dominated by its memories).  All downstream comparisons consume this
+library the way the paper's performance simulator consumed synthesis
+reports, so relative results are calibration-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import SramModel
+from .params import AcousticConfig
+
+__all__ = ["ComponentCosts", "AcousticCostModel"]
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """Per-instance physical constants (28nm-class estimates)."""
+
+    # Areas in um^2 per instance.
+    mac_unit_area: float = 320.0        # 96 AND + OR-reduce tree + wiring
+    weight_sng_area: float = 40.0       # comparator + shared-LFSR tap
+    weight_buffer_area: float = 18.0    # 8-bit register + gating mask
+    act_sng_area: float = 40.0
+    act_buffer_area: float = 18.0
+    counter_area: float = 250.0         # up/down counter + pool counter + ReLU
+    dispatcher_area_mm2: float = 0.05   # control FSMs + FIFOs, fixed
+
+    # Dynamic energy in fJ per instance per active cycle.
+    mac_unit_energy: float = 150.0      # 96 product lanes switching
+    weight_sng_energy: float = 6.0
+    act_sng_energy: float = 6.0
+    counter_energy: float = 25.0
+    buffer_energy: float = 0.4          # weight buffers rarely toggle
+
+    # SRAM scaling (CACTI-like).
+    sram_area_per_kb_mm2: float = 0.004
+    sram_anchor_access_pj: float = 6.0
+
+
+class AcousticCostModel:
+    """Assembles area/power/energy for an :class:`AcousticConfig`.
+
+    Component *counts* derive from the MAC-engine geometry:
+
+    - one 96-wide MAC unit per (row, sub-row, array, M);
+    - one weight SNG + buffer per array input lane (weights are shared
+      across the M MACs of an array);
+    - one activation SNG + buffer per sub-row input lane (activations are
+      shared across all R rows);
+    - one output counter per (position, kernel) slot.
+    """
+
+    def __init__(self, config: AcousticConfig,
+                 costs: ComponentCosts = None):
+        self.config = config
+        self.costs = costs if costs is not None else ComponentCosts()
+        g = config.geometry
+        self.counts = {
+            "mac_unit": g.mac_units,
+            "weight_sng": g.weight_sngs,
+            "weight_buffer": g.weight_sngs,
+            "act_sng": g.activation_sngs,
+            "act_buffer": g.activation_sngs,
+            "counter": g.output_counters,
+        }
+        c = self.costs
+        self._sram = {
+            "act_mem": SramModel(config.activation_memory_bytes,
+                                 area_per_kb_mm2=c.sram_area_per_kb_mm2,
+                                 anchor_access_pj=c.sram_anchor_access_pj),
+            "wgt_mem": SramModel(config.weight_memory_bytes,
+                                 area_per_kb_mm2=c.sram_area_per_kb_mm2,
+                                 anchor_access_pj=c.sram_anchor_access_pj),
+            "inst_mem": SramModel(config.instruction_memory_bytes,
+                                  area_per_kb_mm2=c.sram_area_per_kb_mm2,
+                                  anchor_access_pj=c.sram_anchor_access_pj),
+        }
+
+    # -- area ---------------------------------------------------------
+
+    def area_breakdown_mm2(self) -> dict:
+        """Component -> area in mm^2 (Fig. 5 a/b analogue)."""
+        c = self.costs
+        um2 = 1e-6
+        breakdown = {
+            "mac_array": self.counts["mac_unit"] * c.mac_unit_area * um2,
+            "wgt_sng": self.counts["weight_sng"] * c.weight_sng_area * um2,
+            "wgt_buf": self.counts["weight_buffer"]
+            * c.weight_buffer_area * um2,
+            "act_sng": self.counts["act_sng"] * c.act_sng_area * um2,
+            "act_buf": self.counts["act_buffer"] * c.act_buffer_area * um2,
+            "act_counter": self.counts["counter"] * c.counter_area * um2,
+            "act_mem": self._sram["act_mem"].area_mm2,
+            "wgt_mem": self._sram["wgt_mem"].area_mm2,
+            "inst_mem": self._sram["inst_mem"].area_mm2,
+            "control": c.dispatcher_area_mm2,
+        }
+        return breakdown
+
+    @property
+    def area_mm2(self) -> float:
+        return sum(self.area_breakdown_mm2().values())
+
+    # -- power --------------------------------------------------------
+
+    def power_breakdown_w(self, utilization: float = 0.5) -> dict:
+        """Component -> power in W at the config clock (Fig. 5 c/d analogue).
+
+        ``utilization`` scales datapath activity: idle MACs/SNGs are
+        operand-gated (zero inputs propagate no switching), which is why
+        under-utilized passes cost area but little energy (Sec. III-B).
+        """
+        c = self.costs
+        f = self.config.clock_hz
+        fj = 1e-15
+        active = {
+            "mac_array": self.counts["mac_unit"] * c.mac_unit_energy,
+            "wgt_sng": self.counts["weight_sng"] * c.weight_sng_energy,
+            "act_sng": self.counts["act_sng"] * c.act_sng_energy,
+            "act_counter": self.counts["counter"] * c.counter_energy,
+            "wgt_buf": self.counts["weight_buffer"] * c.buffer_energy,
+            "act_buf": self.counts["act_buffer"] * c.buffer_energy,
+        }
+        breakdown = {k: v * fj * f * utilization for k, v in active.items()}
+        for name, sram in self._sram.items():
+            # Streaming access pattern: roughly one word per cycle for the
+            # activation path, far less for weights (loaded once/layer).
+            rate = {"act_mem": 1.0, "wgt_mem": 0.05, "inst_mem": 0.01}[name]
+            breakdown[name] = (
+                sram.access_energy_j(8) * f * rate * utilization
+                + sram.leakage_w
+            )
+        breakdown["control"] = 0.002
+        return breakdown
+
+    def power_w(self, utilization: float = 0.5) -> float:
+        return sum(self.power_breakdown_w(utilization).values())
+
+    # -- energy helpers for the performance simulator ------------------
+
+    def compute_energy_j(self, active_cycles: float,
+                         utilization: float = 0.5) -> float:
+        """Energy for ``active_cycles`` of datapath activity."""
+        return self.power_w(utilization) * active_cycles / self.config.clock_hz
+
+    def sram_access_energy_j(self, memory: str, num_bytes: float) -> float:
+        """Energy to move ``num_bytes`` through an on-chip memory."""
+        sram = self._sram[memory]
+        return sram.access_energy_j(8) * (num_bytes / 8)

@@ -1,0 +1,112 @@
+"""The ACOUSTIC instruction set (paper Table I).
+
+Each control module consumes its own small instruction subset; the
+Dispatcher reads the program, forwards instructions to the module FIFOs,
+maintains loops and enforces synchronization barriers.
+
+=========  ===========  =================================================
+ module     instruction  description
+=========  ===========  =================================================
+ DMA        ACTLD/ACTST  load/store activations from/to DRAM
+            WGTLD        load weights from DRAM
+ MAC        MAC          compute (one pass of stream_cycles clocks)
+ ACTRNG     ACTRNG       load activations into SNGs
+ WGTRNG     WGTRNG       load weights into SNGs
+            WGTSHIFT     shift weight SNG buffers (padding support)
+ CNT        CNTLD/CNTST  load/store activations from/to counter/ReLU units
+ DISPATCH   FOR*/END*    kernel/batch/row/pooling loops
+            BARR         barrier on a module mask
+=========  ===========  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Unit", "Opcode", "Instruction", "OPCODE_UNIT", "barrier_mask"]
+
+
+class Unit(Enum):
+    """Control modules with their own FIFOs and IDLE signals."""
+
+    DMA = "dma"
+    MAC = "mac"
+    ACTRNG = "actrng"
+    WGTRNG = "wgtrng"
+    CNT = "cnt"
+    DISPATCH = "dispatch"
+
+
+class Opcode(Enum):
+    ACTLD = "ACTLD"
+    ACTST = "ACTST"
+    WGTLD = "WGTLD"
+    MAC = "MAC"
+    ACTRNG = "ACTRNG"
+    WGTRNG = "WGTRNG"
+    WGTSHIFT = "WGTSHIFT"
+    CNTLD = "CNTLD"
+    CNTST = "CNTST"
+    FOR = "FOR"
+    END = "END"
+    BARR = "BARR"
+
+
+#: Which module executes each opcode.
+OPCODE_UNIT = {
+    Opcode.ACTLD: Unit.DMA,
+    Opcode.ACTST: Unit.DMA,
+    Opcode.WGTLD: Unit.DMA,
+    Opcode.MAC: Unit.MAC,
+    Opcode.ACTRNG: Unit.ACTRNG,
+    Opcode.WGTRNG: Unit.WGTRNG,
+    Opcode.WGTSHIFT: Unit.WGTRNG,
+    Opcode.CNTLD: Unit.CNT,
+    Opcode.CNTST: Unit.CNT,
+    Opcode.FOR: Unit.DISPATCH,
+    Opcode.END: Unit.DISPATCH,
+    Opcode.BARR: Unit.DISPATCH,
+}
+
+
+@dataclass
+class Instruction:
+    """One ACOUSTIC instruction.
+
+    ``operands`` carry opcode-specific fields:
+
+    - ``ACTLD/ACTST/WGTLD``: ``bytes`` to transfer.
+    - ``MAC``: ``cycles`` (stream clocks for the pass).
+    - ``ACTRNG/WGTRNG``: ``entries`` (SNG buffer loads).
+    - ``CNTLD/CNTST``: ``entries`` (counter values moved).
+    - ``FOR``: ``count`` iterations and ``loop`` kind
+      (kernel/batch/row/pooling).
+    - ``BARR``: ``mask`` — tuple of Unit names to wait on.
+    """
+
+    opcode: Opcode
+    operands: dict = field(default_factory=dict)
+    comment: str = ""
+
+    @property
+    def unit(self) -> Unit:
+        return OPCODE_UNIT[self.opcode]
+
+    def __str__(self) -> str:
+        def render(value):
+            if isinstance(value, (tuple, list)):
+                return "(" + ",".join(str(v) for v in value) + ")"
+            return str(value)
+
+        ops = " ".join(f"{k}={render(v)}"
+                       for k, v in sorted(self.operands.items()))
+        text = f"{self.opcode.value:<9}{ops}"
+        if self.comment:
+            text = f"{text:<44}; {self.comment}"
+        return text.rstrip()
+
+
+def barrier_mask(*units: Unit) -> tuple:
+    """Canonical (sorted, deduplicated) barrier mask."""
+    return tuple(sorted({u.value for u in units}))

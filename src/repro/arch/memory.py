@@ -1,0 +1,80 @@
+"""External and on-chip memory models.
+
+DRAM interfaces follow the standards swept in the paper's Fig. 4
+(DDR3-800 .. DDR3-2133 plus HBM); SRAM area/energy follows a CACTI-like
+capacity scaling law, standing in for the paper's CACTI 6.5 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramModel", "DRAM_MODELS", "SramModel"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """An external memory interface."""
+
+    name: str
+    bandwidth_bytes_per_s: float
+    energy_per_byte_j: float   # interface + array energy
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        return num_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_energy(self, num_bytes: float) -> float:
+        return num_bytes * self.energy_per_byte_j
+
+
+def _ddr3(name: str, mt_per_s: float) -> DramModel:
+    # 64-bit channel: bytes/s = MT/s * 8; ~70 pJ/byte at the interface
+    # (DDR3 energy is dominated by I/O + activation, roughly rate
+    # independent per byte).
+    return DramModel(name, mt_per_s * 1e6 * 8, 70e-12)
+
+
+DRAM_MODELS = {
+    "DDR3-800": _ddr3("DDR3-800", 800),
+    "DDR3-1066": _ddr3("DDR3-1066", 1066),
+    "DDR3-1333": _ddr3("DDR3-1333", 1333),
+    "DDR3-1600": _ddr3("DDR3-1600", 1600),
+    "DDR3-1866": _ddr3("DDR3-1866", 1866),
+    "DDR3-2133": _ddr3("DDR3-2133", 2133),
+    # 1-stack HBM: 128 GB/s, much lower pJ/byte.
+    "HBM": DramModel("HBM", 128e9, 7e-12),
+}
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """CACTI-style SRAM macro model (28nm-class constants).
+
+    Area scales linearly with capacity plus a periphery offset; access
+    energy scales with the square root of capacity (wordline/bitline
+    length), which reproduces CACTI's qualitative behaviour well enough
+    for relative comparisons.
+    """
+
+    capacity_bytes: int
+    #: mm^2 per KB of capacity (dense 28nm single-port SRAM).
+    area_per_kb_mm2: float = 0.0065
+    periphery_mm2: float = 0.002
+    #: pJ for a 64-bit access of a 64 KB macro (scaling anchor).
+    anchor_access_pj: float = 6.0
+
+    @property
+    def area_mm2(self) -> float:
+        return (self.capacity_bytes / 1024) * self.area_per_kb_mm2 + \
+            self.periphery_mm2
+
+    def access_energy_j(self, num_bytes: float = 8) -> float:
+        """Energy for one access of ``num_bytes`` (default one 64-bit word)."""
+        scale = (self.capacity_bytes / 65536) ** 0.5
+        per_word = self.anchor_access_pj * max(scale, 0.05) * 1e-12
+        return per_word * (num_bytes / 8)
+
+    @property
+    def leakage_w(self) -> float:
+        """Leakage power (~5 uW per KB at 28nm HVT)."""
+        return (self.capacity_bytes / 1024) * 5e-6

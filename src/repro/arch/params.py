@@ -1,0 +1,110 @@
+"""ACOUSTIC architecture parameters (paper Sec. III-B/D).
+
+The compute engine is hierarchical: 96-wide MAC units; M MACs with shared
+weights form an array; A arrays form a sub-row sharing one activation
+scratchpad; S sub-rows form a row (one kernel); R rows share activations.
+The LP configuration targets mobile SoCs, the ULP configuration competes
+with analog/neuromorphic edge engines (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MacGeometry", "AcousticConfig", "LP_CONFIG", "ULP_CONFIG"]
+
+
+@dataclass(frozen=True)
+class MacGeometry:
+    """Hierarchical MAC-engine organization (Fig. 3)."""
+
+    mac_width: int = 96     # products reduced per MAC unit
+    macs_per_array: int = 16   # M
+    arrays_per_subrow: int = 8  # A
+    subrows_per_row: int = 3    # S (one per kernel column)
+    rows: int = 32              # R (kernels in parallel)
+
+    @property
+    def mac_units(self) -> int:
+        return (self.rows * self.subrows_per_row * self.arrays_per_subrow
+                * self.macs_per_array)
+
+    @property
+    def peak_products_per_cycle(self) -> int:
+        """Bit-products per clock at full utilization."""
+        return self.mac_units * self.mac_width
+
+    @property
+    def positions_per_pass(self) -> int:
+        """Output positions computed concurrently (A x M per sub-row)."""
+        return self.arrays_per_subrow * self.macs_per_array
+
+    @property
+    def kernels_per_pass(self) -> int:
+        return self.rows
+
+    @property
+    def weight_sngs(self) -> int:
+        """Weights are shared across the M MACs of an array, so each
+        array carries one 96-wide weight SNG bank."""
+        return (self.rows * self.subrows_per_row * self.arrays_per_subrow
+                * self.mac_width)
+
+    @property
+    def activation_sngs(self) -> int:
+        """One activation SNG bank per sub-row column feeding A x M MACs
+        (activations are shared across all R rows)."""
+        return (self.subrows_per_row * self.arrays_per_subrow
+                * self.mac_width)
+
+    @property
+    def output_counters(self) -> int:
+        return self.positions_per_pass * self.rows
+
+
+@dataclass(frozen=True)
+class AcousticConfig:
+    """A deployable ACOUSTIC instance."""
+
+    name: str
+    geometry: MacGeometry
+    clock_hz: float = 200e6
+    phase_length: int = 128          # per split-unipolar phase
+    weight_memory_bytes: int = 151_040    # 147.5 KB
+    activation_memory_bytes: int = 614_400  # 600 KB
+    instruction_memory_bytes: int = 8_192
+    dram: str = "DDR3-1600"          # None for DRAM-less deployments
+    fc_utilization: float = 0.125    # Sec. III-B: 87.5% underutilization
+
+    @property
+    def stream_length(self) -> int:
+        """Total temporally-unrolled stream length (2 phases)."""
+        return 2 * self.phase_length
+
+
+#: Low-power variant: mobile-SoC integration envelope (Table III).
+LP_CONFIG = AcousticConfig(
+    name="ACOUSTIC-LP",
+    geometry=MacGeometry(),
+    clock_hz=200e6,
+    phase_length=128,
+    weight_memory_bytes=151_040,
+    activation_memory_bytes=614_400,
+    dram="DDR3-1600",
+)
+
+#: Ultra-low-power variant: MNIST-class inference, no DRAM (Table IV).
+#: The paper does not publish the ULP engine geometry; this one is sized
+#: so that LeNet-5 conv throughput lands on the published ~125k frames/s
+#: at 200 MHz with 2x64 streams.
+ULP_CONFIG = AcousticConfig(
+    name="ACOUSTIC-ULP",
+    geometry=MacGeometry(mac_width=96, macs_per_array=8, arrays_per_subrow=4,
+                         subrows_per_row=3, rows=2),
+    clock_hz=200e6,
+    phase_length=64,
+    weight_memory_bytes=3_072,
+    activation_memory_bytes=2_048,
+    instruction_memory_bytes=1_024,
+    dram=None,
+)

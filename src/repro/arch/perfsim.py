@@ -1,0 +1,139 @@
+"""Cycle-level performance/energy simulation of ACOUSTIC.
+
+Couples the compiler's mapping model, the dispatcher's timing simulation
+and the cost model's energy constants, mirroring the paper's decoupled
+performance simulator: it never computes actual values, only time and
+data movement.
+
+Energy accounting note: the paper's frames/J figures track *accelerator*
+energy (compute-active power times busy time); DRAM interface energy is
+reported separately here (``energy_with_dram_j``) because a 60 MB AlexNet
+weight stream would otherwise dwarf every on-chip term for all
+accelerators alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..networks.zoo import NetworkSpec
+from .compiler import compile_network, conv_utilization, map_layer
+from .dispatcher import Dispatcher
+from .energy import AcousticCostModel
+from .memory import DRAM_MODELS
+from .params import AcousticConfig
+
+__all__ = ["LayerPerf", "PerfResult", "simulate_network", "simulate_layer_latency"]
+
+
+@dataclass
+class LayerPerf:
+    """Per-layer performance record."""
+
+    name: str
+    kind: str
+    compute_cycles: float
+    utilization: float
+    energy_j: float
+    weight_bytes: int
+
+
+@dataclass
+class PerfResult:
+    """Whole-network performance summary."""
+
+    network: str
+    config: str
+    latency_s: float
+    compute_cycles: float
+    total_cycles: float
+    energy_j: float               # on-chip (accelerator) energy
+    dram_bytes: float
+    dram_energy_j: float
+    layers: list = field(default_factory=list)
+
+    @property
+    def frames_per_s(self) -> float:
+        return 1.0 / self.latency_s if self.latency_s > 0 else float("inf")
+
+    @property
+    def frames_per_j(self) -> float:
+        return 1.0 / self.energy_j if self.energy_j > 0 else float("inf")
+
+    @property
+    def energy_with_dram_j(self) -> float:
+        return self.energy_j + self.dram_energy_j
+
+
+def simulate_network(spec: NetworkSpec, config: AcousticConfig,
+                     cost_model: AcousticCostModel = None,
+                     batch: int = 1) -> PerfResult:
+    """Simulate inference of ``spec`` on ``config``.
+
+    With ``batch > 1`` weights are loaded once per layer and reused
+    across the batch; the returned latency/energy are **per frame**.
+    """
+    cost_model = cost_model if cost_model is not None \
+        else AcousticCostModel(config)
+    program = compile_network(spec, config, batch=batch)
+    stats = Dispatcher(config).run(program)
+
+    layers = []
+    compute_cycles = 0.0
+    energy = 0.0
+    for i, layer in enumerate(spec.layers):
+        mapping = map_layer(layer, config)
+        util = conv_utilization(mapping, config)
+        cycles = mapping.compute_cycles
+        layer_energy = cost_model.compute_energy_j(cycles, utilization=util)
+        # Activation scratchpad traffic: inputs read once per kernel
+        # group, outputs written once.
+        act_bytes = (layer.input_activations * max(1, getattr(
+            mapping, "kernel_groups", 1)) + layer.output_activations)
+        layer_energy += cost_model.sram_access_energy_j("act_mem", act_bytes)
+        layer_energy += cost_model.sram_access_energy_j(
+            "wgt_mem", layer.weight_count
+        )
+        energy += layer_energy
+        compute_cycles += cycles
+        layers.append(LayerPerf(
+            name=f"layer{i}", kind=layer.kind, compute_cycles=cycles,
+            utilization=util, energy_j=layer_energy,
+            weight_bytes=layer.weight_count,
+        ))
+
+    dram_energy = 0.0
+    if config.dram is not None and stats.dram_bytes:
+        dram_energy = DRAM_MODELS[config.dram].transfer_energy(
+            stats.dram_bytes
+        )
+    return PerfResult(
+        network=spec.name,
+        config=config.name,
+        latency_s=stats.seconds(config.clock_hz) / batch,
+        compute_cycles=compute_cycles,
+        total_cycles=stats.total_cycles / batch,
+        energy_j=energy,
+        dram_bytes=stats.dram_bytes / batch,
+        dram_energy_j=dram_energy / batch,
+        layers=layers,
+    )
+
+
+def simulate_layer_latency(layer, config: AcousticConfig,
+                           prefetch_bytes: int = 0,
+                           clock_hz: float = None,
+                           dram: str = None) -> float:
+    """Latency (s) of one conv layer with an overlapped weight prefetch.
+
+    This is the Fig. 4 experiment: compute a layer while pre-loading the
+    next layer's weights; latency is the max of the compute time at the
+    given clock and the DRAM transfer time at the given interface.
+    """
+    clock_hz = clock_hz if clock_hz is not None else config.clock_hz
+    mapping = map_layer(layer, config)
+    compute_s = mapping.compute_cycles / clock_hz
+    if dram is None or prefetch_bytes == 0:
+        return compute_s
+    transfer_s = DRAM_MODELS[dram].transfer_seconds(prefetch_bytes)
+    return max(compute_s, transfer_s)

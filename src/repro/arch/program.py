@@ -1,0 +1,99 @@
+"""Program container, assembler and disassembler for the ACOUSTIC ISA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Instruction, Opcode
+
+__all__ = ["Program", "assemble", "disassemble"]
+
+
+@dataclass
+class Program:
+    """An ordered list of instructions plus metadata."""
+
+    name: str = "program"
+    instructions: list = field(default_factory=list)
+
+    def append(self, opcode: Opcode, comment: str = "", **operands) -> None:
+        self.instructions.append(
+            Instruction(opcode, operands=operands, comment=comment)
+        )
+
+    def extend(self, other: "Program") -> None:
+        self.instructions.extend(other.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def validate(self) -> None:
+        """Check structural well-formedness (balanced FOR/END nesting)."""
+        depth = 0
+        for instr in self.instructions:
+            if instr.opcode is Opcode.FOR:
+                if instr.operands.get("count", 0) < 1:
+                    raise ValueError(f"FOR with non-positive count: {instr}")
+                depth += 1
+            elif instr.opcode is Opcode.END:
+                depth -= 1
+                if depth < 0:
+                    raise ValueError("END without matching FOR")
+        if depth != 0:
+            raise ValueError(f"{depth} unterminated FOR loop(s)")
+
+
+def disassemble(program: Program) -> str:
+    """Human-readable listing with loop indentation."""
+    lines = [f"; program: {program.name}"]
+    depth = 0
+    for instr in program.instructions:
+        if instr.opcode is Opcode.END:
+            depth = max(0, depth - 1)
+        lines.append("  " * depth + str(instr))
+        if instr.opcode is Opcode.FOR:
+            depth += 1
+    return "\n".join(lines)
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Parse a disassembly listing back into a Program.
+
+    Accepts the output of :func:`disassemble`: one instruction per line,
+    ``key=value`` operands, ``;`` comments, blank lines ignored.
+    """
+    program = Program(name=name)
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            opcode = Opcode(parts[0])
+        except ValueError as exc:
+            raise ValueError(f"unknown opcode in line: {raw!r}") from exc
+        operands = {}
+        for token in parts[1:]:
+            if "=" not in token:
+                raise ValueError(f"malformed operand {token!r} in {raw!r}")
+            key, value = token.split("=", 1)
+            operands[key] = _parse_value(value)
+        program.instructions.append(Instruction(opcode, operands=operands))
+    program.validate()
+    return program
+
+
+def _parse_value(value: str):
+    if value.startswith("(") and value.endswith(")"):
+        inner = value[1:-1].replace("'", "").replace('"', "")
+        return tuple(v.strip() for v in inner.split(",") if v.strip())
+    try:
+        return int(value)
+    except ValueError:
+        try:
+            return float(value)
+        except ValueError:
+            return value

@@ -1,0 +1,105 @@
+"""Mapping and bottleneck reports for ACOUSTIC deployments.
+
+Answers the questions a deployment engineer asks before committing a
+model to the accelerator: how does each layer map onto the MAC engine,
+what utilization does it achieve, and is it bound by compute, DRAM, or
+control?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.reporting import format_table
+from ..networks.zoo import NetworkSpec
+from .compiler import check_capacity, conv_utilization, map_layer
+from .memory import DRAM_MODELS
+from .params import AcousticConfig
+from .perfsim import simulate_network
+
+__all__ = ["LayerMappingReport", "mapping_report", "bottleneck_report"]
+
+
+@dataclass
+class LayerMappingReport:
+    """Mapping summary of one layer."""
+
+    index: int
+    kind: str
+    fan_in: int
+    macs_per_output: int
+    positions_per_pass: int
+    passes: int
+    pass_cycles: int
+    compute_cycles: int
+    utilization: float
+    weight_bytes: int
+
+    @property
+    def bound(self) -> str:
+        """Qualitative limiter at the layer level."""
+        if self.kind == "fc":
+            return "weights"
+        return "compute" if self.utilization > 0.5 else "mapping"
+
+
+def mapping_report(spec: NetworkSpec, config: AcousticConfig) -> list:
+    """Per-layer :class:`LayerMappingReport` list."""
+    reports = []
+    for i, layer in enumerate(spec.layers):
+        mapping = map_layer(layer, config)
+        reports.append(LayerMappingReport(
+            index=i,
+            kind=layer.kind,
+            fan_in=layer.fan_in,
+            macs_per_output=mapping.macs_per_output,
+            positions_per_pass=mapping.positions_per_pass,
+            passes=mapping.passes,
+            pass_cycles=mapping.pass_cycles,
+            compute_cycles=mapping.compute_cycles,
+            utilization=conv_utilization(mapping, config),
+            weight_bytes=layer.weight_count,
+        ))
+    return reports
+
+
+def bottleneck_report(spec: NetworkSpec, config: AcousticConfig) -> str:
+    """Human-readable whole-network bottleneck analysis."""
+    result = simulate_network(spec, config)
+    reports = mapping_report(spec, config)
+
+    rows = [
+        (r.index, r.kind, r.fan_in, r.macs_per_output, r.passes,
+         r.compute_cycles, f"{r.utilization:.2f}", r.bound)
+        for r in reports
+    ]
+    table = format_table(
+        ["layer", "kind", "fan-in", "MACs/out", "passes", "cycles",
+         "util", "bound"],
+        rows,
+        title=f"{spec.name} on {config.name}",
+    )
+
+    compute_s = result.compute_cycles / config.clock_hz
+    lines = [table, ""]
+    lines.append(f"latency: {result.latency_s * 1e3:.3f} ms/frame "
+                 f"({result.frames_per_s:.1f} frames/s)")
+    lines.append(f"compute: {compute_s * 1e3:.3f} ms "
+                 f"({100 * compute_s / result.latency_s:.0f}% of latency)")
+    if config.dram is not None and result.dram_bytes:
+        dram_s = DRAM_MODELS[config.dram].transfer_seconds(result.dram_bytes)
+        lines.append(f"DRAM:    {result.dram_bytes / 1e6:.2f} MB -> "
+                     f"{dram_s * 1e3:.3f} ms on {config.dram} "
+                     f"({100 * dram_s / result.latency_s:.0f}% of latency)")
+        verdict = "DRAM-bound" if dram_s > compute_s else "compute-bound"
+    else:
+        verdict = "compute-bound (no DRAM)"
+    lines.append(f"verdict: {verdict}")
+    problems = check_capacity(spec, config)
+    if problems:
+        qualifier = ("spills to DRAM" if config.dram is not None
+                     else "DOES NOT FIT (no DRAM)")
+        lines.append(f"capacity: {qualifier}")
+        for problem in problems:
+            lines.append(f"  - {problem}")
+    return "\n".join(lines)

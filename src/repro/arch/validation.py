@@ -1,0 +1,105 @@
+"""Static analysis (linting) of ACOUSTIC ISA programs.
+
+`Program.validate()` checks structure (balanced loops); this linter
+checks *discipline* — the conventions a correct compiler must follow so
+the distributed control scheme produces the intended dataflow:
+
+- **W1 weights-before-MAC**: a MAC must be preceded by a WGTRNG load in
+  the same or an enclosing loop body since the last layer boundary.
+- **W2 activations-before-MAC**: likewise for ACTRNG.
+- **W3 DMA residency**: on DRAM configurations the weight memory is
+  double-buffered, so at most one WGTLD may be in flight (un-awaited by
+  a DMA barrier) when a WGTRNG reads weight memory; a second
+  outstanding prefetch would overwrite the live buffer.
+- **W4 counter drain**: a layer's MAC results must be drained by a CNTST
+  before the compute-side layer-boundary barrier.
+- **W5 dangling loads**: WGTRNG/ACTRNG loads that no MAC ever consumes.
+
+The linter is intentionally conservative (no false negatives on the
+rules it states); compile_network output must always lint clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Opcode
+from .program import Program
+
+__all__ = ["LintIssue", "lint_program"]
+
+
+@dataclass
+class LintIssue:
+    """One finding."""
+
+    code: str
+    index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] @{self.index}: {self.message}"
+
+
+@dataclass
+class _State:
+    wgtrng_loaded: bool = False
+    actrng_loaded: bool = False
+    outstanding_wgtld: int = 0
+    macs_since_cntst: int = 0
+    loads_consumed: bool = True
+    issues: list = field(default_factory=list)
+
+
+def lint_program(program: Program, has_dram: bool = True) -> list:
+    """Return a list of :class:`LintIssue` (empty = clean)."""
+    state = _State()
+    for index, instr in enumerate(program.instructions):
+        op = instr.opcode
+        if op is Opcode.WGTRNG:
+            if has_dram and state.outstanding_wgtld > 1:
+                state.issues.append(LintIssue(
+                    "W3", index,
+                    f"{state.outstanding_wgtld} WGTLDs in flight at a "
+                    "WGTRNG — the double-buffered weight memory allows "
+                    "one outstanding prefetch",
+                ))
+            state.wgtrng_loaded = True
+            state.loads_consumed = False
+        elif op is Opcode.ACTRNG:
+            state.actrng_loaded = True
+            state.loads_consumed = False
+        elif op is Opcode.WGTLD:
+            state.outstanding_wgtld += 1
+        elif op is Opcode.BARR:
+            mask = instr.operands.get("mask", ())
+            if "dma" in mask:
+                state.outstanding_wgtld = 0
+            # A compute-side barrier is a layer boundary: counters must
+            # have been drained if MACs ran.
+            if "mac" in mask and state.macs_since_cntst > 0:
+                state.issues.append(LintIssue(
+                    "W4", index,
+                    f"{state.macs_since_cntst} MAC pass(es) not drained "
+                    "by CNTST before the layer boundary",
+                ))
+                state.macs_since_cntst = 0
+        elif op is Opcode.MAC:
+            if not state.wgtrng_loaded:
+                state.issues.append(LintIssue(
+                    "W1", index, "MAC without a prior WGTRNG load"
+                ))
+            if not state.actrng_loaded:
+                state.issues.append(LintIssue(
+                    "W2", index, "MAC without a prior ACTRNG load"
+                ))
+            state.macs_since_cntst += 1
+            state.loads_consumed = True
+        elif op is Opcode.CNTST:
+            state.macs_since_cntst = 0
+    if not state.loads_consumed:
+        state.issues.append(LintIssue(
+            "W5", len(program.instructions) - 1,
+            "trailing WGTRNG/ACTRNG load never consumed by a MAC",
+        ))
+    return state.issues

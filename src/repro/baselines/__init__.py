@@ -1,0 +1,13 @@
+"""Evaluation baselines: Eyeriss-class model + published SC/analog points."""
+
+from .eyeriss import (EYERISS_1K, EYERISS_BASE, EyerissConfig, EyerissModel,
+                      EyerissResult)
+from .published import (CONV_RAM, MDL_CNN, PAPER_TABLE3, PAPER_TABLE4, SCOPE,
+                        PublishedAccelerator)
+
+__all__ = [
+    "EYERISS_1K", "EYERISS_BASE", "EyerissConfig", "EyerissModel",
+    "EyerissResult",
+    "CONV_RAM", "MDL_CNN", "PAPER_TABLE3", "PAPER_TABLE4", "SCOPE",
+    "PublishedAccelerator",
+]

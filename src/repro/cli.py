@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package overview and configuration summary.
+``specs``
+    MAC/weight statistics for every network in the zoo.
+``perf <network> [--config lp|ulp] [--batch N] [--conv-only]``
+    Run the performance simulator on one network.
+``fig4``
+    Print the Figure-4 latency-vs-clock sweep.
+``breakdown [--config lp|ulp]``
+    Area/power breakdown of an ACOUSTIC configuration.
+``compile <network> [--config lp|ulp] [--limit N]``
+    Compile a network to the ACOUSTIC ISA and print the listing.
+``map <network> [--config lp|ulp]``
+    Per-layer mapping and bottleneck report.
+``trace <network> [--config lp|ulp] [--width N]``
+    Execute and render a per-unit ASCII Gantt chart.
+``summary [--results DIR]``
+    Print all reproduced benchmark tables from the results directory.
+``lint <network> [--config lp|ulp]``
+    Compile a network and run the ISA discipline linter on the program.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import __version__
+from .analysis import format_table
+from .arch import (LP_CONFIG, ULP_CONFIG, AcousticCostModel, Dispatcher,
+                   lint_program,
+                   TracingDispatcher, bottleneck_report, compile_network,
+                   disassemble, render_gantt, simulate_layer_latency,
+                   simulate_network)
+from .networks import NETWORK_SPECS
+from .networks.zoo import LayerSpec, NetworkSpec
+
+__all__ = ["main"]
+
+_CONFIGS = {"lp": LP_CONFIG, "ulp": ULP_CONFIG}
+
+
+def _cmd_info(args) -> int:
+    print(f"repro {__version__} — ACOUSTIC (DATE 2020) reproduction")
+    for config in (LP_CONFIG, ULP_CONFIG):
+        model = AcousticCostModel(config)
+        g = config.geometry
+        print(f"\n{config.name}: {model.area_mm2:.2f} mm^2, "
+              f"{model.power_w(0.7) * 1e3:.0f} mW @ "
+              f"{config.clock_hz / 1e6:.0f} MHz")
+        print(f"  engine: {g.mac_units} x {g.mac_width}-wide MACs "
+              f"({g.peak_products_per_cycle / 1e6:.2f}M products/cycle), "
+              f"{g.rows} kernels/pass, {g.positions_per_pass} positions/pass")
+        print(f"  memory: {config.weight_memory_bytes / 1024:.1f} KB weights, "
+              f"{config.activation_memory_bytes / 1024:.1f} KB activations, "
+              f"DRAM: {config.dram or 'none'}")
+        print(f"  streams: 2 x {config.phase_length} split-unipolar")
+    return 0
+
+
+def _cmd_specs(args) -> int:
+    rows = []
+    for name, factory in sorted(NETWORK_SPECS.items()):
+        spec = factory()
+        rows.append((
+            name, len(spec.conv_layers), len(spec.fc_layers),
+            spec.total_macs / 1e6, spec.total_weights / 1e6,
+        ))
+    print(format_table(
+        ["network", "conv layers", "fc layers", "MMACs", "Mweights"],
+        rows, title="Network zoo",
+    ))
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    spec = NETWORK_SPECS[args.network]()
+    if args.conv_only:
+        spec = NetworkSpec(spec.name + "_conv", spec.conv_layers)
+    config = _CONFIGS[args.config]
+    result = simulate_network(spec, config, batch=args.batch)
+    print(f"{spec.name} on {config.name} (batch {args.batch}):")
+    print(f"  latency      {result.latency_s * 1e3:.4f} ms/frame "
+          f"({result.frames_per_s:.1f} frames/s)")
+    print(f"  energy       {result.energy_j * 1e3:.4f} mJ/frame "
+          f"({result.frames_per_j:.0f} frames/J)")
+    print(f"  DRAM traffic {result.dram_bytes / 1e6:.2f} MB/frame")
+    rows = [(l.name, l.kind, l.compute_cycles, f"{l.utilization:.2f}")
+            for l in result.layers]
+    print(format_table(["layer", "kind", "cycles", "utilization"], rows))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    layer = LayerSpec("conv", 512, 512, kernel=3, padding=1, in_size=16)
+    prefetch = 512 * 3 * 3 * 512
+    interfaces = ["DDR3-800", "DDR3-1333", "DDR3-1600", "DDR3-2133", "HBM"]
+    rows = []
+    for mhz in (100, 200, 300, 400, 500, 700, 1000):
+        rows.append((mhz, *(
+            simulate_layer_latency(layer, LP_CONFIG, prefetch_bytes=prefetch,
+                                   clock_hz=mhz * 1e6, dram=name) * 1e3
+            for name in interfaces
+        )))
+    print(format_table(
+        ["MHz"] + [f"{n} [ms]" for n in interfaces], rows,
+        title="Figure 4 — conv layer latency vs clock per DRAM interface",
+    ))
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    config = _CONFIGS[args.config]
+    model = AcousticCostModel(config)
+    area = model.area_breakdown_mm2()
+    power = model.power_breakdown_w(utilization=0.5)
+    rows = [
+        (name, area[name], 100 * area[name] / sum(area.values()),
+         power[name] * 1e3, 100 * power[name] / sum(power.values()))
+        for name in sorted(area, key=area.get, reverse=True)
+    ]
+    print(format_table(
+        ["component", "mm^2", "area %", "mW", "power %"], rows,
+        title=f"{config.name}: {model.area_mm2:.2f} mm^2, "
+              f"{model.power_w(0.5) * 1e3:.1f} mW",
+    ))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    spec = NETWORK_SPECS[args.network]()
+    config = _CONFIGS[args.config]
+    program = compile_network(spec, config)
+    listing = disassemble(program)
+    lines = listing.splitlines()
+    shown = lines if args.limit <= 0 else lines[:args.limit]
+    print("\n".join(shown))
+    if len(shown) < len(lines):
+        print(f"... ({len(lines) - len(shown)} more lines)")
+    stats = Dispatcher(config).run(program)
+    print(f"\n{len(program)} static / {stats.dispatched} dynamic "
+          f"instructions; {stats.total_cycles:.0f} cycles "
+          f"({stats.seconds(config.clock_hz) * 1e3:.3f} ms)")
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    """Print every reproduced table saved by the benchmark harness."""
+    import pathlib
+
+    results = pathlib.Path(args.results)
+    if not results.is_dir():
+        print(f"no results directory at {results} — run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(f"{results} is empty — run the benchmark harness first")
+        return 1
+    for path in files:
+        print("=" * 72)
+        print(path.stem)
+        print("=" * 72)
+        print(path.read_text().rstrip())
+        print()
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    spec = NETWORK_SPECS[args.network]()
+    config = _CONFIGS[args.config]
+    program = compile_network(spec, config)
+    issues = lint_program(program, has_dram=config.dram is not None)
+    if not issues:
+        print(f"{spec.name}@{config.name}: {len(program)} instructions, "
+              "lint clean")
+        return 0
+    for issue in issues:
+        print(issue)
+    return 1
+
+
+def _cmd_map(args) -> int:
+    spec = NETWORK_SPECS[args.network]()
+    config = _CONFIGS[args.config]
+    print(bottleneck_report(spec, config))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    spec = NETWORK_SPECS[args.network]()
+    config = _CONFIGS[args.config]
+    program = compile_network(spec, config)
+    dispatcher = TracingDispatcher(config, trace_limit=args.limit)
+    stats = dispatcher.run(program)
+    print(render_gantt(dispatcher.trace, width=args.width))
+    print(f"\ntotal: {stats.total_cycles:.0f} cycles "
+          f"({stats.seconds(config.clock_hz) * 1e3:.3f} ms)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and configuration summary")
+    sub.add_parser("specs", help="network zoo statistics")
+
+    perf = sub.add_parser("perf", help="performance-simulate a network")
+    perf.add_argument("network", choices=sorted(NETWORK_SPECS))
+    perf.add_argument("--config", choices=("lp", "ulp"), default="lp")
+    perf.add_argument("--batch", type=int, default=1)
+    perf.add_argument("--conv-only", action="store_true")
+
+    sub.add_parser("fig4", help="Figure-4 latency sweep")
+
+    breakdown = sub.add_parser("breakdown", help="area/power breakdown")
+    breakdown.add_argument("--config", choices=("lp", "ulp"), default="lp")
+
+    compile_cmd = sub.add_parser("compile", help="compile to the ISA")
+    compile_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    compile_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
+    compile_cmd.add_argument("--limit", type=int, default=40,
+                             help="max listing lines (0 = all)")
+
+    map_cmd = sub.add_parser("map", help="mapping/bottleneck report")
+    map_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    map_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
+
+    trace_cmd = sub.add_parser("trace", help="execution Gantt chart")
+    trace_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    trace_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
+    trace_cmd.add_argument("--width", type=int, default=72)
+    trace_cmd.add_argument("--limit", type=int, default=10_000)
+
+    summary = sub.add_parser("summary",
+                             help="print all reproduced benchmark tables")
+    summary.add_argument("--results", default="benchmarks/results")
+
+    lint_cmd = sub.add_parser("lint", help="lint a compiled program")
+    lint_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    lint_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "specs": _cmd_specs,
+        "perf": _cmd_perf,
+        "fig4": _cmd_fig4,
+        "breakdown": _cmd_breakdown,
+        "compile": _cmd_compile,
+        "map": _cmd_map,
+        "summary": _cmd_summary,
+        "lint": _cmd_lint,
+        "trace": _cmd_trace,
+    }[args.command]
+    return handler(args)

@@ -1,0 +1,51 @@
+"""Stochastic-computing primitives — the paper's algorithmic contribution.
+
+Public surface:
+
+- :mod:`repro.core.rng` — LFSR / ideal / low-discrepancy threshold sources
+- :mod:`repro.core.bitstream` — stream containers, packing, correlation
+- :mod:`repro.core.sng` — stochastic number generators
+- :mod:`repro.core.representation` — unipolar / bipolar / split-unipolar
+- :mod:`repro.core.ops` — single-gate SC arithmetic
+- :mod:`repro.core.accumulate` — OR / MUX / APC wide accumulators
+- :mod:`repro.core.mac` — split-unipolar two-phase MAC (Fig. 1)
+- :mod:`repro.core.pooling` — computation-skipping average pooling
+- :mod:`repro.core.errors` — analytic RMS error models
+"""
+
+from .accumulate import (ApcAccumulator, MuxAccumulator, OrAccumulator,
+                         make_accumulator)
+from .bitstream import Bitstream, pack_stream, packed_popcount, scc, unpack_stream
+from .fsm import SaturatingCounterFsm, StochasticTanh, stanh_expected
+from .errors import (bipolar_length_multiplier, empirical_rms,
+                     rms_error_bipolar, rms_error_unipolar)
+from .mac import MacResult, MacTrace, SplitUnipolarMac
+from .ops import (and_multiply, apc_accumulate, counter_relu, mux_accumulate,
+                  mux_add, or_accumulate, or_expected, up_down_counter,
+                  xnor_multiply)
+from .pooling import (StochasticMaxPoolFsm, concat_pool_counter,
+                      mux_average_pool, skip_factor, skipped_average_pool)
+from .representation import (BipolarCodec, SplitUnipolarCodec,
+                             SplitUnipolarValue, UnipolarCodec, merge_split,
+                             split_value)
+from .rng import Lfsr, LfsrSource, NumpyRandomSource, VanDerCorputSource, make_source
+from .sng import StochasticNumberGenerator, quantize_probability
+
+__all__ = [
+    "ApcAccumulator", "MuxAccumulator", "OrAccumulator", "make_accumulator",
+    "Bitstream", "pack_stream", "packed_popcount", "scc", "unpack_stream",
+    "SaturatingCounterFsm", "StochasticTanh", "stanh_expected",
+    "bipolar_length_multiplier", "empirical_rms", "rms_error_bipolar",
+    "rms_error_unipolar",
+    "MacResult", "MacTrace", "SplitUnipolarMac",
+    "and_multiply", "apc_accumulate", "counter_relu", "mux_accumulate",
+    "mux_add", "or_accumulate", "or_expected", "up_down_counter",
+    "xnor_multiply",
+    "StochasticMaxPoolFsm", "concat_pool_counter", "mux_average_pool",
+    "skip_factor", "skipped_average_pool",
+    "BipolarCodec", "SplitUnipolarCodec", "SplitUnipolarValue",
+    "UnipolarCodec", "merge_split", "split_value",
+    "Lfsr", "LfsrSource", "NumpyRandomSource", "VanDerCorputSource",
+    "make_source",
+    "StochasticNumberGenerator", "quantize_probability",
+]

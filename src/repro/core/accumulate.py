@@ -1,0 +1,116 @@
+"""Wide-accumulation strategies and their accuracy/area trade-offs.
+
+Deep CNN layers reduce thousands of products at once (a 3x3x256 kernel is
+a 2304-wide accumulation).  This module packages the three contenders the
+paper compares as interchangeable accumulator objects so the functional
+simulator and the Monte-Carlo study (Sec. II-B) can swap them:
+
+========  ========================  ===========================
+ name      decode model              hardware cost (per paper)
+========  ========================  ===========================
+ OR        1 - prod(1 - v_i)         1 OR gate / input (baseline = 1x)
+ MUX       mean(v_i)  (scaled!)      k:1 mux + select RNG
+ APC       exact sum                 4.2x OR area at 128-wide [12];
+                                     23.8x for per-product conversion [21]
+========  ========================  ===========================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import ops
+
+__all__ = [
+    "OrAccumulator",
+    "MuxAccumulator",
+    "ApcAccumulator",
+    "make_accumulator",
+    "RELATIVE_AREA",
+]
+
+#: Relative MAC-structure area at 128-wide accumulation, normalized to OR
+#: (paper Sec. II-B: OR is "4.2x [smaller] than [12] and 23.8X than [21]").
+RELATIVE_AREA = {"or": 1.0, "apc": 4.2, "binary-convert": 23.8, "mux": 1.4}
+
+
+class OrAccumulator:
+    """Scale-free saturating OR accumulation (the ACOUSTIC choice)."""
+
+    name = "or"
+    scaled = False
+
+    def reduce_streams(self, streams: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Accumulate product streams into one stream along ``axis``."""
+        return ops.or_accumulate(streams, axis=axis)
+
+    def decode(self, stream: np.ndarray, fan_in: int) -> np.ndarray:
+        """Decode the accumulated stream exactly as the hardware counter
+        does: the density of ones.
+
+        The result estimates ``1 - prod(1 - v_i)`` (see :meth:`expected`)
+        — the systematic saturation is *not* inverted here because
+        ACOUSTIC absorbs it into training (Sec. II-D).  Use
+        :meth:`linearize` to map a density back to a sum estimate when a
+        sum-scale quantity is needed.
+        """
+        return np.asarray(stream, dtype=np.float64).mean(axis=-1)
+
+    @staticmethod
+    def linearize(density: np.ndarray) -> np.ndarray:
+        """Invert the small-value OR model ``y ~ 1 - exp(-s)``:
+        ``s = -log(1 - y)``."""
+        y = np.clip(np.asarray(density, dtype=np.float64), 0.0, 1.0 - 1e-12)
+        return -np.log1p(-y)
+
+    def expected(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        return ops.or_expected(values, axis=axis)
+
+
+class MuxAccumulator:
+    """Scaled MUX accumulation (prior-work behaviour, for comparison)."""
+
+    name = "mux"
+    scaled = True
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def reduce_streams(self, streams: np.ndarray, axis: int = 0) -> np.ndarray:
+        return ops.mux_accumulate(streams, rng=self._rng, axis=axis)
+
+    def decode(self, stream: np.ndarray, fan_in: int) -> np.ndarray:
+        """Undo the 1/k scaling to recover the sum estimate."""
+        return np.asarray(stream, dtype=np.float64).mean(axis=-1) * fan_in
+
+    def expected(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return values.sum(axis=axis)
+
+
+class ApcAccumulator:
+    """Accurate-parallel-counter accumulation (exact, expensive)."""
+
+    name = "apc"
+    scaled = False
+
+    def reduce_streams(self, streams: np.ndarray, axis: int = 0) -> np.ndarray:
+        return ops.apc_accumulate(streams, axis=axis)
+
+    def decode(self, counts: np.ndarray, fan_in: int) -> np.ndarray:
+        return np.asarray(counts, dtype=np.float64).mean(axis=-1)
+
+    def expected(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64).sum(axis=axis)
+
+
+def make_accumulator(name: str, seed: int = 0):
+    """Construct an accumulator by name (``"or"``, ``"mux"``, ``"apc"``)."""
+    name = name.lower()
+    if name == "or":
+        return OrAccumulator()
+    if name == "mux":
+        return MuxAccumulator(seed=seed)
+    if name == "apc":
+        return ApcAccumulator()
+    raise ValueError(f"unknown accumulator: {name!r}")

@@ -1,0 +1,174 @@
+"""Bitstream containers and packed-bit helpers.
+
+A stochastic bitstream is a sequence of bits whose *density* (fraction of
+ones) encodes a number.  Internally streams are numpy ``uint8`` arrays of
+0/1 with time on the last axis; for bulk linear algebra the functional
+simulator packs eight time steps per byte (``np.packbits``) so AND/OR
+reductions run on 1/8th the memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Bitstream",
+    "pack_stream",
+    "unpack_stream",
+    "popcount_bytes",
+    "packed_popcount",
+    "scc",
+    "scc_matrix",
+]
+
+_POPCOUNT_TABLE = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint16
+)
+
+
+def pack_stream(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 array along its last axis into bytes (8 steps/byte)."""
+    return np.packbits(bits.astype(np.uint8), axis=-1)
+
+
+def unpack_stream(packed: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_stream`; ``length`` trims pad bits."""
+    return np.unpackbits(packed, axis=-1)[..., :length]
+
+
+def popcount_bytes(packed: np.ndarray) -> np.ndarray:
+    """Per-byte popcount via a 256-entry lookup table."""
+    return _POPCOUNT_TABLE[packed]
+
+
+def packed_popcount(packed: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Total number of set bits along ``axis`` of a packed array."""
+    return popcount_bytes(packed).sum(axis=axis, dtype=np.int64)
+
+
+class Bitstream:
+    """A stochastic bitstream with a friendly value-level API.
+
+    Wraps an array of 0/1 bits (time on the last axis).  Bitwise operators
+    implement the single-gate SC primitives: ``&`` is unipolar
+    multiplication, ``|`` is OR-based saturating accumulation, ``~`` is
+    ``1 - v`` complement.
+
+    >>> a = Bitstream.from_bits([1, 0, 1, 1])
+    >>> a.value
+    0.75
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: np.ndarray):
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size and bits.max() > 1:
+            raise ValueError("bitstream entries must be 0 or 1")
+        self.bits = bits
+
+    @classmethod
+    def from_bits(cls, bits) -> "Bitstream":
+        return cls(np.asarray(bits, dtype=np.uint8))
+
+    @classmethod
+    def constant(cls, bit: int, length: int) -> "Bitstream":
+        """All-zeros or all-ones stream (exactly represents 0.0 / 1.0)."""
+        return cls(np.full(length, int(bool(bit)), dtype=np.uint8))
+
+    @property
+    def length(self) -> int:
+        return self.bits.shape[-1]
+
+    @property
+    def value(self) -> float:
+        """Decoded unipolar value: the density of ones."""
+        return float(self.bits.mean(axis=-1)) if self.bits.ndim == 1 else None
+
+    def values(self) -> np.ndarray:
+        """Decoded unipolar values for a batch of streams."""
+        return self.bits.mean(axis=-1)
+
+    def popcount(self) -> int:
+        return int(self.bits.sum(axis=-1)) if self.bits.ndim == 1 else None
+
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        return Bitstream(self.bits & other.bits)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        return Bitstream(self.bits | other.bits)
+
+    def __xor__(self, other: "Bitstream") -> "Bitstream":
+        return Bitstream(self.bits ^ other.bits)
+
+    def __invert__(self) -> "Bitstream":
+        return Bitstream(1 - self.bits)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Bitstream) and np.array_equal(self.bits, other.bits)
+
+    def __hash__(self):
+        return hash((self.bits.tobytes(), self.bits.shape))
+
+    def concat(self, other: "Bitstream") -> "Bitstream":
+        """Temporal concatenation — the scaled-addition trick behind
+        computation-skipping average pooling (paper Sec. II-C): the value
+        of ``a.concat(b)`` is the length-weighted average of the inputs."""
+        return Bitstream(np.concatenate([self.bits, other.bits], axis=-1))
+
+    def packed(self) -> np.ndarray:
+        return pack_stream(self.bits)
+
+    def __repr__(self) -> str:
+        if self.bits.ndim == 1 and self.length <= 32:
+            s = "".join(str(b) for b in self.bits)
+            return f"Bitstream({s!r}, value={self.value:.4f})"
+        return f"Bitstream(shape={self.bits.shape})"
+
+
+def scc(a: np.ndarray, b: np.ndarray) -> float:
+    """Stochastic cross-correlation (Alaghi & Hayes) between two streams.
+
+    SCC is 0 for independent streams, +1 for maximally overlapped
+    (correlated) streams and -1 for maximally disjoint ones.  SC
+    multiplication via AND is only exact at SCC = 0, which is why SNG
+    lanes must be decorrelated.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[-1]
+    pa = a.mean()
+    pb = b.mean()
+    pab = (a * b).mean()
+    delta = pab - pa * pb
+    if delta > 0:
+        denom = min(pa, pb) - pa * pb
+    else:
+        denom = pa * pb - max(pa + pb - 1.0, 0.0)
+    if denom <= 1.0 / (n * n) or denom <= 0:
+        return 0.0
+    return float(delta / denom)
+
+
+def scc_matrix(streams: np.ndarray) -> np.ndarray:
+    """Pairwise SCC matrix for a ``(k, n)`` batch of streams.
+
+    The diagnostic behind SNG-bank design: off-diagonal magnitudes near
+    zero certify that a shared-RNG lane assignment is safe for AND
+    multiplication.
+    """
+    streams = np.asarray(streams)
+    if streams.ndim != 2:
+        raise ValueError("expected a (k, n) array of streams")
+    k = streams.shape[0]
+    out = np.empty((k, k))
+    for i in range(k):
+        out[i, i] = 1.0
+        for j in range(i + 1, k):
+            value = scc(streams[i], streams[j])
+            out[i, j] = value
+            out[j, i] = value
+    return out

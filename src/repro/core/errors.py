@@ -1,0 +1,64 @@
+"""Analytical error models for stochastic representations (Sec. II-A).
+
+For a stream of length ``n`` encoding value ``v``:
+
+- unipolar RMS error:  ``sqrt(v * (1 - v) / n)``
+- bipolar RMS error:   ``sqrt((1 - v**2) / n)``
+
+The bipolar variance is strictly >= 2x the unipolar variance for the same
+``v`` in [0, 1] (equality only at v = 0), which is the paper's
+justification for split-unipolar: ">= 2X shorter streams" at equal error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rms_error_unipolar",
+    "rms_error_bipolar",
+    "bipolar_length_multiplier",
+    "length_for_rms_unipolar",
+    "length_for_rms_bipolar",
+    "empirical_rms",
+]
+
+
+def rms_error_unipolar(v, n):
+    """RMS representational error of a length-``n`` unipolar stream."""
+    v = np.asarray(v, dtype=np.float64)
+    return np.sqrt(v * (1.0 - v) / n)
+
+
+def rms_error_bipolar(v, n):
+    """RMS representational error of a length-``n`` bipolar stream."""
+    v = np.asarray(v, dtype=np.float64)
+    return np.sqrt((1.0 - v * v) / n)
+
+
+def bipolar_length_multiplier(v):
+    """Stream-length factor bipolar needs over unipolar at equal error.
+
+    Equal RMS error requires ``n_b / n_u = (1 - v**2) / (v * (1 - v))
+    = (1 + v) / v`` which is >= 2 for all v in (0, 1].
+    """
+    v = np.asarray(v, dtype=np.float64)
+    return (1.0 + v) / v
+
+
+def length_for_rms_unipolar(v, target_rms):
+    """Minimum unipolar stream length for a target RMS error."""
+    v = np.asarray(v, dtype=np.float64)
+    return np.ceil(v * (1.0 - v) / (target_rms**2)).astype(np.int64)
+
+
+def length_for_rms_bipolar(v, target_rms):
+    """Minimum bipolar stream length for a target RMS error."""
+    v = np.asarray(v, dtype=np.float64)
+    return np.ceil((1.0 - v * v) / (target_rms**2)).astype(np.int64)
+
+
+def empirical_rms(estimates: np.ndarray, truth) -> float:
+    """Root-mean-square error of a batch of decoded estimates."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    return float(np.sqrt(np.mean((estimates - np.asarray(truth)) ** 2)))

@@ -1,0 +1,108 @@
+"""FSM-based stochastic activation functions.
+
+The paper's Sec. II-A footnote: "Other activation functions require FSM
+implementations [12, 15] and we do not explore them here."  They exist
+in this reproduction so the trade-off is measurable: the classic
+saturating-counter FSMs of Brown & Card, used by SC-DCNN [12] and HEIF
+[15] for tanh/sigmoid nonlinearities, cost a counter per activation and
+operate on *bipolar* streams — both reasons ACOUSTIC prefers its free
+counter-side ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SaturatingCounterFsm", "StochasticTanh", "stanh_expected"]
+
+
+class SaturatingCounterFsm:
+    """A ``2K``-state saturating up/down counter driven by a bitstream.
+
+    Each input 1 moves the state up, each 0 down, clamped to
+    ``[0, 2K - 1]``.  The output bit is 1 while the state sits in the
+    upper half.  This is the canonical SC FSM building block.
+    """
+
+    def __init__(self, half_states: int):
+        if half_states < 1:
+            raise ValueError("FSM needs at least one state per half")
+        self.half_states = half_states
+
+    @property
+    def num_states(self) -> int:
+        return 2 * self.half_states
+
+    def run(self, stream: np.ndarray, initial_state: int = None) -> np.ndarray:
+        """Transform one stream (time on the last axis, 1-D)."""
+        stream = np.asarray(stream)
+        if stream.ndim != 1:
+            raise ValueError("run() processes a single 1-D stream")
+        top = self.num_states - 1
+        state = initial_state if initial_state is not None \
+            else self.half_states  # mid-scale start
+        out = np.empty_like(stream)
+        for t, bit in enumerate(stream):
+            state = min(top, state + 1) if bit else max(0, state - 1)
+            out[t] = 1 if state >= self.half_states else 0
+        return out
+
+    def run_batch(self, streams: np.ndarray,
+                  initial_state: int = None) -> np.ndarray:
+        """Vectorized transform of ``(..., n)`` streams.
+
+        The state recurrence is sequential in time but independent across
+        streams, so the loop runs over time with numpy over the batch.
+        """
+        streams = np.asarray(streams)
+        flat = streams.reshape(-1, streams.shape[-1])
+        top = self.num_states - 1
+        state = np.full(
+            flat.shape[0],
+            initial_state if initial_state is not None else self.half_states,
+            dtype=np.int64,
+        )
+        out = np.empty_like(flat)
+        for t in range(flat.shape[-1]):
+            step = 2 * flat[:, t].astype(np.int64) - 1
+            state = np.clip(state + step, 0, top)
+            out[:, t] = state >= self.half_states
+        return out.reshape(streams.shape)
+
+
+class StochasticTanh:
+    """Stanh: FSM-based stochastic hyperbolic tangent (Brown & Card).
+
+    For a bipolar input stream encoding ``x``, a ``2K``-state saturating
+    counter's output decodes approximately to ``tanh(K * x)`` (bipolar).
+    SC-DCNN uses this as the network nonlinearity; ACOUSTIC avoids it —
+    compare the per-activation FSM cost with ACOUSTIC's ReLU, which is a
+    sign check on the already-present output counter.
+    """
+
+    def __init__(self, half_states: int = 4):
+        self.fsm = SaturatingCounterFsm(half_states)
+        self.half_states = half_states
+
+    def apply(self, bipolar_streams: np.ndarray) -> np.ndarray:
+        """Transform bipolar streams; output is again bipolar."""
+        return self.fsm.run_batch(bipolar_streams)
+
+    def expected(self, x: np.ndarray) -> np.ndarray:
+        """Infinite-length expectation: ``tanh(half_states * x)``."""
+        return stanh_expected(x, self.half_states)
+
+    @staticmethod
+    def area_cost_vs_relu() -> float:
+        """Rough per-activation area multiplier vs ACOUSTIC's ReLU.
+
+        The ReLU is a handful of gates on an existing counter; an
+        FSM activation needs its own saturating counter and comparator —
+        the "2X more expensive" class of overhead the paper avoids.
+        """
+        return 2.0
+
+
+def stanh_expected(x: np.ndarray, half_states: int) -> np.ndarray:
+    """Analytic Stanh response ``tanh(K * x)`` for bipolar value ``x``."""
+    return np.tanh(half_states * np.asarray(x, dtype=np.float64))

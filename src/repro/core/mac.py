@@ -1,0 +1,167 @@
+"""Split-unipolar two-phase multiply-accumulate unit (paper Fig. 1).
+
+The circuit processes signed weights on unsigned (unipolar) hardware by
+running two temporal phases over the same AND/OR datapath:
+
+- **positive phase**: weights with negative sign are gated to zero, the
+  surviving products accumulate, and the output counter counts *up*;
+- **negative phase**: the sign mask is inverted, only negative-weight
+  products flow, and the counter counts *down*.
+
+The counter ends at ``popcount(+phase) - popcount(-phase)``, a signed
+fixed-point binary value, on which ReLU is a trivial sign check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .accumulate import make_accumulator
+from .ops import and_multiply, counter_relu
+from .sng import StochasticNumberGenerator
+
+__all__ = ["MacTrace", "MacResult", "SplitUnipolarMac"]
+
+
+@dataclass
+class MacTrace:
+    """Bit-level record of one MAC evaluation, for inspection/teaching.
+
+    All arrays have shape ``(fan_in, phase_length)`` except the
+    accumulated streams, which are ``(phase_length,)``.
+    """
+
+    activation_streams: np.ndarray
+    weight_pos_streams: np.ndarray
+    weight_neg_streams: np.ndarray
+    product_pos_streams: np.ndarray
+    product_neg_streams: np.ndarray
+    accum_pos_stream: np.ndarray = field(default=None)
+    accum_neg_stream: np.ndarray = field(default=None)
+
+
+@dataclass
+class MacResult:
+    """Outcome of one split-unipolar MAC evaluation."""
+
+    #: Signed up/down counter value (up-phase popcount minus down-phase).
+    counter: int
+    #: Counter normalized by per-phase length: the raw signed density.
+    raw_value: float
+    #: Accumulator-decoded signed estimate.  For OR this equals
+    #: ``raw_value`` (the hardware counter IS the output; the OR
+    #: saturation is absorbed by training); for MUX/APC the decode
+    #: rescales to sum units.
+    estimate: float
+    #: Estimate after the counter-side ReLU.
+    relu_estimate: float
+    #: Bit-level trace (present when ``record_trace=True``).
+    trace: MacTrace = None
+
+
+class SplitUnipolarMac:
+    """A fan-in-``k`` stochastic MAC with two-phase sign handling.
+
+    Parameters
+    ----------
+    length:
+        Per-phase stream length (the paper's "256-long" = 2 x 128, so
+        ``length=128`` reproduces the LP/ULP configurations).
+    bits:
+        SNG comparator resolution (8 everywhere in the paper).
+    scheme:
+        RNG scheme for the SNG banks (``"lfsr"``/``"random"``/``"vdc"``).
+    accumulator:
+        ``"or"`` (ACOUSTIC), ``"mux"`` or ``"apc"`` (baselines).
+    seed:
+        Decorrelates the activation and weight SNG banks internally.
+    """
+
+    def __init__(self, length: int = 128, bits: int = 8, scheme: str = "lfsr",
+                 accumulator: str = "or", seed: int = 1):
+        self.length = length
+        self.bits = bits
+        self.accumulator = make_accumulator(accumulator, seed=seed)
+        # Distinct seed spaces keep activation and weight lanes independent.
+        self.act_sng = StochasticNumberGenerator(
+            length, bits=bits, scheme=scheme, seed=seed
+        )
+        self.wgt_sng = StochasticNumberGenerator(
+            length, bits=bits, scheme=scheme, seed=seed + 7919
+        )
+
+    def compute(self, activations: np.ndarray, weights: np.ndarray,
+                record_trace: bool = False) -> MacResult:
+        """Evaluate ``sum_i activations[i] * weights[i]``.
+
+        ``activations`` must be non-negative (they follow a ReLU in the
+        network); ``weights`` are signed in [-1, 1].
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if activations.shape != weights.shape or activations.ndim != 1:
+            raise ValueError("activations and weights must be matching 1-D arrays")
+        if activations.size and activations.min() < 0:
+            raise ValueError("split-unipolar activations must be non-negative")
+        if activations.size and (activations.max() > 1 or np.abs(weights).max() > 1):
+            raise ValueError("inputs must be normalized to [-1, 1]")
+
+        act_streams = self.act_sng.generate(activations)
+        # Phase gating: the sign bit masks the weight SNG output, so a
+        # positive weight contributes only in phase + and vice versa.
+        wgt_pos = self.wgt_sng.generate(np.maximum(weights, 0.0))
+        wgt_neg = self.wgt_sng.generate(np.maximum(-weights, 0.0))
+
+        prod_pos = and_multiply(act_streams, wgt_pos)
+        prod_neg = and_multiply(act_streams, wgt_neg)
+        acc_pos = self.accumulator.reduce_streams(prod_pos, axis=0)
+        acc_neg = self.accumulator.reduce_streams(prod_neg, axis=0)
+
+        fan_in = activations.size
+        if self.accumulator.name == "apc":
+            # APC emits integer partial sums; the counter integrates them.
+            count_up = int(acc_pos.sum())
+            count_down = int(acc_neg.sum())
+        else:
+            count_up = int(np.asarray(acc_pos).sum())
+            count_down = int(np.asarray(acc_neg).sum())
+        counter = count_up - count_down
+        raw_value = counter / self.length
+
+        est_pos = float(self.accumulator.decode(acc_pos, fan_in))
+        est_neg = float(self.accumulator.decode(acc_neg, fan_in))
+        estimate = est_pos - est_neg
+
+        trace = None
+        if record_trace:
+            trace = MacTrace(
+                activation_streams=act_streams,
+                weight_pos_streams=wgt_pos,
+                weight_neg_streams=wgt_neg,
+                product_pos_streams=prod_pos,
+                product_neg_streams=prod_neg,
+                accum_pos_stream=acc_pos,
+                accum_neg_stream=acc_neg,
+            )
+        return MacResult(
+            counter=counter,
+            raw_value=raw_value,
+            estimate=estimate,
+            relu_estimate=float(counter_relu(np.asarray(estimate))),
+            trace=trace,
+        )
+
+    def expected(self, activations: np.ndarray, weights: np.ndarray) -> float:
+        """Infinite-stream-length expectation under this accumulator.
+
+        For OR accumulation this includes the systematic saturation
+        ``1 - prod(1 - a_i * w_i)`` per sign phase — the quantity the
+        training-side OR model (Sec. II-D) must reproduce.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        pos = float(self.accumulator.expected(activations * np.maximum(weights, 0.0)))
+        neg = float(self.accumulator.expected(activations * np.maximum(-weights, 0.0)))
+        return pos - neg

@@ -1,0 +1,116 @@
+"""Stochastic pooling, including computation-skipping average pooling.
+
+Paper Sec. II-C: average pooling in SC is a MUX (scaled addition) over the
+pooling window.  ACOUSTIC's observation is that the MUX select sequence
+need not be random — since which input the MUX "chooses" at each clock is
+known a priori, the *unchosen* bits never need to be computed.  Skipping
+them shortens every contributing convolution pass by the window size
+(4x for 2x2, 9x for 3x3), and the surviving bits are simply
+*concatenated*: a concatenation of k independent streams of length n/k
+decodes to the average of the k values.
+
+The cost is output correlation, which ACOUSTIC removes for free because
+every layer boundary converts to binary and regenerates fresh streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mux_average_pool",
+    "skipped_average_pool",
+    "skip_factor",
+    "concat_pool_counter",
+    "StochasticMaxPoolFsm",
+]
+
+
+def mux_average_pool(streams: np.ndarray, rng: np.random.Generator = None,
+                     axis: int = 0) -> np.ndarray:
+    """Reference MUX-based average pooling over ``axis``.
+
+    Every input stream must be full length; the select picks one input
+    uniformly per clock.  Decodes to ``mean(v_i)`` but computes (and then
+    discards) ``(k-1)/k`` of the input bits — the waste computation
+    skipping removes.
+    """
+    streams = np.asarray(streams)
+    k = streams.shape[axis]
+    if rng is None:
+        rng = np.random.default_rng(0)
+    moved = np.moveaxis(streams, axis, 0)
+    select = rng.integers(0, k, size=streams.shape[-1])
+    idx = select[(None,) * (moved.ndim - 1)].astype(np.int64)
+    return np.take_along_axis(moved, idx, axis=0)[0].astype(np.uint8)
+
+
+def skipped_average_pool(short_streams: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Computation-skipping average pooling: concatenate short streams.
+
+    ``short_streams`` holds the k window inputs along ``axis``, each
+    generated at length ``n/k`` (the convolution pass that produced them
+    was cut short by the same factor).  The output is the length-n
+    concatenation, whose density is exactly the window average of the
+    input densities.
+    """
+    streams = np.moveaxis(np.asarray(short_streams), axis, -2)
+    # (..., k, n/k) -> (..., k * n/k): window inputs laid out back-to-back.
+    return streams.reshape(streams.shape[:-2] + (-1,)).astype(np.uint8)
+
+
+def skip_factor(pool_height: int, pool_width: int) -> int:
+    """Latency/energy reduction on the preceding conv layer (4x..9x)."""
+    if pool_height < 1 or pool_width < 1:
+        raise ValueError("pooling window must be at least 1x1")
+    return pool_height * pool_width
+
+
+def concat_pool_counter(window_counts: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Counter-level view of computation skipping.
+
+    In hardware, pooling across output *height* shortens compute passes
+    and simply does not reset the output counter between them; pooling
+    across output *width* adds a small parallel counter that merges
+    adjacent outputs.  Either way the counter accumulates the window's
+    per-pass counts.  Dividing by the *full* stream length then yields
+    the window average (each pass contributed only ``n/k`` clocks).
+    """
+    window_counts = np.asarray(window_counts)
+    return window_counts.sum(axis=axis)
+
+
+class StochasticMaxPoolFsm:
+    """FSM-based stochastic max pooling (the baseline ACOUSTIC avoids).
+
+    Follows the standard scheme of SC-DCNN [12]/[23]: per input, a
+    saturating counter tracks an estimate of which stream is currently
+    the largest; each clock the output forwards the bit of the current
+    winner.  It needs a counter per input and comparator logic, which is
+    why the paper calls it "2X more expensive in area/power than average
+    pooling" and replaces it.
+    """
+
+    def __init__(self, counter_bits: int = 4):
+        self.counter_bits = counter_bits
+
+    def pool(self, streams: np.ndarray) -> np.ndarray:
+        """Pool k streams of shape ``(k, n)`` into one ``(n,)`` stream."""
+        streams = np.asarray(streams, dtype=np.int64)
+        if streams.ndim != 2:
+            raise ValueError("expected (k, n) array of streams")
+        k, n = streams.shape
+        limit = (1 << self.counter_bits) - 1
+        counters = np.zeros(k, dtype=np.int64)
+        out = np.empty(n, dtype=np.uint8)
+        for t in range(n):
+            bits = streams[:, t]
+            counters = np.clip(counters + 2 * bits - 1, 0, limit)
+            winner = int(np.argmax(counters))
+            out[t] = bits[winner]
+        return out
+
+    @staticmethod
+    def area_multiplier() -> float:
+        """Area/power cost relative to average pooling (paper: ~2x)."""
+        return 2.0

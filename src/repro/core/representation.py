@@ -1,0 +1,141 @@
+"""Stochastic number representations: unipolar, bipolar, split-unipolar.
+
+The paper's first optimization (Sec. II-A) is the *split-unipolar*
+representation: a signed value is carried as two unipolar streams, one for
+the positive component and one for the negative, and processed temporally
+in two phases on the same MAC hardware.  Unipolar streams need >= 2x
+shorter lengths than bipolar for the same RMS error, which directly
+shortens inference latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sng import StochasticNumberGenerator
+
+__all__ = [
+    "UnipolarCodec",
+    "BipolarCodec",
+    "SplitUnipolarValue",
+    "split_value",
+    "merge_split",
+    "SplitUnipolarCodec",
+]
+
+
+class UnipolarCodec:
+    """Encode/decode values in [0, 1] as bit density.
+
+    ``P(bit = 1) = v``; decoding is the mean of the stream.
+    """
+
+    vmin, vmax = 0.0, 1.0
+
+    def __init__(self, sng: StochasticNumberGenerator):
+        self.sng = sng
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size and (values.min() < 0 or values.max() > 1):
+            raise ValueError("unipolar values must lie in [0, 1]")
+        return self.sng.generate(values)
+
+    @staticmethod
+    def decode(streams: np.ndarray) -> np.ndarray:
+        return np.asarray(streams, dtype=np.float64).mean(axis=-1)
+
+
+class BipolarCodec:
+    """Encode/decode values in [-1, 1]: ``P(bit = 1) = (v + 1) / 2``.
+
+    The common choice in prior SC accelerators (SC-DCNN, HEIF, SCOPE)
+    because it carries signed weights directly; the price is 2x+ longer
+    streams for the same error (see :mod:`repro.core.errors`).
+    """
+
+    vmin, vmax = -1.0, 1.0
+
+    def __init__(self, sng: StochasticNumberGenerator):
+        self.sng = sng
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size and (values.min() < -1 or values.max() > 1):
+            raise ValueError("bipolar values must lie in [-1, 1]")
+        return self.sng.generate((values + 1.0) / 2.0)
+
+    @staticmethod
+    def decode(streams: np.ndarray) -> np.ndarray:
+        return 2.0 * np.asarray(streams, dtype=np.float64).mean(axis=-1) - 1.0
+
+
+@dataclass
+class SplitUnipolarValue:
+    """A signed value split into non-negative (pos, neg) components.
+
+    Exactly one of the two components is non-zero for any scalar input
+    (``v = pos - neg``), mirroring the paper's "for a positive weight
+    value, its corresponding negative stream is 0, and vice-versa".
+    """
+
+    pos: np.ndarray
+    neg: np.ndarray
+
+    def value(self) -> np.ndarray:
+        return self.pos - self.neg
+
+
+def split_value(values: np.ndarray) -> SplitUnipolarValue:
+    """Split signed values in [-1, 1] into (positive, negative) parts."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size and (np.abs(values).max() > 1):
+        raise ValueError("split-unipolar values must lie in [-1, 1]")
+    return SplitUnipolarValue(
+        pos=np.maximum(values, 0.0), neg=np.maximum(-values, 0.0)
+    )
+
+
+def merge_split(pos: np.ndarray, neg: np.ndarray) -> np.ndarray:
+    """Recombine split components into a signed value."""
+    return np.asarray(pos, dtype=np.float64) - np.asarray(neg, dtype=np.float64)
+
+
+class SplitUnipolarCodec:
+    """Encode signed values as a pair of unipolar streams.
+
+    In ACOUSTIC the two components are processed *temporally*: the same
+    MAC array runs a positive phase (up-counting) and a negative phase
+    (down-counting), so "256-long stream" in the paper means 2 x 128.
+    ``phase_length`` here is the per-phase length (128 for the LP/ULP
+    configurations).
+    """
+
+    vmin, vmax = -1.0, 1.0
+
+    def __init__(self, sng: StochasticNumberGenerator):
+        self.sng = sng
+
+    @property
+    def phase_length(self) -> int:
+        return self.sng.length
+
+    @property
+    def total_length(self) -> int:
+        """Effective stream length in the paper's accounting (2 phases)."""
+        return 2 * self.sng.length
+
+    def encode(self, values: np.ndarray) -> SplitUnipolarValue:
+        parts = split_value(values)
+        return SplitUnipolarValue(
+            pos=self.sng.generate(parts.pos),
+            neg=self.sng.generate(parts.neg),
+        )
+
+    @staticmethod
+    def decode(streams: SplitUnipolarValue) -> np.ndarray:
+        pos = np.asarray(streams.pos, dtype=np.float64).mean(axis=-1)
+        neg = np.asarray(streams.neg, dtype=np.float64).mean(axis=-1)
+        return pos - neg

@@ -1,0 +1,294 @@
+"""Random number sources for stochastic number generation.
+
+Stochastic computing accuracy is dominated by the quality and correlation
+of the random sequences that drive the stochastic number generators (SNGs).
+ACOUSTIC uses LFSR-based SNGs (Sec. IV-A of the paper); this module
+implements maximal-length Fibonacci LFSRs plus an ideal (numpy) source and
+a low-discrepancy (van der Corput) source used in the RNG-scheme ablation.
+
+All sources produce integer *thresholds* in ``[0, 2**bits)``.  An SNG turns
+a probability ``p`` into a bitstream by emitting ``1`` whenever the
+threshold is below ``p * 2**bits`` (see :mod:`repro.core.sng`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAXIMAL_TAPS",
+    "Lfsr",
+    "LfsrSource",
+    "NumpyRandomSource",
+    "VanDerCorputSource",
+    "make_source",
+]
+
+#: Feedback tap positions (1-indexed bit numbers; tap ``k`` reads register
+#: bit ``k-1``) yielding maximal-length sequences, per the standard
+#: Xilinx XAPP052 polynomial table.
+MAXIMAL_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+}
+
+
+class Lfsr:
+    """Maximal-length Fibonacci linear feedback shift register.
+
+    The register holds ``width`` bits and cycles through all
+    ``2**width - 1`` non-zero states.  Reading the register state as an
+    integer gives a pseudo-random sequence that hardware SNGs use as the
+    comparison threshold.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (3..24 supported).
+    seed:
+        Initial non-zero state.  Defaults to 1.
+    taps:
+        Optional override of the feedback tap positions (1-indexed from
+        the MSB).  Defaults to a maximal-length configuration.
+    """
+
+    def __init__(self, width: int, seed: int = 1, taps: tuple = None):
+        if width not in MAXIMAL_TAPS and taps is None:
+            raise ValueError(
+                f"no maximal-length taps known for width {width}; "
+                f"supported widths: {sorted(MAXIMAL_TAPS)}"
+            )
+        if not 0 < seed < (1 << width):
+            raise ValueError(f"seed must be a non-zero {width}-bit value, got {seed}")
+        self.width = width
+        self.taps = tuple(taps) if taps is not None else MAXIMAL_TAPS[width]
+        self.state = seed
+        self._seed = seed
+
+    @property
+    def period(self) -> int:
+        """Length of the state cycle for a maximal-length configuration."""
+        return (1 << self.width) - 1
+
+    def reset(self) -> None:
+        """Return the register to its seed state."""
+        self.state = self._seed
+
+    def step(self) -> int:
+        """Advance one clock and return the new state."""
+        fb = 0
+        for tap in self.taps:
+            fb ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | fb) & ((1 << self.width) - 1)
+        return self.state
+
+    def sequence(self, n: int) -> np.ndarray:
+        """Return the next ``n`` states as a uint32 array (advances state)."""
+        out = np.empty(n, dtype=np.uint32)
+        state = self.state
+        width = self.width
+        mask = (1 << width) - 1
+        shifts = [tap - 1 for tap in self.taps]
+        for i in range(n):
+            fb = 0
+            for sh in shifts:
+                fb ^= (state >> sh) & 1
+            state = ((state << 1) | fb) & mask
+            out[i] = state
+        self.state = state
+        return out
+
+
+class LfsrSource:
+    """Threshold source backed by one shared LFSR per stream *lane*.
+
+    Hardware shares a single RNG across many SNGs (the paper notes "RNG
+    sharing across multiple stochastic number generators, as is common
+    practice").  Sharing the same sequence between the two operands of an
+    AND multiplier would correlate them and destroy the product, so this
+    source hands out *lanes*: each lane is the same LFSR architecture
+    seeded differently (equivalently, a rotated copy of the shared
+    sequence), which is how real designs decorrelate operands cheaply.
+
+    Parameters
+    ----------
+    bits:
+        Threshold resolution; thresholds lie in ``[0, 2**bits)``.
+    width:
+        LFSR register width; must be >= bits.  Defaults to ``bits``.
+    seed:
+        Base seed; lane ``k`` uses ``seed + k`` (wrapped to non-zero).
+    """
+
+    #: Cached full-period threshold cycles keyed by (width, bits).
+    _cycle_cache: dict = {}
+
+    def __init__(self, bits: int = 8, width: int = None, seed: int = 1):
+        self.bits = bits
+        # Width defaults to the comparator precision, as in hardware SNGs:
+        # a width-8 register cycles through all 255 non-zero thresholds,
+        # so a 128-bit window samples *without replacement* (finite-
+        # population variance reduction) and a 255+ window is quasi-exact.
+        # Wider registers look "more random" but their windows carry the
+        # doubling-map serial correlation and measurably inflate both
+        # encoding and product RMS (~1.4x at length 128).
+        self.width = width if width is not None else bits
+        if self.width < bits:
+            raise ValueError("LFSR width must be at least the threshold bit-count")
+        self.seed = seed
+
+    def _cycle(self) -> np.ndarray:
+        """The full maximal-length state cycle, reduced to thresholds.
+
+        All non-zero seeds of a maximal LFSR lie on this single cycle, so
+        a lane seeded differently is exactly a phase-shifted view of it.
+        Computing the cycle once makes layer-scale encoding vectorizable.
+        """
+        key = (self.width, self.bits)
+        cycle = LfsrSource._cycle_cache.get(key)
+        if cycle is None:
+            lfsr = Lfsr(self.width, seed=1)
+            cycle = (lfsr.sequence(lfsr.period) >> (self.width - self.bits)).astype(
+                np.uint32
+            )
+            LfsrSource._cycle_cache[key] = cycle
+        return cycle
+
+    def thresholds(self, lanes: int, length: int) -> np.ndarray:
+        """Return an ``(lanes, length)`` uint32 array of thresholds.
+
+        Lane ``k`` reads the shared cycle starting at a golden-ratio phase
+        stride (adjacent lanes land far apart on the cycle — a unit stride
+        would make lane k+1 a one-step shift of lane k, i.e. maximally
+        correlated), and additionally applies a per-lane bit rotation to
+        the threshold word.  Rotations are free in hardware (wiring
+        permutations of the shared LFSR taps) and are the standard way to
+        decorrelate many SNGs fed from one register.  Streams longer than
+        the LFSR period wrap, exactly as the hardware register would.
+        """
+        cycle = self._cycle()
+        period = cycle.shape[0]
+        # Golden-ratio stride spreads lane phases over the whole cycle.
+        stride = max(1, int(round(period * 0.6180339887)))
+        lane_ids = np.uint64(self.seed) + np.arange(lanes, dtype=np.uint64)
+        offsets = (lane_ids * np.uint64(stride)) % np.uint64(period)
+        idx = (
+            offsets[:, None] + np.arange(length, dtype=np.uint64)[None, :]
+        ) % np.uint64(period)
+        out = cycle[idx.astype(np.int64)]
+        # Per-lane decorrelation: a bit rotation followed by an XOR mask
+        # of the threshold word.  Both are wiring/inverter tricks (free in
+        # hardware) and both are bijections on the threshold space, so
+        # every lane keeps the full-period equidistribution; together with
+        # the phase offset they give ~500k distinct lane transforms, so
+        # thousands of SNGs can share one small register without
+        # identical-lane collisions.
+        bits = self.bits
+        mask = np.uint32((1 << bits) - 1)
+        rot = (lane_ids % np.uint64(bits)).astype(np.uint32)
+        for r in range(1, bits):
+            sel = rot == r
+            if not sel.any():
+                continue
+            vals = out[sel]
+            out[sel] = ((vals << np.uint32(r)) | (vals >> np.uint32(bits - r))) & mask
+        xor_masks = (
+            (lane_ids * np.uint64(0xBF58476D1CE4E5B9)) >> np.uint64(43)
+        ).astype(np.uint32) & mask
+        return out ^ xor_masks[:, None]
+
+
+class NumpyRandomSource:
+    """Ideal (software) random threshold source.
+
+    Used as the reference point in the RNG-scheme ablation: it has no
+    LFSR periodicity artifacts, so any accuracy delta against
+    :class:`LfsrSource` isolates the cost of cheap hardware randomness.
+    """
+
+    def __init__(self, bits: int = 8, seed: int = 0):
+        self.bits = bits
+        self._rng = np.random.default_rng(seed)
+
+    def thresholds(self, lanes: int, length: int) -> np.ndarray:
+        return self._rng.integers(
+            0, 1 << self.bits, size=(lanes, length), dtype=np.uint32
+        )
+
+
+class VanDerCorputSource:
+    """Low-discrepancy threshold source (base-2 van der Corput sequence).
+
+    Deterministic bit-streams built from low-discrepancy sequences remove
+    random fluctuation entirely (cf. Faraji et al., DATE 2019, cited as
+    [20] in the paper).  Lane ``k`` uses a different integer offset into
+    the sequence so operand pairs stay decorrelated.
+    """
+
+    def __init__(self, bits: int = 8, seed: int = 0):
+        self.bits = bits
+        self.seed = seed
+
+    @staticmethod
+    def _bit_reverse(values: np.ndarray, bits: int) -> np.ndarray:
+        out = np.zeros_like(values)
+        v = values.copy()
+        for _ in range(bits):
+            out = (out << 1) | (v & 1)
+            v >>= 1
+        return out
+
+    def thresholds(self, lanes: int, length: int) -> np.ndarray:
+        levels = 1 << self.bits
+        # Lane k walks the index space with its own odd stride (a
+        # bijection mod 2**bits, so every lane is perfectly
+        # equidistributed over one period) before the radical-inverse
+        # bit reversal; distinct strides decorrelate lane pairs the way
+        # deterministic-SC designs pair clock-divided streams.
+        lane_ids = np.arange(lanes, dtype=np.uint64) + np.uint64(self.seed)
+        strides = (
+            (lane_ids * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(33)
+        ).astype(np.uint32) | np.uint32(1)
+        offsets = ((lane_ids * np.uint64(0xD1B54A32D192ED03)) >> np.uint64(40)).astype(
+            np.uint32
+        )
+        t = np.arange(length, dtype=np.uint32)
+        idx = (strides[:, None] * t[None, :] + offsets[:, None]) & np.uint32(
+            levels - 1
+        )
+        return self._bit_reverse(idx, self.bits)
+
+
+def make_source(scheme: str, bits: int = 8, seed: int = 1):
+    """Construct a threshold source by name.
+
+    ``scheme`` is one of ``"lfsr"``, ``"random"``, ``"vdc"``.
+    """
+    scheme = scheme.lower()
+    if scheme == "lfsr":
+        return LfsrSource(bits=bits, seed=max(seed, 1))
+    if scheme == "random":
+        return NumpyRandomSource(bits=bits, seed=seed)
+    if scheme in ("vdc", "lowdiscrepancy", "van-der-corput"):
+        return VanDerCorputSource(bits=bits, seed=seed)
+    raise ValueError(f"unknown RNG scheme: {scheme!r}")

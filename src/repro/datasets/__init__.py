@@ -1,0 +1,15 @@
+"""Synthetic dataset generators (offline stand-ins for MNIST/SVHN/CIFAR)."""
+
+from .augment import (Augmenter, additive_noise, cutout, random_flip,
+                      random_shift)
+from .synthetic import (DIGIT_GLYPHS, render_digit, synthetic_cifar10,
+                        synthetic_mnist, synthetic_svhn)
+
+__all__ = [
+    "Augmenter", "additive_noise", "cutout", "random_flip", "random_shift",
+    "DIGIT_GLYPHS",
+    "render_digit",
+    "synthetic_cifar10",
+    "synthetic_mnist",
+    "synthetic_svhn",
+]

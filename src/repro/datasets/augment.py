@@ -1,0 +1,89 @@
+"""Data augmentation for the synthetic datasets.
+
+Small, dependency-free transforms that operate on ``(N, C, H, W)``
+batches in [0, 1].  Used by the longer training runs to squeeze more
+out of the procedurally generated datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_shift", "random_flip", "additive_noise",
+           "cutout", "Augmenter"]
+
+
+def random_shift(images: np.ndarray, max_shift: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Translate each image by up to ``max_shift`` pixels (zero pad)."""
+    if max_shift < 1:
+        return images
+    n, c, h, w = images.shape
+    out = np.zeros_like(images)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(shifts):
+        src_y = slice(max(0, -dy), h - max(0, dy))
+        src_x = slice(max(0, -dx), w - max(0, dx))
+        dst_y = slice(max(0, dy), h - max(0, -dy))
+        dst_x = slice(max(0, dx), w - max(0, -dx))
+        out[i, :, dst_y, dst_x] = images[i, :, src_y, src_x]
+    return out
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator,
+                probability: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image with the given probability.
+
+    Note: inappropriate for digit datasets (a flipped 2 is not a 2);
+    intended for the texture-class CIFAR-like data.
+    """
+    flips = rng.random(images.shape[0]) < probability
+    out = images.copy()
+    out[flips] = out[flips][:, :, :, ::-1]
+    return out
+
+
+def additive_noise(images: np.ndarray, sigma: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Gaussian pixel noise, clipped back to [0, 1]."""
+    return np.clip(images + rng.normal(0, sigma, images.shape), 0.0, 1.0)
+
+
+def cutout(images: np.ndarray, size: int,
+           rng: np.random.Generator) -> np.ndarray:
+    """Zero a random ``size x size`` square per image."""
+    n, c, h, w = images.shape
+    out = images.copy()
+    ys = rng.integers(0, max(1, h - size + 1), size=n)
+    xs = rng.integers(0, max(1, w - size + 1), size=n)
+    for i in range(n):
+        out[i, :, ys[i]:ys[i] + size, xs[i]:xs[i] + size] = 0.0
+    return out
+
+
+class Augmenter:
+    """Composable augmentation pipeline.
+
+    >>> aug = Augmenter(shift=2, noise=0.02, seed=0)
+    >>> x_batch = aug(x_batch)
+    """
+
+    def __init__(self, shift: int = 0, flip: bool = False,
+                 noise: float = 0.0, cutout_size: int = 0, seed: int = 0):
+        self.shift = shift
+        self.flip = flip
+        self.noise = noise
+        self.cutout_size = cutout_size
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        out = images
+        if self.shift:
+            out = random_shift(out, self.shift, self._rng)
+        if self.flip:
+            out = random_flip(out, self._rng)
+        if self.noise:
+            out = additive_noise(out, self.noise, self._rng)
+        if self.cutout_size:
+            out = cutout(out, self.cutout_size, self._rng)
+        return out

@@ -1,0 +1,30 @@
+"""Bitstream-exact functional simulator for SC CNN inference.
+
+Mirrors the paper's "custom SC functional simulator": given a trained
+model, a test set and an SC configuration (stream length, RNG scheme,
+accumulator), it computes test accuracy by actually generating, ANDing,
+OR-reducing and counting bitstreams.
+"""
+
+from .config import SCConfig
+from .engine import (bipolar_mux_matmul_counts, encode_packed,
+                     popcount_packed, split_or_matmul_counts)
+from .fixedpoint import FixedPointNetwork
+from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
+                     SCResidual)
+from .metrics import (confusion_matrix, evaluate_classifier,
+                      per_class_accuracy, top_k_accuracy)
+from .network import SCNetwork
+from .reference import ReferenceSplitUnipolarMac
+
+__all__ = [
+    "SCConfig",
+    "bipolar_mux_matmul_counts", "encode_packed", "popcount_packed",
+    "split_or_matmul_counts",
+    "FixedPointNetwork",
+    "SCAvgPool", "SCConv2d", "SCFlatten", "SCLinear", "SCReLU", "SCResidual",
+    "SCNetwork",
+    "confusion_matrix", "evaluate_classifier", "per_class_accuracy",
+    "top_k_accuracy",
+    "ReferenceSplitUnipolarMac",
+]

@@ -1,0 +1,74 @@
+"""Configuration for the functional SC simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SCConfig"]
+
+
+@dataclass
+class SCConfig:
+    """Stochastic-computing simulation parameters.
+
+    Attributes
+    ----------
+    phase_length:
+        Bits per split-unipolar phase.  The paper counts both phases, so
+        its "256-long streams" correspond to ``phase_length=128``.
+    bits:
+        SNG comparator resolution (8 everywhere in the paper).
+    scheme:
+        RNG scheme: ``"lfsr"`` (hardware-faithful), ``"random"``, ``"vdc"``.
+    accumulator:
+        ``"or"`` (ACOUSTIC), ``"mux"`` or ``"apc"`` baselines.
+    computation_skipping:
+        Fuse average pooling into the preceding convolution by shortening
+        compute passes (paper Sec. II-C).  When off, pooling averages the
+        already-converted binary activations instead.
+    seed:
+        Base seed; the simulator re-seeds every layer and phase, modelling
+        ACOUSTIC's per-layer stream regeneration.
+    """
+
+    phase_length: int = 128
+    bits: int = 8
+    scheme: str = "lfsr"
+    accumulator: str = "or"
+    computation_skipping: bool = True
+    seed: int = 1
+    #: ``"split-unipolar"`` (ACOUSTIC) or ``"bipolar"`` (prior-work
+    #: XNOR/MUX datapath; layer outputs carry the 1/fan-in MUX scaling).
+    representation: str = "split-unipolar"
+    #: Optional per-layer phase-length overrides, ``{layer_index: bits}``.
+    #: Because every layer converts to binary, stream lengths are a free
+    #: per-layer knob — the basis of the mixed-stream-precision
+    #: allocation study.
+    layer_phase_lengths: dict = None
+
+    def __post_init__(self):
+        if self.phase_length < 1:
+            raise ValueError("phase_length must be positive")
+        if self.accumulator not in ("or", "mux", "apc"):
+            raise ValueError(f"unknown accumulator {self.accumulator!r}")
+        if self.representation not in ("split-unipolar", "bipolar"):
+            raise ValueError(
+                f"unknown representation {self.representation!r}"
+            )
+
+    @property
+    def total_length(self) -> int:
+        """Stream length in the paper's accounting (2 temporal phases)."""
+        return 2 * self.phase_length
+
+    def phase_length_for(self, layer_index: int) -> int:
+        """Per-phase stream length for one layer (override-aware)."""
+        if self.layer_phase_lengths:
+            return self.layer_phase_lengths.get(layer_index,
+                                                self.phase_length)
+        return self.phase_length
+
+    def layer_seed(self, layer_index: int, phase: int) -> int:
+        """Per-layer, per-phase seed — streams are regenerated at every
+        layer boundary, which is what removes pooling-induced correlation."""
+        return self.seed + 1_000_003 * (layer_index + 1) + 524_287 * phase

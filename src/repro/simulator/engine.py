@@ -1,0 +1,174 @@
+"""Vectorized bitstream kernels for the functional simulator.
+
+The hot path of SC simulation is: encode operands to bitstreams, AND the
+pairs, reduce across the fan-in, and count.  Everything here works on
+bit-packed arrays (8 clocks per byte) to keep layer-scale simulation
+tractable — the paper notes "SC is extremely slow to accurately simulate
+in software"; packing and popcount make it merely slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sng import StochasticNumberGenerator
+
+__all__ = ["popcount_packed", "encode_packed", "split_or_matmul_counts",
+           "bipolar_mux_matmul_counts"]
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)],
+                           dtype=np.uint16)
+
+
+def popcount_packed(packed: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Total set bits along ``axis`` of a bit-packed array."""
+    if hasattr(np, "bitwise_count"):
+        counts = np.bitwise_count(packed)
+    else:  # numpy < 2.0
+        counts = _POPCOUNT_TABLE[packed]
+    return counts.sum(axis=axis, dtype=np.int64)
+
+
+def encode_packed(values: np.ndarray, length: int, bits: int, scheme: str,
+                  seed: int) -> np.ndarray:
+    """Encode probabilities to bit-packed streams.
+
+    Returns shape ``values.shape + (ceil(length / 8),)``.
+    """
+    sng = StochasticNumberGenerator(length, bits=bits, scheme=scheme, seed=seed)
+    return np.packbits(sng.generate(values), axis=-1)
+
+
+def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
+                              length: int, bits: int, scheme: str, seed: int,
+                              chunk_positions: int = 256) -> np.ndarray:
+    """Bitstream-exact *bipolar* matrix multiply with MUX accumulation.
+
+    This is the datapath of prior SC accelerators (SC-DCNN, HEIF, ...):
+    operands encoded bipolar (``P(1) = (v+1)/2``), XNOR multipliers, and a
+    k:1 multiplexer performing scaled addition.  The returned ``(P, C)``
+    counts are ones-counts of the MUX output stream; decoding
+    ``2*counts/length - 1`` estimates ``mean_i(a_i * w_i)`` — i.e. the
+    sum *divided by the fan-in*, the scaling loss that motivates
+    ACOUSTIC's OR-unipolar design.
+
+    ``acts`` in [0, 1] (post-ReLU), ``weights`` in [-1, 1].
+    """
+    acts = np.asarray(acts, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if acts.ndim != 2 or weights.ndim != 2 or acts.shape[1] != weights.shape[1]:
+        raise ValueError("acts must be (P, K) and weights (C, K)")
+    n_pos, fan_in = acts.shape
+    n_chan = weights.shape[0]
+    counts = np.zeros((n_pos, n_chan), dtype=np.int64)
+    w_packed = encode_packed((weights + 1.0) / 2.0, length, bits, scheme,
+                             seed=seed + 7_368_787)
+    # The select stream's zero pad bits also mask the XNOR's inverted
+    # padding, so partial final bytes stay clean.
+    select = _mux_select_matrix(fan_in, length, seed + 104_729)
+    for start in range(0, n_pos, chunk_positions):
+        sl = slice(start, min(start + chunk_positions, n_pos))
+        a_packed = encode_packed(
+            (acts[sl] + 1.0) / 2.0, length, bits, scheme,
+            seed=seed + 15_485_863 + 104_651 * start,
+        )
+        for c in range(n_chan):
+            # XNOR product streams, then the MUX picks one per clock.
+            prods = ~(a_packed ^ w_packed[c][None, :, :])
+            gated = prods & select[None, :, :]
+            acc = np.bitwise_or.reduce(gated, axis=1)
+            counts[sl, c] += popcount_packed(acc, axis=-1)
+    return counts
+
+
+def _mux_select_matrix(fan_in: int, length: int, seed: int) -> np.ndarray:
+    """One-hot (fan_in, length) selection for MUX accumulation, packed."""
+    rng = np.random.default_rng(seed)
+    select = rng.integers(0, fan_in, size=length)
+    onehot = (np.arange(fan_in)[:, None] == select[None, :]).astype(np.uint8)
+    return np.packbits(onehot, axis=-1)
+
+
+def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
+                           length: int, bits: int, scheme: str, seed: int,
+                           accumulator: str = "or",
+                           chunk_positions: int = 256) -> np.ndarray:
+    """Bitstream-exact split-unipolar matrix multiply.
+
+    Parameters
+    ----------
+    acts:
+        ``(P, K)`` activation values in [0, 1] (P output positions, K
+        fan-in).
+    weights:
+        ``(C, K)`` signed weights in [-1, 1] (C output channels).
+    length:
+        Per-phase stream length in clocks.
+    accumulator:
+        ``"or"`` — OR-reduce product streams (ACOUSTIC);
+        ``"apc"`` — exact popcount across fan-in (binary accumulation);
+        ``"mux"`` — stream-level k:1 multiplexing (scaled addition).
+
+    Returns
+    -------
+    ``(P, C)`` signed counter values: up-phase count minus down-phase
+    count.  Divide by ``length`` to decode (for "mux", multiply by the
+    fan-in as well to undo the scaling).
+    """
+    acts = np.asarray(acts, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if acts.ndim != 2 or weights.ndim != 2 or acts.shape[1] != weights.shape[1]:
+        raise ValueError("acts must be (P, K) and weights (C, K)")
+    n_pos, fan_in = acts.shape
+    n_chan = weights.shape[0]
+    counts = np.zeros((n_pos, n_chan), dtype=np.int64)
+
+    for phase, w_part in ((0, np.maximum(weights, 0.0)),
+                          (1, np.maximum(-weights, 0.0))):
+        # Weight streams: one lane per (channel, k) element, regenerated
+        # per phase with an independent seed space.
+        w_packed = encode_packed(w_part, length, bits, scheme,
+                                 seed=seed + 7_368_787 * (phase + 1))
+        sign = 1 if phase == 0 else -1
+        if accumulator == "mux":
+            select = _mux_select_matrix(fan_in, length,
+                                        seed + 104_729 * (phase + 1))
+        for start in range(0, n_pos, chunk_positions):
+            sl = slice(start, min(start + chunk_positions, n_pos))
+            a_packed = encode_packed(
+                acts[sl], length, bits, scheme,
+                # Distinct lanes per position chunk keep patch streams
+                # decorrelated from each other and from the weights.
+                seed=seed + 15_485_863 * (phase + 1) + 104_651 * start,
+            )
+            # a_packed: (p, K, B); w_packed: (C, K, B).  Within a phase,
+            # lanes whose weight component is zero (opposite sign, or a
+            # true zero weight) carry all-zero streams and cannot set an
+            # OR output bit, so they are skipped — the same operand
+            # gating that keeps idle hardware lanes from switching.
+            if accumulator == "or":
+                for c in range(n_chan):
+                    lanes = np.flatnonzero(w_part[c] > 0)
+                    if lanes.size == 0:
+                        continue
+                    prods = a_packed[:, lanes, :] & w_packed[c, lanes, :]
+                    acc = np.bitwise_or.reduce(prods, axis=1)
+                    counts[sl, c] += sign * popcount_packed(acc, axis=-1)
+            elif accumulator == "apc":
+                for c in range(n_chan):
+                    lanes = np.flatnonzero(w_part[c] > 0)
+                    if lanes.size == 0:
+                        continue
+                    prods = a_packed[:, lanes, :] & w_packed[c, lanes, :]
+                    counts[sl, c] += sign * popcount_packed(
+                        prods, axis=(-2, -1)
+                    )
+            elif accumulator == "mux":
+                for c in range(n_chan):
+                    prods = a_packed & w_packed[c][None, :, :]
+                    gated = prods & select[None, :, :]
+                    acc = np.bitwise_or.reduce(gated, axis=1)
+                    counts[sl, c] += sign * popcount_packed(acc, axis=-1)
+            else:
+                raise ValueError(f"unknown accumulator {accumulator!r}")
+    return counts

@@ -1,0 +1,65 @@
+"""8-bit fixed-point reference inference.
+
+The paper's Table II compares SC accuracy against "8-bit Fixed Pt"
+hardware.  This module evaluates a trained network with weights and
+activations quantized to 8 bits but otherwise ideal arithmetic — the
+infinite-stream-length limit of the stochastic datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..training.network import Sequential
+from ..training.quantize import quantize_symmetric, quantize_unsigned
+
+__all__ = ["FixedPointNetwork"]
+
+
+class FixedPointNetwork:
+    """Quantized (weights + activations) evaluation wrapper.
+
+    Weights are quantized once at construction; activations are
+    requantized after every layer, mirroring the scratchpad storage
+    format of an 8-bit accelerator.
+    """
+
+    def __init__(self, network: Sequential, bits: int = 8):
+        self.network = network
+        self.bits = bits
+        self._quantized_state = {}
+        for i, layer in enumerate(network.layers):
+            params = layer.params()
+            if "weight" in params:
+                self._quantized_state[i] = quantize_symmetric(
+                    params["weight"], bits
+                )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = quantize_unsigned(np.asarray(x, dtype=np.float64), self.bits)
+        for i, layer in enumerate(self.network.layers):
+            original = None
+            if i in self._quantized_state:
+                original = layer.params()["weight"].copy()
+                layer.params()["weight"][...] = self._quantized_state[i]
+            try:
+                x = layer.forward(x, training=False)
+            finally:
+                if original is not None:
+                    layer.params()["weight"][...] = original
+            # Requantize non-negative activations (post-ReLU / pooling);
+            # leave signed intermediate values untouched.
+            if x.size and x.min() >= 0 and x.max() <= 1:
+                x = quantize_unsigned(x, self.bits)
+        return x
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        preds = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start:start + batch_size])
+            preds.append(np.argmax(logits, axis=-1))
+        return np.concatenate(preds)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        return float((self.predict(x, batch_size) == y).mean())

@@ -1,0 +1,231 @@
+"""Functional-simulator layers (bitstream-exact SC inference).
+
+Each layer consumes and produces binary *values* — exactly like the
+hardware, which converts streams back to fixed-point at every layer
+boundary (activation counters) and regenerates fresh streams for the next
+layer.  Inside a layer, computation is bitstream-exact via
+:func:`repro.simulator.engine.split_or_matmul_counts`.
+
+Note the hardware operation order: pooling is accumulated by the output
+*counters*, i.e. **before** the ReLU that happens at conversion.  SC
+network definitions therefore place pooling between the convolution and
+its ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sng import quantize_probability
+from ..training.im2col import im2col
+from .config import SCConfig
+from .engine import bipolar_mux_matmul_counts, split_or_matmul_counts
+
+__all__ = ["SCConv2d", "SCLinear", "SCReLU", "SCAvgPool", "SCFlatten",
+           "SCResidual"]
+
+
+class SCConv2d:
+    """Stochastic convolution with optional fused average pooling.
+
+    ``pool_size > 1`` enables computation skipping: every compute pass is
+    shortened by the pooling area and the output counters accumulate the
+    window without resetting (paper Sec. II-C), cutting the conv work by
+    ``pool_size**2``.
+    """
+
+    def __init__(self, weight: np.ndarray, stride: int = 1, padding: int = 0,
+                 pool_size: int = 1):
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 4:
+            raise ValueError("conv weight must be (C_out, C_in, kh, kw)")
+        if np.abs(weight).max() > 1:
+            raise ValueError("SC weights must lie in [-1, 1]")
+        self.weight = weight
+        self.stride = stride
+        self.padding = padding
+        self.pool_size = pool_size
+
+    @property
+    def pool_area(self) -> int:
+        return self.pool_size * self.pool_size
+
+    def phase_length(self, config: SCConfig, layer_index: int = None) -> int:
+        """Per-pass stream length after computation skipping."""
+        base = config.phase_length_for(layer_index) if layer_index \
+            is not None else config.phase_length
+        if self.pool_size > 1 and config.computation_skipping:
+            return max(1, base // self.pool_area)
+        return base
+
+    def forward(self, x: np.ndarray, config: SCConfig,
+                layer_index: int) -> np.ndarray:
+        c_out = self.weight.shape[0]
+        kh, kw = self.weight.shape[2], self.weight.shape[3]
+        cols = im2col(x, kh, kw, self.stride, self.padding)
+        n, oh, ow, k = cols.shape
+        if config.representation == "bipolar":
+            return self._forward_bipolar(cols, config, layer_index)
+        length = self.phase_length(config, layer_index)
+        counts = split_or_matmul_counts(
+            quantize_probability(cols.reshape(-1, k), config.bits),
+            self.weight.reshape(c_out, -1),
+            length=length,
+            bits=config.bits,
+            scheme=config.scheme,
+            seed=config.layer_seed(layer_index, 0),
+            accumulator=config.accumulator,
+        ).reshape(n, oh, ow, c_out)
+
+        if self.pool_size > 1:
+            p = self.pool_size
+            if oh % p or ow % p:
+                raise ValueError(
+                    f"pool window {p} must tile conv output {oh}x{ow}"
+                )
+            if config.computation_skipping:
+                # Counters accumulate the window across shortened passes.
+                windows = counts.reshape(n, oh // p, p, ow // p, p, c_out)
+                counts = windows.sum(axis=(2, 4))
+                values = counts / (self.pool_area * length)
+            else:
+                # Full-length passes followed by stream-level scaled
+                # addition; at the counter this is the window average.
+                values = counts / length
+                values = values.reshape(n, oh // p, p, ow // p, p, c_out)
+                values = values.mean(axis=(2, 4))
+        else:
+            values = counts / length
+        out = values.transpose(0, 3, 1, 2)
+        if config.accumulator == "mux":
+            out = out * k  # undo the 1/k MUX scaling
+        return out
+
+    def _forward_bipolar(self, cols: np.ndarray, config: SCConfig,
+                         layer_index: int) -> np.ndarray:
+        """Prior-work datapath: bipolar XNOR products, MUX accumulation.
+
+        The layer output is the MUX-scaled mean product ``sum/k``.  ReLU
+        networks are positively scale-equivariant, so the per-layer 1/k
+        factor only rescales logits — argmax is preserved at infinite
+        stream length; what short streams destroy is *precision*, which
+        is the ablation's point.
+        """
+        c_out = self.weight.shape[0]
+        n, oh, ow, k = cols.shape
+        length = config.total_length  # single representation, no phases
+        counts = bipolar_mux_matmul_counts(
+            quantize_probability(cols.reshape(-1, k), config.bits),
+            self.weight.reshape(c_out, -1),
+            length=length,
+            bits=config.bits,
+            scheme=config.scheme,
+            seed=config.layer_seed(layer_index, 0),
+        ).reshape(n, oh, ow, c_out)
+        values = 2.0 * counts / length - 1.0
+        if self.pool_size > 1:
+            p = self.pool_size
+            values = values.reshape(n, oh // p, p, ow // p, p, c_out)
+            values = values.mean(axis=(2, 4))
+        return values.transpose(0, 3, 1, 2)
+
+
+class SCLinear:
+    """Stochastic fully-connected layer."""
+
+    def __init__(self, weight: np.ndarray):
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError("linear weight must be (out, in)")
+        if np.abs(weight).max() > 1:
+            raise ValueError("SC weights must lie in [-1, 1]")
+        self.weight = weight
+
+    def forward(self, x: np.ndarray, config: SCConfig,
+                layer_index: int) -> np.ndarray:
+        if config.representation == "bipolar":
+            counts = bipolar_mux_matmul_counts(
+                quantize_probability(x, config.bits),
+                self.weight,
+                length=config.total_length,
+                bits=config.bits,
+                scheme=config.scheme,
+                seed=config.layer_seed(layer_index, 0),
+            )
+            return 2.0 * counts / config.total_length - 1.0
+        phase_length = config.phase_length_for(layer_index)
+        counts = split_or_matmul_counts(
+            quantize_probability(x, config.bits),
+            self.weight,
+            length=phase_length,
+            bits=config.bits,
+            scheme=config.scheme,
+            seed=config.layer_seed(layer_index, 0),
+            accumulator=config.accumulator,
+        )
+        out = counts / phase_length
+        if config.accumulator == "mux":
+            out = out * x.shape[-1]
+        return out
+
+
+class SCReLU:
+    """Counter-side ReLU plus requantization to the activation grid.
+
+    The counter value is fixed-point binary; ReLU clamps the sign and the
+    result is stored back to the activation scratchpad at ``bits``
+    precision — the value the next layer's SNGs will encode.
+    """
+
+    def forward(self, x: np.ndarray, config: SCConfig,
+                layer_index: int) -> np.ndarray:
+        return quantize_probability(np.clip(x, 0.0, 1.0), config.bits)
+
+
+class SCAvgPool:
+    """Standalone average pooling on converted (binary) activations.
+
+    Present for network descriptions where pooling is not fused into the
+    preceding convolution (e.g. pooling after a non-conv layer).
+    """
+
+    def __init__(self, pool_size: int):
+        self.pool_size = pool_size
+
+    def forward(self, x: np.ndarray, config: SCConfig,
+                layer_index: int) -> np.ndarray:
+        p = self.pool_size
+        n, c, h, w = x.shape
+        if h % p or w % p:
+            raise ValueError(f"pool window {p} must tile input {h}x{w}")
+        return x.reshape(n, c, h // p, p, w // p, p).mean(axis=(3, 5))
+
+
+class SCFlatten:
+    def forward(self, x: np.ndarray, config: SCConfig,
+                layer_index: int) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class SCResidual:
+    """Residual block on converted activations.
+
+    The skip addition happens in the fixed-point binary domain (counter
+    outputs), so it is exact; saturation to the representable activation
+    range is handled by the following :class:`SCReLU`.
+    """
+
+    def __init__(self, body):
+        self.body = list(body)
+
+    def forward(self, x: np.ndarray, config: SCConfig,
+                layer_index: int) -> np.ndarray:
+        out = x
+        for offset, layer in enumerate(self.body):
+            # Distinct sub-indices keep per-layer stream regeneration.
+            out = layer.forward(out, config, layer_index * 131 + offset + 1)
+        if out.shape != x.shape:
+            raise ValueError(
+                f"residual body changed shape {x.shape} -> {out.shape}"
+            )
+        return x + out

@@ -1,0 +1,66 @@
+"""Evaluation metrics for classification pipelines.
+
+Shared by the fixed-point and stochastic evaluation paths: confusion
+matrices, per-class accuracy and top-k accuracy, computed from logits so
+both :class:`~repro.simulator.network.SCNetwork` and
+:class:`~repro.simulator.fixedpoint.FixedPointNetwork` can feed them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "per_class_accuracy", "top_k_accuracy",
+           "evaluate_classifier"]
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray,
+                     num_classes: int = None) -> np.ndarray:
+    """``matrix[true, predicted]`` counts."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must align")
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0),
+                              targets.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall per class; NaN for classes absent from the targets."""
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray,
+                   k: int = 5) -> float:
+    """Fraction of samples whose target is among the k largest logits."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    k = min(k, logits.shape[-1])
+    top = np.argpartition(-logits, k - 1, axis=-1)[:, :k]
+    return float((top == targets[:, None]).any(axis=1).mean())
+
+
+def evaluate_classifier(model, x: np.ndarray, y: np.ndarray,
+                        batch_size: int = 32, k: int = 3) -> dict:
+    """Full metric set for any model exposing ``forward(x)``.
+
+    Returns ``{"accuracy", "top_k", "confusion", "per_class"}``.
+    """
+    logits = []
+    for start in range(0, x.shape[0], batch_size):
+        logits.append(np.asarray(model.forward(x[start:start + batch_size])))
+    logits = np.concatenate(logits)
+    predictions = np.argmax(logits, axis=-1)
+    matrix = confusion_matrix(predictions, y)
+    return {
+        "accuracy": float((predictions == y).mean()),
+        "top_k": top_k_accuracy(logits, y, k=k),
+        "confusion": matrix,
+        "per_class": per_class_accuracy(matrix),
+    }

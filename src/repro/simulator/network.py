@@ -1,0 +1,116 @@
+"""SC network container and conversion from trained models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..training import layers as tlayers
+from ..training.network import Sequential
+from .config import SCConfig
+from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
+                     SCResidual)
+
+__all__ = ["SCNetwork"]
+
+
+class SCNetwork:
+    """A stochastic-computing CNN evaluated bitstream-exactly.
+
+    Build one directly from simulator layers, or convert a trained
+    :class:`~repro.training.network.Sequential` with
+    :meth:`from_trained`.
+    """
+
+    def __init__(self, layers, config: SCConfig = None):
+        self.layers = list(layers)
+        self.config = config if config is not None else SCConfig()
+
+    @classmethod
+    def from_trained(cls, network: Sequential, config: SCConfig = None
+                     ) -> "SCNetwork":
+        """Convert a trained network into its SC-simulated counterpart.
+
+        Recognized training layers: ``SplitOrConv2d`` (optionally followed
+        by ``AvgPool2d``, which is fused for computation skipping),
+        ``SplitOrLinear``, ``ReLU``, ``AvgPool2d``, ``Flatten``.  Plain
+        ``Conv2d``/``Linear`` weights are accepted too (their bias must be
+        absent — the SC datapath has no bias path).
+        """
+        config = config if config is not None else SCConfig()
+        return cls(_convert_layers(list(network.layers)), config)
+
+    def forward(self, x: np.ndarray,
+                return_intermediates: bool = False):
+        """Run bitstream-exact inference; ``x`` is ``(N, C, H, W)`` in
+        [0, 1].  Returns the final counter values (logits); with
+        ``return_intermediates=True`` also returns the per-layer outputs
+        (the converted binary activations the scratchpads would hold)."""
+        x = np.asarray(x, dtype=np.float64)
+        intermediates = []
+        for index, layer in enumerate(self.layers):
+            x = layer.forward(x, self.config, index)
+            if return_intermediates:
+                intermediates.append(x)
+        if return_intermediates:
+            return x, intermediates
+        return x
+
+    def predict(self, x: np.ndarray, batch_size: int = 8) -> np.ndarray:
+        preds = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start:start + batch_size])
+            preds.append(np.argmax(logits, axis=-1))
+        return np.concatenate(preds)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 8) -> float:
+        return float((self.predict(x, batch_size) == y).mean())
+
+
+def _convert_layers(source) -> list:
+    """Map training layers to SC layers, fusing conv + avg-pool pairs."""
+    sc_layers = []
+    i = 0
+    while i < len(source):
+        layer = source[i]
+        if isinstance(layer, (tlayers.SplitOrConv2d, tlayers.Conv2d)):
+            _reject_bias(layer)
+            pool_size = 1
+            # Fuse an immediately following average pool (the hardware
+            # counter accumulates the window before conversion).
+            if i + 1 < len(source) and isinstance(
+                source[i + 1], tlayers.AvgPool2d
+            ):
+                pool_size = source[i + 1].kernel_size
+                i += 1
+            sc_layers.append(
+                SCConv2d(layer.weight, stride=layer.stride,
+                         padding=layer.padding, pool_size=pool_size)
+            )
+        elif isinstance(layer, (tlayers.SplitOrLinear, tlayers.Linear)):
+            _reject_bias(layer)
+            sc_layers.append(SCLinear(layer.weight))
+        elif isinstance(layer, tlayers.ReLU):
+            sc_layers.append(SCReLU())
+        elif isinstance(layer, tlayers.AvgPool2d):
+            sc_layers.append(SCAvgPool(layer.kernel_size))
+        elif isinstance(layer, tlayers.Flatten):
+            sc_layers.append(SCFlatten())
+        elif isinstance(layer, tlayers.Residual):
+            sc_layers.append(SCResidual(_convert_layers(list(layer.body))))
+        else:
+            raise TypeError(
+                f"no SC equivalent for layer {type(layer).__name__}"
+            )
+        i += 1
+    return sc_layers
+
+
+def _reject_bias(layer) -> None:
+    bias = getattr(layer, "bias", None)
+    if bias is not None and np.any(bias != 0):
+        raise ValueError(
+            "SC conversion requires bias-free layers (the ACOUSTIC "
+            "datapath has no additive-constant path); retrain with "
+            "bias=False"
+        )

@@ -1,0 +1,91 @@
+"""Cycle-by-cycle reference simulator for differential testing.
+
+The production engine (:mod:`repro.simulator.engine`) is heavily
+vectorized over bit-packed arrays; this module re-implements the same
+split-unipolar MAC semantics the *obvious* way — one clock at a time,
+one gate at a time — so the two can be checked against each other
+bit-exactly.  It is orders of magnitude slower and only suitable for
+tiny operands, which is exactly its job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import make_source
+
+__all__ = ["ReferenceSplitUnipolarMac"]
+
+
+class ReferenceSplitUnipolarMac:
+    """Gate-level split-unipolar MAC matching the packed engine.
+
+    Reproduces :func:`repro.simulator.engine.split_or_matmul_counts`
+    (accumulator ``"or"``) bit-for-bit: identical SNG seeds and lane
+    assignment, but with explicit per-clock gate evaluation.
+    """
+
+    def __init__(self, length: int, bits: int = 8, scheme: str = "lfsr",
+                 seed: int = 1):
+        self.length = length
+        self.bits = bits
+        self.scheme = scheme
+        self.seed = seed
+
+    def _streams(self, values: np.ndarray, seed: int) -> np.ndarray:
+        """Generate streams exactly like the engine's encode path."""
+        source = make_source(self.scheme, bits=self.bits, seed=seed)
+        flat = values.reshape(-1)
+        levels = 1 << self.bits
+        thresholds = source.thresholds(flat.size, self.length)
+        targets = np.round(flat * levels).astype(np.uint32)
+        bits = np.empty((flat.size, self.length), dtype=np.uint8)
+        for lane in range(flat.size):
+            for t in range(self.length):
+                bits[lane, t] = 1 if thresholds[lane, t] < targets[lane] \
+                    else 0
+        return bits.reshape(values.shape + (self.length,))
+
+    def matmul_counts(self, acts: np.ndarray, weights: np.ndarray,
+                      chunk_positions: int = 256) -> np.ndarray:
+        """Signed counter values, clock by clock.
+
+        ``acts``: (P, K) in [0, 1]; ``weights``: (C, K) in [-1, 1].
+        ``chunk_positions`` must match the engine call being checked
+        (it determines the activation lane seeding).
+        """
+        acts = np.asarray(acts, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        n_pos, fan_in = acts.shape
+        n_chan = weights.shape[0]
+        counts = np.zeros((n_pos, n_chan), dtype=np.int64)
+
+        for phase, w_part in ((0, np.maximum(weights, 0.0)),
+                              (1, np.maximum(-weights, 0.0))):
+            sign = 1 if phase == 0 else -1
+            w_streams = self._streams(
+                w_part, seed=self.seed + 7_368_787 * (phase + 1)
+            )
+            for start in range(0, n_pos, chunk_positions):
+                stop = min(start + chunk_positions, n_pos)
+                a_streams = self._streams(
+                    acts[start:stop],
+                    seed=self.seed + 15_485_863 * (phase + 1)
+                    + 104_651 * start,
+                )
+                for p in range(stop - start):
+                    for c in range(n_chan):
+                        # One up/down counter, one clock at a time.
+                        for t in range(self.length):
+                            wired_or = 0
+                            for k in range(fan_in):
+                                # Operand gating: a zero weight
+                                # component keeps the AND silent.
+                                if w_part[c, k] == 0.0:
+                                    continue
+                                if a_streams[p, k, t] and \
+                                        w_streams[c, k, t]:
+                                    wired_or = 1
+                                    break
+                            counts[start + p, c] += sign * wired_or
+        return counts

@@ -1,0 +1,43 @@
+"""From-scratch numpy CNN training framework with ACOUSTIC-aware layers.
+
+Standard layers train the fixed-point reference networks; the
+``SplitOr*`` layers model split-unipolar OR accumulation during training
+(paper Sec. II-D), either exactly or via the fast ``1 - exp(-s)``
+approximation of Eq. (1).
+"""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .im2col import col2im, conv_output_size, im2col
+from .initializers import he_normal, scaled_uniform, xavier_uniform
+from .layers import (AvgPool2d, Conv2d, Dropout, Flatten, Layer, Linear,
+                     MaxPool2d, ReLU, Residual, SplitOrConv2d,
+                     SplitOrLinear)
+from .losses import CrossEntropyLoss, softmax
+from .network import Sequential
+from .optim import SGD, Adam, Optimizer
+from .or_approx import (approximation2_error, approximation_error,
+                        exact_or_forward, exact_or_grad_scale, or_approx,
+                        or_approx2, or_approx2_grads, or_approx_grad,
+                        split_or_response)
+from .schedulers import CosineDecay, StepDecay, WarmupWrapper
+from .quantize import (quantize_network_weights, quantize_symmetric,
+                       quantize_unsigned)
+from .trainer import History, Trainer
+
+__all__ = [
+    "load_checkpoint", "save_checkpoint",
+    "col2im", "conv_output_size", "im2col",
+    "he_normal", "scaled_uniform", "xavier_uniform",
+    "AvgPool2d", "Conv2d", "Dropout", "Flatten", "Layer", "Linear",
+    "MaxPool2d",
+    "ReLU", "Residual", "SplitOrConv2d", "SplitOrLinear",
+    "CrossEntropyLoss", "softmax",
+    "Sequential",
+    "SGD", "Adam", "Optimizer",
+    "approximation2_error", "approximation_error", "exact_or_forward",
+    "exact_or_grad_scale", "or_approx", "or_approx2", "or_approx2_grads",
+    "or_approx_grad", "split_or_response",
+    "quantize_network_weights", "quantize_symmetric", "quantize_unsigned",
+    "CosineDecay", "StepDecay", "WarmupWrapper",
+    "History", "Trainer",
+]

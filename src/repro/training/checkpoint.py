@@ -1,0 +1,61 @@
+"""Model checkpointing: save/load trained parameters as ``.npz`` files."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .network import Sequential
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(network: Sequential, path, metadata: dict = None) -> None:
+    """Persist a network's parameters (plus optional JSON metadata).
+
+    Only parameters are stored; the architecture must be rebuilt by the
+    caller (e.g. via the :mod:`repro.networks` zoo) before loading.
+    """
+    path = pathlib.Path(path)
+    state = network.state_dict()
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "num_layers": len(network.layers),
+        "metadata": metadata or {},
+    }
+    np.savez(
+        path,
+        __header__=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        **state,
+    )
+
+
+def load_checkpoint(network: Sequential, path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``network``.
+
+    Returns the stored metadata dictionary.  Raises if the architecture
+    (layer count / parameter shapes) does not match.
+    """
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format: {header.get('format_version')}"
+            )
+        if header["num_layers"] != len(network.layers):
+            raise ValueError(
+                f"checkpoint has {header['num_layers']} layers, network has "
+                f"{len(network.layers)}"
+            )
+        state = {k: archive[k] for k in archive.files if k != "__header__"}
+    network.load_state_dict(state)
+    return header["metadata"]

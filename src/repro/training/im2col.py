@@ -1,0 +1,72 @@
+"""Patch extraction (im2col) for convolution layers.
+
+Both the training framework and the bitstream-exact SC simulator lower
+convolutions to matrix products over extracted patches, so the lowering
+lives in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride}, pad {pad} does not fit "
+            f"input size {size}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int = 1,
+           pad: int = 0) -> np.ndarray:
+    """Extract convolution patches.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N, out_h, out_w, C * kh * kw)`` where the last axis
+    is ordered ``(C, kh, kw)`` — matching ``weights.reshape(C_out, -1)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    # windows: (N, C, H', W', kh, kw) -> stride and reorder.
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    patches = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n, out_h, out_w, c * kh * kw
+    )
+    return np.ascontiguousarray(patches)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int,
+           stride: int = 1, pad: int = 0) -> np.ndarray:
+    """Scatter patch gradients back to input gradients (inverse of im2col).
+
+    ``cols`` has shape ``(N, out_h, out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    dx = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if pad:
+        dx = dx[:, :, pad:-pad, pad:-pad]
+    return dx

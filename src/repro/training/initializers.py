@@ -1,0 +1,31 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "scaled_uniform"]
+
+
+def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal init — the standard choice before ReLU."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform init."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def scaled_uniform(shape: tuple, fan_in: int, rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Uniform init scaled for OR-accumulation layers.
+
+    OR accumulation saturates when the per-phase sum of products grows
+    past ~2-3, so SC layers start with weights small enough that the
+    initial operating point sits on the linear part of ``1 - exp(-s)``.
+    """
+    limit = gain / np.sqrt(fan_in)
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,565 @@
+"""Neural network layers with explicit forward/backward passes.
+
+Two families live here:
+
+- Standard layers (``Conv2d``, ``Linear``, ``ReLU``, pooling) used to
+  train the 8-bit fixed-point reference networks.
+- ACOUSTIC-aware layers (``SplitOrConv2d``, ``SplitOrLinear``) that model
+  the accelerator's split-unipolar OR accumulation during training, in
+  either the exact product form or the fast ``1 - exp(-s)`` approximation
+  (paper Sec. II-D).
+
+Every layer exposes ``params()``/``grads()`` dictionaries for the
+optimizers and an optional ``constrain()`` hook; SC layers use it to
+clip weights to the representable [-1, 1] range after each update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .im2col import col2im, im2col
+from .initializers import he_normal, scaled_uniform
+from .or_approx import (exact_or_forward, exact_or_grad_scale, or_approx,
+                        or_approx2, or_approx2_grads, or_approx_grad)
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "AvgPool2d",
+    "MaxPool2d",
+    "Flatten",
+    "Dropout",
+    "Residual",
+    "SplitOrConv2d",
+    "SplitOrLinear",
+]
+
+
+class Layer:
+    """Base class: a differentiable module with named parameters."""
+
+    def params(self) -> dict:
+        return {}
+
+    def grads(self) -> dict:
+        return {}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def constrain(self) -> None:
+        """Project parameters back to their feasible set (no-op here)."""
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Conv2d(Layer):
+    """Standard 2-D convolution (used by the fixed-point baseline nets)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator = None):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = he_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+        )
+        self.bias = np.zeros(out_channels) if bias else None
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias) if bias else None
+        self._cache = None
+
+    def params(self) -> dict:
+        p = {"weight": self.weight}
+        if self.bias is not None:
+            p["bias"] = self.bias
+        return p
+
+    def grads(self) -> dict:
+        g = {"weight": self.dweight}
+        if self.bias is not None:
+            g["bias"] = self.dbias
+        return g
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride,
+                      self.padding)
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        out = cols @ w_flat.T
+        if self.bias is not None:
+            out = out + self.bias
+        if training:
+            self._cache = (x.shape, cols)
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        x_shape, cols = self._cache
+        dout_nhwc = dout.transpose(0, 2, 3, 1)
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        self.dweight[...] = np.einsum(
+            "nhwo,nhwk->ok", dout_nhwc, cols
+        ).reshape(self.weight.shape)
+        if self.bias is not None:
+            self.dbias[...] = dout_nhwc.sum(axis=(0, 1, 2))
+        dcols = dout_nhwc @ w_flat
+        return col2im(dcols, x_shape, self.kernel_size, self.kernel_size,
+                      self.stride, self.padding)
+
+
+class Linear(Layer):
+    """Fully-connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator = None):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = he_normal((out_features, in_features), in_features, rng)
+        self.bias = np.zeros(out_features) if bias else None
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias) if bias else None
+        self._x = None
+
+    def params(self) -> dict:
+        p = {"weight": self.weight}
+        if self.bias is not None:
+            p["bias"] = self.bias
+        return p
+
+    def grads(self) -> dict:
+        g = {"weight": self.dweight}
+        if self.bias is not None:
+            g["bias"] = self.dbias
+        return g
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._x = x
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        self.dweight[...] = dout.T @ self._x
+        if self.bias is not None:
+            self.dbias[...] = dout.sum(axis=0)
+        return dout @ self.weight
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout * self._mask
+
+
+class Flatten(Layer):
+    def __init__(self):
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout.reshape(self._shape)
+
+
+def _check_pool_geometry(x: np.ndarray, k: int) -> None:
+    if x.shape[2] % k or x.shape[3] % k:
+        raise ValueError(
+            f"pooling window {k} must tile the {x.shape[2]}x{x.shape[3]} input "
+            "(ACOUSTIC pools non-overlapping windows)"
+        )
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling.
+
+    This is the pooling style ACOUSTIC accelerates with computation
+    skipping; max pooling needs an FSM in SC and costs ~2x more.
+    """
+
+    def __init__(self, kernel_size: int):
+        self.kernel_size = kernel_size
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        k = self.kernel_size
+        _check_pool_geometry(x, k)
+        n, c, h, w = x.shape
+        if training:
+            self._x_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = self._x_shape
+        scaled = dout / (k * k)
+        return np.broadcast_to(
+            scaled[:, :, :, None, :, None], (n, c, h // k, k, w // k, k)
+        ).reshape(n, c, h, w)
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (baseline for the pooling-style study)."""
+
+    def __init__(self, kernel_size: int):
+        self.kernel_size = kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        k = self.kernel_size
+        _check_pool_geometry(x, k)
+        n, c, h, w = x.shape
+        windows = x.reshape(n, c, h // k, k, w // k, k).transpose(
+            0, 1, 2, 4, 3, 5
+        )  # (n, c, h/k, w/k, k, k)
+        out = windows.max(axis=(4, 5))
+        if training:
+            # Break ties so gradient flows to exactly one element.
+            flat = windows.reshape(n, c, h // k, w // k, k * k)
+            first = flat.argmax(axis=-1)
+            mask = np.zeros_like(flat, dtype=bool)
+            np.put_along_axis(mask, first[..., None], True, axis=-1)
+            self._cache = (x.shape, mask)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        x_shape, mask = self._cache
+        n, c, h, w = x_shape
+        grads = mask * dout[:, :, :, :, None]
+        return grads.reshape(n, c, h // k, w // k, k, k).transpose(
+            0, 1, 2, 4, 3, 5
+        ).reshape(n, c, h, w)
+
+
+class Dropout(Layer):
+    """Inverted dropout (training-time regularizer only).
+
+    Has no hardware counterpart — at inference it is the identity — but
+    it regularizes the small synthetic-data training runs.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout * self._mask
+
+
+class Residual(Layer):
+    """A residual block: ``y = x + body(x)``.
+
+    ACOUSTIC supports residual connections because activations are
+    converted to binary at every layer boundary — the skip addition is a
+    plain fixed-point add on counter outputs (Sec. III-C).  The body's
+    output shape must match its input shape.
+    """
+
+    def __init__(self, body):
+        self.body = list(body)
+
+    def params(self) -> dict:
+        merged = {}
+        for i, layer in enumerate(self.body):
+            for name, value in layer.params().items():
+                merged[f"body.{i}.{name}"] = value
+        return merged
+
+    def grads(self) -> dict:
+        merged = {}
+        for i, layer in enumerate(self.body):
+            for name, value in layer.grads().items():
+                merged[f"body.{i}.{name}"] = value
+        return merged
+
+    def constrain(self) -> None:
+        for layer in self.body:
+            layer.constrain()
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.body:
+            out = layer.forward(out, training=training)
+        if out.shape != x.shape:
+            raise ValueError(
+                f"residual body changed shape {x.shape} -> {out.shape}"
+            )
+        return x + out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        grad = dout
+        for layer in reversed(self.body):
+            grad = layer.backward(grad)
+        return grad + dout
+
+
+class _SplitOrMixin:
+    """Shared split-unipolar OR-accumulation math for conv/linear layers.
+
+    Weight is split into positive and negative parts; each part's products
+    with the (non-negative) activations are OR-accumulated, and the two
+    phase results are subtracted — exactly the up/down counter semantics
+    of the hardware.  Outputs therefore live in [-1, 1].
+    """
+
+    def _split_weights(self):
+        w_flat = self.weight.reshape(self._out_units, -1)
+        return np.maximum(w_flat, 0.0), np.maximum(-w_flat, 0.0)
+
+    def _forward_split(self, acts: np.ndarray, training: bool):
+        """``acts``: (..., K) non-negative activations in [0, 1]."""
+        if acts.size and (acts.min() < -1e-9 or acts.max() > 1 + 1e-9):
+            raise ValueError(
+                "split-unipolar layers require activations in [0, 1]; "
+                "insert a ReLU (and input normalization) before this layer"
+            )
+        w_pos, w_neg = self._split_weights()
+        if self.or_mode == "approx":
+            s_pos = acts @ w_pos.T
+            s_neg = acts @ w_neg.T
+            y_pos = or_approx(s_pos)
+            y_neg = or_approx(s_neg)
+            out = y_pos - y_neg
+            if training:
+                self._cache = (acts, s_pos, s_neg)
+        elif self.or_mode == "approx2":
+            # Second-order OR model (see or_approx2): one extra matmul
+            # on squared operands per phase.
+            acts_sq = acts * acts
+            s_pos = acts @ w_pos.T
+            s_neg = acts @ w_neg.T
+            q_pos = acts_sq @ (w_pos * w_pos).T
+            q_neg = acts_sq @ (w_neg * w_neg).T
+            y_pos = or_approx2(s_pos, q_pos)
+            y_neg = or_approx2(s_neg, q_neg)
+            out = y_pos - y_neg
+            if training:
+                self._cache = (acts, s_pos, s_neg, q_pos, q_neg)
+        elif self.or_mode == "exact":
+            y_pos, y_neg, _ = self._exact_forward(acts, w_pos, w_neg)
+            out = y_pos - y_neg
+            if training:
+                self._cache = (acts, y_pos, y_neg)
+        else:
+            raise ValueError(f"unknown or_mode: {self.or_mode!r}")
+        if training and self.stream_length:
+            # Stochastic-stream training: inject the binomial counter
+            # noise of finite-length streams (variance p(1-p)/L per
+            # phase) so the network learns noise-robust features — the
+            # paper's "training optimization to model the peculiarities
+            # of ACOUSTIC".  Additive noise, straight-through gradient.
+            variance = (
+                y_pos * (1.0 - y_pos) + y_neg * (1.0 - y_neg)
+            ) / self.stream_length
+            out = out + self._noise_rng.standard_normal(out.shape) * np.sqrt(
+                np.maximum(variance, 0.0)
+            )
+        return out
+
+    def _exact_forward(self, acts, w_pos, w_neg):
+        # products: (..., out_units, K); chunk over the leading axis to
+        # bound memory on large batches.
+        lead = acts.shape[:-1]
+        flat = acts.reshape(-1, acts.shape[-1])
+        out_pos = np.empty((flat.shape[0], self._out_units))
+        out_neg = np.empty_like(out_pos)
+        chunk = max(1, int(2e6 // max(1, self._out_units * acts.shape[-1])))
+        for start in range(0, flat.shape[0], chunk):
+            sl = slice(start, start + chunk)
+            t_pos = flat[sl, None, :] * w_pos[None, :, :]
+            t_neg = flat[sl, None, :] * w_neg[None, :, :]
+            out_pos[sl] = exact_or_forward(t_pos, axis=-1)
+            out_neg[sl] = exact_or_forward(t_neg, axis=-1)
+        return out_pos.reshape(lead + (self._out_units,)), out_neg.reshape(
+            lead + (self._out_units,)
+        ), None
+
+    def _backward_split(self, dout: np.ndarray):
+        """Returns (dacts, dweight_flat) for ``dout`` shaped (..., out)."""
+        w_pos, w_neg = self._split_weights()
+        w_flat = self.weight.reshape(self._out_units, -1)
+        if self.or_mode == "approx":
+            acts, s_pos, s_neg = self._cache
+            g_pos = dout * or_approx_grad(s_pos)
+            g_neg = -dout * or_approx_grad(s_neg)
+            dacts = g_pos @ w_pos + g_neg @ w_neg
+            lead_axes = tuple(range(dout.ndim - 1))
+            d_wpos = np.tensordot(g_pos, acts, axes=(lead_axes, lead_axes))
+            d_wneg = np.tensordot(g_neg, acts, axes=(lead_axes, lead_axes))
+        elif self.or_mode == "approx2":
+            acts, s_pos, s_neg, q_pos, q_neg = self._cache
+            acts_sq = acts * acts
+            lead_axes = tuple(range(dout.ndim - 1))
+            gs_pos, gq_pos = or_approx2_grads(s_pos, q_pos)
+            gs_neg, gq_neg = or_approx2_grads(s_neg, q_neg)
+            gs_pos = dout * gs_pos
+            gq_pos = dout * gq_pos
+            gs_neg = -dout * gs_neg
+            gq_neg = -dout * gq_neg
+            dacts = (
+                gs_pos @ w_pos + gs_neg @ w_neg
+                + 2.0 * acts * (gq_pos @ (w_pos * w_pos)
+                                + gq_neg @ (w_neg * w_neg))
+            )
+            d_wpos = (
+                np.tensordot(gs_pos, acts, axes=(lead_axes, lead_axes))
+                + 2.0 * w_pos * np.tensordot(gq_pos, acts_sq,
+                                             axes=(lead_axes, lead_axes))
+            )
+            d_wneg = (
+                np.tensordot(gs_neg, acts, axes=(lead_axes, lead_axes))
+                + 2.0 * w_neg * np.tensordot(gq_neg, acts_sq,
+                                             axes=(lead_axes, lead_axes))
+            )
+        else:
+            acts, out_pos, out_neg = self._cache
+            lead = acts.shape[:-1]
+            flat = acts.reshape(-1, acts.shape[-1])
+            dflat_out = dout.reshape(-1, self._out_units)
+            p_flat = out_pos.reshape(-1, self._out_units)
+            n_flat = out_neg.reshape(-1, self._out_units)
+            dacts = np.zeros_like(flat)
+            d_wpos = np.zeros_like(w_pos)
+            d_wneg = np.zeros_like(w_neg)
+            chunk = max(1, int(2e6 // max(1, self._out_units * flat.shape[-1])))
+            for start in range(0, flat.shape[0], chunk):
+                sl = slice(start, start + chunk)
+                t_pos = flat[sl, None, :] * w_pos[None, :, :]
+                t_neg = flat[sl, None, :] * w_neg[None, :, :]
+                scale_pos = exact_or_grad_scale(t_pos, p_flat[sl], axis=-1)
+                scale_neg = exact_or_grad_scale(t_neg, n_flat[sl], axis=-1)
+                dt_pos = dflat_out[sl, :, None] * scale_pos
+                dt_neg = -dflat_out[sl, :, None] * scale_neg
+                dacts[sl] = (dt_pos * w_pos[None]).sum(axis=1) + (
+                    dt_neg * w_neg[None]
+                ).sum(axis=1)
+                d_wpos += np.einsum("bok,bk->ok", dt_pos, flat[sl])
+                d_wneg += np.einsum("bok,bk->ok", dt_neg, flat[sl])
+            dacts = dacts.reshape(lead + (flat.shape[-1],))
+        # Chain through the split: dW = dW_pos where W >= 0, -dW_neg where
+        # W < 0 (W_neg = max(-W, 0) flips the sign of its gradient).
+        dweight_flat = np.where(w_flat >= 0, d_wpos, -d_wneg)
+        return dacts, dweight_flat
+
+    def constrain(self) -> None:
+        """Clip weights to the SC-representable range [-1, 1]."""
+        np.clip(self.weight, -1.0, 1.0, out=self.weight)
+
+
+class SplitOrConv2d(_SplitOrMixin, Layer):
+    """Convolution trained with split-unipolar OR accumulation.
+
+    ``or_mode="approx"`` uses Eq. (1); ``or_mode="exact"`` evaluates the
+    true OR product form (slow — used to validate the approximation).
+    No bias: the ACOUSTIC datapath has no additive-constant path.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, or_mode: str = "approx",
+                 stream_length: int = None, rng: np.random.Generator = None):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self._out_units = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.or_mode = or_mode
+        self.stream_length = stream_length
+        self._noise_rng = np.random.default_rng(rng.integers(1 << 31))
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = scaled_uniform(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng,
+            gain=3.0,
+        )
+        self.dweight = np.zeros_like(self.weight)
+        self._cache = None
+        self._x_shape = None
+
+    def params(self) -> dict:
+        return {"weight": self.weight}
+
+    def grads(self) -> dict:
+        return {"weight": self.dweight}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride,
+                      self.padding)
+        if training:
+            self._x_shape = x.shape
+        out = self._forward_split(cols, training)
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dout_nhwc = np.ascontiguousarray(dout.transpose(0, 2, 3, 1))
+        dcols, dweight_flat = self._backward_split(dout_nhwc)
+        self.dweight[...] = dweight_flat.reshape(self.weight.shape)
+        return col2im(dcols, self._x_shape, self.kernel_size,
+                      self.kernel_size, self.stride, self.padding)
+
+
+class SplitOrLinear(_SplitOrMixin, Layer):
+    """Fully-connected layer trained with split-unipolar OR accumulation."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 or_mode: str = "approx", stream_length: int = None,
+                 rng: np.random.Generator = None):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self._out_units = out_features
+        self.or_mode = or_mode
+        self.stream_length = stream_length
+        self._noise_rng = np.random.default_rng(rng.integers(1 << 31))
+        self.weight = scaled_uniform((out_features, in_features), in_features,
+                                     rng, gain=3.0)
+        self.dweight = np.zeros_like(self.weight)
+        self._cache = None
+
+    def params(self) -> dict:
+        return {"weight": self.weight}
+
+    def grads(self) -> dict:
+        return {"weight": self.dweight}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self._forward_split(x, training)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dacts, dweight_flat = self._backward_split(dout)
+        self.dweight[...] = dweight_flat
+        return dacts

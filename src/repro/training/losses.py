@@ -1,0 +1,50 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "CrossEntropyLoss"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with integer class targets.
+
+    Parameters
+    ----------
+    logit_gain:
+        Multiplier applied to the logits before the softmax.  OR-based
+    networks emit outputs compressed into [-1, 1] (the counter range),
+    so a gain > 1 restores usable gradient magnitude; it is a pure
+    training-side temperature with no hardware counterpart (argmax at
+    inference is gain-invariant).
+    """
+
+    def __init__(self, logit_gain: float = 1.0):
+        self.logit_gain = logit_gain
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        probs = softmax(logits * self.logit_gain)
+        n = logits.shape[0]
+        eps = 1e-12
+        loss = -np.log(probs[np.arange(n), targets] + eps).mean()
+        self._cache = (probs, targets)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        probs, targets = self._cache
+        n = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(n), targets] -= 1.0
+        return grad * self.logit_gain / n
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

@@ -1,0 +1,68 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward stack of layers with explicit backprop.
+
+    >>> net = Sequential([Flatten(), Linear(784, 10)])
+    >>> logits = net.forward(x)
+    >>> net.backward(dlogits)
+    """
+
+    def __init__(self, layers):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions without caching activations."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start:start + batch_size], training=False)
+            outputs.append(np.argmax(logits, axis=-1))
+        return np.concatenate(outputs)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        return float((self.predict(x, batch_size) == y).mean())
+
+    def state_dict(self) -> dict:
+        """Snapshot all parameters (copied)."""
+        state = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params().items():
+                state[f"{i}.{name}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params().items():
+                key = f"{i}.{name}"
+                if key not in state:
+                    raise KeyError(f"missing parameter {key}")
+                if state[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: "
+                        f"{state[key].shape} vs {value.shape}"
+                    )
+                value[...] = state[key]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self):
+        return len(self.layers)

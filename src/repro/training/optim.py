@@ -1,0 +1,83 @@
+"""Optimizers operating on the layer params()/grads() protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer bound to a network's layers."""
+
+    def __init__(self, layers):
+        self.layers = list(layers)
+
+    def step(self) -> None:
+        for layer in self.layers:
+            params = layer.params()
+            grads = layer.grads()
+            for name, value in params.items():
+                self._update(id(layer), name, value, grads[name])
+            layer.constrain()
+
+    def _update(self, layer_id, name, param, grad) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, layers, lr: float = 0.01, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        super().__init__(layers)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = {}
+
+    def _update(self, layer_id, name, param, grad) -> None:
+        key = (layer_id, name)
+        if self.weight_decay and name == "weight":
+            grad = grad + self.weight_decay * param
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(param)
+        v = self.momentum * v - self.lr * grad
+        self._velocity[key] = v
+        param += v
+
+
+class Adam(Optimizer):
+    """Adam optimizer."""
+
+    def __init__(self, layers, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(layers)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = {}
+        self._v = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        super().step()
+
+    def _update(self, layer_id, name, param, grad) -> None:
+        key = (layer_id, name)
+        if self.weight_decay and name == "weight":
+            grad = grad + self.weight_decay * param
+        m = self._m.get(key, np.zeros_like(param))
+        v = self._v.get(key, np.zeros_like(param))
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,113 @@
+"""OR-accumulation models for training (paper Sec. II-D).
+
+OR-based accumulation computes ``1 - prod_i(1 - t_i)`` over the products
+``t_i = a_i * w_i`` instead of their sum ``s``.  Training must model this
+systematic nonlinearity.  Two fidelities are available:
+
+- **exact**: evaluate the product form directly.  Faithful, but turns the
+  layer's matrix multiply into a per-element product reduction ("~15X
+  longer training runtime" per the paper).
+- **approx** (Eq. 1): ``OR(t_1..t_n) ~ 1 - prod(1 - s/n) ~ 1 - exp(-s)``,
+  which collapses back to a normal matrix multiply followed by a pointwise
+  activation — the paper's "10X+ speedup" trick.  The approximation error
+  is < 5% in the regime training visits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "or_approx",
+    "or_approx_grad",
+    "or_approx2",
+    "or_approx2_grads",
+    "exact_or_forward",
+    "exact_or_grad_scale",
+    "split_or_response",
+    "approximation_error",
+    "approximation2_error",
+]
+
+
+def or_approx(s: np.ndarray) -> np.ndarray:
+    """Paper Eq. (1): ``OR(t_1..t_n) ~ 1 - exp(-s)`` for ``s = sum(t_i)``."""
+    return -np.expm1(-np.asarray(s, dtype=np.float64))
+
+
+def or_approx_grad(s: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`or_approx` with respect to the sum ``s``."""
+    return np.exp(-np.asarray(s, dtype=np.float64))
+
+
+def or_approx2(s: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Second-order OR model: ``1 - exp(-(s + q/2))``.
+
+    Exact OR is ``1 - exp(sum(log(1 - t_i)))`` and
+    ``log(1 - t) = -(t + t^2/2 + ...)``, so keeping the quadratic term
+    with ``q = sum(t_i^2)`` tightens Eq. (1) substantially while staying
+    a matrix multiply: ``q`` is just ``(a^2) @ (w^2)`` for product terms
+    ``t = a*w``.  This implements the paper's stated ongoing work on
+    "better but computationally tractable approximations".
+    """
+    s = np.asarray(s, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return -np.expm1(-(s + 0.5 * q))
+
+
+def or_approx2_grads(s: np.ndarray, q: np.ndarray):
+    """Partial derivatives of :func:`or_approx2` wrt ``s`` and ``q``."""
+    core = np.exp(-(np.asarray(s, dtype=np.float64)
+                    + 0.5 * np.asarray(q, dtype=np.float64)))
+    return core, 0.5 * core
+
+
+def exact_or_forward(products: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Exact OR accumulation of product terms along ``axis``.
+
+    ``products`` holds ``t_i = a_i * w_i`` terms in ``[0, 1)``; the result
+    is ``1 - prod(1 - t_i)``.  Computed in log domain for stability.
+    """
+    t = np.clip(np.asarray(products, dtype=np.float64), 0.0, 1.0 - 1e-9)
+    return -np.expm1(np.log1p(-t).sum(axis=axis))
+
+
+def exact_or_grad_scale(products: np.ndarray, out: np.ndarray,
+                        axis: int = -1) -> np.ndarray:
+    """Per-term gradient of exact OR: ``d out / d t_i = prod_{j!=i}(1-t_j)``.
+
+    Returned with the same shape as ``products``; ``out`` is the forward
+    result (so ``prod(1 - t_j) = 1 - out`` can be reused).
+    """
+    t = np.clip(np.asarray(products, dtype=np.float64), 0.0, 1.0 - 1e-9)
+    total = np.expand_dims(1.0 - np.asarray(out), axis=axis)
+    return total / (1.0 - t)
+
+
+def split_or_response(s_pos: np.ndarray, s_neg: np.ndarray) -> np.ndarray:
+    """Split-unipolar layer response under the OR approximation.
+
+    The hardware OR-accumulates the positive-weight and negative-weight
+    product streams separately and subtracts the counters, so the modelled
+    output is ``(1 - exp(-s_pos)) - (1 - exp(-s_neg))``.
+    """
+    return or_approx(s_pos) - or_approx(s_neg)
+
+
+def approximation_error(products: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Absolute error of Eq. (1) against exact OR for given product terms.
+
+    Used by the Sec. II-D bench to verify the "< 5%" claim in the
+    operating regime of trained networks.
+    """
+    exact = exact_or_forward(products, axis=axis)
+    approx = or_approx(np.asarray(products, dtype=np.float64).sum(axis=axis))
+    return np.abs(exact - approx)
+
+
+def approximation2_error(products: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Absolute error of the second-order model against exact OR."""
+    t = np.asarray(products, dtype=np.float64)
+    exact = exact_or_forward(t, axis=axis)
+    approx = or_approx2(t.sum(axis=axis), (t * t).sum(axis=axis))
+    return np.abs(exact - approx)

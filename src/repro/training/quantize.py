@@ -1,0 +1,42 @@
+"""Quantization to the 8-bit grids used by ACOUSTIC and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "quantize_symmetric",
+    "quantize_unsigned",
+    "quantize_network_weights",
+]
+
+
+def quantize_symmetric(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Symmetric quantization of values in [-1, 1] to ``2**bits`` levels.
+
+    This is the grid the split-unipolar SNGs realize for weights: each
+    sign component is an unsigned ``bits``-bit probability.
+    """
+    levels = 1 << (bits - 1)
+    return np.clip(np.round(np.asarray(x, dtype=np.float64) * levels),
+                   -levels, levels) / levels
+
+
+def quantize_unsigned(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Quantize values in [0, 1] to the unsigned ``bits``-bit grid
+    (activations after ReLU)."""
+    levels = (1 << bits) - 1
+    return np.clip(np.round(np.asarray(x, dtype=np.float64) * levels),
+                   0, levels) / levels
+
+
+def quantize_network_weights(network, bits: int = 8) -> None:
+    """In-place quantization of every layer weight to the SC grid.
+
+    Used before handing a trained network to the functional simulator so
+    training-time float weights match the 8-bit SNG probabilities.
+    """
+    for layer in network:
+        params = layer.params()
+        if "weight" in params:
+            params["weight"][...] = quantize_symmetric(params["weight"], bits)

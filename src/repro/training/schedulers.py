@@ -1,0 +1,81 @@
+"""Learning-rate schedules for the optimizers."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StepDecay", "CosineDecay", "WarmupWrapper"]
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_epochs``."""
+
+    def __init__(self, optimizer, step_epochs: int, gamma: float = 0.1):
+        if step_epochs < 1:
+            raise ValueError("step_epochs must be >= 1")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_epochs = step_epochs
+        self.gamma = gamma
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * (
+            self.gamma ** (self.epoch // self.step_epochs)
+        )
+        return self.optimizer.lr
+
+
+class CosineDecay:
+    """Cosine annealing from the base rate to ``min_lr`` over
+    ``total_epochs``."""
+
+    def __init__(self, optimizer, total_epochs: int, min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        progress = self.epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (
+            self.base_lr - self.min_lr
+        ) * (1 + math.cos(math.pi * progress))
+        return self.optimizer.lr
+
+
+class WarmupWrapper:
+    """Linear warm-up for the first ``warmup_epochs``, then delegate.
+
+    Useful for OR-trained networks, whose early epochs sit on a
+    saturated plateau (see EXPERIMENTS.md): a gentle start avoids
+    driving weights deeper into saturation before gradients organize.
+    """
+
+    def __init__(self, inner, warmup_epochs: int):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+        self.epoch = 0
+        self._target_lr = inner.optimizer.lr
+        inner.optimizer.lr = self._target_lr / warmup_epochs
+
+    @property
+    def optimizer(self):
+        return self.inner.optimizer
+
+    def step(self) -> float:
+        self.epoch += 1
+        if self.epoch < self.warmup_epochs:
+            self.optimizer.lr = self._target_lr * (
+                (self.epoch + 1) / self.warmup_epochs
+            )
+            return self.optimizer.lr
+        return self.inner.step()

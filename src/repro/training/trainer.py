@@ -1,0 +1,91 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .losses import CrossEntropyLoss
+
+__all__ = ["History", "Trainer"]
+
+
+@dataclass
+class History:
+    """Per-epoch training record."""
+
+    train_loss: list = field(default_factory=list)
+    train_accuracy: list = field(default_factory=list)
+    val_accuracy: list = field(default_factory=list)
+    epoch_seconds: list = field(default_factory=list)
+
+
+class Trainer:
+    """Drives mini-batch SGD over a :class:`Sequential` network.
+
+    Parameters
+    ----------
+    network:
+        The model to train.
+    optimizer:
+        Any optimizer from :mod:`repro.training.optim`.
+    loss:
+        Defaults to :class:`CrossEntropyLoss` (with unit gain).
+    """
+
+    def __init__(self, network, optimizer, loss: CrossEntropyLoss = None,
+                 rng: np.random.Generator = None):
+        self.network = network
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 5,
+            batch_size: int = 64, x_val: np.ndarray = None,
+            y_val: np.ndarray = None, verbose: bool = False,
+            scheduler=None, augmenter=None) -> History:
+        """Train.
+
+        ``scheduler`` (see :mod:`repro.training.schedulers`) is stepped
+        once per epoch; ``augmenter`` (any callable on an image batch,
+        e.g. :class:`repro.datasets.Augmenter`) is applied to every
+        training batch.
+        """
+        history = History()
+        n = x.shape[0]
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            order = self.rng.permutation(n)
+            losses = []
+            correct = 0
+            for batch_start in range(0, n, batch_size):
+                idx = order[batch_start:batch_start + batch_size]
+                xb, yb = x[idx], y[idx]
+                if augmenter is not None:
+                    xb = augmenter(xb)
+                logits = self.network.forward(xb, training=True)
+                losses.append(self.loss.forward(logits, yb))
+                correct += int((np.argmax(logits, axis=-1) == yb).sum())
+                self.network.backward(self.loss.backward())
+                self.optimizer.step()
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_accuracy.append(correct / n)
+            if x_val is not None:
+                history.val_accuracy.append(
+                    self.network.accuracy(x_val, y_val)
+                )
+            history.epoch_seconds.append(time.perf_counter() - start)
+            if scheduler is not None:
+                scheduler.step()
+            if verbose:
+                val = (f" val_acc={history.val_accuracy[-1]:.3f}"
+                       if x_val is not None else "")
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"acc={history.train_accuracy[-1]:.3f}{val} "
+                    f"({history.epoch_seconds[-1]:.1f}s)"
+                )
+        return history

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_mnist
+from repro.networks import lenet5
+from repro.training import Adam, CrossEntropyLoss, Trainer
+
+
+@pytest.fixture(scope="session")
+def trained_lenet():
+    """A noise-aware-trained LeNet-5 on the MNIST-like dataset.
+
+    Session-scoped: several integration tests share one training run.
+    Returns ``(network, x_test, y_test)``.
+    """
+    (x_train, y_train), (x_test, y_test) = synthetic_mnist(
+        n_train=1200, n_test=150, seed=0
+    )
+    net = lenet5(or_mode="approx", seed=1, stream_length=64)
+    trainer = Trainer(net, Adam(net.layers, lr=3e-3),
+                      loss=CrossEntropyLoss(logit_gain=8.0))
+    trainer.fit(x_train, y_train, epochs=7, batch_size=64)
+    return net, x_test, y_test

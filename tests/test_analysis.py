@@ -1,0 +1,81 @@
+"""Tests for the Monte-Carlo studies and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (PaperComparison, accumulation_error_study,
+                            format_ratio, format_table,
+                            representation_error_study)
+
+
+class TestRepresentationStudy:
+    def test_unipolar_beats_bipolar(self):
+        results = representation_error_study([64], trials=50)
+        study = results[0]
+        assert study.bipolar_rms > study.unipolar_rms
+        assert study.bipolar_penalty > 1.2
+
+    def test_empirical_tracks_analytic(self):
+        results = representation_error_study([128], trials=100)
+        study = results[0]
+        assert study.unipolar_rms == pytest.approx(
+            study.unipolar_rms_analytic, rel=0.2
+        )
+        assert study.bipolar_rms == pytest.approx(
+            study.bipolar_rms_analytic, rel=0.2
+        )
+
+    def test_error_decreases_with_length(self):
+        results = representation_error_study([32, 128, 512], trials=40)
+        rms = [r.unipolar_rms for r in results]
+        assert rms[0] > rms[1] > rms[2]
+
+
+class TestAccumulationStudy:
+    def test_or_much_better_than_mux(self):
+        # Scaled-down version of the paper's 2304-wide Monte-Carlo; the
+        # full-size run is the Sec. II-B bench.
+        results = accumulation_error_study(fan_in=256, length=256, trials=30,
+                                           accumulators=("or", "mux"))
+        assert results["or"].mean_abs_error * 4 < results["mux"].mean_abs_error
+
+    def test_apc_exact_up_to_sampling(self):
+        results = accumulation_error_study(fan_in=64, length=256, trials=20,
+                                           accumulators=("apc",))
+        assert results["apc"].mean_abs_error < 0.1
+
+    def test_fields_populated(self):
+        results = accumulation_error_study(fan_in=32, length=64, trials=5,
+                                           accumulators=("or",))
+        study = results["or"]
+        assert study.fan_in == 32
+        assert study.trials == 5
+        assert study.errors.shape == (5,)
+        assert study.rms_error >= study.mean_abs_error * 0.5
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [("alpha", 1.0), ("b", 123456.0)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # consistent width
+
+    def test_format_table_title(self):
+        table = format_table(["a"], [(1,)], title="Title")
+        assert table.splitlines()[0] == "Title"
+
+    def test_format_ratio(self):
+        assert format_ratio(2.0, 1.0) == "2.00x"
+        assert format_ratio(1.0, None) == "n/a"
+        assert format_ratio(1.0, 0.0) == "n/a"
+
+    def test_paper_comparison_render(self):
+        cmp = PaperComparison("Table X")
+        cmp.add("frames/s", 100.0, 90.0)
+        cmp.add("unreported", None, 5.0)
+        text = cmp.render()
+        assert "Table X" in text
+        assert "0.90x" in text
+        assert "n/a" in text

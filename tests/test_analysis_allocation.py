@@ -1,0 +1,110 @@
+"""Tests for per-layer stream-length configuration and the allocator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import allocate_stream_lengths
+from repro.networks import lenet5
+from repro.simulator import SCConfig, SCNetwork
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    # Untrained net with controlled weights — the allocator only needs
+    # the machinery to work, not a good classifier.
+    net = lenet5(or_mode="approx", seed=1)
+    rng = np.random.default_rng(0)
+    for layer in net.layers:
+        params = layer.params()
+        if "weight" in params:
+            params["weight"][...] = rng.uniform(
+                -0.3, 0.3, params["weight"].shape
+            )
+    return net
+
+
+class TestPerLayerLengths:
+    def test_config_override_lookup(self):
+        config = SCConfig(phase_length=64, layer_phase_lengths={2: 16})
+        assert config.phase_length_for(2) == 16
+        assert config.phase_length_for(0) == 64
+
+    def test_no_overrides_default(self):
+        config = SCConfig(phase_length=64)
+        assert config.phase_length_for(3) == 64
+
+    def test_forward_respects_overrides(self, small_net):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (2, 1, 28, 28))
+        # Extremely short first layer must visibly change outputs
+        # relative to a uniform long configuration.
+        uniform = SCNetwork.from_trained(
+            small_net, SCConfig(phase_length=256, seed=3)
+        ).forward(x)
+        starved = SCNetwork.from_trained(
+            small_net,
+            SCConfig(phase_length=256, seed=3,
+                     layer_phase_lengths={0: 4}),
+        ).forward(x)
+        assert not np.allclose(uniform, starved)
+
+    def test_override_matches_global_when_equal(self, small_net):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (1, 1, 28, 28))
+        a = SCNetwork.from_trained(
+            small_net, SCConfig(phase_length=32, seed=3)
+        ).forward(x)
+        overrides = {i: 32 for i in range(6)}
+        b = SCNetwork.from_trained(
+            small_net,
+            SCConfig(phase_length=32, seed=3,
+                     layer_phase_lengths=overrides),
+        ).forward(x)
+        assert np.allclose(a, b)
+
+
+class TestAllocator:
+    def test_allocates_only_stochastic_layers(self, small_net):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (10, 1, 28, 28))
+        y = rng.integers(0, 10, 10)
+        result = allocate_stream_lengths(
+            small_net, x, y, target_accuracy=2.0,  # unreachable: runs out
+            start_phase=8, max_phase=16, max_steps=4,
+        )
+        # LeNet has 3 stochastic layers (2 conv + 1 linear) at simulator
+        # indices 0, 2, 5.
+        assert set(result.layer_phase_lengths) == {0, 2, 5}
+
+    def test_steps_monotone_lengths(self, small_net):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (10, 1, 28, 28))
+        y = rng.integers(0, 10, 10)
+        result = allocate_stream_lengths(
+            small_net, x, y, target_accuracy=2.0,
+            start_phase=8, max_phase=32, max_steps=5,
+        )
+        assert all(8 <= v <= 32 for v in result.layer_phase_lengths.values())
+        assert len(result.steps) <= 5
+        for step in result.steps:
+            assert step.new_phase_length in (16, 32)
+
+    def test_stops_at_target(self, small_net):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (10, 1, 28, 28))
+        y = rng.integers(0, 10, 10)
+        result = allocate_stream_lengths(
+            small_net, x, y, target_accuracy=0.0,  # already satisfied
+            start_phase=8, max_phase=256, max_steps=8,
+        )
+        assert result.steps == []
+        assert all(v == 8 for v in result.layer_phase_lengths.values())
+
+    def test_mean_phase_length(self, small_net):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, (6, 1, 28, 28))
+        y = rng.integers(0, 10, 6)
+        result = allocate_stream_lengths(
+            small_net, x, y, target_accuracy=0.0, start_phase=16,
+        )
+        assert result.mean_phase_length() == 16.0

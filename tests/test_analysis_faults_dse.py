@@ -1,0 +1,146 @@
+"""Tests for the fault-injection models and design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (binary_fault_error, flip_binary_words,
+                            flip_stream_bits, stream_fault_error)
+from repro.arch import (DesignPoint, LP_CONFIG, ULP_CONFIG, pareto_frontier,
+                        sweep_geometries)
+from repro.networks.zoo import NetworkSpec, lenet5_spec
+
+
+class TestFlipStreamBits:
+    def test_zero_rate_identity(self):
+        rng = np.random.default_rng(0)
+        streams = (rng.random((4, 64)) < 0.5).astype(np.uint8)
+        assert np.array_equal(flip_stream_bits(streams, 0.0, rng), streams)
+
+    def test_full_rate_inverts(self):
+        rng = np.random.default_rng(0)
+        streams = np.ones((2, 32), dtype=np.uint8)
+        assert flip_stream_bits(streams, 1.0, rng).sum() == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            flip_stream_bits(np.zeros((1, 8), dtype=np.uint8), 1.5,
+                             np.random.default_rng(0))
+
+    def test_flip_fraction_close_to_rate(self):
+        rng = np.random.default_rng(0)
+        streams = np.zeros((100, 256), dtype=np.uint8)
+        flipped = flip_stream_bits(streams, 0.1, rng)
+        assert flipped.mean() == pytest.approx(0.1, abs=0.01)
+
+
+class TestFlipBinaryWords:
+    def test_zero_rate_is_quantization_only(self):
+        rng = np.random.default_rng(0)
+        values = np.array([0.5, 0.25])
+        out = flip_binary_words(values, 0.0, rng)
+        assert np.allclose(out, values, atol=1 / 255)
+
+    def test_damage_can_hit_msb(self):
+        rng = np.random.default_rng(0)
+        out = flip_binary_words(np.full(2000, 0.0), 0.06, rng)
+        # With 6% per-bit flips, some words must have taken an MSB hit
+        # (value jump >= 0.5).
+        assert (out >= 0.5).any()
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            flip_binary_words(np.array([0.5]), -0.1,
+                              np.random.default_rng(0))
+
+
+class TestFaultErrorModels:
+    def test_stream_graceful_degradation(self):
+        # Stream error grows smoothly and stays small at realistic rates.
+        e1 = stream_fault_error(0.5, 0.001)
+        e2 = stream_fault_error(0.5, 0.01)
+        assert e1 < e2 < 0.05
+
+    def test_binary_cliff(self):
+        # Binary error at 1% per-bit flips is an order of magnitude
+        # larger than the stream error — the SC robustness claim.
+        assert binary_fault_error(0.5, 0.01) > 5 * stream_fault_error(
+            0.5, 0.01
+        )
+
+
+class TestDse:
+    @pytest.fixture(scope="class")
+    def points(self):
+        spec = NetworkSpec("lenet5_conv", lenet5_spec().conv_layers)
+        return sweep_geometries(spec, ULP_CONFIG, rows_options=(2, 4),
+                                arrays_options=(2, 4), macs_options=(8,))
+
+    def test_sweep_size(self, points):
+        assert len(points) == 4
+
+    def test_bigger_engines_cost_more_area(self, points):
+        by_name = {p.name: p for p in points}
+        assert by_name["R4A4M8"].area_mm2 > by_name["R2A2M8"].area_mm2
+
+    def test_bigger_engines_run_faster(self, points):
+        by_name = {p.name: p for p in points}
+        assert by_name["R4A4M8"].frames_per_s > \
+            by_name["R2A2M8"].frames_per_s
+
+    def test_pareto_no_dominated_points(self, points):
+        frontier = pareto_frontier(points)
+        for candidate in frontier:
+            dominating = [
+                p for p in points
+                if p.area_mm2 < candidate.area_mm2
+                and p.frames_per_s >= candidate.frames_per_s
+            ]
+            assert not dominating
+
+    def test_pareto_sorted(self, points):
+        frontier = pareto_frontier(points)
+        areas = [p.area_mm2 for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_throughput_density(self):
+        point = DesignPoint(name="x", rows=1, arrays=1, macs_per_array=1,
+                            area_mm2=2.0, power_w=0.1, frames_per_s=100.0,
+                            frames_per_j=1.0)
+        assert point.throughput_density == 50.0
+
+    def test_custom_axes(self, points):
+        frontier = pareto_frontier(points, x_attr="power_w",
+                                   y_attr="frames_per_j")
+        assert frontier
+
+
+class TestBestUnder:
+    def _points(self):
+        from repro.arch import DesignPoint
+        return [
+            DesignPoint("small", 1, 1, 1, area_mm2=0.1, power_w=0.001,
+                        frames_per_s=10, frames_per_j=100),
+            DesignPoint("mid", 2, 2, 2, area_mm2=0.3, power_w=0.003,
+                        frames_per_s=40, frames_per_j=120),
+            DesignPoint("big", 4, 4, 4, area_mm2=1.0, power_w=0.010,
+                        frames_per_s=90, frames_per_j=90),
+        ]
+
+    def test_area_budget(self):
+        from repro.arch import best_under
+        best = best_under(self._points(), area_budget_mm2=0.5)
+        assert best.name == "mid"
+
+    def test_power_budget(self):
+        from repro.arch import best_under
+        best = best_under(self._points(), power_budget_w=0.002)
+        assert best.name == "small"
+
+    def test_infeasible(self):
+        from repro.arch import best_under
+        assert best_under(self._points(), area_budget_mm2=0.01) is None
+
+    def test_alternate_objective(self):
+        from repro.arch import best_under
+        best = best_under(self._points(), objective="frames_per_j")
+        assert best.name == "mid"

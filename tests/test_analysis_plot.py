@@ -1,0 +1,48 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.analysis import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_contains_title_and_legend(self):
+        out = ascii_plot({"a": [(0, 0), (1, 1)]}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "legend: o a" in out
+
+    def test_marker_placement_extremes(self):
+        out = ascii_plot({"s": [(0, 0), (10, 100)]}, width=20, height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # Max lands on the top row, min on the bottom plot row.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_axis_labels(self):
+        out = ascii_plot({"s": [(1, 2), (3, 4)]}, x_label="X", y_label="Y")
+        assert "X" in out
+        assert "Y" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot({
+            "first": [(0, 0), (1, 10)],
+            "second": [(0, 10), (1, 0)],
+        })
+        assert "o first" in out
+        assert "x second" in out
+
+    def test_logy(self):
+        out = ascii_plot({"s": [(0, 1), (1, 1000)]}, logy=True, height=5)
+        assert "1e+03" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"s": [(0, 5), (1, 5)]})
+        assert "o" in out
+
+    def test_dimensions(self):
+        out = ascii_plot({"s": [(0, 0), (1, 1)]}, width=30, height=7)
+        plot_rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(plot_rows) == 7

@@ -1,0 +1,55 @@
+"""Tests for the per-layer SNR profiler."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LayerSnr, layer_snr_profile
+from repro.networks import lenet5
+from repro.simulator import SCConfig
+
+
+@pytest.fixture(scope="module")
+def profile():
+    net = lenet5(or_mode="approx", seed=1)
+    x = np.random.default_rng(0).uniform(0, 1, (4, 1, 28, 28))
+    return layer_snr_profile(net, x, SCConfig(phase_length=64, seed=3))
+
+
+class TestLayerSnrProfile:
+    def test_one_record_per_sc_layer(self, profile):
+        # LeNet-5 converts to conv(+pool), relu, conv(+pool), relu,
+        # flatten, linear = 6 SC layers.
+        assert len(profile) == 6
+        assert [p.layer_type for p in profile] == [
+            "SCConv2d", "SCReLU", "SCConv2d", "SCReLU", "SCFlatten",
+            "SCLinear",
+        ]
+
+    def test_flatten_is_noise_free(self, profile):
+        flatten = [p for p in profile if p.layer_type == "SCFlatten"][0]
+        assert flatten.noise_rms == 0.0
+        assert flatten.snr == float("inf")
+
+    def test_stochastic_layers_are_noisy(self, profile):
+        for p in profile:
+            if p.layer_type in ("SCConv2d", "SCLinear"):
+                assert p.noise_rms > 0
+
+    def test_relu_quantization_noise_small(self, profile):
+        # SCReLU only clips and requantizes: its own noise is the 8-bit
+        # quantization floor, far below the stochastic layers'.
+        relu = [p for p in profile if p.layer_type == "SCReLU"][0]
+        conv = [p for p in profile if p.layer_type == "SCConv2d"][0]
+        assert relu.noise_rms < conv.noise_rms / 5
+
+    def test_snr_improves_with_stream_length(self):
+        net = lenet5(or_mode="approx", seed=1)
+        x = np.random.default_rng(0).uniform(0, 1, (2, 1, 28, 28))
+        short = layer_snr_profile(net, x, SCConfig(phase_length=16, seed=3))
+        long = layer_snr_profile(net, x, SCConfig(phase_length=256, seed=3))
+        assert long[0].noise_rms < short[0].noise_rms
+
+    def test_snr_db(self):
+        record = LayerSnr(index=0, layer_type="t", signal_rms=1.0,
+                          noise_rms=0.1)
+        assert record.snr_db == pytest.approx(10.0)

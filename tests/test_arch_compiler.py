@@ -1,0 +1,137 @@
+"""Tests for the layer mapper and ISA compiler."""
+
+import pytest
+
+from repro.arch.compiler import (compile_layer, compile_network,
+                                 conv_utilization, map_layer)
+from repro.arch.isa import Opcode
+from repro.arch.params import LP_CONFIG, ULP_CONFIG
+from repro.networks.zoo import LayerSpec, NetworkSpec, alexnet_spec
+
+
+class TestMapLayer:
+    def test_fig4_layer_mapping(self):
+        # The paper's Fig. 4 workload: 16x16x512 inputs, 512 3x3x512
+        # kernels, 2x128 streams -> 512 passes of 256 cycles = 131072.
+        layer = LayerSpec("conv", 512, 512, kernel=3, padding=1, in_size=16)
+        mapping = map_layer(layer, LP_CONFIG)
+        assert mapping.macs_per_output == 48
+        assert mapping.positions_per_pass == 8
+        assert mapping.passes == 512
+        assert mapping.compute_cycles == 131072
+
+    def test_small_kernel_packs_one_mac(self):
+        # A 5x5x1 kernel (25 products) fits one 96-wide MAC entirely.
+        layer = LayerSpec("conv", 1, 6, kernel=5, in_size=28)
+        mapping = map_layer(layer, LP_CONFIG)
+        assert mapping.macs_per_output == 1
+        assert mapping.positions_per_pass == 384
+
+    def test_pooling_shortens_passes(self):
+        pooled = LayerSpec("conv", 64, 64, kernel=3, padding=1, in_size=16,
+                           pool=2)
+        plain = LayerSpec("conv", 64, 64, kernel=3, padding=1, in_size=16)
+        m_pool = map_layer(pooled, LP_CONFIG)
+        m_plain = map_layer(plain, LP_CONFIG)
+        assert m_pool.pass_cycles == m_plain.pass_cycles // 4
+        assert m_pool.pool_passes == 4
+        # Net cycles are equal per position but the pooled layer outputs
+        # 4x fewer activations for them (skipping gives the reduction on
+        # the conv itself relative to computing each window member at
+        # full length).
+        assert m_pool.compute_cycles <= m_plain.compute_cycles
+
+    def test_grouped_conv_reduces_fan_in(self):
+        grouped = LayerSpec("conv", 96, 256, kernel=5, padding=2, in_size=27,
+                            groups=2)
+        mapping = map_layer(grouped, LP_CONFIG)
+        assert mapping.macs_per_output == -(-((96 // 2) * 25) // 96)
+
+    def test_fc_fixed_utilization(self):
+        layer = LayerSpec("fc", 4096, 4096)
+        mapping = map_layer(layer, LP_CONFIG)
+        products = 4096 * 4096 * 256
+        peak = LP_CONFIG.geometry.peak_products_per_cycle
+        assert mapping.fc_cycles == pytest.approx(
+            products / (peak * 0.125), rel=0.01
+        )
+
+    def test_utilization_bounds(self):
+        for layer in alexnet_spec().layers:
+            mapping = map_layer(layer, LP_CONFIG)
+            util = conv_utilization(mapping, LP_CONFIG)
+            assert 0.0 < util <= 1.0
+
+
+class TestCompileLayer:
+    def test_conv_program_structure(self):
+        layer = LayerSpec("conv", 16, 32, kernel=3, padding=1, in_size=8)
+        program = compile_layer(layer, LP_CONFIG)
+        opcodes = [i.opcode for i in program]
+        assert Opcode.MAC in opcodes
+        assert Opcode.WGTRNG in opcodes
+        assert Opcode.ACTRNG in opcodes
+        assert Opcode.CNTST in opcodes
+        assert opcodes[-1] is Opcode.BARR
+        program.validate()
+
+    def test_pooled_conv_emits_pooling_loop(self):
+        layer = LayerSpec("conv", 16, 32, kernel=3, padding=1, in_size=8,
+                          pool=2)
+        program = compile_layer(layer, LP_CONFIG)
+        pool_loops = [i for i in program
+                      if i.opcode is Opcode.FOR
+                      and i.operands.get("loop") == "pooling"]
+        assert len(pool_loops) == 1
+        assert pool_loops[0].operands["count"] == 4
+
+    def test_prefetch_emitted_for_next_layer(self):
+        layer = LayerSpec("conv", 16, 32, kernel=3, padding=1, in_size=8)
+        nxt = LayerSpec("conv", 32, 32, kernel=3, padding=1, in_size=8)
+        program = compile_layer(layer, LP_CONFIG, next_layer=nxt)
+        wgtlds = [i for i in program if i.opcode is Opcode.WGTLD]
+        assert len(wgtlds) == 1
+        assert wgtlds[0].operands["bytes"] == nxt.weight_count
+
+    def test_no_dma_instructions_without_dram(self):
+        layer = LayerSpec("conv", 1, 6, kernel=5, in_size=28)
+        nxt = LayerSpec("conv", 6, 16, kernel=5, in_size=12)
+        program = compile_layer(layer, ULP_CONFIG, next_layer=nxt)
+        assert all(i.opcode not in (Opcode.WGTLD, Opcode.ACTLD, Opcode.ACTST)
+                   for i in program)
+
+    def test_fc_program_uses_wgtshift(self):
+        layer = LayerSpec("fc", 256, 10)
+        program = compile_layer(layer, LP_CONFIG)
+        assert any(i.opcode is Opcode.WGTSHIFT for i in program)
+
+    def test_spill_emitted_for_oversized_activations(self):
+        # VGG conv2_1-sized activations exceed the 600 KB scratchpad.
+        layer = LayerSpec("conv", 64, 128, kernel=3, padding=1, in_size=112)
+        program = compile_layer(layer, LP_CONFIG)
+        opcodes = [i.opcode for i in program]
+        assert Opcode.ACTLD in opcodes
+        assert Opcode.ACTST in opcodes
+
+
+class TestCompileNetwork:
+    def test_whole_network_validates(self):
+        program = compile_network(alexnet_spec(), LP_CONFIG)
+        program.validate()
+        assert len(program) > 20
+
+    def test_first_weights_loaded_before_compute(self):
+        program = compile_network(alexnet_spec(), LP_CONFIG)
+        opcodes = [i.opcode for i in program]
+        first_mac = opcodes.index(Opcode.MAC)
+        first_wgtld = opcodes.index(Opcode.WGTLD)
+        assert first_wgtld < first_mac
+
+    def test_dramless_network(self):
+        spec = NetworkSpec("tiny", [
+            LayerSpec("conv", 1, 6, kernel=5, in_size=28, pool=2),
+            LayerSpec("conv", 6, 16, kernel=5, in_size=12, pool=2),
+        ])
+        program = compile_network(spec, ULP_CONFIG)
+        assert all(i.opcode not in (Opcode.WGTLD, Opcode.ACTLD, Opcode.ACTST)
+                   for i in program)

@@ -1,0 +1,123 @@
+"""Tests for the distributed-control dispatcher simulation."""
+
+import pytest
+
+from repro.arch.dispatcher import Dispatcher, ENTRIES_PER_CYCLE
+from repro.arch.isa import Opcode, Unit, barrier_mask
+from repro.arch.params import LP_CONFIG, ULP_CONFIG
+from repro.arch.program import Program
+
+
+def run(program, config=LP_CONFIG):
+    return Dispatcher(config).run(program)
+
+
+class TestLatencies:
+    def test_mac_latency(self):
+        d = Dispatcher(LP_CONFIG)
+        from repro.arch.isa import Instruction
+        assert d.latency_cycles(Instruction(Opcode.MAC,
+                                            operands={"cycles": 77})) == 77
+
+    def test_dma_latency_scales_with_bandwidth(self):
+        from repro.arch.isa import Instruction
+        d = Dispatcher(LP_CONFIG)  # DDR3-1600 = 12.8 GB/s at 200 MHz
+        cycles = d.latency_cycles(Instruction(Opcode.WGTLD,
+                                              operands={"bytes": 12_800_000_000 // 200_000_000 * 100}))
+        assert cycles == pytest.approx(100, rel=0.01)
+
+    def test_dma_without_dram_raises(self):
+        from repro.arch.isa import Instruction
+        d = Dispatcher(ULP_CONFIG)
+        with pytest.raises(ValueError):
+            d.latency_cycles(Instruction(Opcode.WGTLD, operands={"bytes": 1}))
+
+    def test_rng_load_latency(self):
+        from repro.arch.isa import Instruction
+        d = Dispatcher(LP_CONFIG)
+        assert d.latency_cycles(Instruction(
+            Opcode.WGTRNG, operands={"entries": 4 * ENTRIES_PER_CYCLE}
+        )) == 4
+
+
+class TestExecution:
+    def test_serial_mac_instructions_accumulate(self):
+        program = Program()
+        for _ in range(5):
+            program.append(Opcode.MAC, cycles=100)
+        stats = run(program)
+        assert stats.total_cycles >= 500
+        assert stats.unit_busy_cycles["mac"] == 500
+
+    def test_loop_expansion(self):
+        program = Program()
+        program.append(Opcode.FOR, count=10, loop="kernel")
+        program.append(Opcode.MAC, cycles=10)
+        program.append(Opcode.END, loop="kernel")
+        stats = run(program)
+        assert stats.unit_instructions["mac"] == 10
+        assert stats.unit_busy_cycles["mac"] == 100
+
+    def test_nested_loops(self):
+        program = Program()
+        program.append(Opcode.FOR, count=3, loop="kernel")
+        program.append(Opcode.FOR, count=4, loop="row")
+        program.append(Opcode.MAC, cycles=1)
+        program.append(Opcode.END, loop="row")
+        program.append(Opcode.END, loop="kernel")
+        stats = run(program)
+        assert stats.unit_instructions["mac"] == 12
+
+    def test_dma_overlaps_compute(self):
+        # A DMA transfer and a MAC pass of equal length must overlap, so
+        # the total is far less than their sum.
+        bytes_100k_cycles = int(12.8e9 / 200e6 * 100_000)
+        program = Program()
+        program.append(Opcode.WGTLD, bytes=bytes_100k_cycles)
+        program.append(Opcode.MAC, cycles=100_000)
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.DMA, Unit.MAC))
+        stats = run(program)
+        assert stats.total_cycles < 110_000
+
+    def test_barrier_waits_for_masked_units_only(self):
+        program = Program()
+        program.append(Opcode.MAC, cycles=1000)
+        program.append(Opcode.WGTLD, bytes=int(12.8e9 / 200e6 * 50))
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.DMA))
+        program.append(Opcode.CNTST, entries=1)
+        stats = run(program)
+        # CNT work issued right after the DMA barrier (~50 cycles), well
+        # before the MAC finishes.
+        assert stats.total_cycles == pytest.approx(1000, abs=10)
+
+    def test_fifo_backpressure(self):
+        # More than FIFO_DEPTH long MAC passes: dispatch must stall, so
+        # dispatch time tracks the MAC unit rather than running ahead.
+        program = Program()
+        for _ in range(20):
+            program.append(Opcode.MAC, cycles=50)
+        stats = run(program)
+        assert stats.unit_busy_cycles["mac"] == 1000
+        assert stats.total_cycles >= 1000
+
+    def test_dram_bytes_tracked(self):
+        program = Program()
+        program.append(Opcode.WGTLD, bytes=1000)
+        program.append(Opcode.ACTST, bytes=500)
+        stats = run(program)
+        assert stats.dram_bytes == 1500
+
+    def test_runtime_end_without_for_rejected(self):
+        program = Program()
+        program.instructions.append(
+            __import__("repro.arch.isa", fromlist=["Instruction"]).Instruction(
+                Opcode.END, operands={}
+            )
+        )
+        with pytest.raises(ValueError):
+            run(program)
+
+    def test_empty_program(self):
+        stats = run(Program())
+        assert stats.total_cycles == 0
+        assert stats.dispatched == 0

@@ -1,0 +1,141 @@
+"""Tests for the memory models and the cost (area/power/energy) model."""
+
+import pytest
+
+from repro.arch.energy import AcousticCostModel, ComponentCosts
+from repro.arch.memory import DRAM_MODELS, DramModel, SramModel
+from repro.arch.params import LP_CONFIG, ULP_CONFIG, MacGeometry
+
+
+class TestDramModels:
+    def test_fig4_interfaces_present(self):
+        for name in ("DDR3-800", "DDR3-1066", "DDR3-1333", "DDR3-1600",
+                     "DDR3-1866", "DDR3-2133", "HBM"):
+            assert name in DRAM_MODELS
+
+    def test_bandwidth_ordering(self):
+        bws = [DRAM_MODELS[n].bandwidth_bytes_per_s
+               for n in ("DDR3-800", "DDR3-1333", "DDR3-2133", "HBM")]
+        assert bws == sorted(bws)
+
+    def test_ddr3_1600_bandwidth(self):
+        assert DRAM_MODELS["DDR3-1600"].bandwidth_bytes_per_s == \
+            pytest.approx(12.8e9)
+
+    def test_transfer_time(self):
+        dram = DRAM_MODELS["DDR3-800"]
+        assert dram.transfer_seconds(6.4e9) == pytest.approx(1.0)
+
+    def test_transfer_energy(self):
+        dram = DramModel("x", 1e9, 10e-12)
+        assert dram.transfer_energy(1e6) == pytest.approx(1e-5)
+
+    def test_hbm_cheaper_per_byte(self):
+        assert DRAM_MODELS["HBM"].energy_per_byte_j < \
+            DRAM_MODELS["DDR3-1600"].energy_per_byte_j
+
+
+class TestSramModel:
+    def test_area_scales_with_capacity(self):
+        small = SramModel(16 * 1024)
+        large = SramModel(256 * 1024)
+        assert large.area_mm2 > small.area_mm2
+
+    def test_access_energy_scales_sublinearly(self):
+        small = SramModel(16 * 1024)
+        large = SramModel(1024 * 1024)
+        ratio = large.access_energy_j() / small.access_energy_j()
+        assert 1 < ratio < 64  # sqrt scaling, not linear
+
+    def test_access_energy_scales_with_width(self):
+        sram = SramModel(64 * 1024)
+        assert sram.access_energy_j(16) == pytest.approx(
+            2 * sram.access_energy_j(8)
+        )
+
+    def test_leakage_positive(self):
+        assert SramModel(64 * 1024).leakage_w > 0
+
+
+class TestMacGeometry:
+    def test_lp_hierarchy_counts(self):
+        g = LP_CONFIG.geometry
+        # Sec. III-B: M=16, A=8, S=3, R=32, 96-wide MACs.
+        assert g.mac_units == 32 * 3 * 8 * 16 == 12288
+        assert g.peak_products_per_cycle == 12288 * 96
+        assert g.positions_per_pass == 128
+        assert g.kernels_per_pass == 32
+
+    def test_effective_macs_order_hundreds_of_thousands(self):
+        # Paper: "even with 50% or lower utilization, the effective number
+        # of multiply accumulate units is still on the order of hundreds
+        # of thousands."
+        assert LP_CONFIG.geometry.peak_products_per_cycle * 0.5 > 100_000
+
+    def test_stream_length_accounting(self):
+        assert LP_CONFIG.stream_length == 256  # 2 x 128
+
+
+class TestCostModel:
+    def test_lp_area_envelope(self):
+        model = AcousticCostModel(LP_CONFIG)
+        # Paper: 12 mm^2 (allow 15% model slack).
+        assert model.area_mm2 == pytest.approx(12.0, rel=0.15)
+
+    def test_lp_power_envelope(self):
+        model = AcousticCostModel(LP_CONFIG)
+        # Paper: 0.35 W peak; nominal activity should land within 2x.
+        assert 0.15 < model.power_w(0.7) < 0.7
+
+    def test_mac_array_dominates_lp(self):
+        # Fig. 5 a/c: MAC arrays are the major contributor to both LP
+        # area and power.
+        model = AcousticCostModel(LP_CONFIG)
+        area = model.area_breakdown_mm2()
+        power = model.power_breakdown_w()
+        assert max(area, key=area.get) == "mac_array"
+        assert max(power, key=power.get) == "mac_array"
+
+    def test_weight_buffers_area_heavy_power_light(self):
+        # Fig. 5: "Weight buffers, while being major contributors to
+        # area, have much lower relative power consumption."
+        model = AcousticCostModel(LP_CONFIG)
+        area = model.area_breakdown_mm2()
+        power = model.power_breakdown_w()
+        area_frac = area["wgt_buf"] / sum(area.values())
+        power_frac = power["wgt_buf"] / sum(power.values())
+        assert area_frac > 3 * power_frac
+
+    def test_ulp_memory_share_exceeds_lp(self):
+        # Fig. 5 b/d: the ULP variant is far more memory-dominated than
+        # the LP variant.
+        def memory_share(config):
+            area = AcousticCostModel(config).area_breakdown_mm2()
+            mem = area["act_mem"] + area["wgt_mem"] + area["inst_mem"]
+            return mem / sum(area.values())
+
+        # ULP has tiny memories but an even tinier datapath, so its
+        # relative memory+periphery share grows.
+        assert AcousticCostModel(ULP_CONFIG).area_mm2 < 0.5
+
+    def test_power_scales_with_utilization(self):
+        model = AcousticCostModel(LP_CONFIG)
+        assert model.power_w(0.1) < model.power_w(0.9)
+
+    def test_compute_energy(self):
+        model = AcousticCostModel(LP_CONFIG)
+        one_ms_cycles = LP_CONFIG.clock_hz / 1000
+        energy = model.compute_energy_j(one_ms_cycles, utilization=0.5)
+        assert energy == pytest.approx(model.power_w(0.5) * 1e-3)
+
+    def test_custom_costs(self):
+        doubled = ComponentCosts(mac_unit_area=640.0)
+        base = AcousticCostModel(LP_CONFIG)
+        custom = AcousticCostModel(LP_CONFIG, costs=doubled)
+        assert custom.area_breakdown_mm2()["mac_array"] == pytest.approx(
+            2 * base.area_breakdown_mm2()["mac_array"]
+        )
+
+    def test_sram_access_energy(self):
+        model = AcousticCostModel(LP_CONFIG)
+        assert model.sram_access_energy_j("act_mem", 1024) > 0

@@ -1,0 +1,121 @@
+"""Tests for the ACOUSTIC ISA, program container and assembler."""
+
+import pytest
+
+from repro.arch.isa import (OPCODE_UNIT, Instruction, Opcode, Unit,
+                            barrier_mask)
+from repro.arch.program import Program, assemble, disassemble
+
+
+class TestIsa:
+    def test_every_opcode_has_a_unit(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_UNIT
+
+    def test_table1_module_assignments(self):
+        # Paper Table I: module <-> instruction ownership.
+        assert OPCODE_UNIT[Opcode.ACTLD] is Unit.DMA
+        assert OPCODE_UNIT[Opcode.WGTLD] is Unit.DMA
+        assert OPCODE_UNIT[Opcode.MAC] is Unit.MAC
+        assert OPCODE_UNIT[Opcode.ACTRNG] is Unit.ACTRNG
+        assert OPCODE_UNIT[Opcode.WGTRNG] is Unit.WGTRNG
+        assert OPCODE_UNIT[Opcode.WGTSHIFT] is Unit.WGTRNG
+        assert OPCODE_UNIT[Opcode.CNTST] is Unit.CNT
+        assert OPCODE_UNIT[Opcode.FOR] is Unit.DISPATCH
+        assert OPCODE_UNIT[Opcode.BARR] is Unit.DISPATCH
+
+    def test_instruction_str(self):
+        instr = Instruction(Opcode.MAC, operands={"cycles": 256})
+        assert "MAC" in str(instr)
+        assert "cycles=256" in str(instr)
+
+    def test_barrier_mask_sorted_deduplicated(self):
+        mask = barrier_mask(Unit.MAC, Unit.DMA, Unit.MAC)
+        assert mask == ("dma", "mac")
+
+
+class TestProgram:
+    def test_append_and_len(self):
+        program = Program()
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.BARR, mask=("mac",))
+        assert len(program) == 2
+
+    def test_validate_balanced_loops(self):
+        program = Program()
+        program.append(Opcode.FOR, count=3, loop="kernel")
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.END, loop="kernel")
+        program.validate()
+
+    def test_validate_rejects_unbalanced(self):
+        program = Program()
+        program.append(Opcode.FOR, count=3, loop="kernel")
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_validate_rejects_stray_end(self):
+        program = Program()
+        program.append(Opcode.END, loop="kernel")
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_validate_rejects_nonpositive_count(self):
+        program = Program()
+        program.append(Opcode.FOR, count=0, loop="kernel")
+        program.append(Opcode.END, loop="kernel")
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_extend(self):
+        a = Program()
+        a.append(Opcode.MAC, cycles=1)
+        b = Program()
+        b.append(Opcode.MAC, cycles=2)
+        a.extend(b)
+        assert len(a) == 2
+
+
+class TestAssembler:
+    def roundtrip(self, program):
+        return assemble(disassemble(program), name=program.name)
+
+    def test_roundtrip_simple(self):
+        program = Program(name="t")
+        program.append(Opcode.WGTLD, bytes=1024)
+        program.append(Opcode.FOR, count=4, loop="kernel")
+        program.append(Opcode.MAC, cycles=256)
+        program.append(Opcode.END, loop="kernel")
+        program.append(Opcode.BARR, mask=("mac",))
+        back = self.roundtrip(program)
+        assert len(back) == len(program)
+        assert [i.opcode for i in back] == [i.opcode for i in program]
+        assert back.instructions[0].operands["bytes"] == 1024
+        assert back.instructions[2].operands["cycles"] == 256
+
+    def test_roundtrip_barrier_mask(self):
+        program = Program()
+        program.append(Opcode.BARR, mask=("cnt", "mac"))
+        back = self.roundtrip(program)
+        assert tuple(back.instructions[0].operands["mask"]) == ("cnt", "mac")
+
+    def test_comments_ignored(self):
+        program = assemble("MAC cycles=8 ; do the thing\n\n; full line comment")
+        assert len(program) == 1
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("FROBNICATE x=1")
+
+    def test_malformed_operand_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("MAC cycles")
+
+    def test_disassemble_indents_loops(self):
+        program = Program()
+        program.append(Opcode.FOR, count=2, loop="row")
+        program.append(Opcode.MAC, cycles=1)
+        program.append(Opcode.END, loop="row")
+        listing = disassemble(program)
+        lines = listing.splitlines()
+        assert lines[2].startswith("  MAC")

@@ -1,0 +1,133 @@
+"""Integration tests for the cycle-level performance simulator."""
+
+import pytest
+
+from repro.arch import (DRAM_MODELS, LP_CONFIG, ULP_CONFIG,
+                        simulate_layer_latency, simulate_network)
+from repro.networks.zoo import (LayerSpec, NetworkSpec, alexnet_spec,
+                                cifar10_cnn_spec, lenet5_spec, resnet18_spec,
+                                vgg16_spec)
+
+FIG4_LAYER = LayerSpec("conv", 512, 512, kernel=3, padding=1, in_size=16)
+FIG4_PREFETCH = 512 * 3 * 3 * 512  # next layer's 3x3x512x512 weights
+
+
+class TestFig4Behaviour:
+    def test_compute_bound_at_high_clock_hbm(self):
+        lat_500 = simulate_layer_latency(FIG4_LAYER, LP_CONFIG,
+                                         prefetch_bytes=FIG4_PREFETCH,
+                                         clock_hz=500e6, dram="HBM")
+        lat_1000 = simulate_layer_latency(FIG4_LAYER, LP_CONFIG,
+                                          prefetch_bytes=FIG4_PREFETCH,
+                                          clock_hz=1000e6, dram="HBM")
+        assert lat_1000 == pytest.approx(lat_500 / 2, rel=0.01)
+
+    def test_memory_bound_plateau_ddr3_800(self):
+        # Paper: "latency becomes memory limited at around 300 MHz or
+        # below" for DDR3-class interfaces.
+        lat_400 = simulate_layer_latency(FIG4_LAYER, LP_CONFIG,
+                                         prefetch_bytes=FIG4_PREFETCH,
+                                         clock_hz=400e6, dram="DDR3-800")
+        lat_1000 = simulate_layer_latency(FIG4_LAYER, LP_CONFIG,
+                                          prefetch_bytes=FIG4_PREFETCH,
+                                          clock_hz=1000e6, dram="DDR3-800")
+        assert lat_400 == pytest.approx(lat_1000, rel=0.01)  # plateau
+        assert lat_1000 == pytest.approx(
+            DRAM_MODELS["DDR3-800"].transfer_seconds(FIG4_PREFETCH), rel=0.01
+        )
+
+    def test_knee_near_300mhz(self):
+        compute_cycles = 131072
+        knee = compute_cycles / DRAM_MODELS["DDR3-800"].transfer_seconds(
+            FIG4_PREFETCH
+        )
+        assert 250e6 < knee < 450e6
+
+    def test_faster_dram_lowers_plateau(self):
+        lats = [
+            simulate_layer_latency(FIG4_LAYER, LP_CONFIG,
+                                   prefetch_bytes=FIG4_PREFETCH,
+                                   clock_hz=1000e6, dram=name)
+            for name in ("DDR3-800", "DDR3-1600", "DDR3-2133", "HBM")
+        ]
+        assert lats == sorted(lats, reverse=True)
+
+
+class TestSimulateNetwork:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: simulate_network(spec(), LP_CONFIG)
+            for name, spec in (("alexnet", alexnet_spec),
+                               ("vgg16", vgg16_spec),
+                               ("resnet18", resnet18_spec),
+                               ("cifar10_cnn", cifar10_cnn_spec))
+        }
+
+    def test_alexnet_latency_band(self, results):
+        # Paper: 238.5 fr/s; the model must land within ~2x.
+        assert 120 < results["alexnet"].frames_per_s < 480
+
+    def test_alexnet_energy_band(self, results):
+        # Paper: 2590 fr/J (0.4 mJ/frame accelerator energy).
+        assert 1300 < results["alexnet"].frames_per_j < 5200
+
+    def test_resnet_beats_alexnet_latency(self, results):
+        # Paper Sec. IV-D: ResNet-18 has lower latency than AlexNet
+        # despite ~2x the compute, because it lacks the giant FC layers.
+        assert results["resnet18"].latency_s < results["alexnet"].latency_s
+
+    def test_vgg_is_slowest(self, results):
+        assert results["vgg16"].latency_s == max(
+            r.latency_s for r in results.values()
+        )
+
+    def test_fc_heavy_networks_are_dram_dominated(self, results):
+        alexnet = results["alexnet"]
+        dram_s = DRAM_MODELS["DDR3-1600"].transfer_seconds(alexnet.dram_bytes)
+        assert dram_s > 0.6 * alexnet.latency_s
+
+    def test_layer_records_complete(self, results):
+        r = results["alexnet"]
+        assert len(r.layers) == len(alexnet_spec().layers)
+        assert all(l.compute_cycles > 0 for l in r.layers)
+        assert all(0 < l.utilization <= 1 or l.kind == "fc"
+                   for l in r.layers)
+
+    def test_total_at_least_compute(self, results):
+        for r in results.values():
+            assert r.total_cycles >= r.compute_cycles * 0.99
+
+    def test_cifar_cnn_realtime_class(self, results):
+        # Paper: 46k frames/s on the CIFAR-10 CNN (within ~3x here).
+        assert results["cifar10_cnn"].frames_per_s > 15_000
+
+
+class TestUlpVariant:
+    def test_lenet_conv_throughput_band(self):
+        spec = lenet5_spec()
+        conv_only = NetworkSpec("lenet5_conv", spec.conv_layers)
+        r = simulate_network(conv_only, ULP_CONFIG)
+        # Paper Table IV: 125k frames/s (allow 2x band).
+        assert 60_000 < r.frames_per_s < 260_000
+
+    def test_lenet_energy_efficiency_band(self):
+        spec = lenet5_spec()
+        conv_only = NetworkSpec("lenet5_conv", spec.conv_layers)
+        r = simulate_network(conv_only, ULP_CONFIG)
+        # Paper: 41.7M frames/J (allow 3x band).
+        assert 14e6 < r.frames_per_j < 125e6
+
+    def test_no_dram_traffic(self):
+        spec = lenet5_spec()
+        conv_only = NetworkSpec("lenet5_conv", spec.conv_layers)
+        r = simulate_network(conv_only, ULP_CONFIG)
+        assert r.dram_bytes == 0
+        assert r.dram_energy_j == 0
+
+    def test_ulp_slower_than_lp(self):
+        spec = lenet5_spec()
+        conv_only = NetworkSpec("lenet5_conv", spec.conv_layers)
+        ulp = simulate_network(conv_only, ULP_CONFIG)
+        lp = simulate_network(conv_only, LP_CONFIG)
+        assert lp.compute_cycles <= ulp.compute_cycles

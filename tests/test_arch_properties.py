@@ -1,0 +1,153 @@
+"""Hypothesis property tests for the architecture layer.
+
+Random layer shapes and programs probe invariants the example-based
+tests cannot sweep: mapping coverage, dispatcher conservation laws, and
+assembler round-trips.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (LP_CONFIG, Dispatcher, Opcode, Program, assemble,
+                        compile_layer, disassemble, map_layer)
+from repro.arch.compiler import conv_utilization
+from repro.networks.zoo import LayerSpec
+
+conv_specs = st.builds(
+    LayerSpec,
+    kind=st.just("conv"),
+    in_channels=st.integers(1, 512),
+    out_channels=st.integers(1, 512),
+    kernel=st.sampled_from([1, 3, 5, 7]),
+    stride=st.just(1),
+    padding=st.integers(0, 3),
+    in_size=st.integers(7, 64),
+    pool=st.sampled_from([1, 2]),
+)
+
+fc_specs = st.builds(
+    LayerSpec,
+    kind=st.just("fc"),
+    in_channels=st.integers(1, 8192),
+    out_channels=st.integers(1, 4096),
+)
+
+
+class TestMappingProperties:
+    @given(conv_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_conv_mapping_covers_all_work(self, layer):
+        mapping = map_layer(layer, LP_CONFIG)
+        g = LP_CONFIG.geometry
+        # Every pooled position must be covered by the scheduled passes.
+        pool = max(1, layer.pool)
+        pooled = max(1, (layer.out_size // pool) ** 2 if pool > 1
+                     else layer.out_size ** 2)
+        assert (mapping.position_groups * mapping.positions_per_pass
+                >= pooled)
+        # Every output channel is covered.
+        assert mapping.kernel_groups * g.kernels_per_pass >= \
+            layer.out_channels
+        # The MAC chain covers the fan-in.
+        assert mapping.macs_per_output * g.mac_width >= layer.fan_in
+
+    @given(conv_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_utilization_bounds(self, layer):
+        mapping = map_layer(layer, LP_CONFIG)
+        util = conv_utilization(mapping, LP_CONFIG)
+        assert 0.0 < util <= 1.0
+
+    @given(conv_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_supplied_products_cover_required(self, layer):
+        mapping = map_layer(layer, LP_CONFIG)
+        supplied = (mapping.passes * mapping.pass_cycles
+                    * LP_CONFIG.geometry.peak_products_per_cycle)
+        needed = layer.macs * mapping.pass_cycles
+        assert supplied >= needed
+
+    @given(fc_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_fc_cycles_scale_with_work(self, layer):
+        mapping = map_layer(layer, LP_CONFIG)
+        peak = LP_CONFIG.geometry.peak_products_per_cycle
+        exact = layer.macs * 2 * LP_CONFIG.phase_length / (
+            peak * LP_CONFIG.fc_utilization
+        )
+        assert mapping.fc_cycles >= exact
+        assert mapping.fc_cycles <= exact + 1
+
+    @given(conv_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_program_cycles_at_least_mapping(self, layer):
+        program = compile_layer(layer, LP_CONFIG)
+        stats = Dispatcher(LP_CONFIG).run(program)
+        mapping = map_layer(layer, LP_CONFIG)
+        assert stats.unit_busy_cycles["mac"] >= mapping.compute_cycles * 0.99
+
+
+class TestDispatcherProperties:
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_serial_unit_conservation(self, cycle_list):
+        # A single unit's busy time equals the sum of its latencies and
+        # the total is at least that busy time.
+        program = Program()
+        for cycles in cycle_list:
+            program.append(Opcode.MAC, cycles=cycles)
+        stats = Dispatcher(LP_CONFIG).run(program)
+        assert stats.unit_busy_cycles["mac"] == sum(cycle_list)
+        assert stats.total_cycles >= sum(cycle_list)
+
+    @given(st.integers(1, 50), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_loop_multiplies_work(self, count, cycles):
+        program = Program()
+        program.append(Opcode.FOR, count=count, loop="kernel")
+        program.append(Opcode.MAC, cycles=cycles)
+        program.append(Opcode.END, loop="kernel")
+        stats = Dispatcher(LP_CONFIG).run(program)
+        assert stats.unit_busy_cycles["mac"] == count * cycles
+        assert stats.unit_instructions["mac"] == count
+
+
+class TestAssemblerProperties:
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just(Opcode.MAC),
+                      st.fixed_dictionaries({"cycles": st.integers(1, 10_000)})),
+            st.tuples(st.just(Opcode.WGTLD),
+                      st.fixed_dictionaries({"bytes": st.integers(1, 1 << 24)})),
+            st.tuples(st.just(Opcode.ACTRNG),
+                      st.fixed_dictionaries({"entries": st.integers(1, 100_000)})),
+            st.tuples(st.just(Opcode.WGTSHIFT),
+                      st.fixed_dictionaries({})),
+        ),
+        min_size=1, max_size=20,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_instructions(self, instructions):
+        program = Program(name="prop")
+        for opcode, operands in instructions:
+            program.append(opcode, **operands)
+        back = assemble(disassemble(program))
+        assert len(back) == len(program)
+        for original, parsed in zip(program, back):
+            assert parsed.opcode is original.opcode
+            assert parsed.operands == original.operands
+
+    @given(st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_nested_loop_roundtrip(self, outer, inner):
+        program = Program()
+        program.append(Opcode.FOR, count=outer, loop="kernel")
+        program.append(Opcode.FOR, count=inner, loop="row")
+        program.append(Opcode.MAC, cycles=7)
+        program.append(Opcode.END, loop="row")
+        program.append(Opcode.END, loop="kernel")
+        back = assemble(disassemble(program))
+        stats_a = Dispatcher(LP_CONFIG).run(program)
+        stats_b = Dispatcher(LP_CONFIG).run(back)
+        assert stats_a.total_cycles == stats_b.total_cycles

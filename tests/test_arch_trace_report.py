@@ -1,0 +1,103 @@
+"""Tests for execution tracing, Gantt rendering and mapping reports."""
+
+import json
+
+import pytest
+
+from repro.arch import (LP_CONFIG, ULP_CONFIG, Dispatcher, TracingDispatcher,
+                        bottleneck_report, compile_network, mapping_report,
+                        render_gantt)
+from repro.arch.trace import ExecutionTrace, TraceEvent
+from repro.networks import NETWORK_SPECS
+from repro.networks.zoo import NetworkSpec
+
+
+@pytest.fixture(scope="module")
+def lenet_program():
+    return compile_network(NETWORK_SPECS["lenet5"](), LP_CONFIG)
+
+
+class TestTracingDispatcher:
+    def test_stats_match_plain_dispatcher(self, lenet_program):
+        plain = Dispatcher(LP_CONFIG).run(lenet_program)
+        traced_dispatcher = TracingDispatcher(LP_CONFIG)
+        traced = traced_dispatcher.run(lenet_program)
+        assert traced.total_cycles == plain.total_cycles
+        assert traced.unit_busy_cycles == plain.unit_busy_cycles
+        assert traced.dispatched == plain.dispatched
+
+    def test_events_recorded(self, lenet_program):
+        dispatcher = TracingDispatcher(LP_CONFIG)
+        stats = dispatcher.run(lenet_program)
+        trace = dispatcher.trace
+        assert len(trace.events) > 10
+        # Every event lies within the total span.
+        for event in trace.events:
+            assert 0 <= event.start <= event.end <= stats.total_cycles
+
+    def test_busy_consistency(self, lenet_program):
+        dispatcher = TracingDispatcher(LP_CONFIG)
+        stats = dispatcher.run(lenet_program)
+        for unit, events in dispatcher.trace.by_unit().items():
+            busy = sum(e.duration for e in events)
+            assert busy == pytest.approx(stats.unit_busy_cycles[unit])
+
+    def test_trace_limit(self, lenet_program):
+        dispatcher = TracingDispatcher(LP_CONFIG, trace_limit=5)
+        dispatcher.run(lenet_program)
+        assert len(dispatcher.trace.events) == 5
+        assert dispatcher.trace.dropped > 0
+
+    def test_json_export(self, lenet_program):
+        dispatcher = TracingDispatcher(LP_CONFIG, trace_limit=20)
+        dispatcher.run(lenet_program)
+        payload = json.loads(dispatcher.trace.to_json())
+        assert payload["events"]
+        assert {"unit", "opcode", "start", "end"} <= set(
+            payload["events"][0]
+        )
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert "empty" in render_gantt(ExecutionTrace())
+
+    def test_render_contains_units(self, lenet_program):
+        dispatcher = TracingDispatcher(LP_CONFIG)
+        dispatcher.run(lenet_program)
+        chart = render_gantt(dispatcher.trace, width=40)
+        assert "mac" in chart
+        assert "dma" in chart
+        assert "%" in chart
+
+    def test_manual_trace(self):
+        trace = ExecutionTrace()
+        trace.record(TraceEvent("mac", "MAC", 0, 100))
+        trace.record(TraceEvent("dma", "WGTLD", 0, 50))
+        chart = render_gantt(trace, width=20)
+        lines = chart.splitlines()
+        assert any("100.0%" in line for line in lines if "mac" in line)
+
+
+class TestMappingReport:
+    def test_per_layer_records(self):
+        reports = mapping_report(NETWORK_SPECS["alexnet"](), LP_CONFIG)
+        assert len(reports) == 8
+        assert all(r.compute_cycles > 0 for r in reports)
+
+    def test_bound_classification(self):
+        reports = mapping_report(NETWORK_SPECS["alexnet"](), LP_CONFIG)
+        kinds = {r.kind: r.bound for r in reports}
+        assert kinds["fc"] == "weights"
+        assert kinds["conv"] in ("compute", "mapping")
+
+    def test_bottleneck_report_alexnet(self):
+        text = bottleneck_report(NETWORK_SPECS["alexnet"](), LP_CONFIG)
+        assert "DRAM-bound" in text
+        assert "frames/s" in text
+
+    def test_bottleneck_report_dramless(self):
+        spec = NETWORK_SPECS["lenet5"]()
+        conv_only = NetworkSpec("lenet5_conv", spec.conv_layers)
+        text = bottleneck_report(conv_only, ULP_CONFIG)
+        assert "no DRAM" in text

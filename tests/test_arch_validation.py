@@ -1,0 +1,146 @@
+"""Tests for the ISA program linter."""
+
+import pytest
+
+from repro.arch import (LP_CONFIG, ULP_CONFIG, Opcode, Program,
+                        compile_network, lint_program)
+from repro.arch.isa import Unit, barrier_mask
+from repro.networks import NETWORK_SPECS
+
+
+def codes(issues):
+    return [issue.code for issue in issues]
+
+
+class TestCompilerOutputLintsClean:
+    @pytest.mark.parametrize("network", sorted(NETWORK_SPECS))
+    def test_lp_programs_clean(self, network):
+        program = compile_network(NETWORK_SPECS[network](), LP_CONFIG)
+        assert lint_program(program, has_dram=True) == []
+
+    def test_ulp_program_clean(self):
+        program = compile_network(NETWORK_SPECS["lenet5"](), ULP_CONFIG)
+        assert lint_program(program, has_dram=False) == []
+
+    def test_batched_program_clean(self):
+        program = compile_network(NETWORK_SPECS["alexnet"](), LP_CONFIG,
+                                  batch=4)
+        assert lint_program(program, has_dram=True) == []
+
+
+class TestCapacityChecks:
+    def test_lenet_conv_fits_ulp(self):
+        from repro.arch import check_capacity
+        from repro.networks.zoo import NetworkSpec, lenet5_spec
+        spec = NetworkSpec("lenet_conv", lenet5_spec().conv_layers)
+        # The paper's ULP design point: LeNet conv weights (2.55 KB) fit
+        # the 3 KB weight memory and activations fit the scratchpad.
+        assert check_capacity(spec, ULP_CONFIG) == []
+
+    def test_cifar_conv_does_not_fit_ulp(self):
+        from repro.arch import check_capacity
+        from repro.networks.zoo import NetworkSpec, cifar10_cnn_spec
+        spec = NetworkSpec("cifar_conv", cifar10_cnn_spec().conv_layers)
+        assert check_capacity(spec, ULP_CONFIG)
+
+    def test_strict_compile_raises_without_dram(self):
+        from repro.arch import CapacityError
+        from repro.networks.zoo import NetworkSpec, cifar10_cnn_spec
+        spec = NetworkSpec("cifar_conv", cifar10_cnn_spec().conv_layers)
+        with pytest.raises(CapacityError):
+            compile_network(spec, ULP_CONFIG, strict=True)
+
+    def test_strict_compile_fine_with_dram(self):
+        # With DRAM the oversized working sets spill instead of erroring.
+        from repro.networks.zoo import NetworkSpec, cifar10_cnn_spec
+        spec = NetworkSpec("cifar_conv", cifar10_cnn_spec().conv_layers)
+        program = compile_network(spec, LP_CONFIG, strict=True)
+        program.validate()
+
+    def test_bottleneck_report_mentions_capacity(self):
+        from repro.arch import bottleneck_report
+        from repro.networks.zoo import NetworkSpec, cifar10_cnn_spec
+        spec = NetworkSpec("cifar_conv", cifar10_cnn_spec().conv_layers)
+        text = bottleneck_report(spec, ULP_CONFIG)
+        assert "DOES NOT FIT" in text
+
+
+class TestLintFindings:
+    def test_w1_mac_without_weights(self):
+        program = Program()
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        assert "W1" in codes(lint_program(program))
+
+    def test_w2_mac_without_activations(self):
+        program = Program()
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        assert "W2" in codes(lint_program(program))
+
+    def test_w3_double_prefetch(self):
+        program = Program()
+        program.append(Opcode.WGTLD, bytes=100)
+        program.append(Opcode.WGTLD, bytes=100)
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        assert "W3" in codes(lint_program(program, has_dram=True))
+
+    def test_w3_suppressed_without_dram(self):
+        program = Program()
+        program.append(Opcode.WGTLD, bytes=100)
+        program.append(Opcode.WGTLD, bytes=100)
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        assert "W3" not in codes(lint_program(program, has_dram=False))
+
+    def test_w3_cleared_by_dma_barrier(self):
+        program = Program()
+        program.append(Opcode.WGTLD, bytes=100)
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.DMA))
+        program.append(Opcode.WGTLD, bytes=100)
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        assert lint_program(program) == []
+
+    def test_w4_undrained_counters(self):
+        program = Program()
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.BARR, mask=barrier_mask(Unit.MAC))
+        assert "W4" in codes(lint_program(program))
+
+    def test_w5_dangling_load(self):
+        program = Program()
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        program.append(Opcode.WGTRNG, entries=8)
+        assert "W5" in codes(lint_program(program))
+
+    def test_clean_minimal_program(self):
+        program = Program()
+        program.append(Opcode.WGTRNG, entries=8)
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        assert lint_program(program) == []
+
+    def test_issue_str(self):
+        program = Program()
+        program.append(Opcode.ACTRNG, entries=8)
+        program.append(Opcode.MAC, cycles=8)
+        program.append(Opcode.CNTST, entries=1)
+        issue = lint_program(program)[0]
+        assert "W1" in str(issue)
+        assert "@1" in str(issue)

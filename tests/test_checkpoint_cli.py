@@ -1,0 +1,100 @@
+"""Tests for checkpointing and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.networks import lenet5
+from repro.training import Linear, Sequential
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        net = lenet5(or_mode="approx", seed=1)
+        reference = net.state_dict()
+        path = tmp_path / "model.npz"
+        save_checkpoint(net, path, metadata={"epochs": 10})
+        # Scribble over the weights, then restore.
+        for layer in net.layers:
+            for p in layer.params().values():
+                p[...] = 0.123
+        fresh = lenet5(or_mode="approx", seed=99)
+        fresh.load_state_dict({k: np.full_like(v, 0.5)
+                               for k, v in fresh.state_dict().items()})
+        meta = load_checkpoint(fresh, path)
+        assert meta == {"epochs": 10}
+        for key, value in fresh.state_dict().items():
+            assert np.allclose(value, reference[key])
+
+    def test_suffix_added(self, tmp_path):
+        net = Sequential([Linear(4, 2)])
+        save_checkpoint(net, tmp_path / "m.npz")
+        load_checkpoint(net, tmp_path / "m")  # no suffix
+
+    def test_layer_count_mismatch(self, tmp_path):
+        net = Sequential([Linear(4, 2)])
+        save_checkpoint(net, tmp_path / "m.npz")
+        other = Sequential([Linear(4, 2), Linear(2, 2)])
+        with pytest.raises(ValueError):
+            load_checkpoint(other, tmp_path / "m.npz")
+
+    def test_shape_mismatch(self, tmp_path):
+        net = Sequential([Linear(4, 2)])
+        save_checkpoint(net, tmp_path / "m.npz")
+        other = Sequential([Linear(4, 3)])
+        with pytest.raises(ValueError):
+            load_checkpoint(other, tmp_path / "m.npz")
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for argv in (["info"], ["specs"], ["fig4"],
+                     ["perf", "lenet5"], ["breakdown", "--config", "ulp"],
+                     ["compile", "lenet5", "--limit", "5"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    @pytest.mark.parametrize("argv", [
+        ["info"],
+        ["specs"],
+        ["breakdown"],
+        ["breakdown", "--config", "ulp"],
+        ["perf", "lenet5", "--config", "ulp", "--conv-only"],
+        ["perf", "alexnet", "--batch", "4"],
+        ["compile", "lenet5", "--limit", "10"],
+        ["fig4"],
+        ["map", "alexnet"],
+        ["map", "lenet5", "--config", "ulp"],
+        ["trace", "lenet5", "--width", "40"],
+    ])
+    def test_commands_run(self, argv, capsys):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_perf_output_contents(self, capsys):
+        main(["perf", "resnet18"])
+        out = capsys.readouterr().out
+        assert "frames/s" in out
+        assert "utilization" in out
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "googlenet"])
+
+    def test_summary_missing_results(self, tmp_path, capsys):
+        assert main(["summary", "--results", str(tmp_path / "nope")]) == 1
+
+    def test_summary_prints_saved_tables(self, tmp_path, capsys):
+        (tmp_path / "some_table.txt").write_text("hello table\n")
+        assert main(["summary", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "some_table" in out
+        assert "hello table" in out
+
+    def test_trace_gantt_output(self, capsys):
+        main(["trace", "lenet5", "--width", "30"])
+        out = capsys.readouterr().out
+        assert "mac" in out and "%" in out

@@ -1,0 +1,122 @@
+"""Unit + property tests for repro.core.bitstream."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream import (
+    Bitstream,
+    pack_stream,
+    packed_popcount,
+    popcount_bytes,
+    scc,
+    unpack_stream,
+)
+
+bit_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=200).map(
+    lambda bits: np.array(bits, dtype=np.uint8)
+)
+
+
+class TestPacking:
+    @given(bit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_pack_unpack_roundtrip(self, bits):
+        packed = pack_stream(bits)
+        assert np.array_equal(unpack_stream(packed, bits.shape[-1]), bits)
+
+    @given(bit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_packed_popcount_matches_sum(self, bits):
+        assert packed_popcount(pack_stream(bits)) == bits.sum()
+
+    def test_popcount_bytes_table(self):
+        packed = np.array([0x00, 0xFF, 0x0F, 0x01], dtype=np.uint8)
+        assert popcount_bytes(packed).tolist() == [0, 8, 4, 1]
+
+    def test_pack_multidimensional(self):
+        bits = np.ones((3, 4, 16), dtype=np.uint8)
+        packed = pack_stream(bits)
+        assert packed.shape == (3, 4, 2)
+        assert packed_popcount(packed, axis=-1).tolist() == [[16] * 4] * 3
+
+
+class TestBitstream:
+    def test_value(self):
+        assert Bitstream.from_bits([1, 0, 1, 1]).value == 0.75
+
+    def test_constant_streams(self):
+        assert Bitstream.constant(0, 8).value == 0.0
+        assert Bitstream.constant(1, 8).value == 1.0
+
+    def test_and_is_multiplication_shape(self):
+        a = Bitstream.from_bits([1, 1, 0, 0])
+        b = Bitstream.from_bits([1, 0, 1, 0])
+        assert (a & b).bits.tolist() == [1, 0, 0, 0]
+
+    def test_or_saturates(self):
+        a = Bitstream.from_bits([1, 1, 0, 0])
+        b = Bitstream.from_bits([1, 0, 1, 0])
+        assert (a | b).bits.tolist() == [1, 1, 1, 0]
+
+    def test_invert_is_complement(self):
+        a = Bitstream.from_bits([1, 0, 1, 1])
+        assert (~a).value == pytest.approx(0.25)
+
+    def test_xor(self):
+        a = Bitstream.from_bits([1, 1, 0, 0])
+        b = Bitstream.from_bits([1, 0, 1, 0])
+        assert (a ^ b).bits.tolist() == [0, 1, 1, 0]
+
+    def test_concat_averages(self):
+        a = Bitstream.from_bits([1, 1, 1, 1])
+        b = Bitstream.from_bits([0, 0, 0, 0])
+        assert a.concat(b).value == 0.5
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            Bitstream(np.array([0, 2], dtype=np.uint8))
+
+    def test_len_and_eq(self):
+        a = Bitstream.from_bits([1, 0])
+        assert len(a) == 2
+        assert a == Bitstream.from_bits([1, 0])
+        assert a != Bitstream.from_bits([0, 1])
+
+    def test_values_batch(self):
+        b = Bitstream(np.array([[1, 1, 0, 0], [1, 1, 1, 1]], dtype=np.uint8))
+        assert b.values().tolist() == [0.5, 1.0]
+
+    def test_repr_short_stream(self):
+        assert "0.7500" in repr(Bitstream.from_bits([1, 0, 1, 1]))
+
+    @given(bit_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_demorgan(self, bits):
+        a = Bitstream(bits)
+        b = Bitstream(np.roll(bits, 3))
+        assert ~(a & b) == (~a | ~b)
+
+
+class TestScc:
+    def test_identical_streams_fully_correlated(self):
+        rng = np.random.default_rng(0)
+        a = (rng.random(4096) < 0.5).astype(np.uint8)
+        assert scc(a, a) == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_streams_anticorrelated(self):
+        a = np.array([1, 1, 0, 0] * 256, dtype=np.uint8)
+        b = 1 - a
+        assert scc(a, b) == pytest.approx(-1.0, abs=0.05)
+
+    def test_independent_streams_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = (rng.random(1 << 16) < 0.5).astype(np.uint8)
+        b = (rng.random(1 << 16) < 0.5).astype(np.uint8)
+        assert abs(scc(a, b)) < 0.05
+
+    def test_constant_stream_defined(self):
+        a = np.ones(64, dtype=np.uint8)
+        b = np.zeros(64, dtype=np.uint8)
+        assert scc(a, b) == 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.errors — analytic SC error models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    bipolar_length_multiplier,
+    empirical_rms,
+    length_for_rms_bipolar,
+    length_for_rms_unipolar,
+    rms_error_bipolar,
+    rms_error_unipolar,
+)
+from repro.core.sng import StochasticNumberGenerator
+
+
+class TestAnalyticFormulas:
+    def test_unipolar_formula(self):
+        assert rms_error_unipolar(0.5, 100) == pytest.approx(np.sqrt(0.25 / 100))
+
+    def test_bipolar_formula(self):
+        assert rms_error_bipolar(0.5, 100) == pytest.approx(np.sqrt(0.75 / 100))
+
+    def test_unipolar_error_vanishes_at_extremes(self):
+        assert rms_error_unipolar(0.0, 64) == 0
+        assert rms_error_unipolar(1.0, 64) == 0
+
+    def test_error_shrinks_with_length(self):
+        assert rms_error_unipolar(0.5, 400) == rms_error_unipolar(0.5, 100) / 2
+
+    @given(st.floats(0.01, 0.99), st.integers(8, 4096))
+    @settings(max_examples=50, deadline=None)
+    def test_bipolar_always_worse_for_positive_values(self, v, n):
+        # Both errors vanish at v = 1 (the only equality point on (0, 1]).
+        assert rms_error_bipolar(v, n) > rms_error_unipolar(v, n)
+
+
+class TestLengthMultiplier:
+    @given(st.floats(0.001, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_at_least_two(self, v):
+        # The paper's ">= 2X shorter streams" claim: the multiplier
+        # (1 + v) / v is >= 2 everywhere on (0, 1].
+        assert bipolar_length_multiplier(v) >= 2.0
+
+    def test_exactly_two_at_one(self):
+        assert bipolar_length_multiplier(1.0) == pytest.approx(2.0)
+
+    def test_explodes_near_zero(self):
+        assert bipolar_length_multiplier(0.01) > 100
+
+
+class TestLengthForRms:
+    def test_consistency_unipolar(self):
+        n = int(length_for_rms_unipolar(0.5, 0.02))
+        assert rms_error_unipolar(0.5, n) <= 0.02
+
+    def test_consistency_bipolar(self):
+        n = int(length_for_rms_bipolar(0.5, 0.02))
+        assert rms_error_bipolar(0.5, n) <= 0.02
+
+    def test_bipolar_needs_longer_streams(self):
+        v, target = 0.5, 0.05
+        assert length_for_rms_bipolar(v, target) >= 2 * length_for_rms_unipolar(
+            v, target
+        )
+
+
+class TestEmpiricalRms:
+    def test_zero_for_exact(self):
+        assert empirical_rms(np.array([0.5, 0.5]), 0.5) == 0.0
+
+    def test_known_value(self):
+        assert empirical_rms(np.array([0.4, 0.6]), 0.5) == pytest.approx(0.1)
+
+    def test_analytic_model_predicts_measurement(self):
+        # The measured encoding RMS of an ideal-random SNG should track
+        # sqrt(v(1-v)/n) closely.
+        v, n, trials = 0.3, 64, 4000
+        sng = StochasticNumberGenerator(n, scheme="random", seed=0)
+        estimates = sng.generate(np.full(trials, v)).mean(axis=-1)
+        measured = empirical_rms(estimates, v)
+        predicted = float(rms_error_unipolar(v, n))
+        assert measured == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,70 @@
+"""Tests for FSM-based stochastic activation functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.fsm import SaturatingCounterFsm, StochasticTanh, stanh_expected
+from repro.core.sng import StochasticNumberGenerator
+
+
+class TestSaturatingCounterFsm:
+    def test_state_count(self):
+        assert SaturatingCounterFsm(4).num_states == 8
+
+    def test_invalid_states(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterFsm(0)
+
+    def test_all_ones_drives_high(self):
+        fsm = SaturatingCounterFsm(2)
+        out = fsm.run(np.ones(16, dtype=np.uint8))
+        assert out[-8:].all()
+
+    def test_all_zeros_drives_low(self):
+        fsm = SaturatingCounterFsm(2)
+        out = fsm.run(np.zeros(16, dtype=np.uint8))
+        assert not out[-8:].any()
+
+    def test_run_rejects_batch(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterFsm(2).run(np.zeros((2, 8), dtype=np.uint8))
+
+    def test_run_batch_matches_run(self):
+        rng = np.random.default_rng(0)
+        streams = (rng.random((5, 64)) < 0.6).astype(np.uint8)
+        fsm = SaturatingCounterFsm(3)
+        batched = fsm.run_batch(streams)
+        for i in range(5):
+            assert np.array_equal(batched[i], fsm.run(streams[i]))
+
+    def test_initial_state_respected(self):
+        fsm = SaturatingCounterFsm(4)
+        # Starting at the top, a single 1 keeps the output high.
+        out = fsm.run(np.array([1], dtype=np.uint8), initial_state=7)
+        assert out[0] == 1
+        out = fsm.run(np.array([1], dtype=np.uint8), initial_state=0)
+        assert out[0] == 0
+
+
+class TestStochasticTanh:
+    @pytest.mark.parametrize("x", [-0.6, -0.2, 0.2, 0.6])
+    def test_tracks_tanh(self, x):
+        st = StochasticTanh(half_states=3)
+        sng = StochasticNumberGenerator(1 << 13, scheme="random", seed=1)
+        stream = sng.generate(np.array([(x + 1) / 2]))
+        decoded = 2 * st.apply(stream).mean() - 1
+        assert decoded == pytest.approx(stanh_expected(x, 3), abs=0.08)
+
+    def test_odd_symmetry(self):
+        st = StochasticTanh(half_states=4)
+        x = np.linspace(-0.8, 0.8, 9)
+        assert np.allclose(st.expected(x), -st.expected(-x))
+
+    def test_gain_grows_with_states(self):
+        # More FSM states -> steeper tanh.
+        weak = stanh_expected(0.3, 2)
+        strong = stanh_expected(0.3, 8)
+        assert strong > weak
+
+    def test_area_cost_documented(self):
+        assert StochasticTanh.area_cost_vs_relu() >= 2.0

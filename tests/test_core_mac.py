@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.mac — the split-unipolar two-phase MAC.
+
+Includes an exact re-enactment of the paper's Figure 1 worked example:
+a 2-wide MAC with activations (0.75, 0.25), weights (+0.5, -0.5) and
+8-bit phase streams computing (0.75 * 0.5) + (-0.5 * 0.25) = 0.25.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mac import SplitUnipolarMac
+from repro.core.ops import and_multiply, or_accumulate, up_down_counter
+
+
+class TestFigure1Example:
+    """Bit-exact positive/negative phase walk-through of paper Fig. 1."""
+
+    def setup_method(self):
+        # Streams chosen to encode the figure's values exactly in 8 bits
+        # (6/8 = 0.75, 2/8 = 0.25, 4/8 = 0.5) with exact product overlaps.
+        self.act0 = np.array([1, 1, 1, 0, 1, 1, 0, 1], dtype=np.uint8)  # 0.75
+        self.act1 = np.array([1, 0, 0, 0, 1, 0, 0, 0], dtype=np.uint8)  # 0.25
+        self.w0_pos = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8)  # +0.5 on w0
+        self.w1_neg = np.array([1, 1, 0, 1, 0, 1, 0, 0], dtype=np.uint8)  # -0.5 on w1
+
+    def test_positive_phase_counts_up(self):
+        # Phase +: only the positive weight (w0) is ungated.
+        prod = and_multiply(self.act0, self.w0_pos)
+        assert prod.sum() == 3  # ~ 0.75 * 0.5 * 8 clocks
+
+    def test_negative_phase_counts_down(self):
+        # Phase -: mask inverts, only the negative weight (w1) flows.
+        prod = and_multiply(self.act1, self.w1_neg)
+        assert prod.sum() == 1  # ~ 0.25 * 0.5 * 8 clocks
+
+    def test_counter_result(self):
+        pos = and_multiply(self.act0, self.w0_pos)
+        neg = and_multiply(self.act1, self.w1_neg)
+        counter = up_down_counter(pos, neg)
+        assert counter == 2
+        assert counter / 8 == pytest.approx(0.25)  # the figure's result
+
+    def test_or_accumulation_of_single_products_is_identity(self):
+        # With one ungated product per phase, OR accumulation passes it
+        # through unchanged.
+        prod = and_multiply(self.act0, self.w0_pos)
+        assert np.array_equal(or_accumulate(prod[None, :]), prod)
+
+
+class TestSplitUnipolarMac:
+    def test_two_wide_example_statistics(self):
+        mac = SplitUnipolarMac(length=2048, scheme="random", seed=1)
+        result = mac.compute(np.array([0.75, 0.25]), np.array([0.5, -0.5]))
+        assert result.raw_value == pytest.approx(0.25, abs=0.04)
+
+    def test_counter_consistency(self):
+        mac = SplitUnipolarMac(length=128, seed=2)
+        result = mac.compute(np.array([0.5, 0.5]), np.array([0.25, -0.75]))
+        assert result.raw_value == result.counter / 128
+
+    def test_expected_or_saturation(self):
+        mac = SplitUnipolarMac(length=128)
+        acts = np.array([0.8, 0.8])
+        wgts = np.array([0.9, 0.9])
+        # OR expectation: 1 - (1 - .72)^2 = 0.9216, NOT the sum 1.44.
+        assert mac.expected(acts, wgts) == pytest.approx(1 - 0.28**2)
+
+    def test_matches_expected_at_long_streams(self):
+        mac = SplitUnipolarMac(length=4096, scheme="random", seed=3)
+        rng = np.random.default_rng(0)
+        acts = rng.uniform(0, 1, 8)
+        wgts = rng.uniform(-1, 1, 8)
+        result = mac.compute(acts, wgts)
+        assert result.estimate == pytest.approx(mac.expected(acts, wgts), abs=0.05)
+
+    def test_relu_clamps_negative_outputs(self):
+        mac = SplitUnipolarMac(length=512, scheme="random", seed=1)
+        result = mac.compute(np.array([0.9]), np.array([-0.9]))
+        assert result.estimate < 0
+        assert result.relu_estimate == 0.0
+
+    def test_trace_recorded_on_request(self):
+        mac = SplitUnipolarMac(length=64, seed=1)
+        result = mac.compute(np.array([0.5, 0.5]), np.array([0.5, -0.5]),
+                             record_trace=True)
+        trace = result.trace
+        assert trace is not None
+        assert trace.activation_streams.shape == (2, 64)
+        # Positive-phase products must be silent for negative weights.
+        assert trace.weight_pos_streams[1].sum() == 0
+        assert trace.weight_neg_streams[0].sum() == 0
+
+    def test_trace_omitted_by_default(self):
+        mac = SplitUnipolarMac(length=64)
+        assert mac.compute(np.array([0.5]), np.array([0.5])).trace is None
+
+    def test_negative_activation_rejected(self):
+        mac = SplitUnipolarMac(length=64)
+        with pytest.raises(ValueError):
+            mac.compute(np.array([-0.1]), np.array([0.5]))
+
+    def test_unnormalized_inputs_rejected(self):
+        mac = SplitUnipolarMac(length=64)
+        with pytest.raises(ValueError):
+            mac.compute(np.array([1.5]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            mac.compute(np.array([0.5]), np.array([-1.5]))
+
+    def test_shape_mismatch_rejected(self):
+        mac = SplitUnipolarMac(length=64)
+        with pytest.raises(ValueError):
+            mac.compute(np.array([0.5, 0.5]), np.array([0.5]))
+
+    @pytest.mark.parametrize("accumulator", ["or", "mux", "apc"])
+    def test_all_accumulators_run(self, accumulator):
+        mac = SplitUnipolarMac(length=256, accumulator=accumulator, seed=1)
+        result = mac.compute(np.array([0.3, 0.6]), np.array([0.5, -0.25]))
+        assert np.isfinite(result.estimate)
+
+    def test_apc_accumulator_is_exact_sum(self):
+        mac = SplitUnipolarMac(length=4096, scheme="random", accumulator="apc",
+                               seed=5)
+        acts = np.array([0.5, 0.5, 0.5, 0.5])
+        wgts = np.array([0.5, 0.5, -0.5, -0.25])
+        result = mac.compute(acts, wgts)
+        assert result.estimate == pytest.approx(float(acts @ wgts), abs=0.05)

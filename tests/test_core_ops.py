@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.ops — single-gate SC arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import ops
+from repro.core.sng import StochasticNumberGenerator
+
+streams_2d = arrays(
+    np.uint8, (4, 64), elements=st.integers(0, 1)
+)
+
+
+class TestAndMultiply:
+    def test_exact_on_known_bits(self):
+        a = np.array([1, 1, 0, 0], dtype=np.uint8)
+        b = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert ops.and_multiply(a, b).tolist() == [1, 0, 0, 0]
+
+    def test_statistical_product(self):
+        sng_a = StochasticNumberGenerator(2048, scheme="random", seed=0)
+        sng_b = StochasticNumberGenerator(2048, scheme="random", seed=1)
+        a = sng_a.generate_one(0.5)
+        b = sng_b.generate_one(0.4)
+        assert ops.and_multiply(a, b).mean() == pytest.approx(0.2, abs=0.04)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ops.and_multiply(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+
+class TestXnorMultiply:
+    def test_bipolar_product(self):
+        # bipolar: value v maps to density (v+1)/2.  XNOR of streams for
+        # va=0.5, vb=-0.5 should decode to -0.25.
+        sng_a = StochasticNumberGenerator(4096, scheme="random", seed=0)
+        sng_b = StochasticNumberGenerator(4096, scheme="random", seed=1)
+        a = sng_a.generate_one(0.75)  # va = +0.5
+        b = sng_b.generate_one(0.25)  # vb = -0.5
+        out = ops.xnor_multiply(a, b)
+        decoded = 2 * out.mean() - 1
+        assert decoded == pytest.approx(-0.25, abs=0.05)
+
+    def test_output_is_binary(self):
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        out = ops.xnor_multiply(a, b)
+        assert set(out.tolist()) <= {0, 1}
+        assert out.tolist() == [1, 0, 0, 1]
+
+
+class TestMuxAdd:
+    def test_selects_between_inputs(self):
+        a = np.ones(4, dtype=np.uint8)
+        b = np.zeros(4, dtype=np.uint8)
+        sel = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert ops.mux_add(a, b, sel).tolist() == [1, 0, 1, 0]
+
+    def test_scaled_addition(self):
+        rng = np.random.default_rng(0)
+        a = (rng.random(8192) < 0.8).astype(np.uint8)
+        b = (rng.random(8192) < 0.2).astype(np.uint8)
+        sel = (rng.random(8192) < 0.5).astype(np.uint8)
+        assert ops.mux_add(a, b, sel).mean() == pytest.approx(0.5, abs=0.03)
+
+
+class TestMuxAccumulate:
+    def test_decodes_to_mean(self):
+        rng = np.random.default_rng(0)
+        values = np.array([0.1, 0.3, 0.5, 0.7])
+        streams = np.stack([(rng.random(1 << 14) < v) for v in values]).astype(np.uint8)
+        out = ops.mux_accumulate(streams, rng=np.random.default_rng(1))
+        assert out.mean() == pytest.approx(values.mean(), abs=0.02)
+
+    def test_output_shape(self):
+        streams = np.zeros((5, 3, 32), dtype=np.uint8)
+        assert ops.mux_accumulate(streams, axis=0).shape == (3, 32)
+
+
+class TestOrAccumulate:
+    def test_exact_on_known_bits(self):
+        streams = np.array([[1, 0, 0], [0, 1, 0]], dtype=np.uint8)
+        assert ops.or_accumulate(streams).tolist() == [1, 1, 0]
+
+    def test_matches_expectation(self):
+        rng = np.random.default_rng(0)
+        values = np.full(16, 0.05)
+        streams = np.stack([(rng.random(1 << 14) < v) for v in values]).astype(np.uint8)
+        expected = ops.or_expected(values)
+        assert ops.or_accumulate(streams).mean() == pytest.approx(expected, abs=0.02)
+
+    def test_saturates_at_one(self):
+        streams = np.ones((100, 64), dtype=np.uint8)
+        assert ops.or_accumulate(streams).mean() == 1.0
+
+    @given(streams_2d)
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_inputs(self, streams):
+        # OR output density is >= any input density and <= their sum.
+        out = ops.or_accumulate(streams)
+        densities = streams.mean(axis=-1)
+        assert out.mean() >= densities.max() - 1e-12
+        assert out.mean() <= min(1.0, densities.sum()) + 1e-12
+
+
+class TestOrExpected:
+    def test_two_inputs(self):
+        # v1 + v2 - v1*v2 per the paper's Sec. II-B formula.
+        assert ops.or_expected(np.array([0.3, 0.5])) == pytest.approx(
+            0.3 + 0.5 - 0.15
+        )
+
+    def test_monotone_saturation(self):
+        wide = ops.or_expected(np.full(1000, 0.01))
+        assert 0.99 < wide <= 1.0
+
+
+class TestApcAccumulate:
+    def test_exact_popcount(self):
+        streams = np.array([[1, 0], [1, 1], [0, 1]], dtype=np.uint8)
+        assert ops.apc_accumulate(streams).tolist() == [2, 2]
+
+    def test_decodes_to_sum(self):
+        rng = np.random.default_rng(0)
+        values = np.array([0.2, 0.4, 0.6])
+        streams = np.stack([(rng.random(1 << 14) < v) for v in values]).astype(np.uint8)
+        mean_count = ops.apc_accumulate(streams).mean()
+        assert mean_count == pytest.approx(values.sum(), abs=0.05)
+
+
+class TestCounters:
+    def test_up_down_counter(self):
+        pos = np.array([1, 1, 1, 0], dtype=np.uint8)
+        neg = np.array([1, 0, 0, 0], dtype=np.uint8)
+        assert ops.up_down_counter(pos, neg) == 2
+
+    def test_up_down_counter_batch(self):
+        pos = np.ones((3, 8), dtype=np.uint8)
+        neg = np.zeros((3, 8), dtype=np.uint8)
+        assert ops.up_down_counter(pos, neg).tolist() == [8, 8, 8]
+
+    def test_counter_relu_clamps_negative(self):
+        counts = np.array([-5, 0, 7])
+        assert ops.counter_relu(counts).tolist() == [0, 0, 7]

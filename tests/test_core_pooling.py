@@ -1,0 +1,148 @@
+"""Unit + property tests for repro.core.pooling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pooling import (
+    StochasticMaxPoolFsm,
+    concat_pool_counter,
+    mux_average_pool,
+    skip_factor,
+    skipped_average_pool,
+)
+from repro.core.sng import StochasticNumberGenerator
+
+
+class TestSkipFactor:
+    def test_paper_range(self):
+        # "4x to 9x, depending on the pooling window size" (Sec. II-C).
+        assert skip_factor(2, 2) == 4
+        assert skip_factor(3, 3) == 9
+
+    def test_rectangular(self):
+        assert skip_factor(2, 3) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            skip_factor(0, 2)
+
+
+class TestSkippedAveragePool:
+    def test_concatenation_is_exact_average(self):
+        # Short streams of length n/k concatenate into a length-n stream
+        # whose density is exactly the mean of the input densities.
+        short = np.array(
+            [[1, 1, 1, 1], [0, 0, 0, 0], [1, 1, 0, 0], [1, 0, 0, 0]],
+            dtype=np.uint8,
+        )
+        pooled = skipped_average_pool(short)
+        assert pooled.shape == (16,)
+        assert pooled.mean() == pytest.approx(short.mean())
+
+    def test_batched(self):
+        short = np.zeros((4, 10, 8), dtype=np.uint8)  # k=4 windows, batch 10
+        pooled = skipped_average_pool(short, axis=0)
+        assert pooled.shape == (10, 32)
+
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_density_always_mean(self, k, short_len):
+        rng = np.random.default_rng(k * 100 + short_len)
+        short = (rng.random((k, short_len)) < 0.5).astype(np.uint8)
+        pooled = skipped_average_pool(short)
+        assert pooled.mean() == pytest.approx(short.mean(axis=-1).mean())
+
+    def test_matches_mux_average_in_expectation(self):
+        values = np.array([0.2, 0.4, 0.6, 0.8])
+        length = 4096
+        sng = StochasticNumberGenerator(length, scheme="random", seed=0)
+        full = sng.generate(values)
+        mux = mux_average_pool(full, rng=np.random.default_rng(1))
+        sng_short = StochasticNumberGenerator(length // 4, scheme="random", seed=2)
+        short = sng_short.generate(values)
+        skipped = skipped_average_pool(short)
+        assert skipped.mean() == pytest.approx(mux.mean(), abs=0.03)
+        assert skipped.mean() == pytest.approx(values.mean(), abs=0.02)
+
+    def test_computes_quarter_of_the_bits(self):
+        # The whole point: the conv pass behind a 2x2 pool only produces
+        # n/4 bits per window input.
+        n, k = 256, 4
+        short = np.zeros((k, n // k), dtype=np.uint8)
+        assert skipped_average_pool(short).shape[-1] == n
+        assert short.size == n  # vs k * n = 1024 bits for the MUX version
+
+
+class TestConcatPoolCounter:
+    def test_counter_sums_window_counts(self):
+        counts = np.array([10, 20, 30, 40])
+        assert concat_pool_counter(counts) == 100
+
+    def test_counter_average_semantics(self):
+        # Each pass contributes n/k clocks; the un-reset counter divided
+        # by the full length n gives the window average.
+        n, k = 128, 4
+        values = np.array([0.25, 0.5, 0.75, 1.0])
+        per_pass_counts = (values * (n // k)).astype(int)
+        total = concat_pool_counter(per_pass_counts)
+        assert total / n == pytest.approx(values.mean())
+
+    def test_batched_windows(self):
+        counts = np.arange(12).reshape(4, 3)
+        assert concat_pool_counter(counts, axis=0).tolist() == [18, 22, 26]
+
+
+class TestMuxAveragePool:
+    def test_decodes_to_mean(self):
+        values = np.array([0.1, 0.9])
+        sng = StochasticNumberGenerator(1 << 14, scheme="random", seed=0)
+        streams = sng.generate(values)
+        # The select source must be independent of the stream source —
+        # see test_correlated_select_biases_result.
+        out = mux_average_pool(streams, rng=np.random.default_rng(1234))
+        assert out.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_correlated_select_biases_result(self):
+        # A select sequence drawn from the same generator state as the
+        # input streams is correlated with them and visibly biases the
+        # scaled addition — the classic SC correlation failure mode, and
+        # the reason ACOUSTIC regenerates randomness per layer.
+        values = np.array([0.1, 0.9])
+        sng = StochasticNumberGenerator(1 << 14, scheme="random", seed=0)
+        streams = sng.generate(values)
+        out = mux_average_pool(streams, rng=np.random.default_rng(0))
+        assert abs(out.mean() - 0.5) > 0.03
+
+
+class TestStochasticMaxPoolFsm:
+    def test_tracks_the_larger_input(self):
+        values = np.array([0.2, 0.9])
+        sng = StochasticNumberGenerator(4096, scheme="random", seed=0)
+        streams = sng.generate(values)
+        out = StochasticMaxPoolFsm().pool(streams)
+        assert out.mean() == pytest.approx(0.9, abs=0.08)
+
+    def test_equal_inputs(self):
+        sng = StochasticNumberGenerator(4096, scheme="random", seed=1)
+        streams = sng.generate(np.array([0.5, 0.5]))
+        out = StochasticMaxPoolFsm().pool(streams)
+        assert out.mean() == pytest.approx(0.5, abs=0.08)
+
+    def test_window_of_four(self):
+        values = np.array([0.1, 0.3, 0.5, 0.7])
+        sng = StochasticNumberGenerator(4096, scheme="random", seed=2)
+        out = StochasticMaxPoolFsm().pool(sng.generate(values))
+        assert out.mean() == pytest.approx(0.7, abs=0.1)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            StochasticMaxPoolFsm().pool(np.zeros((2, 2, 8), dtype=np.uint8))
+
+    def test_area_multiplier_matches_paper(self):
+        # "2X more expensive in area/power than average pooling".
+        assert StochasticMaxPoolFsm.area_multiplier() == pytest.approx(2.0)

@@ -1,0 +1,140 @@
+"""Unit + property tests for repro.core.representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.representation import (
+    BipolarCodec,
+    SplitUnipolarCodec,
+    UnipolarCodec,
+    merge_split,
+    split_value,
+)
+from repro.core.sng import StochasticNumberGenerator
+
+signed_arrays = arrays(
+    np.float64,
+    st.integers(1, 20),
+    elements=st.floats(-1, 1, allow_nan=False, width=32),
+)
+
+
+def make_sng(length=512, seed=1):
+    return StochasticNumberGenerator(length, scheme="lfsr", seed=seed)
+
+
+class TestSplitValue:
+    @given(signed_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_components_nonnegative(self, values):
+        parts = split_value(values)
+        assert np.all(parts.pos >= 0)
+        assert np.all(parts.neg >= 0)
+
+    @given(signed_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_reconstructs(self, values):
+        parts = split_value(values)
+        assert np.allclose(merge_split(parts.pos, parts.neg), values)
+
+    @given(signed_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_one_component_zero(self, values):
+        # Paper: "For a positive weight value, its corresponding negative
+        # stream is 0, and vice-versa."
+        parts = split_value(values)
+        assert np.all((parts.pos == 0) | (parts.neg == 0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            split_value(np.array([1.5]))
+
+
+class TestUnipolarCodec:
+    def test_roundtrip(self):
+        codec = UnipolarCodec(make_sng())
+        values = np.array([0.1, 0.5, 0.9])
+        decoded = codec.decode(codec.encode(values))
+        assert np.allclose(decoded, values, atol=0.06)
+
+    def test_range_check(self):
+        codec = UnipolarCodec(make_sng(16))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([-0.1]))
+
+
+class TestBipolarCodec:
+    def test_roundtrip(self):
+        codec = BipolarCodec(make_sng())
+        values = np.array([-0.8, -0.2, 0.0, 0.4, 0.9])
+        decoded = codec.decode(codec.encode(values))
+        assert np.allclose(decoded, values, atol=0.12)
+
+    def test_zero_maps_to_half_density(self):
+        codec = BipolarCodec(make_sng(1024))
+        stream = codec.encode(np.array([0.0]))
+        assert abs(stream.mean() - 0.5) < 0.05
+
+    def test_range_check(self):
+        codec = BipolarCodec(make_sng(16))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([1.1]))
+
+
+class TestSplitUnipolarCodec:
+    def test_roundtrip_signed(self):
+        codec = SplitUnipolarCodec(make_sng())
+        values = np.array([-0.9, -0.3, 0.0, 0.25, 0.7])
+        decoded = codec.decode(codec.encode(values))
+        assert np.allclose(decoded, values, atol=0.06)
+
+    def test_phase_and_total_length(self):
+        codec = SplitUnipolarCodec(make_sng(128))
+        # The paper counts both temporal phases: "256 long stream
+        # implies 128x2".
+        assert codec.phase_length == 128
+        assert codec.total_length == 256
+
+    def test_positive_value_has_silent_negative_stream(self):
+        codec = SplitUnipolarCodec(make_sng(64))
+        enc = codec.encode(np.array([0.5]))
+        assert enc.neg.sum() == 0
+        assert enc.pos.sum() > 0
+
+    def test_negative_value_has_silent_positive_stream(self):
+        codec = SplitUnipolarCodec(make_sng(64))
+        enc = codec.encode(np.array([-0.5]))
+        assert enc.pos.sum() == 0
+        assert enc.neg.sum() > 0
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 10),
+            elements=st.floats(-1, 1, allow_nan=False, width=32),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_decode_error_bounded(self, values):
+        codec = SplitUnipolarCodec(make_sng(1024))
+        decoded = codec.decode(codec.encode(values))
+        assert np.all(np.abs(decoded - values) < 0.1)
+
+    def test_unipolar_beats_bipolar_at_same_length(self):
+        # Empirical version of the paper's ">= 2x shorter streams" claim:
+        # at equal stream length the unipolar path has lower RMS error.
+        length = 64
+        values = np.linspace(0.1, 0.9, 40)
+        uni_err = []
+        bip_err = []
+        for seed in range(1, 21):
+            uni = SplitUnipolarCodec(make_sng(length, seed=seed))
+            bip = BipolarCodec(make_sng(length, seed=seed))
+            uni_err.append(np.abs(uni.decode(uni.encode(values)) - values))
+            bip_err.append(np.abs(bip.decode(bip.encode(values)) - values))
+        uni_rms = np.sqrt(np.mean(np.square(uni_err)))
+        bip_rms = np.sqrt(np.mean(np.square(bip_err)))
+        assert uni_rms < bip_rms

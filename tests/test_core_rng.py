@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.rng — LFSRs and threshold sources."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.rng import (
+    MAXIMAL_TAPS,
+    Lfsr,
+    LfsrSource,
+    NumpyRandomSource,
+    VanDerCorputSource,
+    make_source,
+)
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("width", [3, 4, 8, 12, 16])
+    def test_maximal_period(self, width):
+        lfsr = Lfsr(width, seed=1)
+        seen = set()
+        for _ in range(lfsr.period):
+            seen.add(lfsr.step())
+        assert len(seen) == (1 << width) - 1
+        assert 0 not in seen
+
+    def test_state_returns_to_seed_after_period(self):
+        lfsr = Lfsr(8, seed=37)
+        for _ in range(lfsr.period):
+            lfsr.step()
+        assert lfsr.state == 37
+
+    def test_sequence_matches_step(self):
+        a = Lfsr(8, seed=5)
+        b = Lfsr(8, seed=5)
+        seq = a.sequence(50)
+        stepped = [b.step() for _ in range(50)]
+        assert list(seq) == stepped
+
+    def test_sequence_advances_state(self):
+        lfsr = Lfsr(8, seed=5)
+        first = lfsr.sequence(10)
+        second = lfsr.sequence(10)
+        assert list(first) != list(second)
+
+    def test_reset(self):
+        lfsr = Lfsr(8, seed=11)
+        lfsr.sequence(17)
+        lfsr.reset()
+        assert lfsr.state == 11
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=0)
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(4, seed=16)
+
+    def test_unknown_width_without_taps_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(2)
+
+    def test_custom_taps_accepted(self):
+        lfsr = Lfsr(5, seed=1, taps=(5, 3))
+        assert lfsr.taps == (5, 3)
+
+    def test_all_tap_tables_are_maximal(self):
+        # Exhaustively verify the smaller registers cycle through all states.
+        for width in [w for w in MAXIMAL_TAPS if w <= 12]:
+            lfsr = Lfsr(width, seed=1)
+            states = lfsr.sequence(lfsr.period)
+            assert len(set(states.tolist())) == lfsr.period, f"width {width}"
+
+
+class TestLfsrSource:
+    def test_shape_and_range(self):
+        src = LfsrSource(bits=8, seed=1)
+        thr = src.thresholds(5, 100)
+        assert thr.shape == (5, 100)
+        assert thr.min() >= 0 and thr.max() < 256
+
+    def test_deterministic(self):
+        a = LfsrSource(bits=8, seed=3).thresholds(4, 64)
+        b = LfsrSource(bits=8, seed=3).thresholds(4, 64)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = LfsrSource(bits=8, seed=3).thresholds(4, 64)
+        b = LfsrSource(bits=8, seed=4).thresholds(4, 64)
+        assert not np.array_equal(a, b)
+
+    def test_lanes_distinct(self):
+        thr = LfsrSource(bits=8, seed=1).thresholds(8, 128)
+        for i, j in itertools.combinations(range(8), 2):
+            assert not np.array_equal(thr[i], thr[j])
+
+    def test_lane_uniformity(self):
+        # Each lane should cover thresholds roughly uniformly.
+        thr = LfsrSource(bits=8, seed=1).thresholds(16, 4096)
+        means = thr.mean(axis=1)
+        assert np.all(np.abs(means - 127.5) < 8)
+
+    def test_width_narrower_than_bits_rejected(self):
+        with pytest.raises(ValueError):
+            LfsrSource(bits=8, width=4)
+
+    def test_wraps_beyond_period(self):
+        src = LfsrSource(bits=8, width=8, seed=1)
+        thr = src.thresholds(1, 2 * 255)
+        assert np.array_equal(thr[0, :255], thr[0, 255:])
+
+
+class TestNumpyRandomSource:
+    def test_shape_and_determinism(self):
+        a = NumpyRandomSource(bits=8, seed=0).thresholds(3, 50)
+        b = NumpyRandomSource(bits=8, seed=0).thresholds(3, 50)
+        assert a.shape == (3, 50)
+        assert np.array_equal(a, b)
+
+    def test_range(self):
+        thr = NumpyRandomSource(bits=4, seed=0).thresholds(2, 1000)
+        assert thr.min() >= 0 and thr.max() < 16
+
+
+class TestVanDerCorputSource:
+    def test_lane_is_equidistributed_over_period(self):
+        src = VanDerCorputSource(bits=8, seed=1)
+        thr = src.thresholds(3, 256)
+        for lane in range(3):
+            assert len(set(thr[lane].tolist())) == 256
+
+    def test_lanes_distinct(self):
+        thr = VanDerCorputSource(bits=8, seed=1).thresholds(6, 64)
+        for i, j in itertools.combinations(range(6), 2):
+            assert not np.array_equal(thr[i], thr[j])
+
+    def test_bit_reverse(self):
+        vals = np.array([0b0001, 0b1000, 0b1100], dtype=np.uint32)
+        rev = VanDerCorputSource._bit_reverse(vals, 4)
+        assert rev.tolist() == [0b1000, 0b0001, 0b0011]
+
+
+class TestMakeSource:
+    @pytest.mark.parametrize(
+        "scheme,cls",
+        [
+            ("lfsr", LfsrSource),
+            ("random", NumpyRandomSource),
+            ("vdc", VanDerCorputSource),
+            ("LFSR", LfsrSource),
+        ],
+    )
+    def test_dispatch(self, scheme, cls):
+        assert isinstance(make_source(scheme), cls)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_source("quantum")

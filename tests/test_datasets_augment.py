@@ -1,0 +1,100 @@
+"""Tests for the data augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (Augmenter, additive_noise, cutout, random_flip,
+                            random_shift)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.uniform(0, 1, (8, 3, 16, 16))
+
+
+class TestRandomShift:
+    def test_shape_preserved(self, batch, rng):
+        assert random_shift(batch, 3, rng).shape == batch.shape
+
+    def test_zero_shift_identity(self, batch, rng):
+        assert np.array_equal(random_shift(batch, 0, rng), batch)
+
+    def test_content_moves(self, rng):
+        images = np.zeros((1, 1, 8, 8))
+        images[0, 0, 4, 4] = 1.0
+        shifted = random_shift(images, 3, np.random.default_rng(3))
+        assert shifted.sum() in (0.0, 1.0)  # pixel moved or shifted out
+        if shifted.sum() == 1.0:
+            y, x = np.argwhere(shifted[0, 0])[0]
+            assert abs(y - 4) <= 3 and abs(x - 4) <= 3
+
+    def test_zero_padding(self, rng):
+        images = np.ones((4, 1, 8, 8))
+        shifted = random_shift(images, 4, rng)
+        # Shifting a constant image must introduce zero borders somewhere.
+        assert shifted.min() == 0.0
+
+
+class TestRandomFlip:
+    def test_probability_one_flips_all(self, batch, rng):
+        flipped = random_flip(batch, rng, probability=1.0)
+        assert np.array_equal(flipped, batch[:, :, :, ::-1])
+
+    def test_probability_zero_identity(self, batch, rng):
+        assert np.array_equal(random_flip(batch, rng, probability=0.0),
+                              batch)
+
+    def test_double_flip_identity(self, batch):
+        once = random_flip(batch, np.random.default_rng(5), probability=1.0)
+        twice = random_flip(once, np.random.default_rng(5), probability=1.0)
+        assert np.array_equal(twice, batch)
+
+
+class TestAdditiveNoise:
+    def test_range_clipped(self, batch, rng):
+        noisy = additive_noise(batch, 0.5, rng)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+    def test_zero_sigma_identity(self, batch, rng):
+        assert np.array_equal(additive_noise(batch, 0.0, rng), batch)
+
+    def test_noise_magnitude(self, rng):
+        images = np.full((4, 1, 32, 32), 0.5)
+        noisy = additive_noise(images, 0.05, rng)
+        assert (noisy - 0.5).std() == pytest.approx(0.05, rel=0.2)
+
+
+class TestCutout:
+    def test_zeroes_a_square(self, rng):
+        images = np.ones((2, 3, 16, 16))
+        cut = cutout(images, 4, rng)
+        zeros_per_image = (cut == 0).reshape(2, -1).sum(axis=1)
+        assert np.all(zeros_per_image == 3 * 16)
+
+    def test_original_untouched(self, batch, rng):
+        before = batch.copy()
+        cutout(batch, 4, rng)
+        assert np.array_equal(batch, before)
+
+
+class TestAugmenter:
+    def test_composition_runs(self, batch):
+        aug = Augmenter(shift=2, flip=True, noise=0.02, cutout_size=3,
+                        seed=0)
+        out = aug(batch)
+        assert out.shape == batch.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_noop_configuration(self, batch):
+        aug = Augmenter()
+        assert np.array_equal(aug(batch), batch)
+
+    def test_deterministic_by_seed(self, batch):
+        a = Augmenter(shift=2, noise=0.05, seed=7)(batch)
+        b = Augmenter(shift=2, noise=0.05, seed=7)(batch)
+        assert np.array_equal(a, b)

@@ -1,0 +1,94 @@
+"""Hypothesis property tests on the bitstream simulation engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.simulator.engine import (bipolar_mux_matmul_counts,
+                                    split_or_matmul_counts)
+
+act_matrices = arrays(
+    np.float64, st.tuples(st.integers(1, 6), st.integers(1, 12)),
+    elements=st.floats(0, 1, allow_nan=False, width=16),
+)
+
+
+def weights_like(acts, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    return rng.uniform(-1, 1, (3, acts.shape[1]))
+
+
+class TestSplitOrCountsProperties:
+    @given(act_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_counts_bounded_by_length(self, acts):
+        weights = weights_like(acts)
+        length = 64
+        counts = split_or_matmul_counts(acts, weights, length=length,
+                                        bits=8, scheme="lfsr", seed=1)
+        # OR output density is in [0, 1] per phase, so the signed
+        # counter lies in [-length, length].
+        assert counts.min() >= -length
+        assert counts.max() <= length
+
+    @given(act_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_all_positive_weights_nonnegative_counts(self, acts):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0, 1, (2, acts.shape[1]))
+        counts = split_or_matmul_counts(acts, weights, length=64, bits=8,
+                                        scheme="lfsr", seed=1)
+        assert counts.min() >= 0
+
+    @given(act_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_activations_zero_counts(self, acts):
+        weights = weights_like(acts)
+        counts = split_or_matmul_counts(np.zeros_like(acts), weights,
+                                        length=64, bits=8, scheme="lfsr",
+                                        seed=1)
+        assert not counts.any()
+
+    @given(act_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_weights_zero_counts(self, acts):
+        weights = np.zeros((2, acts.shape[1]))
+        counts = split_or_matmul_counts(acts, weights, length=64, bits=8,
+                                        scheme="lfsr", seed=1)
+        assert not counts.any()
+
+    @given(act_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_weight_negation_flips_counts_statistically(self, acts):
+        # Negating every weight swaps the roles of the two phases.  The
+        # phases use independent stream seeds, so the flip is exact only
+        # in expectation; the residual is stochastic and bounded.
+        length = 256
+        weights = weights_like(acts)
+        a = split_or_matmul_counts(acts, weights, length=length, bits=8,
+                                   scheme="lfsr", seed=1)
+        b = split_or_matmul_counts(acts, -weights, length=length, bits=8,
+                                   scheme="lfsr", seed=1)
+        assert np.abs(a + b).max() <= 0.35 * length
+
+
+class TestBipolarCountsProperties:
+    @given(act_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_counts_within_stream_length(self, acts):
+        weights = weights_like(acts)
+        length = 64
+        counts = bipolar_mux_matmul_counts(acts, weights, length=length,
+                                           bits=8, scheme="lfsr", seed=1)
+        assert counts.min() >= 0
+        assert counts.max() <= length
+
+    @given(act_matrices)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, acts):
+        weights = weights_like(acts)
+        kwargs = dict(length=64, bits=8, scheme="lfsr", seed=3)
+        a = bipolar_mux_matmul_counts(acts, weights, **kwargs)
+        b = bipolar_mux_matmul_counts(acts, weights, **kwargs)
+        assert np.array_equal(a, b)

@@ -1,0 +1,59 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least byte-compile; the fast ones run end-to-end
+in a subprocess so their output paths stay exercised.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "isa_and_control.py",
+                 "edge_deployment_study.py", "explore_design_space.py"]
+
+
+class TestExamplesCompile:
+    def test_examples_exist(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert {"quickstart.py", "train_and_simulate_mnist.py",
+                "edge_deployment_study.py", "isa_and_control.py",
+                "residual_and_training_models.py",
+                "explore_design_space.py"} <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_byte_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                           doraise=True)
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_cleanly(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert result.returncode == 0, result.stderr[-1500:]
+        assert result.stdout.strip()
+
+    def test_quickstart_shows_fig1_result(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert "0.25" in result.stdout  # the Fig. 1 MAC value
+
+    def test_mnist_example_fast_flag_parses(self):
+        # Only check the CLI surface (the full run is minutes long).
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "train_and_simulate_mnist.py"),
+             "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "--fast" in result.stdout

@@ -1,0 +1,200 @@
+"""Tests for the extension features beyond the paper's core results:
+
+- residual connections (training + SC simulation), which the paper's ISA
+  claims to support;
+- the second-order OR training model (the paper's stated ongoing work on
+  "better but computationally tractable approximations");
+- batched inference in the performance simulator (weight-reuse batching
+  the paper mentions for FC layers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import LP_CONFIG, compile_network, simulate_network
+from repro.networks import NETWORK_SPECS, tiny_resnet
+from repro.simulator import SCConfig, SCNetwork, SCResidual
+from repro.training import (Adam, CrossEntropyLoss, Residual, SplitOrConv2d,
+                            SplitOrLinear, Sequential, Trainer, ReLU,
+                            approximation2_error, approximation_error,
+                            or_approx2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def numerical_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestResidualTraining:
+    def make_block(self, rng):
+        return Residual([SplitOrConv2d(4, 4, 3, padding=1, rng=rng), ReLU()])
+
+    def test_forward_adds_skip(self, rng):
+        block = self.make_block(rng)
+        x = rng.uniform(0, 1, (2, 4, 6, 6))
+        out = block.forward(x, training=False)
+        body = x.copy()
+        for layer in block.body:
+            body = layer.forward(body, training=False)
+        assert np.allclose(out, x + body)
+
+    def test_shape_mismatch_rejected(self, rng):
+        block = Residual([SplitOrConv2d(4, 8, 3, padding=1, rng=rng)])
+        with pytest.raises(ValueError):
+            block.forward(rng.uniform(0, 1, (1, 4, 6, 6)))
+
+    def test_gradients(self, rng):
+        block = self.make_block(rng)
+        x = rng.uniform(0.01, 0.99, (1, 4, 5, 5))
+        out = block.forward(x, training=True)
+        dout = rng.standard_normal(out.shape)
+        dx = block.backward(dout)
+
+        def loss():
+            return float((block.forward(x, training=False) * dout).sum())
+
+        gx = numerical_grad(loss, x)
+        assert np.abs(gx - dx).max() / (np.abs(gx).max() + 1e-12) < 1e-5
+
+    def test_params_exposed_for_optimizer(self, rng):
+        block = self.make_block(rng)
+        params = block.params()
+        assert any("weight" in k for k in params)
+        # Constraint propagates into the body.
+        for p in params.values():
+            p[...] = 5.0
+        block.constrain()
+        assert all(p.max() <= 1.0 for p in block.params().values())
+
+    def test_tiny_resnet_trains(self, rng):
+        # End-to-end: a residual network must learn a simple task.
+        net = tiny_resnet(or_mode="approx", seed=1)
+        x = rng.uniform(0, 1, (128, 3, 32, 32))
+        # Label = brightest-quadrant class: easy but non-trivial.
+        quads = np.stack([
+            x[:, :, :16, :16].mean(axis=(1, 2, 3)),
+            x[:, :, :16, 16:].mean(axis=(1, 2, 3)),
+            x[:, :, 16:, :16].mean(axis=(1, 2, 3)),
+            x[:, :, 16:, 16:].mean(axis=(1, 2, 3)),
+        ], axis=1)
+        y = np.argmax(quads, axis=1)
+        trainer = Trainer(net, Adam(net.layers, lr=3e-3),
+                          loss=CrossEntropyLoss(logit_gain=8.0))
+        history = trainer.fit(x, y, epochs=15, batch_size=32)
+        assert history.train_accuracy[-1] > 0.5
+
+
+class TestResidualSimulation:
+    def test_conversion_produces_sc_residual(self, rng):
+        net = tiny_resnet(or_mode="approx", seed=0)
+        sc = SCNetwork.from_trained(net, SCConfig(phase_length=16))
+        kinds = [type(l).__name__ for l in sc.layers]
+        assert kinds.count("SCResidual") == 2
+
+    def test_sc_residual_tracks_float(self, rng):
+        body = [SplitOrConv2d(3, 3, 3, padding=1, rng=rng), ReLU()]
+        for layer in body:
+            if hasattr(layer, "weight"):
+                layer.weight[...] = rng.uniform(-0.3, 0.3, layer.weight.shape)
+        block = Residual(body)
+        x = rng.uniform(0, 0.45, (1, 3, 6, 6))
+        float_out = block.forward(x, training=False)
+        sc_net = SCNetwork.from_trained(
+            Sequential([block]), SCConfig(phase_length=4096, scheme="random")
+        )
+        sc_out = sc_net.forward(x)
+        assert np.abs(sc_out - float_out).max() < 0.1
+
+
+class TestSecondOrderOrModel:
+    def test_tighter_than_first_order(self, rng):
+        t = rng.uniform(0, 0.15, (100, 128))
+        assert approximation2_error(t).max() < approximation_error(t).max()
+
+    def test_exact_for_single_term_regime(self):
+        # For one product, exact OR = t; check the model's residual is
+        # third-order small.
+        t = np.array([[0.2]])
+        err = float(approximation2_error(t)[0])
+        assert err < 0.2**3
+
+    def test_or_approx2_reduces_to_first_order_at_q0(self):
+        s = np.linspace(0, 3, 7)
+        from repro.training import or_approx
+        assert np.allclose(or_approx2(s, np.zeros_like(s)), or_approx(s))
+
+    @pytest.mark.parametrize("cls,args", [
+        (SplitOrConv2d, (2, 3, 3)),
+        (SplitOrLinear, (8, 4)),
+    ])
+    def test_layer_mode_runs_and_is_bounded(self, rng, cls, args):
+        layer = cls(*args, or_mode="approx2", rng=rng)
+        x = rng.uniform(0, 1, (2, 2, 5, 5)) if cls is SplitOrConv2d \
+            else rng.uniform(0, 1, (3, 8))
+        out = layer.forward(x, training=True)
+        layer.backward(np.ones_like(out))
+        assert out.min() >= -1 and out.max() <= 1
+
+    def test_approx2_closer_to_exact_layer(self, rng):
+        x = rng.uniform(0, 1, (2, 8))
+        weights = rng.uniform(-0.5, 0.5, (4, 8))
+        outs = {}
+        for mode in ("approx", "approx2", "exact"):
+            layer = SplitOrLinear(8, 4, or_mode=mode,
+                                  rng=np.random.default_rng(1))
+            layer.weight[...] = weights
+            outs[mode] = layer.forward(x, training=False)
+        err1 = np.abs(outs["approx"] - outs["exact"]).max()
+        err2 = np.abs(outs["approx2"] - outs["exact"]).max()
+        assert err2 < err1
+
+
+class TestBatchedPerfSim:
+    def test_batch_amortizes_weight_traffic(self):
+        spec = NETWORK_SPECS["alexnet"]()
+        single = simulate_network(spec, LP_CONFIG, batch=1)
+        batched = simulate_network(spec, LP_CONFIG, batch=8)
+        assert batched.dram_bytes < single.dram_bytes / 4
+        assert batched.frames_per_s > 2 * single.frames_per_s
+
+    def test_compute_heavy_network_benefits_less(self):
+        alexnet_gain = (
+            simulate_network(NETWORK_SPECS["alexnet"](), LP_CONFIG).latency_s
+            / simulate_network(NETWORK_SPECS["alexnet"](), LP_CONFIG,
+                               batch=8).latency_s
+        )
+        cifar_gain = (
+            simulate_network(NETWORK_SPECS["cifar10_cnn"](),
+                             LP_CONFIG).latency_s
+            / simulate_network(NETWORK_SPECS["cifar10_cnn"](), LP_CONFIG,
+                               batch=8).latency_s
+        )
+        # AlexNet (weight-traffic bound) gains far more from batching
+        # than the compute-dominated CIFAR CNN.
+        assert alexnet_gain > 2 * cifar_gain
+        assert cifar_gain >= 0.95  # batching never hurts per-frame latency
+
+    def test_batched_program_validates(self):
+        program = compile_network(NETWORK_SPECS["lenet5"](), LP_CONFIG,
+                                  batch=4)
+        program.validate()
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            compile_network(NETWORK_SPECS["lenet5"](), LP_CONFIG, batch=0)

@@ -1,0 +1,144 @@
+"""End-to-end integration and fuzz tests of the full pipeline.
+
+Exercises the complete flow the examples use — dataset -> train ->
+quantize -> functional SC simulation -> performance simulation — on
+small instances, plus a randomized sweep over network shapes that must
+never crash or produce out-of-range values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import LP_CONFIG, ULP_CONFIG, compile_network, simulate_network
+from repro.datasets import synthetic_mnist
+from repro.networks import lenet5
+from repro.networks.zoo import LayerSpec, NetworkSpec
+from repro.simulator import FixedPointNetwork, SCConfig, SCNetwork
+from repro.training import (Adam, AvgPool2d, CrossEntropyLoss, Flatten,
+                            ReLU, Sequential, SplitOrConv2d, SplitOrLinear,
+                            Trainer, save_checkpoint, load_checkpoint)
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        (x_train, y_train), (x_test, y_test) = synthetic_mnist(
+            n_train=900, n_test=120, seed=0
+        )
+        net = lenet5(or_mode="approx", seed=1, stream_length=64)
+        trainer = Trainer(net, Adam(net.layers, lr=3e-3),
+                          loss=CrossEntropyLoss(logit_gain=8.0))
+        trainer.fit(x_train, y_train, epochs=6, batch_size=64)
+        return net, x_test, y_test
+
+    def test_training_reaches_useful_accuracy(self, trained):
+        net, x_test, y_test = trained
+        assert net.accuracy(x_test, y_test) > 0.7
+
+    def test_fixed_point_close_to_float(self, trained):
+        net, x_test, y_test = trained
+        float_acc = net.accuracy(x_test, y_test)
+        fp_acc = FixedPointNetwork(net).accuracy(x_test, y_test)
+        assert abs(float_acc - fp_acc) < 0.1
+
+    def test_sc_simulation_tracks_fixed_point(self, trained):
+        net, x_test, y_test = trained
+        fp_acc = FixedPointNetwork(net).accuracy(x_test[:60], y_test[:60])
+        sc = SCNetwork.from_trained(net, SCConfig(phase_length=128))
+        sc_acc = sc.accuracy(x_test[:60], y_test[:60])
+        assert sc_acc > fp_acc - 0.15
+
+    def test_checkpoint_roundtrip_preserves_sc_accuracy(self, trained,
+                                                        tmp_path):
+        net, x_test, y_test = trained
+        save_checkpoint(net, tmp_path / "lenet.npz", metadata={"v": 1})
+        clone = lenet5(or_mode="approx", seed=2, stream_length=64)
+        load_checkpoint(clone, tmp_path / "lenet.npz")
+        a = SCNetwork.from_trained(net, SCConfig(phase_length=64, seed=5))
+        b = SCNetwork.from_trained(clone, SCConfig(phase_length=64, seed=5))
+        xa = x_test[:20]
+        assert np.allclose(a.forward(xa), b.forward(xa))
+
+    def test_perf_model_consistent_with_functional_shapes(self, trained):
+        # The perf-model spec and the trainable model must agree on layer
+        # shapes (guards against zoo drift).
+        from repro.networks.zoo import lenet5_spec
+        spec = lenet5_spec()
+        net, _, _ = trained
+        conv_layers = [l for l in net.layers
+                       if isinstance(l, SplitOrConv2d)]
+        assert conv_layers[0].weight.shape == (6, 1, 5, 5)
+        assert spec.layers[0].out_channels == 6
+        assert spec.layers[1].out_channels == 16
+        result = simulate_network(spec, LP_CONFIG)
+        assert result.latency_s > 0
+
+
+small_net_shapes = st.tuples(
+    st.integers(1, 3),    # input channels
+    st.sampled_from([8, 12, 16]),  # input size
+    st.integers(2, 6),    # conv channels
+    st.integers(2, 5),    # classes
+)
+
+
+class TestFuzzedNetworks:
+    @given(small_net_shapes)
+    @settings(max_examples=10, deadline=None)
+    def test_random_small_network_end_to_end(self, shape):
+        cin, size, channels, classes = shape
+        rng = np.random.default_rng(0)
+        net = Sequential([
+            SplitOrConv2d(cin, channels, 3, padding=1,
+                          rng=np.random.default_rng(1)),
+            AvgPool2d(2), ReLU(),
+            Flatten(),
+            SplitOrLinear(channels * (size // 2) ** 2, classes,
+                          rng=np.random.default_rng(2)),
+        ])
+        x = rng.uniform(0, 1, (3, cin, size, size))
+        # Train step must run.
+        loss = CrossEntropyLoss(logit_gain=4.0)
+        logits = net.forward(x, training=True)
+        loss.forward(logits, rng.integers(0, classes, 3))
+        net.backward(loss.backward())
+        # SC conversion and forward must run and stay in range.
+        sc = SCNetwork.from_trained(net, SCConfig(phase_length=16))
+        out = sc.forward(x)
+        assert out.shape == (3, classes)
+        assert np.all(np.abs(out) <= 1.0)
+
+    @given(
+        st.integers(1, 64), st.integers(1, 64),
+        st.sampled_from([1, 3, 5]), st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_spec_compiles_and_simulates(self, cin, cout, kernel,
+                                                pool):
+        in_size = 16
+        out_size = in_size - kernel + 1
+        if pool > 1 and out_size % pool:
+            pool = 1
+        spec = NetworkSpec("fuzz", [
+            LayerSpec("conv", cin, cout, kernel=kernel, in_size=in_size,
+                      pool=pool),
+            LayerSpec("fc", cout * max(1, (out_size // pool)) ** 2, 4),
+        ])
+        program = compile_network(spec, LP_CONFIG)
+        program.validate()
+        result = simulate_network(spec, LP_CONFIG)
+        assert result.latency_s > 0
+        assert result.energy_j > 0
+
+    @given(st.sampled_from([LP_CONFIG, ULP_CONFIG]),
+           st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_batching_never_slows_per_frame(self, config, batch):
+        spec = NetworkSpec("tiny", [
+            LayerSpec("conv", 1, 6, kernel=5, in_size=28, pool=2),
+        ])
+        single = simulate_network(spec, config, batch=1)
+        batched = simulate_network(spec, config, batch=batch)
+        assert batched.latency_s <= single.latency_s * 1.05

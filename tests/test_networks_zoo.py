@@ -1,0 +1,124 @@
+"""Tests for the network zoo: trainable builders and layer specs."""
+
+import numpy as np
+import pytest
+
+from repro.networks import (NETWORK_SPECS, LayerSpec, alexnet_spec,
+                            cifar10_cnn, cifar10_cnn_spec, lenet5,
+                            lenet5_spec, resnet18_spec, svhn_cnn, vgg16_spec)
+from repro.training.layers import Conv2d, SplitOrConv2d
+
+
+class TestTrainableBuilders:
+    def test_lenet5_forward_shape(self):
+        net = lenet5(or_mode="approx", seed=0)
+        out = net.forward(np.random.default_rng(0).uniform(0, 1, (2, 1, 28, 28)),
+                          training=False)
+        assert out.shape == (2, 10)
+
+    def test_cifar10_cnn_forward_shape(self):
+        net = cifar10_cnn(or_mode="approx", seed=0)
+        out = net.forward(np.random.default_rng(0).uniform(0, 1, (2, 3, 32, 32)),
+                          training=False)
+        assert out.shape == (2, 10)
+
+    def test_svhn_shares_topology(self):
+        a = [type(l).__name__ for l in svhn_cnn(seed=0)]
+        b = [type(l).__name__ for l in cifar10_cnn(seed=0)]
+        assert a == b
+
+    def test_or_mode_none_builds_conventional_layers(self):
+        net = lenet5(or_mode="none", seed=0)
+        assert isinstance(net.layers[0], Conv2d)
+        assert net.layers[0].bias is None  # bias-free for SC parity
+
+    def test_or_mode_approx_builds_split_layers(self):
+        net = lenet5(or_mode="approx", seed=0)
+        assert isinstance(net.layers[0], SplitOrConv2d)
+
+    def test_stream_length_threaded(self):
+        net = lenet5(or_mode="approx", seed=0, stream_length=64)
+        assert net.layers[0].stream_length == 64
+
+    def test_pool_precedes_relu(self):
+        # Hardware counters accumulate pooling before the conversion-time
+        # ReLU, so SC network blocks must be conv -> pool -> relu.
+        names = [type(l).__name__ for l in lenet5(seed=0)]
+        conv = names.index("SplitOrConv2d")
+        assert names[conv + 1] == "AvgPool2d"
+        assert names[conv + 2] == "ReLU"
+
+
+class TestLayerSpec:
+    def test_conv_shapes(self):
+        spec = LayerSpec("conv", 3, 96, kernel=11, stride=4, in_size=227)
+        assert spec.out_size == 55
+        assert spec.fan_in == 3 * 121
+        assert spec.macs == 55 * 55 * 96 * 363
+
+    def test_grouped_conv(self):
+        plain = LayerSpec("conv", 96, 256, kernel=5, padding=2, in_size=27)
+        grouped = LayerSpec("conv", 96, 256, kernel=5, padding=2, in_size=27,
+                            groups=2)
+        assert grouped.macs == plain.macs // 2
+        assert grouped.weight_count == plain.weight_count // 2
+
+    def test_fc_properties(self):
+        spec = LayerSpec("fc", 4096, 1000)
+        assert spec.macs == 4096 * 1000
+        assert spec.weight_count == 4096 * 1000
+        assert spec.out_size == 1
+
+    def test_pooled_output_activations(self):
+        spec = LayerSpec("conv", 1, 6, kernel=5, in_size=28, pool=2)
+        assert spec.out_size == 24
+        assert spec.output_activations == 6 * 12 * 12
+
+
+class TestNetworkSpecs:
+    def test_registry_complete(self):
+        assert set(NETWORK_SPECS) == {
+            "lenet5", "cifar10_cnn", "alexnet", "vgg16", "resnet18"
+        }
+
+    def test_alexnet_mac_count(self):
+        # ~0.72 GMACs with grouped convolutions (conv 666M + fc 58.6M).
+        spec = alexnet_spec()
+        assert spec.total_macs == pytest.approx(0.72e9, rel=0.05)
+
+    def test_alexnet_weight_count(self):
+        # ~61M parameters.
+        assert alexnet_spec().total_weights == pytest.approx(61e6, rel=0.05)
+
+    def test_vgg16_mac_count(self):
+        # ~15.5 GMACs.
+        assert vgg16_spec().total_macs == pytest.approx(15.5e9, rel=0.05)
+
+    def test_vgg16_weight_count(self):
+        # ~138M parameters.
+        assert vgg16_spec().total_weights == pytest.approx(138e6, rel=0.05)
+
+    def test_resnet18_mac_count(self):
+        # ~1.8 GMACs.
+        assert resnet18_spec().total_macs == pytest.approx(1.8e9, rel=0.1)
+
+    def test_resnet18_has_single_small_fc(self):
+        # The property that makes ResNet-18 ACOUSTIC-friendly (Sec. IV-D).
+        fc = resnet18_spec().fc_layers
+        assert len(fc) == 1
+        assert fc[0].weight_count == 512 * 1000
+
+    def test_lenet5_spec_consistent_with_builder(self):
+        spec = lenet5_spec()
+        assert spec.layers[0].out_size == 24
+        assert spec.layers[1].out_size == 8
+
+    def test_cifar_spec_fc_matches_conv_output(self):
+        spec = cifar10_cnn_spec()
+        last_conv = spec.conv_layers[-1]
+        pooled = (last_conv.out_size // last_conv.pool) ** 2
+        assert spec.fc_layers[0].in_channels == last_conv.out_channels * pooled
+
+    def test_conv_fc_partition(self):
+        spec = alexnet_spec()
+        assert len(spec.conv_layers) + len(spec.fc_layers) == len(spec.layers)

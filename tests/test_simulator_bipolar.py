@@ -1,0 +1,113 @@
+"""Tests for the bipolar XNOR/MUX datapath (prior-work baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import SCConfig, SCNetwork
+from repro.simulator.engine import bipolar_mux_matmul_counts
+from repro.training import Linear, ReLU, Sequential
+
+
+class TestBipolarMuxEngine:
+    def test_estimates_scaled_sum(self):
+        rng = np.random.default_rng(0)
+        acts = rng.uniform(0, 1, (10, 8))
+        weights = rng.uniform(-1, 1, (3, 8))
+        length = 1 << 14
+        counts = bipolar_mux_matmul_counts(acts, weights, length=length,
+                                           bits=8, scheme="random", seed=1)
+        est = 2 * counts / length - 1
+        target = (acts @ weights.T) / 8
+        assert np.abs(est - target).max() < 0.05
+
+    def test_counts_shape(self):
+        counts = bipolar_mux_matmul_counts(np.full((4, 6), 0.5),
+                                           np.full((2, 6), 0.5),
+                                           length=64, bits=8, scheme="lfsr",
+                                           seed=1)
+        assert counts.shape == (4, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bipolar_mux_matmul_counts(np.zeros((2, 3)), np.zeros((2, 4)),
+                                      length=8, bits=8, scheme="lfsr", seed=1)
+
+    def test_error_grows_with_fan_in_at_fixed_length(self):
+        # The MUX scaling problem: at fixed stream length, wider
+        # accumulations estimate sums with errors amplified by k.
+        rng = np.random.default_rng(1)
+        length = 256
+        errors = {}
+        for k in (8, 64, 512):
+            acts = rng.uniform(0, 1, (40, k))
+            weights = rng.uniform(-1, 1, (1, k))
+            counts = bipolar_mux_matmul_counts(acts, weights, length=length,
+                                               bits=8, scheme="random",
+                                               seed=2)
+            est_sum = (2 * counts / length - 1) * k
+            errors[k] = float(np.abs(est_sum - acts @ weights.T).mean())
+        assert errors[8] < errors[64] < errors[512]
+
+
+class TestBipolarNetworkMode:
+    def make_net(self, rng):
+        net = Sequential([Linear(8, 6, bias=False, rng=rng), ReLU(),
+                          Linear(6, 3, bias=False, rng=rng)])
+        for layer in net.layers:
+            if hasattr(layer, "weight"):
+                layer.weight[...] = np.clip(layer.weight, -1, 1)
+        return net
+
+    def test_config_accepts_representation(self):
+        SCConfig(representation="bipolar")
+        with pytest.raises(ValueError):
+            SCConfig(representation="ternary")
+
+    def test_bipolar_forward_runs(self):
+        rng = np.random.default_rng(0)
+        net = self.make_net(rng)
+        sc = SCNetwork.from_trained(
+            net, SCConfig(phase_length=64, representation="bipolar")
+        )
+        out = sc.forward(rng.uniform(0, 1, (4, 8)))
+        assert out.shape == (4, 3)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_bipolar_tracks_scaled_float_at_long_streams(self):
+        rng = np.random.default_rng(0)
+        net = self.make_net(rng)
+        x = rng.uniform(0, 1, (3, 8))
+        sc = SCNetwork.from_trained(
+            net, SCConfig(phase_length=1 << 13, scheme="random",
+                          representation="bipolar")
+        )
+        sc_out = sc.forward(x)
+        # Float forward with the same per-layer 1/k scaling (and the
+        # ReLU path's clipping/quantization is mild here).
+        h = np.maximum((x @ net.layers[0].weight.T) / 8, 0)
+        expected = (h @ net.layers[2].weight.T) / 6
+        assert np.abs(sc_out - expected).max() < 0.05
+
+    def test_bipolar_noisier_than_split_unipolar(self):
+        # The Sec. II-A/B claim, end to end: at equal total stream
+        # length, the bipolar/MUX pipeline's outputs fluctuate more than
+        # ACOUSTIC's OR-unipolar pipeline relative to their respective
+        # infinite-length targets.
+        rng = np.random.default_rng(0)
+        net = self.make_net(rng)
+        x = rng.uniform(0, 1, (6, 8))
+
+        def spread(representation):
+            outs = []
+            for seed in range(1, 6):
+                config = SCConfig(phase_length=32, scheme="lfsr", seed=seed,
+                                  representation=representation)
+                outs.append(SCNetwork.from_trained(net, config).forward(x))
+            outs = np.stack(outs)
+            return float(outs.std(axis=0).mean())
+
+        # Normalize by each pipeline's own output scale (bipolar carries
+        # 1/k shrinkage).
+        bip = spread("bipolar") * 8 * 6
+        uni = spread("split-unipolar")
+        assert bip > uni

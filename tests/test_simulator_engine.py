@@ -1,0 +1,115 @@
+"""Tests for the bitstream simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import (encode_packed, popcount_packed,
+                                    split_or_matmul_counts)
+
+
+class TestPopcountPacked:
+    def test_known_bytes(self):
+        packed = np.array([0xFF, 0x00, 0x0F], dtype=np.uint8)
+        assert popcount_packed(packed) == 12
+
+    def test_axis(self):
+        packed = np.array([[0xFF, 0xFF], [0x01, 0x00]], dtype=np.uint8)
+        assert popcount_packed(packed, axis=-1).tolist() == [16, 1]
+
+
+class TestEncodePacked:
+    def test_shape(self):
+        out = encode_packed(np.full((3, 4), 0.5), 128, 8, "lfsr", seed=1)
+        assert out.shape == (3, 4, 16)
+
+    def test_density(self):
+        out = encode_packed(np.full(100, 0.25), 256, 8, "lfsr", seed=1)
+        densities = popcount_packed(out, axis=-1) / 256
+        assert abs(densities.mean() - 0.25) < 0.02
+
+    def test_deterministic(self):
+        a = encode_packed(np.array([0.3]), 64, 8, "lfsr", seed=5)
+        b = encode_packed(np.array([0.3]), 64, 8, "lfsr", seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestSplitOrMatmulCounts:
+    def test_shapes_and_types(self):
+        acts = np.full((10, 8), 0.5)
+        weights = np.full((3, 8), 0.25)
+        counts = split_or_matmul_counts(acts, weights, length=64, bits=8,
+                                        scheme="lfsr", seed=1)
+        assert counts.shape == (10, 3)
+        assert counts.dtype == np.int64
+
+    def test_positive_weights_give_positive_counts(self):
+        acts = np.full((4, 4), 0.8)
+        weights = np.full((2, 4), 0.5)
+        counts = split_or_matmul_counts(acts, weights, length=256, bits=8,
+                                        scheme="lfsr", seed=1)
+        assert np.all(counts > 0)
+
+    def test_negative_weights_give_negative_counts(self):
+        acts = np.full((4, 4), 0.8)
+        weights = np.full((2, 4), -0.5)
+        counts = split_or_matmul_counts(acts, weights, length=256, bits=8,
+                                        scheme="lfsr", seed=1)
+        assert np.all(counts < 0)
+
+    def test_or_matches_expectation(self):
+        rng = np.random.default_rng(0)
+        acts = rng.uniform(0, 1, (20, 16))
+        weights = rng.uniform(-1, 1, (4, 16))
+        length = 2048
+        counts = split_or_matmul_counts(acts, weights, length=length, bits=8,
+                                        scheme="random", seed=1)
+        measured = counts / length
+        pos = 1 - np.prod(1 - acts[:, None, :] * np.maximum(weights, 0)[None],
+                          axis=-1)
+        neg = 1 - np.prod(1 - acts[:, None, :] * np.maximum(-weights, 0)[None],
+                          axis=-1)
+        assert np.abs(measured - (pos - neg)).max() < 0.06
+
+    def test_apc_matches_linear_sum(self):
+        rng = np.random.default_rng(1)
+        acts = rng.uniform(0, 1, (10, 8))
+        weights = rng.uniform(-1, 1, (3, 8))
+        length = 4096
+        counts = split_or_matmul_counts(acts, weights, length=length, bits=8,
+                                        scheme="random", seed=2,
+                                        accumulator="apc")
+        measured = counts / length
+        assert np.abs(measured - acts @ weights.T).max() < 0.15
+
+    def test_mux_matches_scaled_sum(self):
+        rng = np.random.default_rng(2)
+        acts = rng.uniform(0.2, 1, (10, 8))
+        weights = rng.uniform(0.2, 1, (3, 8))
+        length = 1 << 14
+        counts = split_or_matmul_counts(acts, weights, length=length, bits=8,
+                                        scheme="random", seed=3,
+                                        accumulator="mux")
+        measured = counts / length * acts.shape[1]
+        assert np.abs(measured - acts @ weights.T).max() < 0.6
+
+    def test_unknown_accumulator_rejected(self):
+        with pytest.raises(ValueError):
+            split_or_matmul_counts(np.zeros((1, 2)), np.zeros((1, 2)),
+                                   length=8, bits=8, scheme="lfsr", seed=1,
+                                   accumulator="parallel")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            split_or_matmul_counts(np.zeros((2, 3)), np.zeros((2, 4)),
+                                   length=8, bits=8, scheme="lfsr", seed=1)
+
+    def test_chunking_invariance(self):
+        rng = np.random.default_rng(3)
+        acts = rng.uniform(0, 1, (50, 8))
+        weights = rng.uniform(-1, 1, (2, 8))
+        kwargs = dict(length=64, bits=8, scheme="lfsr", seed=9)
+        a = split_or_matmul_counts(acts, weights, chunk_positions=7, **kwargs)
+        b = split_or_matmul_counts(acts, weights, chunk_positions=50, **kwargs)
+        # Different chunking re-seeds activation lanes differently, so the
+        # bitstreams differ, but decoded values must agree statistically.
+        assert np.abs(a - b).max() / 64 < 0.25

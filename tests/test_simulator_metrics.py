@@ -1,0 +1,107 @@
+"""Tests for the classification metrics module and Trainer augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Augmenter
+from repro.simulator.metrics import (confusion_matrix, evaluate_classifier,
+                                     per_class_accuracy, top_k_accuracy)
+from repro.training import Adam, Linear, Sequential, Trainer
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_diagonal(self):
+        y = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(y, y)
+        assert np.array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        preds = np.array([1, 1, 0])
+        targets = np.array([0, 1, 0])
+        matrix = confusion_matrix(preds, targets)
+        assert matrix[0, 1] == 1  # true 0 predicted 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_explicit_num_classes(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]),
+                                  num_classes=5)
+        assert matrix.shape == (5, 5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        matrix = np.array([[3, 1], [0, 4]])
+        acc = per_class_accuracy(matrix)
+        assert acc[0] == pytest.approx(0.75)
+        assert acc[1] == pytest.approx(1.0)
+
+    def test_absent_class_nan(self):
+        matrix = np.array([[2, 0], [0, 0]])
+        acc = per_class_accuracy(matrix)
+        assert np.isnan(acc[1])
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        targets = np.array([0, 1, 1])
+        assert top_k_accuracy(logits, targets, k=1) == pytest.approx(2 / 3)
+
+    def test_topk_saturates(self):
+        logits = np.random.default_rng(0).standard_normal((10, 4))
+        targets = np.random.default_rng(1).integers(0, 4, 10)
+        assert top_k_accuracy(logits, targets, k=4) == 1.0
+
+    def test_k_larger_than_classes_clamped(self):
+        logits = np.array([[0.5, 0.5]])
+        assert top_k_accuracy(logits, np.array([1]), k=10) == 1.0
+
+
+class TestEvaluateClassifier:
+    class _Stub:
+        def forward(self, x):
+            # Classify by argmax of the first two features.
+            return x[:, :3]
+
+    def test_full_report(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((30, 5))
+        y = np.argmax(x[:, :3], axis=1)
+        report = evaluate_classifier(self._Stub(), x, y, batch_size=7)
+        assert report["accuracy"] == 1.0
+        assert report["top_k"] == 1.0
+        assert report["confusion"].trace() == 30
+        assert np.nanmin(report["per_class"]) == 1.0
+
+
+class TestTrainerAugmentation:
+    def test_augmenter_applied(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Linear(4, 2, rng=rng)])
+        trainer = Trainer(net, Adam(net.layers, lr=1e-3))
+        calls = []
+
+        def spy(batch):
+            calls.append(batch.shape[0])
+            return batch
+
+        x = rng.standard_normal((20, 4))
+        y = rng.integers(0, 2, 20)
+        trainer.fit(x, y, epochs=2, batch_size=10, augmenter=spy)
+        assert sum(calls) == 40  # every batch of both epochs
+
+    def test_augmenter_object_compatible(self):
+        rng = np.random.default_rng(0)
+        from repro.networks import lenet5
+        net = lenet5(or_mode="approx", seed=0)
+        trainer = Trainer(net, Adam(net.layers, lr=1e-3))
+        x = rng.uniform(0, 1, (16, 1, 28, 28))
+        y = rng.integers(0, 10, 16)
+        history = trainer.fit(x, y, epochs=1, batch_size=8,
+                              augmenter=Augmenter(shift=2, noise=0.02))
+        assert len(history.train_loss) == 1

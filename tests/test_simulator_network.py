@@ -1,0 +1,228 @@
+"""Tests for the functional SC simulator layers and network conversion."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (FixedPointNetwork, SCAvgPool, SCConfig, SCConv2d,
+                             SCFlatten, SCLinear, SCNetwork, SCReLU)
+from repro.training import (AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d,
+                            ReLU, Sequential, SplitOrConv2d, SplitOrLinear)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSCConfig:
+    def test_total_length(self):
+        assert SCConfig(phase_length=128).total_length == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SCConfig(phase_length=0)
+        with pytest.raises(ValueError):
+            SCConfig(accumulator="tree")
+
+    def test_layer_seeds_distinct(self):
+        cfg = SCConfig(seed=7)
+        seeds = {cfg.layer_seed(i, p) for i in range(10) for p in range(2)}
+        assert len(seeds) == 20
+
+
+class TestSCLayers:
+    def test_conv_weight_validation(self):
+        with pytest.raises(ValueError):
+            SCConv2d(np.full((2, 1, 3, 3), 2.0))
+        with pytest.raises(ValueError):
+            SCConv2d(np.zeros((2, 3, 3)))
+
+    def test_linear_weight_validation(self):
+        with pytest.raises(ValueError):
+            SCLinear(np.zeros((2, 2, 2)))
+
+    def test_conv_output_shape(self, rng):
+        w = rng.uniform(-0.5, 0.5, (4, 2, 3, 3))
+        layer = SCConv2d(w, padding=1)
+        out = layer.forward(rng.uniform(0, 1, (2, 2, 8, 8)),
+                            SCConfig(phase_length=32), 0)
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_conv_statistics(self, rng):
+        w = rng.uniform(-0.3, 0.3, (2, 1, 3, 3))
+        layer = SCConv2d(w)
+        x = rng.uniform(0, 1, (1, 1, 6, 6))
+        cfg = SCConfig(phase_length=4096, scheme="random")
+        out = layer.forward(x, cfg, 0)
+        # Long streams converge to the exact OR expectation.
+        from repro.training.im2col import im2col
+        cols = im2col(x, 3, 3)
+        w_flat = w.reshape(2, -1)
+        pos = 1 - np.prod(1 - cols[..., None, :] * np.maximum(w_flat, 0),
+                          axis=-1)
+        neg = 1 - np.prod(1 - cols[..., None, :] * np.maximum(-w_flat, 0),
+                          axis=-1)
+        expected = (pos - neg).transpose(0, 3, 1, 2)
+        assert np.abs(out - expected).max() < 0.05
+
+    def test_fused_pool_shape(self, rng):
+        w = rng.uniform(-0.5, 0.5, (3, 1, 3, 3))
+        layer = SCConv2d(w, padding=1, pool_size=2)
+        out = layer.forward(rng.uniform(0, 1, (1, 1, 8, 8)),
+                            SCConfig(phase_length=64), 0)
+        assert out.shape == (1, 3, 4, 4)
+
+    def test_skipping_shortens_passes(self, rng):
+        w = rng.uniform(-0.5, 0.5, (1, 1, 3, 3))
+        cfg_skip = SCConfig(phase_length=64, computation_skipping=True)
+        cfg_full = SCConfig(phase_length=64, computation_skipping=False)
+        layer = SCConv2d(w, padding=1, pool_size=2)
+        assert layer.phase_length(cfg_skip) == 16
+        assert layer.phase_length(cfg_full) == 64
+
+    def test_skipped_pool_accuracy_matches_full(self, rng):
+        # The headline Sec. II-C result: skipping computes 4x fewer bits
+        # yet pooled outputs agree with the full-length MUX-style path.
+        w = rng.uniform(-0.4, 0.4, (2, 1, 3, 3))
+        x = rng.uniform(0, 1, (1, 1, 8, 8))
+        outs = {}
+        for skip in (True, False):
+            cfg = SCConfig(phase_length=1024, scheme="random",
+                           computation_skipping=skip)
+            outs[skip] = SCConv2d(w, padding=1, pool_size=2).forward(x, cfg, 0)
+        assert np.abs(outs[True] - outs[False]).max() < 0.08
+
+    def test_pool_window_must_tile(self, rng):
+        w = rng.uniform(-0.5, 0.5, (1, 1, 3, 3))
+        layer = SCConv2d(w, pool_size=4)  # 8x8 -> 6x6 output, 4 doesn't tile
+        with pytest.raises(ValueError):
+            layer.forward(rng.uniform(0, 1, (1, 1, 8, 8)),
+                          SCConfig(phase_length=64), 0)
+
+    def test_relu_clips_and_quantizes(self):
+        layer = SCReLU()
+        x = np.array([-0.5, 0.1234567, 1.5])
+        out = layer.forward(x, SCConfig(), 0)
+        assert out[0] == 0.0
+        assert out[2] == 1.0
+        assert out[1] * 256 == np.round(out[1] * 256)
+
+    def test_standalone_avg_pool(self):
+        layer = SCAvgPool(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x, SCConfig(), 0)
+        assert out[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_flatten(self):
+        out = SCFlatten().forward(np.zeros((2, 3, 4, 4)), SCConfig(), 0)
+        assert out.shape == (2, 48)
+
+
+class TestFromTrained:
+    def make_net(self, rng):
+        return Sequential([
+            SplitOrConv2d(1, 4, 3, rng=rng), AvgPool2d(2), ReLU(),
+            Flatten(),
+            SplitOrLinear(4 * 3 * 3, 5, rng=rng),
+        ])
+
+    def test_conversion_structure(self, rng):
+        sc = SCNetwork.from_trained(self.make_net(rng), SCConfig())
+        kinds = [type(l).__name__ for l in sc.layers]
+        assert kinds == ["SCConv2d", "SCReLU", "SCFlatten", "SCLinear"]
+        assert sc.layers[0].pool_size == 2  # fused
+
+    def test_unfused_pool_kept_standalone(self, rng):
+        net = Sequential([Flatten()])
+        net.layers.insert(0, AvgPool2d(2))
+        sc = SCNetwork.from_trained(net, SCConfig())
+        assert type(sc.layers[0]).__name__ == "SCAvgPool"
+
+    def test_plain_conv_accepted_without_bias(self, rng):
+        net = Sequential([Conv2d(1, 2, 3, bias=False, rng=rng)])
+        net.layers[0].weight[...] = np.clip(net.layers[0].weight, -1, 1)
+        sc = SCNetwork.from_trained(net, SCConfig())
+        assert type(sc.layers[0]).__name__ == "SCConv2d"
+
+    def test_bias_rejected(self, rng):
+        net = Sequential([Conv2d(1, 2, 3, bias=True, rng=rng)])
+        net.layers[0].bias[...] = 1.0
+        with pytest.raises(ValueError):
+            SCNetwork.from_trained(net, SCConfig())
+
+    def test_unsupported_layer_rejected(self, rng):
+        net = Sequential([MaxPool2d(2)])
+        with pytest.raises(TypeError):
+            SCNetwork.from_trained(net, SCConfig())
+
+    def test_forward_shape_and_accuracy_api(self, rng):
+        net = self.make_net(rng)
+        sc = SCNetwork.from_trained(net, SCConfig(phase_length=32))
+        x = rng.uniform(0, 1, (4, 1, 8, 8))
+        logits = sc.forward(x)
+        assert logits.shape == (4, 5)
+        y = rng.integers(0, 5, 4)
+        acc = sc.accuracy(x, y, batch_size=2)
+        assert 0.0 <= acc <= 1.0
+
+    def test_sc_tracks_float_forward(self, rng):
+        # With long streams the SC network's logits track the trained
+        # (approx-OR) float forward closely enough to preserve argmax.
+        net = self.make_net(rng)
+        for layer in net.layers:
+            if hasattr(layer, "weight"):
+                layer.weight[...] = rng.uniform(-0.4, 0.4, layer.weight.shape)
+        x = rng.uniform(0, 1, (3, 1, 8, 8))
+        float_logits = net.forward(x, training=False)
+        sc = SCNetwork.from_trained(
+            net, SCConfig(phase_length=4096, scheme="random")
+        )
+        sc_logits = sc.forward(x)
+        assert np.abs(sc_logits - float_logits).max() < 0.1
+
+
+class TestFixedPointNetwork:
+    def test_quantized_weights_used(self, rng):
+        net = Sequential([Linear(4, 2, bias=False, rng=rng)])
+        net.layers[0].weight[...] = 0.12345
+        fp = FixedPointNetwork(net, bits=4)
+        out = fp.forward(np.eye(4)[:2])
+        # 0.12345 on the 4-bit symmetric grid is 1/8; the activation path
+        # then requantizes the result to the 4-bit unsigned grid.
+        from repro.training.quantize import quantize_unsigned
+        assert out[0, 0] == pytest.approx(
+            float(quantize_unsigned(np.array([1 / 8]), bits=4)[0]), abs=1e-9
+        )
+
+    def test_original_weights_untouched(self, rng):
+        net = Sequential([Linear(4, 2, bias=False, rng=rng)])
+        original = net.layers[0].weight.copy()
+        fp = FixedPointNetwork(net, bits=2)
+        fp.forward(np.zeros((1, 4)))
+        assert np.array_equal(net.layers[0].weight, original)
+
+    def test_accuracy_api(self, rng):
+        net = Sequential([Linear(2, 2, bias=False, rng=rng)])
+        net.layers[0].weight[...] = np.eye(2)
+        fp = FixedPointNetwork(net)
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert fp.accuracy(x, np.array([0, 1])) == 1.0
+
+
+class TestForwardIntermediates:
+    def test_intermediates_returned(self, rng):
+        from repro.training import (AvgPool2d, Flatten, ReLU, Sequential,
+                                    SplitOrConv2d, SplitOrLinear)
+        net = Sequential([
+            SplitOrConv2d(1, 4, 3, rng=rng), AvgPool2d(2), ReLU(),
+            Flatten(),
+            SplitOrLinear(4 * 3 * 3, 5, rng=rng),
+        ])
+        sc = SCNetwork.from_trained(net, SCConfig(phase_length=16))
+        x = rng.uniform(0, 1, (2, 1, 8, 8))
+        logits, intermediates = sc.forward(x, return_intermediates=True)
+        assert len(intermediates) == len(sc.layers)
+        assert np.array_equal(intermediates[-1], logits)
+        # Post-ReLU activations are valid scratchpad contents.
+        relu_out = intermediates[1]
+        assert relu_out.min() >= 0 and relu_out.max() <= 1

@@ -1,0 +1,177 @@
+"""Tests for losses, optimizers, the Sequential container and the Trainer."""
+
+import numpy as np
+import pytest
+
+from repro.training import (SGD, Adam, CrossEntropyLoss, Flatten, Linear,
+                            ReLU, Sequential, SplitOrLinear, Trainer,
+                            quantize_network_weights, quantize_symmetric,
+                            quantize_unsigned, softmax)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 10)))
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_softmax_stability(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_loss_perfect_prediction(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_loss_gradient_numeric(self, rng):
+        loss = CrossEntropyLoss(logit_gain=4.0)
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([0, 3, 2])
+        value = loss.forward(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                logits[i, j] += eps
+                up = loss.forward(logits.copy(), targets)
+                logits[i, j] -= 2 * eps
+                down = loss.forward(logits.copy(), targets)
+                logits[i, j] += eps
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(grad[i, j], abs=1e-4)
+        assert np.isfinite(value)
+
+    def test_uniform_prediction_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        assert loss(logits, np.zeros(4, dtype=int)) == pytest.approx(
+            np.log(10), abs=1e-6
+        )
+
+
+def tiny_regression_layers(rng):
+    return [Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng)]
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("make_opt", [
+        lambda layers: SGD(layers, lr=0.1, momentum=0.9),
+        lambda layers: Adam(layers, lr=0.02),
+    ])
+    def test_decreases_loss(self, rng, make_opt):
+        net = Sequential(tiny_regression_layers(rng))
+        opt = make_opt(net.layers)
+        loss_fn = CrossEntropyLoss()
+        x = rng.standard_normal((32, 4))
+        y = (x[:, 0] > 0).astype(int)
+        first = None
+        for _ in range(30):
+            logits = net.forward(x)
+            loss = loss_fn(logits, y)
+            if first is None:
+                first = loss
+            net.backward(loss_fn.backward())
+            opt.step()
+        assert loss < first * 0.5
+
+    def test_sgd_weight_decay_shrinks_weights(self, rng):
+        layer = Linear(4, 4, rng=rng)
+        layer.dweight[...] = 0.0
+        layer.dbias[...] = 0.0
+        opt = SGD([layer], lr=0.1, momentum=0.0, weight_decay=0.5)
+        before = np.abs(layer.weight).sum()
+        opt.step()
+        assert np.abs(layer.weight).sum() < before
+
+    def test_step_applies_constrain(self, rng):
+        layer = SplitOrLinear(4, 2, rng=rng)
+        layer.weight[...] = 0.999
+        layer.dweight[...] = -10.0  # pushes weights far above 1
+        SGD([layer], lr=1.0, momentum=0.0).step()
+        assert layer.weight.max() <= 1.0
+
+
+class TestSequential:
+    def test_forward_backward_chain(self, rng):
+        net = Sequential(tiny_regression_layers(rng))
+        x = rng.standard_normal((4, 4))
+        out = net.forward(x)
+        assert out.shape == (4, 2)
+        dx = net.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_state_dict_roundtrip(self, rng):
+        net = Sequential(tiny_regression_layers(rng))
+        state = net.state_dict()
+        for layer in net.layers:
+            for p in layer.params().values():
+                p += 1.0
+        net.load_state_dict(state)
+        fresh = Sequential(tiny_regression_layers(np.random.default_rng(0)))
+        for key, value in fresh.state_dict().items():
+            assert np.allclose(state[key], value)
+
+    def test_load_state_dict_shape_check(self, rng):
+        net = Sequential([Linear(4, 2, rng=rng)])
+        bad = {"0.weight": np.zeros((3, 3)), "0.bias": np.zeros(2)}
+        with pytest.raises(ValueError):
+            net.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key(self, rng):
+        net = Sequential([Linear(4, 2, rng=rng)])
+        with pytest.raises(KeyError):
+            net.load_state_dict({})
+
+    def test_predict_and_accuracy(self, rng):
+        net = Sequential([Linear(2, 2, rng=rng)])
+        net.layers[0].weight[...] = np.array([[1.0, 0.0], [0.0, 1.0]])
+        net.layers[0].bias[...] = 0.0
+        x = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert net.predict(x).tolist() == [0, 1]
+        assert net.accuracy(x, np.array([0, 1])) == 1.0
+
+
+class TestQuantize:
+    def test_symmetric_grid(self):
+        q = quantize_symmetric(np.array([0.123, -0.5, 1.0]), bits=8)
+        assert np.allclose(q * 128, np.round(q * 128))
+
+    def test_symmetric_clips(self):
+        assert quantize_symmetric(np.array([2.0, -2.0])).tolist() == [1.0, -1.0]
+
+    def test_unsigned_grid(self):
+        q = quantize_unsigned(np.array([0.3, 0.999]), bits=4)
+        assert np.allclose(q * 15, np.round(q * 15))
+
+    def test_quantize_network_in_place(self, rng):
+        net = Sequential([Linear(4, 2, rng=rng)])
+        quantize_network_weights(net, bits=4)
+        w = net.layers[0].weight
+        assert np.allclose(w * 8, np.round(w * 8))
+
+
+class TestTrainer:
+    def test_learns_separable_task(self, rng):
+        net = Sequential(tiny_regression_layers(rng))
+        trainer = Trainer(net, Adam(net.layers, lr=0.01))
+        x = rng.standard_normal((200, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        history = trainer.fit(x, y, epochs=10, batch_size=32,
+                              x_val=x, y_val=y)
+        assert history.val_accuracy[-1] > 0.9
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert len(history.epoch_seconds) == 10
+
+    def test_history_without_validation(self, rng):
+        net = Sequential([Flatten(), Linear(4, 2, rng=rng)])
+        trainer = Trainer(net, SGD(net.layers, lr=0.1))
+        x = rng.standard_normal((16, 2, 2))
+        y = rng.integers(0, 2, 16)
+        history = trainer.fit(x, y, epochs=2, batch_size=8)
+        assert history.val_accuracy == []
+        assert len(history.train_loss) == 2

@@ -1,0 +1,64 @@
+"""Tests for the im2col/col2im lowering shared by training and simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize("size,k,s,p,expected", [
+        (28, 5, 1, 0, 24),
+        (32, 3, 1, 1, 32),
+        (227, 11, 4, 0, 55),
+        (8, 3, 2, 1, 4),
+    ])
+    def test_known_shapes(self, size, k, s, p, expected):
+        assert conv_output_size(size, k, s, p) == expected
+
+    def test_rejects_oversized_kernel(self):
+        with pytest.raises(ValueError):
+            conv_output_size(3, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2)
+        assert cols.shape == (1, 3, 3, 4)
+        assert cols[0, 0, 0].tolist() == [0, 1, 4, 5]
+        assert cols[0, 2, 2].tolist() == [10, 11, 14, 15]
+
+    def test_channel_ordering_matches_weight_layout(self):
+        # Last axis must be (C, kh, kw) so cols @ W.reshape(C_out, -1).T
+        # computes the convolution.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 3, 5, 5))
+        w = rng.standard_normal((2, 3, 3, 3))
+        cols = im2col(x, 3, 3)
+        out = cols @ w.reshape(2, -1).T
+        manual = sum(
+            (x[0, c, 0:3, 0:3] * w[1, c]).sum() for c in range(3)
+        )
+        assert out[0, 0, 0, 1] == pytest.approx(manual)
+
+    def test_stride_and_padding(self):
+        x = np.ones((1, 1, 4, 4))
+        cols = im2col(x, 3, 3, stride=2, pad=1)
+        assert cols.shape == (1, 2, 2, 9)
+        # Corner patch includes 4 padded zeros in a 3x3 window at stride 2.
+        assert cols[0, 0, 0].sum() == 4
+
+    @given(st.integers(1, 3), st.integers(2, 3), st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_col2im_adjoint_property(self, channels, kernel, pad):
+        # col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>.
+        rng = np.random.default_rng(kernel * 10 + pad)
+        x = rng.standard_normal((2, channels, 6, 6))
+        cols = im2col(x, kernel, kernel, 1, pad)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kernel, kernel, 1, pad)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,224 @@
+"""Unit tests for repro.training.layers — forward/backward correctness.
+
+Every layer's backward pass is validated against central finite
+differences; the SplitOr layers are additionally validated against the
+hardware semantics (outputs bounded to [-1, 1], weight clipping).
+"""
+
+import numpy as np
+import pytest
+
+from repro.training import (AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d,
+                            ReLU, SplitOrConv2d, SplitOrLinear)
+
+
+def numerical_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_input_grad(layer, x, rng, tol=1e-6):
+    out = layer.forward(x, training=True)
+    dout = rng.standard_normal(out.shape)
+    dx = layer.backward(dout)
+
+    def loss():
+        return float((layer.forward(x, training=False) * dout).sum())
+
+    gx = numerical_grad(loss, x)
+    rel = np.abs(gx - dx).max() / (np.abs(gx).max() + 1e-12)
+    assert rel < tol, f"input gradient mismatch: rel err {rel}"
+
+
+def check_param_grads(layer, x, rng, tol=1e-6):
+    out = layer.forward(x, training=True)
+    dout = rng.standard_normal(out.shape)
+    layer.backward(dout)
+
+    def loss():
+        return float((layer.forward(x, training=False) * dout).sum())
+
+    for name, param in layer.params().items():
+        analytic = layer.grads()[name].copy()
+        numeric = numerical_grad(loss, param)
+        rel = np.abs(numeric - analytic).max() / (np.abs(numeric).max() + 1e-12)
+        assert rel < tol, f"{name} gradient mismatch: rel err {rel}"
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConv2d:
+    def test_forward_matches_direct_convolution(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        out = layer.forward(x, training=False)
+        # Direct computation at one output location.
+        manual = (x[0, :, 1:4, 2:5] * layer.weight[1]).sum() + layer.bias[1]
+        assert out[0, 1, 1, 2] == pytest.approx(manual)
+
+    def test_output_shape_with_padding_and_stride(self, rng):
+        layer = Conv2d(1, 4, 3, stride=2, padding=1, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 1, 8, 8)), training=False)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_gradients(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+    def test_bias_free(self, rng):
+        layer = Conv2d(1, 2, 3, bias=False, rng=rng)
+        assert "bias" not in layer.params()
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4))
+        out = layer.forward(x, training=False)
+        assert np.allclose(out, x @ layer.weight.T + layer.bias)
+
+    def test_gradients(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.standard_normal((3, 6))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+
+class TestActivationsAndShapes:
+    def test_relu_forward_backward(self, rng):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert layer.forward(x).tolist() == [[0.0, 0.0, 2.0]]
+        assert layer.backward(np.ones_like(x)).tolist() == [[0.0, 0.0, 1.0]]
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        layer = AvgPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_avg_pool_gradients(self, rng):
+        layer = AvgPool2d(2)
+        x = rng.standard_normal((2, 3, 6, 6))
+        check_input_grad(layer, x, rng)
+
+    def test_max_pool_values(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_max_pool_gradients(self, rng):
+        layer = MaxPool2d(2)
+        x = rng.standard_normal((2, 3, 8, 8))
+        check_input_grad(layer, x, rng)
+
+    def test_pool_rejects_nontiling_window(self, rng):
+        with pytest.raises(ValueError):
+            AvgPool2d(3).forward(rng.standard_normal((1, 1, 8, 8)))
+
+
+class TestSplitOrConv2d:
+    @pytest.mark.parametrize("or_mode", ["approx", "exact"])
+    def test_gradients(self, rng, or_mode):
+        layer = SplitOrConv2d(2, 3, 3, or_mode=or_mode, rng=rng)
+        x = rng.uniform(0, 1, (2, 2, 5, 5))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+    def test_output_bounded(self, rng):
+        layer = SplitOrConv2d(3, 8, 3, rng=rng)
+        layer.weight[...] = rng.uniform(-1, 1, layer.weight.shape)
+        out = layer.forward(rng.uniform(0, 1, (2, 3, 6, 6)), training=False)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_rejects_negative_activations(self, rng):
+        layer = SplitOrConv2d(1, 2, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(-np.ones((1, 1, 4, 4)))
+
+    def test_constrain_clips_weights(self, rng):
+        layer = SplitOrConv2d(1, 2, 3, rng=rng)
+        layer.weight[...] = 5.0
+        layer.constrain()
+        assert layer.weight.max() == 1.0
+
+    def test_exact_matches_approx_for_small_products(self, rng):
+        # In the small-product regime 1 - exp(-s) is nearly exact, so the
+        # two modes must agree closely.
+        kwargs = dict(in_channels=1, out_channels=2, kernel_size=3)
+        approx = SplitOrConv2d(or_mode="approx", rng=np.random.default_rng(1),
+                               **kwargs)
+        exact = SplitOrConv2d(or_mode="exact", rng=np.random.default_rng(1),
+                              **kwargs)
+        exact.weight[...] = approx.weight * 0.05
+        approx.weight[...] = approx.weight * 0.05
+        x = rng.uniform(0, 0.3, (1, 1, 5, 5))
+        out_a = approx.forward(x, training=False)
+        out_e = exact.forward(x, training=False)
+        assert np.allclose(out_a, out_e, atol=5e-4)
+
+    def test_stream_noise_injection_only_during_training(self, rng):
+        layer = SplitOrConv2d(1, 2, 3, stream_length=32, rng=rng)
+        x = rng.uniform(0, 1, (1, 1, 5, 5))
+        eval_a = layer.forward(x, training=False)
+        eval_b = layer.forward(x, training=False)
+        assert np.array_equal(eval_a, eval_b)
+        train_a = layer.forward(x, training=True)
+        train_b = layer.forward(x, training=True)
+        assert not np.array_equal(train_a, train_b)
+
+    def test_unknown_or_mode_rejected(self, rng):
+        layer = SplitOrConv2d(1, 2, 3, or_mode="magic", rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 4, 4)))
+
+
+class TestSplitOrLinear:
+    @pytest.mark.parametrize("or_mode", ["approx", "exact"])
+    def test_gradients(self, rng, or_mode):
+        layer = SplitOrLinear(8, 4, or_mode=or_mode, rng=rng)
+        x = rng.uniform(0, 1, (3, 8))
+        check_input_grad(layer, x, rng)
+        check_param_grads(layer, x, rng)
+
+    def test_split_semantics_match_manual(self, rng):
+        layer = SplitOrLinear(4, 1, rng=rng)
+        layer.weight[...] = np.array([[0.5, -0.5, 0.25, -0.25]])
+        x = np.array([[0.4, 0.4, 0.8, 0.8]])
+        out = layer.forward(x, training=False)
+        s_pos = 0.4 * 0.5 + 0.8 * 0.25
+        s_neg = 0.4 * 0.5 + 0.8 * 0.25
+        expected = (1 - np.exp(-s_pos)) - (1 - np.exp(-s_neg))
+        assert out[0, 0] == pytest.approx(expected)
+
+    def test_positive_weights_positive_outputs(self, rng):
+        layer = SplitOrLinear(4, 2, rng=rng)
+        layer.weight[...] = np.abs(layer.weight)
+        out = layer.forward(rng.uniform(0.1, 1, (2, 4)), training=False)
+        assert np.all(out >= 0)

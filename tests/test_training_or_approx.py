@@ -1,0 +1,134 @@
+"""Tests for the OR-accumulation training models (paper Sec. II-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.training.or_approx import (approximation_error, exact_or_forward,
+                                      exact_or_grad_scale, or_approx,
+                                      or_approx_grad, split_or_response)
+
+product_arrays = arrays(
+    np.float64, st.integers(2, 64),
+    elements=st.floats(0, 0.25, allow_nan=False, width=32),
+)
+
+
+class TestOrApprox:
+    def test_zero_maps_to_zero(self):
+        assert or_approx(np.array(0.0)) == 0.0
+
+    def test_saturates_at_one(self):
+        assert or_approx(np.array(50.0)) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        s = np.linspace(0, 5, 100)
+        y = or_approx(s)
+        assert np.all(np.diff(y) > 0)
+
+    def test_grad_is_derivative(self):
+        s = np.linspace(0.1, 3, 20)
+        eps = 1e-6
+        numeric = (or_approx(s + eps) - or_approx(s - eps)) / (2 * eps)
+        assert np.allclose(or_approx_grad(s), numeric, atol=1e-6)
+
+
+class TestExactOr:
+    def test_two_terms(self):
+        out = exact_or_forward(np.array([0.3, 0.5]))
+        assert out == pytest.approx(0.3 + 0.5 - 0.15)
+
+    def test_all_zero(self):
+        assert exact_or_forward(np.zeros(10)) == pytest.approx(0.0)
+
+    def test_saturation_bound(self):
+        out = exact_or_forward(np.full(1000, 0.05))
+        assert 0.99 < out <= 1.0
+
+    @given(product_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_sum_and_max(self, t):
+        out = exact_or_forward(t)
+        assert out <= min(1.0, t.sum()) + 1e-9
+        assert out >= t.max() - 1e-9
+
+    def test_grad_scale_numeric(self):
+        rng = np.random.default_rng(0)
+        t = rng.uniform(0, 0.3, 8)
+        out = exact_or_forward(t)
+        scale = exact_or_grad_scale(t, out)
+        eps = 1e-6
+        for i in range(8):
+            t_up = t.copy()
+            t_up[i] += eps
+            t_dn = t.copy()
+            t_dn[i] -= eps
+            numeric = (exact_or_forward(t_up) - exact_or_forward(t_dn)) / (
+                2 * eps
+            )
+            assert scale[i] == pytest.approx(numeric, rel=1e-4)
+
+
+class TestApproximationError:
+    def test_small_in_training_regime(self):
+        """The paper's "approximation error < 5%" claim: for wide
+        accumulations of small products (the regime OR-trained networks
+        settle into), Eq. (1) tracks exact OR within 5% absolute."""
+        rng = np.random.default_rng(0)
+        worst = 0.0
+        for fan_in in (64, 256, 1024, 2304):
+            for scale in (0.25, 0.5, 1.0):
+                t = rng.uniform(0, 2 * scale / fan_in, size=(50, fan_in))
+                err = approximation_error(t, axis=-1)
+                worst = max(worst, float(err.max()))
+        assert worst < 0.05
+
+    def test_grows_for_few_large_products(self):
+        # The approximation is a many-small-terms limit; two big products
+        # expose its error.
+        t = np.array([0.9, 0.9])
+        assert approximation_error(t) > 0.05
+
+
+class TestSplitOrResponse:
+    def test_antisymmetric(self):
+        s = np.linspace(0, 3, 10)
+        assert np.allclose(split_or_response(s, np.zeros_like(s)),
+                           -split_or_response(np.zeros_like(s), s))
+
+    def test_balanced_phases_cancel(self):
+        s = np.array([0.7])
+        assert split_or_response(s, s) == pytest.approx(0.0)
+
+    def test_range(self):
+        s_pos = np.linspace(0, 10, 50)
+        s_neg = np.linspace(10, 0, 50)
+        out = split_or_response(s_pos, s_neg)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+class TestTrainingSpeedup:
+    def test_approx_mode_is_faster_than_exact(self):
+        """Direction of the paper's ~10x training-speedup claim: the
+        approx forward/backward must be substantially cheaper than the
+        exact OR product form on a conv layer."""
+        import time
+
+        from repro.training import SplitOrConv2d
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (8, 8, 12, 12))
+        timings = {}
+        for mode in ("approx", "exact"):
+            layer = SplitOrConv2d(8, 16, 3, or_mode=mode,
+                                  rng=np.random.default_rng(1))
+            out = layer.forward(x, training=True)
+            layer.backward(np.ones_like(out))  # warm-up
+            start = time.perf_counter()
+            for _ in range(3):
+                out = layer.forward(x, training=True)
+                layer.backward(np.ones_like(out))
+            timings[mode] = time.perf_counter() - start
+        assert timings["exact"] > 2 * timings["approx"]

@@ -1,0 +1,123 @@
+"""Tests for learning-rate schedulers, Dropout and scc_matrix utility."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstream import scc_matrix
+from repro.core.sng import StochasticNumberGenerator
+from repro.training import (Adam, CosineDecay, CrossEntropyLoss, Dropout,
+                            Linear, SGD, Sequential, StepDecay, Trainer,
+                            WarmupWrapper)
+
+
+class TestStepDecay:
+    def test_decays_at_steps(self):
+        opt = SGD([], lr=1.0)
+        sched = StepDecay(opt, step_epochs=2, gamma=0.1)
+        rates = [sched.step() for _ in range(5)]
+        assert rates == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            StepDecay(SGD([], lr=1.0), step_epochs=0)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        opt = SGD([], lr=1.0)
+        sched = CosineDecay(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        opt = SGD([], lr=1.0)
+        sched = CosineDecay(opt, total_epochs=8)
+        rates = [sched.step() for _ in range(8)]
+        assert all(rates[i] >= rates[i + 1] for i in range(7))
+
+    def test_clamps_past_horizon(self):
+        opt = SGD([], lr=1.0)
+        sched = CosineDecay(opt, total_epochs=2, min_lr=0.0)
+        for _ in range(5):
+            last = sched.step()
+        assert last == pytest.approx(0.0)
+
+
+class TestWarmupWrapper:
+    def test_ramps_then_delegates(self):
+        opt = SGD([], lr=1.0)
+        inner = StepDecay(opt, step_epochs=100)  # effectively constant
+        sched = WarmupWrapper(inner, warmup_epochs=4)
+        assert opt.lr == pytest.approx(0.25)  # first epoch pre-scaled
+        rates = [sched.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[2] == pytest.approx(1.0)
+        assert rates[-1] == pytest.approx(1.0)
+
+
+class TestTrainerSchedulerIntegration:
+    def test_scheduler_stepped_per_epoch(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Linear(4, 2, rng=rng)])
+        opt = Adam(net.layers, lr=0.1)
+        sched = StepDecay(opt, step_epochs=1, gamma=0.5)
+        trainer = Trainer(net, opt)
+        x = rng.standard_normal((32, 4))
+        y = rng.integers(0, 2, 32)
+        trainer.fit(x, y, epochs=3, batch_size=16, scheduler=sched)
+        assert opt.lr == pytest.approx(0.1 * 0.5**3)
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5)
+        x = np.ones((4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = np.ones((8, 8))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad != 0, out != 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSccMatrix:
+    def test_diagonal_ones(self):
+        sng = StochasticNumberGenerator(512, scheme="lfsr", seed=1)
+        streams = sng.generate(np.full(4, 0.5))
+        m = scc_matrix(streams)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_symmetric(self):
+        sng = StochasticNumberGenerator(512, scheme="lfsr", seed=1)
+        m = scc_matrix(sng.generate(np.full(5, 0.5)))
+        assert np.allclose(m, m.T)
+
+    def test_decorrelated_bank_off_diagonal_small(self):
+        sng = StochasticNumberGenerator(1024, scheme="lfsr", seed=1)
+        m = scc_matrix(sng.generate(np.full(8, 0.5)))
+        off = m[~np.eye(8, dtype=bool)]
+        assert np.abs(off).mean() < 0.2
+
+    def test_shared_bank_fully_correlated(self):
+        sng = StochasticNumberGenerator(512, scheme="lfsr", seed=1)
+        streams = sng.generate(np.full(3, 0.5), lanes="shared")
+        m = scc_matrix(streams)
+        assert np.allclose(m, 1.0, atol=0.05)
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            scc_matrix(np.zeros((2, 2, 8), dtype=np.uint8))
