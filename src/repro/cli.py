@@ -22,6 +22,10 @@ Commands
     Print all reproduced benchmark tables from the results directory.
 ``lint <network> [--config lp|ulp]``
     Compile a network and run the ISA discipline linter on the program.
+``bench <network> [--workers N] [--batch N] [--repeats R]``
+    Benchmark the batched inference runtime: serial uncached vs planned
+    (weight-stream cache) vs planned parallel, with bit-identity
+    verification and the runtime metrics snapshot.
 """
 
 from __future__ import annotations
@@ -183,6 +187,19 @@ def _cmd_lint(args) -> int:
     return 1
 
 
+def _cmd_bench(args) -> int:
+    from .runtime import format_bench, run_bench
+
+    result = run_bench(
+        args.network, batch=args.batch, repeats=args.repeats,
+        workers=args.workers, backend=args.backend,
+        shard_size=args.shard, phase_length=args.phase_length,
+        seed=args.seed,
+    )
+    print(format_bench(result))
+    return 0 if result.identical else 1
+
+
 def _cmd_map(args) -> int:
     spec = NETWORK_SPECS[args.network]()
     config = _CONFIGS[args.config]
@@ -246,6 +263,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd = sub.add_parser("lint", help="lint a compiled program")
     lint_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
     lint_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
+
+    from .runtime.bench import BENCH_NETWORKS
+    bench_cmd = sub.add_parser(
+        "bench", help="benchmark the batched inference runtime"
+    )
+    bench_cmd.add_argument("network", choices=sorted(BENCH_NETWORKS))
+    bench_cmd.add_argument("--workers", type=int, default=4)
+    bench_cmd.add_argument("--batch", type=int, default=8)
+    bench_cmd.add_argument("--repeats", type=int, default=3)
+    bench_cmd.add_argument("--backend", choices=("thread", "process"),
+                           default="thread")
+    bench_cmd.add_argument("--shard", type=int, default=None,
+                           help="samples per shard (default: batch/workers)")
+    bench_cmd.add_argument("--phase-length", type=int, default=32)
+    bench_cmd.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -262,5 +294,6 @@ def main(argv=None) -> int:
         "summary": _cmd_summary,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)

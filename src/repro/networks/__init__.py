@@ -2,10 +2,11 @@
 
 from .zoo import (NETWORK_SPECS, LayerSpec, NetworkSpec, alexnet_spec,
                   cifar10_cnn, cifar10_cnn_spec, lenet5, lenet5_spec,
-                  resnet18_spec, svhn_cnn, tiny_resnet, vgg16_spec)
+                  mnist_mlp, resnet18_spec, svhn_cnn, tiny_resnet,
+                  vgg16_spec)
 
 __all__ = [
     "NETWORK_SPECS", "LayerSpec", "NetworkSpec", "alexnet_spec",
     "cifar10_cnn", "cifar10_cnn_spec", "lenet5", "lenet5_spec",
-    "resnet18_spec", "svhn_cnn", "tiny_resnet", "vgg16_spec",
+    "mnist_mlp", "resnet18_spec", "svhn_cnn", "tiny_resnet", "vgg16_spec",
 ]

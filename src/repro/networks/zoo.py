@@ -33,6 +33,7 @@ __all__ = [
     "cifar10_cnn",
     "svhn_cnn",
     "tiny_resnet",
+    "mnist_mlp",
     "lenet5_spec",
     "cifar10_cnn_spec",
     "alexnet_spec",
@@ -125,6 +126,24 @@ def tiny_resnet(or_mode: str = "approx", seed: int = 0,
         AvgPool2d(2), ReLU(),
         Flatten(),
         _linear(or_mode, 16 * 8 * 8, 10, rng, stream_length),
+    ])
+
+
+def mnist_mlp(or_mode: str = "approx", seed: int = 0,
+              stream_length: int = None) -> Sequential:
+    """A fully-connected 784-256-128-10 MNIST classifier.
+
+    FC layers are the weight-heavy extreme of the ACOUSTIC mapping
+    study (Sec. IV-C): encoding their constant weight streams dominates
+    a software forward pass, which makes this network the stress case
+    for the runtime's weight-stream caching.
+    """
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Flatten(),
+        _linear(or_mode, 28 * 28, 256, rng, stream_length), ReLU(),
+        _linear(or_mode, 256, 128, rng, stream_length), ReLU(),
+        _linear(or_mode, 128, 10, rng, stream_length),
     ])
 
 

@@ -1,0 +1,37 @@
+"""Batched inference runtime for the bitstream-exact SC simulator.
+
+The functional simulator is honest but slow — "SC is extremely slow to
+accurately simulate in software" (paper Sec. IV) — and the naive
+``SCNetwork.forward`` re-encodes every constant weight bitstream on
+every call.  This package amortizes that cost and adds the serving
+machinery a production deployment needs:
+
+- :class:`ExecutionPlan` — compile once: shape validation, pre-encoded
+  packed weight streams, per-layer cost metadata;
+- :class:`DynamicBatcher` — coalesce requests into max-batch/max-wait
+  windows without changing any request's bits;
+- :class:`WorkerPool` — serial / thread / process shard execution,
+  bit-identical to serial at any worker count;
+- :class:`RuntimeMetrics` — per-stage wall time, encode-cache hit rate,
+  simulated bits/sec, queue depth;
+- :class:`InferenceRuntime` — the assembled front-end, with optional
+  graceful degradation to fixed-point reference execution.
+"""
+
+from .batcher import DynamicBatcher
+from .bench import BENCH_NETWORKS, BenchResult, format_bench, run_bench
+from .config import RuntimeConfig
+from .metrics import MetricsSnapshot, RuntimeMetrics
+from .plan import ExecutionPlan, LayerPlan
+from .runtime import InferenceRuntime
+from .workers import WorkerPool
+
+__all__ = [
+    "BENCH_NETWORKS", "BenchResult", "format_bench", "run_bench",
+    "DynamicBatcher",
+    "RuntimeConfig",
+    "MetricsSnapshot", "RuntimeMetrics",
+    "ExecutionPlan", "LayerPlan",
+    "InferenceRuntime",
+    "WorkerPool",
+]

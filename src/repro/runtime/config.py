@@ -1,0 +1,71 @@
+"""Configuration for the batched inference runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RuntimeConfig", "BACKENDS", "FALLBACKS"]
+
+#: Worker-pool backends.  ``"serial"`` runs shards in the calling thread
+#: (the reference execution order), ``"thread"`` shares the plan across a
+#: thread pool (numpy releases the GIL in the packed-bit kernels), and
+#: ``"process"`` forks/spawns workers that each hold a warm copy of the
+#: plan — the right choice for CPU-bound fan-out on multi-core hosts.
+BACKENDS = ("serial", "thread", "process")
+
+#: Shard-failure policies.  ``"none"`` propagates the exception to the
+#: caller; ``"fixedpoint"`` re-runs the failed shard on the 8-bit
+#: fixed-point reference network (the infinite-stream-length limit of the
+#: SC datapath) and records the degradation in the metrics.
+FALLBACKS = ("none", "fixedpoint")
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs for :class:`repro.runtime.InferenceRuntime`.
+
+    Attributes
+    ----------
+    workers:
+        Worker count for the shard pool (ignored by the serial backend).
+    backend:
+        One of :data:`BACKENDS`.
+    shard_size:
+        Samples per shard.  Shards are the unit of parallelism *and* of
+        determinism: a shard's logits are a pure function of its contents
+        and the SC configuration, so any worker count — or the serial
+        backend — produces bit-identical results for the same input.
+    max_batch:
+        Dynamic batcher window: flush once this many samples are queued.
+    max_wait_s:
+        Dynamic batcher window: flush a non-empty queue after this long
+        even if ``max_batch`` was not reached.
+    fallback:
+        One of :data:`FALLBACKS`.
+    """
+
+    workers: int = 1
+    backend: str = "thread"
+    shard_size: int = 4
+    max_batch: int = 16
+    max_wait_s: float = 0.01
+    fallback: str = "none"
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if self.fallback not in FALLBACKS:
+            raise ValueError(
+                f"unknown fallback {self.fallback!r}; expected one of "
+                f"{FALLBACKS}"
+            )

@@ -1,0 +1,193 @@
+"""Runtime observability: per-stage timings, cache hit rates, throughput.
+
+The runtime records wall time per pipeline stage (plan compilation,
+queueing, dispatch, compute, merge, fallback), counts work items at every
+granularity (requests, batches, shards, samples), and derives throughput
+in both samples/sec and simulated bitstream product-bits/sec — the
+latter being the honest unit for an SC simulator, where one "MAC" is
+``2 * phase_length`` clocked AND/OR bit operations per product lane.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..analysis import format_table
+
+__all__ = ["RuntimeMetrics", "MetricsSnapshot", "StageTimer"]
+
+#: Canonical stage names, in pipeline order (rendering preserves this).
+STAGES = ("plan", "queue", "dispatch", "compute", "merge", "fallback")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time view of the runtime counters.
+
+    ``stage_seconds`` holds cumulative wall time per pipeline stage.
+    ``compute`` sums per-shard execution time, so with a parallel backend
+    it can exceed elapsed wall time — the ratio is the achieved
+    parallelism.  ``cache_hit_rate`` covers the per-layer packed
+    weight-stream caches; after the plan warms them, steady-state
+    inference should be ~1.0.
+    """
+
+    requests: int
+    batches: int
+    shards: int
+    samples: int
+    fallbacks: int
+    errors: int
+    stage_seconds: dict
+    cache_hits: int
+    cache_misses: int
+    queue_depth: int
+    max_queue_depth: int
+    bits_simulated: int
+    elapsed_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.samples / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def bits_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.bits_simulated / self.elapsed_s
+
+    def render(self) -> str:
+        """Human-readable report via the shared table formatter."""
+        counter_rows = [
+            ("requests", self.requests),
+            ("batches", self.batches),
+            ("shards", self.shards),
+            ("samples", self.samples),
+            ("fallback shards", self.fallbacks),
+            ("errors", self.errors),
+            ("encode-cache hits", self.cache_hits),
+            ("encode-cache misses", self.cache_misses),
+            ("encode-cache hit rate", f"{self.cache_hit_rate:.3f}"),
+            ("queue depth (now/max)",
+             f"{self.queue_depth}/{self.max_queue_depth}"),
+            ("samples/s", f"{self.samples_per_s:.2f}"),
+            ("product bits simulated", f"{self.bits_simulated:.3e}"),
+            ("product bits/s", f"{self.bits_per_s:.3e}"),
+        ]
+        stage_rows = [
+            (name, f"{self.stage_seconds.get(name, 0.0) * 1e3:.2f}")
+            for name in STAGES if name in self.stage_seconds
+        ]
+        return (
+            format_table(["metric", "value"], counter_rows,
+                         title="Runtime metrics")
+            + "\n\n"
+            + format_table(["stage", "total wall [ms]"], stage_rows,
+                           title="Per-stage timings")
+        )
+
+
+@dataclass
+class RuntimeMetrics:
+    """Thread-safe accumulator behind :class:`MetricsSnapshot`.
+
+    All mutation goes through the ``add_*``/``observe_*`` methods under a
+    lock; :meth:`snapshot` additionally folds in the live per-layer
+    weight-stream cache counters supplied by the caller.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    shards: int = 0
+    samples: int = 0
+    fallbacks: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    bits_simulated: int = 0
+    stage_seconds: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self.stage_seconds[stage] = (
+                self.stage_seconds.get(stage, 0.0) + seconds
+            )
+
+    def stage(self, name: str) -> "StageTimer":
+        """Context manager accumulating wall time into ``name``."""
+        return StageTimer(self, name)
+
+    def add_counts(self, *, requests: int = 0, batches: int = 0,
+                   shards: int = 0, samples: int = 0, fallbacks: int = 0,
+                   errors: int = 0, cache_hits: int = 0,
+                   cache_misses: int = 0, bits_simulated: int = 0) -> None:
+        with self._lock:
+            self.requests += requests
+            self.batches += batches
+            self.shards += shards
+            self.samples += samples
+            self.fallbacks += fallbacks
+            self.errors += errors
+            self.cache_hits += cache_hits
+            self.cache_misses += cache_misses
+            self.bits_simulated += bits_simulated
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def snapshot(self, extra_cache_hits: int = 0,
+                 extra_cache_misses: int = 0) -> MetricsSnapshot:
+        """Freeze the counters.
+
+        ``extra_cache_*`` lets the runtime fold in the live per-layer
+        cache counters (thread/serial backends mutate the plan's own
+        layer caches, which are not routed through ``add_counts``).
+        """
+        with self._lock:
+            return MetricsSnapshot(
+                requests=self.requests,
+                batches=self.batches,
+                shards=self.shards,
+                samples=self.samples,
+                fallbacks=self.fallbacks,
+                errors=self.errors,
+                stage_seconds=dict(self.stage_seconds),
+                cache_hits=self.cache_hits + extra_cache_hits,
+                cache_misses=self.cache_misses + extra_cache_misses,
+                queue_depth=self.queue_depth,
+                max_queue_depth=self.max_queue_depth,
+                bits_simulated=self.bits_simulated,
+                elapsed_s=time.perf_counter() - self._started,
+            )
+
+
+class StageTimer:
+    """``with metrics.stage("compute"):`` wall-time accumulator."""
+
+    def __init__(self, metrics: RuntimeMetrics, name: str):
+        self._metrics = metrics
+        self._name = name
+        self._t0 = None
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._metrics.add_stage_time(
+            self._name, time.perf_counter() - self._t0
+        )
+        return False

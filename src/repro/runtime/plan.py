@@ -1,0 +1,256 @@
+"""Execution plans: compile an :class:`SCNetwork` once, run it many times.
+
+An :class:`ExecutionPlan` walks the network with a symbolic input shape,
+validates layer compatibility up front, pre-encodes every constant packed
+weight bitstream into the per-layer :class:`~repro.simulator.layers.
+WeightStreamCache` (the encoding a naive ``forward`` would redo on every
+call), and records per-layer cost metadata — stream lengths, weight
+lanes, and the number of bitstream product-bits one sample simulates.
+
+Plans are picklable: process-backed worker pools ship one plan per
+worker, so forked/spawned workers start with warm caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import format_table
+from ..simulator.config import SCConfig
+from ..simulator.layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear,
+                                SCReLU, SCResidual)
+from ..simulator.network import SCNetwork
+
+__all__ = ["ExecutionPlan", "LayerPlan"]
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """Static cost/shape record for one layer of a compiled plan."""
+
+    index: int
+    kind: str
+    output_shape: tuple
+    #: Per-phase stream length actually clocked (after computation
+    #: skipping); 0 for layers that touch no streams.
+    phase_length: int
+    #: Constant weight-stream lanes pre-encoded and cached (C * K).
+    weight_lanes: int
+    #: AND/OR product-lane bits simulated per input sample: one AND gate
+    #: per (position, channel, fan-in) lane clocked for the stream
+    #: length, per phase.  Upper bound — operand gating skips the lanes
+    #: whose weight phase component is zero (roughly half of them).
+    product_bits_per_sample: int
+
+
+class ExecutionPlan:
+    """A compiled, cache-warm inference plan for one SC network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`SCNetwork` to compile.
+    input_shape:
+        Per-sample shape ``(C, H, W)`` (no batch dimension).
+    config:
+        Optional :class:`SCConfig` override; defaults to the network's.
+    """
+
+    def __init__(self, network: SCNetwork, input_shape: tuple,
+                 config: SCConfig = None):
+        config = config if config is not None else network.config
+        # Share layer objects (and therefore stream caches) but pin the
+        # plan to one config so runs cannot drift from what was compiled.
+        self.network = SCNetwork(network.layers, config)
+        self.config = config
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.layer_plans = []
+        shape = self.input_shape
+        for index, layer in enumerate(self.network.layers):
+            shape = self._compile_layer(layer, index, shape)
+        self.output_shape = shape
+
+    # -- compilation -------------------------------------------------
+
+    def _compile_layer(self, layer, index: int, shape: tuple) -> tuple:
+        """Validate one layer, warm its caches, record its plan row."""
+        if isinstance(layer, SCConv2d):
+            shape = self._compile_conv(layer, index, shape)
+        elif isinstance(layer, SCLinear):
+            shape = self._compile_linear(layer, index, shape)
+        elif isinstance(layer, SCResidual):
+            entry_shape = shape
+            for offset, sub in enumerate(layer.body):
+                # Mirror SCResidual.forward's sub-index derivation so the
+                # warmed cache keys match the seeds used at run time.
+                shape = self._compile_layer(sub, index * 131 + offset + 1,
+                                            shape)
+            if shape != entry_shape:
+                raise ValueError(
+                    f"residual body changed shape {entry_shape} -> {shape}"
+                )
+            self.layer_plans.append(LayerPlan(
+                index=index, kind="residual", output_shape=shape,
+                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
+            ))
+        elif isinstance(layer, SCAvgPool):
+            c, h, w = shape
+            p = layer.pool_size
+            if h % p or w % p:
+                raise ValueError(f"pool window {p} must tile input {h}x{w}")
+            shape = (c, h // p, w // p)
+            self.layer_plans.append(LayerPlan(
+                index=index, kind="avgpool", output_shape=shape,
+                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
+            ))
+        elif isinstance(layer, SCFlatten):
+            shape = (int(np.prod(shape)),)
+            self.layer_plans.append(LayerPlan(
+                index=index, kind="flatten", output_shape=shape,
+                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
+            ))
+        elif isinstance(layer, SCReLU):
+            self.layer_plans.append(LayerPlan(
+                index=index, kind="relu", output_shape=shape,
+                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
+            ))
+        else:
+            raise TypeError(
+                f"cannot plan layer {type(layer).__name__}"
+            )
+        return shape
+
+    def _compile_conv(self, layer: SCConv2d, index: int,
+                      shape: tuple) -> tuple:
+        if len(shape) != 3:
+            raise ValueError(f"conv expects (C, H, W) input, got {shape}")
+        c_in, h, w = shape
+        c_out, c_w, kh, kw = layer.weight.shape
+        if c_w != c_in:
+            raise ValueError(
+                f"layer {index}: conv expects {c_w} channels, input has "
+                f"{c_in}"
+            )
+        oh = (h + 2 * layer.padding - kh) // layer.stride + 1
+        ow = (w + 2 * layer.padding - kw) // layer.stride + 1
+        if oh < 1 or ow < 1:
+            raise ValueError(f"layer {index}: conv output collapses to "
+                             f"{oh}x{ow}")
+        out_h, out_w = oh, ow
+        if layer.pool_size > 1:
+            p = layer.pool_size
+            if oh % p or ow % p:
+                raise ValueError(
+                    f"layer {index}: pool window {p} must tile conv "
+                    f"output {oh}x{ow}"
+                )
+            out_h, out_w = oh // p, ow // p
+        length, phases = self._stream_params(layer, index)
+        self._warm(layer, index, length)
+        fan_in = c_in * kh * kw
+        self.layer_plans.append(LayerPlan(
+            index=index, kind="conv", output_shape=(c_out, out_h, out_w),
+            phase_length=length, weight_lanes=c_out * fan_in,
+            product_bits_per_sample=(
+                phases * oh * ow * c_out * fan_in * length
+            ),
+        ))
+        return (c_out, out_h, out_w)
+
+    def _compile_linear(self, layer: SCLinear, index: int,
+                        shape: tuple) -> tuple:
+        features = int(np.prod(shape))
+        out_f, in_f = layer.weight.shape
+        if len(shape) != 1:
+            raise ValueError(
+                f"layer {index}: linear expects flattened input, got "
+                f"{shape}"
+            )
+        if in_f != features:
+            raise ValueError(
+                f"layer {index}: linear expects {in_f} features, input "
+                f"has {features}"
+            )
+        length, phases = self._stream_params(layer, index)
+        self._warm(layer, index, length)
+        self.layer_plans.append(LayerPlan(
+            index=index, kind="linear", output_shape=(out_f,),
+            phase_length=length, weight_lanes=out_f * in_f,
+            product_bits_per_sample=phases * out_f * in_f * length,
+        ))
+        return (out_f,)
+
+    def _stream_params(self, layer, index: int) -> tuple:
+        """(per-pass stream length, temporal phases) for one layer."""
+        if self.config.representation == "bipolar":
+            return self.config.total_length, 1
+        if isinstance(layer, SCConv2d):
+            return layer.phase_length(self.config, index), 2
+        return self.config.phase_length_for(index), 2
+
+    def _warm(self, layer, index: int, length: int) -> None:
+        """Pre-encode the layer's constant weight streams into its cache."""
+        layer.packed_weight_streams(
+            representation=self.config.representation,
+            length=length,
+            bits=self.config.bits,
+            scheme=self.config.scheme,
+            seed=self.config.layer_seed(index, 0),
+        )
+
+    # -- execution ---------------------------------------------------
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Bitstream-exact forward pass using the pre-encoded streams."""
+        return self.network.forward(x)
+
+    # -- introspection -----------------------------------------------
+
+    @property
+    def bits_per_sample(self) -> int:
+        """Product-lane bits simulated for one input sample."""
+        return sum(p.product_bits_per_sample for p in self.layer_plans)
+
+    @property
+    def weight_lanes(self) -> int:
+        return sum(p.weight_lanes for p in self.layer_plans)
+
+    def cache_counters(self) -> tuple:
+        """Aggregate ``(hits, misses)`` over the layer stream caches."""
+        hits = misses = 0
+        for cache in self._stream_caches():
+            hits += cache.hits
+            misses += cache.misses
+        return hits, misses
+
+    def _stream_caches(self):
+        seen = set()
+        stack = list(self.network.layers)
+        while stack:
+            layer = stack.pop()
+            if isinstance(layer, SCResidual):
+                stack.extend(layer.body)
+                continue
+            cache = getattr(layer, "stream_cache", None)
+            if cache is not None and id(cache) not in seen:
+                seen.add(id(cache))
+                yield cache
+
+    def describe(self) -> str:
+        """Per-layer plan table (shapes, stream lengths, simulated bits)."""
+        rows = [
+            (p.index, p.kind, "x".join(str(d) for d in p.output_shape),
+             p.phase_length or "-", p.weight_lanes or "-",
+             f"{p.product_bits_per_sample:.2e}"
+             if p.product_bits_per_sample else "-")
+            for p in self.layer_plans
+        ]
+        return format_table(
+            ["layer", "kind", "out shape", "phase len", "weight lanes",
+             "bits/sample"],
+            rows,
+            title=f"Execution plan — {self.config.representation}, "
+                  f"{self.bits_per_sample:.2e} product bits/sample",
+        )

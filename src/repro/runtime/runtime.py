@@ -1,0 +1,152 @@
+"""The batched inference runtime: plan + batcher + worker pool + metrics.
+
+:class:`InferenceRuntime` is the serving front-end for the bitstream-
+exact functional simulator.  Construction compiles an
+:class:`~repro.runtime.plan.ExecutionPlan` (pre-encoding every constant
+weight bitstream), then requests flow::
+
+    submit(x) -> DynamicBatcher -> WorkerPool shards -> merge -> Future
+    infer(x)  ----------------------^ (synchronous, no coalescing)
+
+Determinism: logits are a pure function of (request contents, SC
+config, shard_size) — independent of backend, worker count, co-batched
+traffic, and timing.  See ``docs/runtime.md`` for the argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulator.config import SCConfig
+from ..simulator.fixedpoint import FixedPointNetwork
+from ..simulator.network import SCNetwork
+from .batcher import DynamicBatcher
+from .config import RuntimeConfig
+from .metrics import RuntimeMetrics
+from .plan import ExecutionPlan
+from .workers import WorkerPool
+
+__all__ = ["InferenceRuntime"]
+
+
+class InferenceRuntime:
+    """Batched, parallel, observable SC inference.
+
+    Parameters
+    ----------
+    network:
+        The :class:`SCNetwork` to serve.
+    input_shape:
+        Per-sample input shape ``(C, H, W)``.
+    sc_config:
+        Optional :class:`SCConfig` override (defaults to the network's).
+    config:
+        :class:`RuntimeConfig` (workers, backend, batching windows,
+        shard size, fallback policy).
+    reference:
+        Optional fallback executor for ``fallback="fixedpoint"`` — a
+        :class:`FixedPointNetwork`, or a trained
+        :class:`~repro.training.network.Sequential` to wrap in one.
+    """
+
+    def __init__(self, network: SCNetwork, input_shape: tuple,
+                 sc_config: SCConfig = None, config: RuntimeConfig = None,
+                 reference=None):
+        self.config = config if config is not None else RuntimeConfig()
+        self.metrics = RuntimeMetrics()
+        with self.metrics.stage("plan"):
+            self.plan = ExecutionPlan(network, input_shape, sc_config)
+        if reference is not None and not isinstance(reference,
+                                                    FixedPointNetwork):
+            reference = FixedPointNetwork(reference)
+        if self.config.fallback == "fixedpoint" and reference is None:
+            raise ValueError(
+                "fallback='fixedpoint' requires a reference network"
+            )
+        self.pool = WorkerPool(self.plan, self.config, self.metrics,
+                               reference=reference)
+        self.batcher = DynamicBatcher(
+            self.pool.execute_many,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s,
+            metrics=self.metrics,
+        )
+        self._closed = False
+
+    # -- inference ---------------------------------------------------
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Synchronous inference on one ``(N, C, H, W)`` batch.
+
+        Bypasses the dynamic batcher (no coalescing latency) but uses
+        the same sharded execution path, so results are bit-identical to
+        :meth:`submit` and to serial execution.
+        """
+        self._check_input(x)
+        self.metrics.add_counts(requests=1, batches=1)
+        return self.pool.run_batch(x)
+
+    def submit(self, x: np.ndarray):
+        """Asynchronous inference; returns a Future of the logits.
+
+        Requests are coalesced by the dynamic batcher into waves of at
+        most ``max_batch`` samples (or after ``max_wait_s``), then
+        sharded per request — coalescing never changes a request's bits.
+        """
+        self._check_input(x)
+        return self.batcher.submit(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Synchronous argmax over :meth:`infer` logits."""
+        x = np.asarray(x)
+        if x.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.argmax(self.infer(x), axis=-1)
+
+    # -- observability -----------------------------------------------
+
+    def snapshot(self):
+        """Point-in-time :class:`~repro.runtime.metrics.MetricsSnapshot`.
+
+        Folds in the live per-layer weight-stream cache counters
+        (process-backed workers report theirs with each shard result).
+        """
+        hits, misses = self.plan.cache_counters()
+        return self.metrics.snapshot(extra_cache_hits=hits,
+                                     extra_cache_misses=misses)
+
+    def describe(self) -> str:
+        """The compiled plan's per-layer table."""
+        return self.plan.describe()
+
+    # -- lifecycle ---------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def _check_input(self, x) -> None:
+        if self._closed:
+            raise RuntimeError("runtime is closed")
+        x = np.asarray(x)
+        if x.ndim != len(self.plan.input_shape) + 1:
+            raise ValueError(
+                f"expected batched input with shape (N, "
+                f"{', '.join(str(d) for d in self.plan.input_shape)}), "
+                f"got {x.shape}"
+            )
+        if tuple(x.shape[1:]) != self.plan.input_shape:
+            raise ValueError(
+                f"per-sample shape {tuple(x.shape[1:])} does not match "
+                f"the plan's input shape {self.plan.input_shape}"
+            )

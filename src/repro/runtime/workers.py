@@ -1,0 +1,207 @@
+"""Shard execution: serial reference, thread pool, or process pool.
+
+The unit of work is a *shard* — a contiguous slice of samples no larger
+than ``RuntimeConfig.shard_size``.  Sharding is where the determinism
+guarantee lives: the functional simulator derives every activation
+stream seed from the position index *within* the forwarded array, so a
+shard's logits are a pure function of (shard contents, SC config).  The
+pool therefore always splits identically and always merges in shard
+order, making any backend and any worker count bit-identical to the
+serial reference execution.
+
+On shard failure the pool can degrade gracefully: with
+``fallback="fixedpoint"`` the failed shard is re-run on the 8-bit
+fixed-point reference network in the parent, the batch completes, and
+the failure is recorded in the metrics instead of crashing the caller.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from .config import RuntimeConfig
+from .metrics import RuntimeMetrics
+from .plan import ExecutionPlan
+
+__all__ = ["WorkerPool"]
+
+# Per-process plan installed by the ProcessPoolExecutor initializer; the
+# plan (with warm weight-stream caches) is shipped once per worker
+# instead of once per shard.
+_WORKER_PLAN = None
+
+
+def _init_worker(plan: ExecutionPlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _run_shard_in_worker(x: np.ndarray) -> tuple:
+    """Execute one shard in a pool process; returns stats for the parent.
+
+    Worker processes have their own copies of the layer caches, so the
+    hit/miss deltas are measured here and folded into the parent metrics
+    with the result.
+    """
+    t0 = time.perf_counter()
+    h0, m0 = _WORKER_PLAN.cache_counters()
+    logits = _WORKER_PLAN.run(x)
+    h1, m1 = _WORKER_PLAN.cache_counters()
+    return logits, time.perf_counter() - t0, h1 - h0, m1 - m0
+
+
+class WorkerPool:
+    """Execute shards of samples on the configured backend.
+
+    Thread and serial backends share the caller's plan (and its layer
+    caches); the process backend ships a warm copy of the plan to each
+    worker via the pool initializer.
+    """
+
+    def __init__(self, plan: ExecutionPlan, config: RuntimeConfig,
+                 metrics: RuntimeMetrics, reference=None):
+        self.plan = plan
+        self.config = config
+        self.metrics = metrics
+        self.reference = reference
+        self._executor = None
+
+    # -- public API --------------------------------------------------
+
+    def run_batch(self, x: np.ndarray) -> np.ndarray:
+        """Shard, execute, and merge one ``(N, ...)`` batch."""
+        return self.execute_many([x])[0]
+
+    def execute_many(self, arrays) -> list:
+        """Execute several independent request arrays as one wave.
+
+        Each array is sharded on its own (shards never span requests, so
+        a request's logits do not depend on what it was co-batched
+        with), all shards are dispatched together, and per-request
+        results are reassembled in order.
+        """
+        with self.metrics.stage("dispatch"):
+            jobs = []  # (request_idx, shard)
+            for idx, x in enumerate(arrays):
+                x = np.asarray(x, dtype=np.float64)
+                for start in range(0, x.shape[0], self.config.shard_size):
+                    jobs.append(
+                        (idx, x[start:start + self.config.shard_size])
+                    )
+        futures = self._submit([shard for _, shard in jobs])
+        outputs = [self._collect(f, shard) for f, (_, shard)
+                   in zip(futures, jobs)]
+        with self.metrics.stage("merge"):
+            results = []
+            for idx, x in enumerate(arrays):
+                parts = [out for (i, _), out in zip(jobs, outputs)
+                         if i == idx]
+                if not parts:
+                    results.append(
+                        np.zeros((0,) + self.plan.output_shape)
+                    )
+                else:
+                    results.append(np.concatenate(parts, axis=0))
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- execution backends ------------------------------------------
+
+    def _submit(self, shards) -> list:
+        """Dispatch shards; returns one result-thunk per shard, in order."""
+        backend = self.config.backend
+        if backend == "serial":
+            # The reference order: compute eagerly, in shard order.
+            return [_Immediate(self._run_local, shard) for shard in shards]
+        executor = self._ensure_executor()
+        if backend == "thread":
+            return [executor.submit(self._run_local, shard)
+                    for shard in shards]
+        return [executor.submit(_run_shard_in_worker, shard)
+                for shard in shards]
+
+    def _collect(self, future, shard: np.ndarray) -> np.ndarray:
+        """Resolve one shard, applying the fallback policy on failure."""
+        try:
+            result = future.result()
+        except Exception:
+            if self.config.fallback != "fixedpoint" or self.reference is None:
+                self.metrics.add_counts(errors=1)
+                raise
+            return self._run_fallback(shard)
+        if self.config.backend == "process":
+            logits, compute_s, hits, misses = result
+            self.metrics.add_stage_time("compute", compute_s)
+            self.metrics.add_counts(cache_hits=hits, cache_misses=misses)
+        else:
+            logits = result
+        self.metrics.add_counts(
+            shards=1, samples=shard.shape[0],
+            bits_simulated=shard.shape[0] * self.plan.bits_per_sample,
+        )
+        return logits
+
+    def _run_local(self, x: np.ndarray) -> np.ndarray:
+        """Serial/thread execution against the shared plan."""
+        t0 = time.perf_counter()
+        logits = self.plan.run(x)
+        self.metrics.add_stage_time("compute", time.perf_counter() - t0)
+        return logits
+
+    def _run_fallback(self, shard: np.ndarray) -> np.ndarray:
+        """Degrade one failed shard to fixed-point reference execution.
+
+        The fixed-point logits are the infinite-stream-length limit of
+        the SC datapath: argmax-compatible, but on the reference scale
+        rather than the stochastic counter scale.
+        """
+        with self.metrics.stage("fallback"):
+            logits = self.reference.forward(shard)
+        self.metrics.add_counts(shards=1, samples=shard.shape[0],
+                                fallbacks=1, errors=1)
+        return logits
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.config.backend == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-runtime",
+                )
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    initializer=_init_worker,
+                    initargs=(self.plan,),
+                )
+        return self._executor
+
+
+class _Immediate:
+    """Future-alike wrapping an eagerly computed (serial) result."""
+
+    def __init__(self, fn, *args):
+        try:
+            self._result = fn(*args)
+            self._exc = None
+        except Exception as exc:  # resolved in _collect, like a Future
+            self._exc = exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._result

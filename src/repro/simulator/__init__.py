@@ -7,11 +7,12 @@ OR-reducing and counting bitstreams.
 """
 
 from .config import SCConfig
-from .engine import (bipolar_mux_matmul_counts, encode_packed,
+from .engine import (bipolar_mux_matmul_counts, encode_bipolar_weight_stream,
+                     encode_packed, encode_split_weight_streams,
                      popcount_packed, split_or_matmul_counts)
 from .fixedpoint import FixedPointNetwork
 from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
-                     SCResidual)
+                     SCResidual, WeightStreamCache)
 from .metrics import (confusion_matrix, evaluate_classifier,
                       per_class_accuracy, top_k_accuracy)
 from .network import SCNetwork
@@ -19,10 +20,12 @@ from .reference import ReferenceSplitUnipolarMac
 
 __all__ = [
     "SCConfig",
-    "bipolar_mux_matmul_counts", "encode_packed", "popcount_packed",
+    "bipolar_mux_matmul_counts", "encode_bipolar_weight_stream",
+    "encode_packed", "encode_split_weight_streams", "popcount_packed",
     "split_or_matmul_counts",
     "FixedPointNetwork",
     "SCAvgPool", "SCConv2d", "SCFlatten", "SCLinear", "SCReLU", "SCResidual",
+    "WeightStreamCache",
     "SCNetwork",
     "confusion_matrix", "evaluate_classifier", "per_class_accuracy",
     "top_k_accuracy",

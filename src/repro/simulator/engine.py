@@ -14,7 +14,8 @@ import numpy as np
 from ..core.sng import StochasticNumberGenerator
 
 __all__ = ["popcount_packed", "encode_packed", "split_or_matmul_counts",
-           "bipolar_mux_matmul_counts"]
+           "bipolar_mux_matmul_counts", "encode_split_weight_streams",
+           "encode_bipolar_weight_stream"]
 
 _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)],
                            dtype=np.uint16)
@@ -39,9 +40,44 @@ def encode_packed(values: np.ndarray, length: int, bits: int, scheme: str,
     return np.packbits(sng.generate(values), axis=-1)
 
 
+def encode_split_weight_streams(weights: np.ndarray, *, length: int,
+                                bits: int, scheme: str, seed: int) -> tuple:
+    """Pre-encode the two split-unipolar weight phase streams.
+
+    Weight streams are constant for a fixed ``(length, bits, scheme,
+    seed)``, so callers running many forward passes encode them once and
+    pass the result to :func:`split_or_matmul_counts` via
+    ``weight_streams``.  Returns a 2-tuple of ``(w_part, w_packed)``
+    pairs — the up (positive) and down (negative) phase — bit-identical
+    to what the matmul would generate internally.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    phases = []
+    for phase, w_part in ((0, np.maximum(weights, 0.0)),
+                          (1, np.maximum(-weights, 0.0))):
+        w_packed = encode_packed(w_part, length, bits, scheme,
+                                 seed=seed + 7_368_787 * (phase + 1))
+        phases.append((w_part, w_packed))
+    return tuple(phases)
+
+
+def encode_bipolar_weight_stream(weights: np.ndarray, *, length: int,
+                                 bits: int, scheme: str,
+                                 seed: int) -> np.ndarray:
+    """Pre-encode the bipolar weight streams for the XNOR/MUX datapath.
+
+    Bit-identical to the encoding :func:`bipolar_mux_matmul_counts`
+    performs internally; pass the result back via ``weight_stream``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    return encode_packed((weights + 1.0) / 2.0, length, bits, scheme,
+                         seed=seed + 7_368_787)
+
+
 def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                               length: int, bits: int, scheme: str, seed: int,
-                              chunk_positions: int = 256) -> np.ndarray:
+                              chunk_positions: int = 256,
+                              weight_stream: np.ndarray = None) -> np.ndarray:
     """Bitstream-exact *bipolar* matrix multiply with MUX accumulation.
 
     This is the datapath of prior SC accelerators (SC-DCNN, HEIF, ...):
@@ -61,8 +97,13 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     n_pos, fan_in = acts.shape
     n_chan = weights.shape[0]
     counts = np.zeros((n_pos, n_chan), dtype=np.int64)
-    w_packed = encode_packed((weights + 1.0) / 2.0, length, bits, scheme,
-                             seed=seed + 7_368_787)
+    if weight_stream is None:
+        weight_stream = encode_bipolar_weight_stream(
+            weights, length=length, bits=bits, scheme=scheme, seed=seed
+        )
+    w_packed = weight_stream
+    if w_packed.shape[:2] != (n_chan, fan_in):
+        raise ValueError("weight_stream does not match the weight shape")
     # The select stream's zero pad bits also mask the XNOR's inverted
     # padding, so partial final bytes stay clean.
     select = _mux_select_matrix(fan_in, length, seed + 104_729)
@@ -92,7 +133,8 @@ def _mux_select_matrix(fan_in: int, length: int, seed: int) -> np.ndarray:
 def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                            length: int, bits: int, scheme: str, seed: int,
                            accumulator: str = "or",
-                           chunk_positions: int = 256) -> np.ndarray:
+                           chunk_positions: int = 256,
+                           weight_streams: tuple = None) -> np.ndarray:
     """Bitstream-exact split-unipolar matrix multiply.
 
     Parameters
@@ -108,6 +150,10 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
         ``"or"`` — OR-reduce product streams (ACOUSTIC);
         ``"apc"`` — exact popcount across fan-in (binary accumulation);
         ``"mux"`` — stream-level k:1 multiplexing (scaled addition).
+    weight_streams:
+        Optional pre-encoded phase streams from
+        :func:`encode_split_weight_streams` (same ``length``/``bits``/
+        ``scheme``/``seed``); skips the per-call weight encoding.
 
     Returns
     -------
@@ -123,13 +169,21 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     n_chan = weights.shape[0]
     counts = np.zeros((n_pos, n_chan), dtype=np.int64)
 
-    for phase, w_part in ((0, np.maximum(weights, 0.0)),
-                          (1, np.maximum(-weights, 0.0))):
+    if weight_streams is None:
         # Weight streams: one lane per (channel, k) element, regenerated
         # per phase with an independent seed space.
-        w_packed = encode_packed(w_part, length, bits, scheme,
-                                 seed=seed + 7_368_787 * (phase + 1))
+        weight_streams = encode_split_weight_streams(
+            weights, length=length, bits=bits, scheme=scheme, seed=seed
+        )
+    for phase, (w_part, w_packed) in enumerate(weight_streams):
+        if w_packed.shape[:2] != (n_chan, fan_in):
+            raise ValueError("weight_streams do not match the weight shape")
         sign = 1 if phase == 0 else -1
+        # Lanes whose weight component is zero (opposite sign, or a true
+        # zero weight) carry all-zero streams and cannot set an OR output
+        # bit, so they are skipped — the same operand gating that keeps
+        # idle hardware lanes from switching.
+        active_lanes = [np.flatnonzero(w_part[c] > 0) for c in range(n_chan)]
         if accumulator == "mux":
             select = _mux_select_matrix(fan_in, length,
                                         seed + 104_729 * (phase + 1))
@@ -141,14 +195,10 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                 # decorrelated from each other and from the weights.
                 seed=seed + 15_485_863 * (phase + 1) + 104_651 * start,
             )
-            # a_packed: (p, K, B); w_packed: (C, K, B).  Within a phase,
-            # lanes whose weight component is zero (opposite sign, or a
-            # true zero weight) carry all-zero streams and cannot set an
-            # OR output bit, so they are skipped — the same operand
-            # gating that keeps idle hardware lanes from switching.
+            # a_packed: (p, K, B); w_packed: (C, K, B).
             if accumulator == "or":
                 for c in range(n_chan):
-                    lanes = np.flatnonzero(w_part[c] > 0)
+                    lanes = active_lanes[c]
                     if lanes.size == 0:
                         continue
                     prods = a_packed[:, lanes, :] & w_packed[c, lanes, :]
@@ -156,7 +206,7 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                     counts[sl, c] += sign * popcount_packed(acc, axis=-1)
             elif accumulator == "apc":
                 for c in range(n_chan):
-                    lanes = np.flatnonzero(w_part[c] > 0)
+                    lanes = active_lanes[c]
                     if lanes.size == 0:
                         continue
                     prods = a_packed[:, lanes, :] & w_packed[c, lanes, :]

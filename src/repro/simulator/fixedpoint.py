@@ -54,6 +54,9 @@ class FixedPointNetwork:
         return x
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
         preds = []
         for start in range(0, x.shape[0], batch_size):
             logits = self.forward(x[start:start + batch_size])

@@ -14,15 +14,88 @@ its ReLU.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from ..core.sng import quantize_probability
 from ..training.im2col import im2col
 from .config import SCConfig
-from .engine import bipolar_mux_matmul_counts, split_or_matmul_counts
+from .engine import (bipolar_mux_matmul_counts, encode_bipolar_weight_stream,
+                     encode_split_weight_streams, split_or_matmul_counts)
 
 __all__ = ["SCConv2d", "SCLinear", "SCReLU", "SCAvgPool", "SCFlatten",
-           "SCResidual"]
+           "SCResidual", "WeightStreamCache"]
+
+
+class WeightStreamCache:
+    """Per-layer cache of packed weight bitstreams.
+
+    Weight streams are a pure function of the weight tensor and the
+    encoding parameters, so a layer whose weights are fixed can encode
+    them once and replay the packed arrays on every forward pass.
+    Entries are keyed by ``(representation, length, bits, scheme, seed)``
+    and evicted LRU beyond ``max_entries`` (each distinct SC
+    configuration contributes one entry; inference uses exactly one).
+
+    ``hits``/``misses`` counters feed the runtime's encode-cache hit-rate
+    metric.  The cache is safe for concurrent readers (thread-backed
+    worker pools share layer objects); a race at worst encodes the same
+    constant streams twice.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_encode(self, key, encode):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+        value = encode()  # encode outside the lock: it is the slow part
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # Locks are not picklable; process-backed worker pools ship layers
+    # (cache included, so forked/spawned workers start warm) and each
+    # worker recreates its own lock.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+def _cached_weight_streams(cache: WeightStreamCache, weights_2d: np.ndarray,
+                           *, representation: str, length: int, bits: int,
+                           scheme: str, seed: int):
+    """Fetch (or encode and memoize) one layer's packed weight streams."""
+    key = (representation, length, bits, scheme, seed)
+    if representation == "bipolar":
+        return cache.get_or_encode(key, lambda: encode_bipolar_weight_stream(
+            weights_2d, length=length, bits=bits, scheme=scheme, seed=seed))
+    return cache.get_or_encode(key, lambda: encode_split_weight_streams(
+        weights_2d, length=length, bits=bits, scheme=scheme, seed=seed))
 
 
 class SCConv2d:
@@ -45,10 +118,20 @@ class SCConv2d:
         self.stride = stride
         self.padding = padding
         self.pool_size = pool_size
+        self.stream_cache = WeightStreamCache()
 
     @property
     def pool_area(self) -> int:
         return self.pool_size * self.pool_size
+
+    def packed_weight_streams(self, *, representation: str, length: int,
+                              bits: int, scheme: str, seed: int):
+        """Cached packed weight streams for one encoding configuration."""
+        return _cached_weight_streams(
+            self.stream_cache, self.weight.reshape(self.weight.shape[0], -1),
+            representation=representation, length=length, bits=bits,
+            scheme=scheme, seed=seed,
+        )
 
     def phase_length(self, config: SCConfig, layer_index: int = None) -> int:
         """Per-pass stream length after computation skipping."""
@@ -67,14 +150,19 @@ class SCConv2d:
         if config.representation == "bipolar":
             return self._forward_bipolar(cols, config, layer_index)
         length = self.phase_length(config, layer_index)
+        seed = config.layer_seed(layer_index, 0)
         counts = split_or_matmul_counts(
             quantize_probability(cols.reshape(-1, k), config.bits),
             self.weight.reshape(c_out, -1),
             length=length,
             bits=config.bits,
             scheme=config.scheme,
-            seed=config.layer_seed(layer_index, 0),
+            seed=seed,
             accumulator=config.accumulator,
+            weight_streams=self.packed_weight_streams(
+                representation="split-unipolar", length=length,
+                bits=config.bits, scheme=config.scheme, seed=seed,
+            ),
         ).reshape(n, oh, ow, c_out)
 
         if self.pool_size > 1:
@@ -114,13 +202,18 @@ class SCConv2d:
         c_out = self.weight.shape[0]
         n, oh, ow, k = cols.shape
         length = config.total_length  # single representation, no phases
+        seed = config.layer_seed(layer_index, 0)
         counts = bipolar_mux_matmul_counts(
             quantize_probability(cols.reshape(-1, k), config.bits),
             self.weight.reshape(c_out, -1),
             length=length,
             bits=config.bits,
             scheme=config.scheme,
-            seed=config.layer_seed(layer_index, 0),
+            seed=seed,
+            weight_stream=self.packed_weight_streams(
+                representation="bipolar", length=length, bits=config.bits,
+                scheme=config.scheme, seed=seed,
+            ),
         ).reshape(n, oh, ow, c_out)
         values = 2.0 * counts / length - 1.0
         if self.pool_size > 1:
@@ -140,9 +233,20 @@ class SCLinear:
         if np.abs(weight).max() > 1:
             raise ValueError("SC weights must lie in [-1, 1]")
         self.weight = weight
+        self.stream_cache = WeightStreamCache()
+
+    def packed_weight_streams(self, *, representation: str, length: int,
+                              bits: int, scheme: str, seed: int):
+        """Cached packed weight streams for one encoding configuration."""
+        return _cached_weight_streams(
+            self.stream_cache, self.weight,
+            representation=representation, length=length, bits=bits,
+            scheme=scheme, seed=seed,
+        )
 
     def forward(self, x: np.ndarray, config: SCConfig,
                 layer_index: int) -> np.ndarray:
+        seed = config.layer_seed(layer_index, 0)
         if config.representation == "bipolar":
             counts = bipolar_mux_matmul_counts(
                 quantize_probability(x, config.bits),
@@ -150,7 +254,11 @@ class SCLinear:
                 length=config.total_length,
                 bits=config.bits,
                 scheme=config.scheme,
-                seed=config.layer_seed(layer_index, 0),
+                seed=seed,
+                weight_stream=self.packed_weight_streams(
+                    representation="bipolar", length=config.total_length,
+                    bits=config.bits, scheme=config.scheme, seed=seed,
+                ),
             )
             return 2.0 * counts / config.total_length - 1.0
         phase_length = config.phase_length_for(layer_index)
@@ -160,8 +268,12 @@ class SCLinear:
             length=phase_length,
             bits=config.bits,
             scheme=config.scheme,
-            seed=config.layer_seed(layer_index, 0),
+            seed=seed,
             accumulator=config.accumulator,
+            weight_streams=self.packed_weight_streams(
+                representation="split-unipolar", length=phase_length,
+                bits=config.bits, scheme=config.scheme, seed=seed,
+            ),
         )
         out = counts / phase_length
         if config.accumulator == "mux":

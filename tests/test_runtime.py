@@ -1,0 +1,318 @@
+"""Tests for the batched inference runtime (repro.runtime)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (BENCH_NETWORKS, DynamicBatcher, ExecutionPlan,
+                           InferenceRuntime, RuntimeConfig, RuntimeMetrics,
+                           format_bench, run_bench)
+from repro.simulator import SCConfig, SCNetwork
+from repro.training import (Flatten, ReLU, Sequential, SplitOrConv2d,
+                            SplitOrLinear)
+
+SHAPE = (1, 8, 8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def tiny_network(seed=0, **config_kwargs):
+    rng = np.random.default_rng(seed)
+    net = Sequential([
+        SplitOrConv2d(1, 3, 3, rng=rng), ReLU(),
+        Flatten(),
+        SplitOrLinear(3 * 6 * 6, 4, rng=rng),
+    ])
+    sc = SCNetwork.from_trained(net, SCConfig(phase_length=8,
+                                              **config_kwargs))
+    return net, sc
+
+
+class TestRuntimeConfig:
+    def test_defaults_valid(self):
+        RuntimeConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0}, {"backend": "gpu"}, {"shard_size": 0},
+        {"max_batch": 0}, {"max_wait_s": -1}, {"fallback": "retry"},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RuntimeConfig(**kwargs)
+
+
+class TestExecutionPlan:
+    def test_shapes_and_costs(self):
+        _, sc = tiny_network()
+        plan = ExecutionPlan(sc, SHAPE)
+        assert plan.output_shape == (4,)
+        kinds = [p.kind for p in plan.layer_plans]
+        assert kinds == ["conv", "relu", "flatten", "linear"]
+        assert plan.bits_per_sample > 0
+        assert plan.weight_lanes == 3 * 9 + 4 * 108
+        assert "Execution plan" in plan.describe()
+
+    def test_compile_warms_caches(self):
+        _, sc = tiny_network()
+        plan = ExecutionPlan(sc, SHAPE)
+        hits, misses = plan.cache_counters()
+        assert misses == 2 and hits == 0
+        plan.run(np.random.default_rng(1).uniform(0, 1, (2,) + SHAPE))
+        hits, _ = plan.cache_counters()
+        assert hits == 2
+
+    def test_run_matches_plain_forward(self, rng):
+        _, sc = tiny_network()
+        plan = ExecutionPlan(sc, SHAPE)
+        x = rng.uniform(0, 1, (3,) + SHAPE)
+        assert np.array_equal(plan.run(x), sc.forward(x))
+
+    def test_shape_mismatch_rejected(self):
+        _, sc = tiny_network()
+        with pytest.raises(ValueError):
+            ExecutionPlan(sc, (2, 8, 8))     # wrong channel count
+        with pytest.raises(ValueError):
+            ExecutionPlan(sc, (1, 2, 2))     # conv output collapses
+
+    def test_residual_plan(self, rng):
+        from repro.networks import tiny_resnet
+        sc = SCNetwork.from_trained(tiny_resnet(seed=0),
+                                    SCConfig(phase_length=4))
+        plan = ExecutionPlan(sc, (3, 32, 32))
+        assert plan.output_shape == (10,)
+        x = rng.uniform(0, 1, (1, 3, 32, 32))
+        assert np.array_equal(plan.run(x), sc.forward(x))
+
+
+class TestDeterminism:
+    """Logits are a pure function of (input, config, shard size)."""
+
+    def _infer(self, x, **config_kwargs):
+        _, sc = tiny_network()
+        config = RuntimeConfig(shard_size=2, **config_kwargs)
+        with InferenceRuntime(sc, SHAPE, config=config) as runtime:
+            return runtime.infer(x)
+
+    def test_backends_bit_identical(self, rng):
+        x = rng.uniform(0, 1, (5,) + SHAPE)
+        serial = self._infer(x, workers=1, backend="serial")
+        thread = self._infer(x, workers=3, backend="thread")
+        assert np.array_equal(serial, thread)
+
+    def test_process_backend_bit_identical(self, rng):
+        x = rng.uniform(0, 1, (5,) + SHAPE)
+        serial = self._infer(x, workers=1, backend="serial")
+        process = self._infer(x, workers=2, backend="process")
+        assert np.array_equal(serial, process)
+
+    def test_worker_count_irrelevant(self, rng):
+        x = rng.uniform(0, 1, (6,) + SHAPE)
+        assert np.array_equal(
+            self._infer(x, workers=2, backend="thread"),
+            self._infer(x, workers=5, backend="thread"),
+        )
+
+    def test_coalescing_does_not_change_bits(self, rng):
+        """A request's logits are independent of co-batched traffic."""
+        _, sc = tiny_network()
+        a = rng.uniform(0, 1, (3,) + SHAPE)
+        b = rng.uniform(0, 1, (2,) + SHAPE)
+        config = RuntimeConfig(workers=2, shard_size=2, max_batch=8,
+                               max_wait_s=0.2)
+        with InferenceRuntime(sc, SHAPE, config=config) as runtime:
+            fa, fb = runtime.submit(a), runtime.submit(b)
+            coalesced_a = fa.result(timeout=30)
+            coalesced_b = fb.result(timeout=30)
+            alone_a = runtime.infer(a)
+            alone_b = runtime.infer(b)
+        assert np.array_equal(coalesced_a, alone_a)
+        assert np.array_equal(coalesced_b, alone_b)
+
+
+class TestInferenceRuntime:
+    def test_empty_batch(self):
+        _, sc = tiny_network()
+        with InferenceRuntime(sc, SHAPE) as runtime:
+            out = runtime.infer(np.zeros((0,) + SHAPE))
+            assert out.shape == (0, 4)
+            preds = runtime.predict(np.zeros((0,) + SHAPE))
+            assert preds.shape == (0,)
+
+    def test_predict_matches_network(self, rng):
+        _, sc = tiny_network()
+        x = rng.uniform(0, 1, (4,) + SHAPE)
+        with InferenceRuntime(
+            sc, SHAPE, config=RuntimeConfig(shard_size=8)
+        ) as runtime:
+            preds = runtime.predict(x)
+        assert np.array_equal(preds, np.argmax(sc.forward(x), axis=-1))
+
+    def test_input_shape_validated(self, rng):
+        _, sc = tiny_network()
+        with InferenceRuntime(sc, SHAPE) as runtime:
+            with pytest.raises(ValueError):
+                runtime.infer(rng.uniform(0, 1, SHAPE))      # no batch dim
+            with pytest.raises(ValueError):
+                runtime.infer(rng.uniform(0, 1, (2, 1, 4, 4)))
+        with pytest.raises(RuntimeError):
+            runtime.infer(rng.uniform(0, 1, (1,) + SHAPE))   # closed
+
+    def test_metrics_snapshot(self, rng):
+        _, sc = tiny_network()
+        x = rng.uniform(0, 1, (4,) + SHAPE)
+        with InferenceRuntime(
+            sc, SHAPE, config=RuntimeConfig(workers=2, shard_size=2)
+        ) as runtime:
+            runtime.infer(x)
+            snap = runtime.snapshot()
+        assert snap.samples == 4
+        assert snap.shards == 2
+        assert snap.fallbacks == 0
+        assert snap.bits_simulated == 4 * runtime.plan.bits_per_sample
+        assert 0.0 <= snap.cache_hit_rate <= 1.0
+        assert snap.stage_seconds["compute"] > 0
+        assert "encode-cache hit rate" in snap.render()
+
+    def test_fixedpoint_fallback_requires_reference(self):
+        _, sc = tiny_network()
+        with pytest.raises(ValueError):
+            InferenceRuntime(sc, SHAPE,
+                             config=RuntimeConfig(fallback="fixedpoint"))
+
+
+class TestGracefulDegradation:
+    def _failing_runtime(self, fallback, fail_on=None):
+        net, sc = tiny_network()
+        config = RuntimeConfig(workers=1, backend="serial", shard_size=2,
+                               fallback=fallback)
+        runtime = InferenceRuntime(
+            sc, SHAPE, config=config,
+            reference=net if fallback == "fixedpoint" else None,
+        )
+        original = runtime.plan.run
+
+        def run(x):
+            if fail_on is None or np.any(x >= fail_on):
+                raise RuntimeError("injected shard failure")
+            return original(x)
+
+        runtime.plan.run = run
+        return runtime
+
+    def test_all_shards_fall_back(self, rng):
+        runtime = self._failing_runtime("fixedpoint")
+        x = rng.uniform(0, 1, (4,) + SHAPE)
+        with runtime:
+            out = runtime.infer(x)
+            snap = runtime.snapshot()
+        assert out.shape == (4, 4)
+        assert snap.fallbacks == 2 and snap.errors == 2
+        assert snap.stage_seconds["fallback"] > 0
+
+    def test_partial_fallback_merges_both_paths(self, rng):
+        # Shards [0:2] are poisoned (contain 2.0); shard [2:4] is clean.
+        runtime = self._failing_runtime("fixedpoint", fail_on=2.0)
+        x = rng.uniform(0, 1, (4,) + SHAPE)
+        x[0] = 2.0
+        clean = x[2:4]
+        with runtime:
+            out = runtime.infer(x)
+            snap = runtime.snapshot()
+        assert snap.fallbacks == 1
+        _, sc = tiny_network()
+        assert np.array_equal(out[2:4], sc.forward(clean))
+
+    def test_no_fallback_propagates(self, rng):
+        runtime = self._failing_runtime("none")
+        with runtime:
+            with pytest.raises(RuntimeError, match="injected"):
+                runtime.infer(rng.uniform(0, 1, (2,) + SHAPE))
+            assert runtime.snapshot().errors == 1
+
+
+class TestDynamicBatcher:
+    def test_flush_on_max_batch(self):
+        waves = []
+
+        def process(arrays):
+            waves.append([a.shape[0] for a in arrays])
+            return [np.zeros(a.shape[0]) for a in arrays]
+
+        with DynamicBatcher(process, max_batch=4, max_wait_s=10.0) as b:
+            futures = [b.submit(np.zeros((2, 1))) for _ in range(2)]
+            for f in futures:
+                f.result(timeout=30)
+        assert waves[0] == [2, 2]   # flushed by size, not by the 10s wait
+
+    def test_flush_on_timeout(self):
+        def process(arrays):
+            return [np.zeros(a.shape[0]) for a in arrays]
+
+        with DynamicBatcher(process, max_batch=64, max_wait_s=0.02) as b:
+            t0 = time.perf_counter()
+            b.submit(np.zeros((1, 1))).result(timeout=30)
+            assert time.perf_counter() - t0 < 5.0
+
+    def test_close_flushes_pending(self):
+        def process(arrays):
+            return [a.sum(axis=-1) for a in arrays]
+
+        b = DynamicBatcher(process, max_batch=64, max_wait_s=60.0)
+        f = b.submit(np.ones((2, 3)))
+        b.close()
+        assert np.array_equal(f.result(timeout=1), [3.0, 3.0])
+        with pytest.raises(RuntimeError):
+            b.submit(np.zeros((1, 1)))
+
+    def test_processor_error_sets_exception(self):
+        def process(arrays):
+            raise ValueError("boom")
+
+        with DynamicBatcher(process, max_batch=1, max_wait_s=0.01) as b:
+            f = b.submit(np.zeros((1, 1)))
+            with pytest.raises(ValueError, match="boom"):
+                f.result(timeout=30)
+
+    def test_queue_metrics(self):
+        metrics = RuntimeMetrics()
+
+        def process(arrays):
+            return [np.zeros(a.shape[0]) for a in arrays]
+
+        with DynamicBatcher(process, max_batch=2, max_wait_s=0.5,
+                            metrics=metrics) as b:
+            b.submit(np.zeros((2, 1))).result(timeout=30)
+        snap = metrics.snapshot()
+        assert snap.requests == 1 and snap.batches == 1
+        assert snap.max_queue_depth >= 1
+        assert snap.stage_seconds["queue"] >= 0
+
+
+class TestBench:
+    def test_registry_networks_exist(self):
+        assert set(BENCH_NETWORKS) == {
+            "mnist_mlp", "lenet5", "cifar10_cnn", "svhn_cnn", "tiny_resnet"
+        }
+
+    def test_tiny_bench_run(self):
+        result = run_bench("lenet5", batch=2, repeats=1, workers=2,
+                           backend="thread", shard_size=1, phase_length=4)
+        assert result.identical
+        assert result.uncached_s > 0 and result.parallel_s > 0
+        text = format_bench(result)
+        assert "bit-identical" in text
+        assert "Runtime metrics" in text
+
+    def test_cli_bench_command(self, capsys):
+        from repro.cli import main
+        rc = main(["bench", "mnist_mlp", "--batch", "2", "--repeats", "1",
+                   "--workers", "2", "--shard", "1",
+                   "--phase-length", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+        assert "encode-cache hit rate" in out

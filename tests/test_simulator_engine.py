@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.simulator.engine import (encode_packed, popcount_packed,
-                                    split_or_matmul_counts)
+from repro.simulator.engine import (bipolar_mux_matmul_counts,
+                                    encode_bipolar_weight_stream,
+                                    encode_packed,
+                                    encode_split_weight_streams,
+                                    popcount_packed, split_or_matmul_counts)
 
 
 class TestPopcountPacked:
@@ -113,3 +116,67 @@ class TestSplitOrMatmulCounts:
         # Different chunking re-seeds activation lanes differently, so the
         # bitstreams differ, but decoded values must agree statistically.
         assert np.abs(a - b).max() / 64 < 0.25
+
+
+class TestPopcountNumpyFallback:
+    """The table-lookup path taken when numpy lacks ``bitwise_count``."""
+
+    def test_table_matches_bitwise_count(self, monkeypatch):
+        if not hasattr(np, "bitwise_count"):
+            pytest.skip("numpy < 2.0 already exercises the table path")
+        rng = np.random.default_rng(11)
+        packed = rng.integers(0, 256, size=(5, 7, 16), dtype=np.uint8)
+        fast = popcount_packed(packed, axis=-1)
+        monkeypatch.delattr(np, "bitwise_count")
+        table = popcount_packed(packed, axis=-1)
+        assert table.dtype == np.int64
+        assert np.array_equal(fast, table)
+
+    def test_fallback_axis_tuple(self, monkeypatch):
+        monkeypatch.delattr(np, "bitwise_count", raising=False)
+        packed = np.array([[0xFF, 0x01], [0x00, 0xF0]], dtype=np.uint8)
+        assert popcount_packed(packed, axis=(-2, -1)) == 13
+
+
+class TestPreEncodedWeightStreams:
+    """Pre-encoded weight streams must be bit-identical to inline encoding."""
+
+    def test_split_unipolar_identical(self):
+        rng = np.random.default_rng(4)
+        acts = rng.uniform(0, 1, (9, 6))
+        weights = rng.uniform(-1, 1, (3, 6))
+        kwargs = dict(length=48, bits=8, scheme="lfsr", seed=21)
+        streams = encode_split_weight_streams(weights, **kwargs)
+        assert len(streams) == 2
+        for accumulator in ("or", "apc", "mux"):
+            inline = split_or_matmul_counts(acts, weights,
+                                            accumulator=accumulator, **kwargs)
+            cached = split_or_matmul_counts(acts, weights,
+                                            accumulator=accumulator,
+                                            weight_streams=streams, **kwargs)
+            assert np.array_equal(inline, cached)
+
+    def test_bipolar_identical(self):
+        rng = np.random.default_rng(5)
+        acts = rng.uniform(0, 1, (7, 5))
+        weights = rng.uniform(-1, 1, (2, 5))
+        kwargs = dict(length=64, bits=8, scheme="lfsr", seed=33)
+        stream = encode_bipolar_weight_stream(weights, **kwargs)
+        inline = bipolar_mux_matmul_counts(acts, weights, **kwargs)
+        cached = bipolar_mux_matmul_counts(acts, weights,
+                                           weight_stream=stream, **kwargs)
+        assert np.array_equal(inline, cached)
+
+    def test_mismatched_streams_rejected(self):
+        weights = np.zeros((2, 4))
+        kwargs = dict(length=16, bits=8, scheme="lfsr", seed=1)
+        streams = encode_split_weight_streams(np.zeros((3, 4)), **kwargs)
+        with pytest.raises(ValueError):
+            split_or_matmul_counts(np.zeros((1, 4)), weights,
+                                   weight_streams=streams, **kwargs)
+        with pytest.raises(ValueError):
+            bipolar_mux_matmul_counts(
+                np.zeros((1, 4)), weights,
+                weight_stream=encode_bipolar_weight_stream(
+                    np.zeros((3, 4)), **kwargs),
+                **kwargs)

@@ -226,3 +226,85 @@ class TestForwardIntermediates:
         # Post-ReLU activations are valid scratchpad contents.
         relu_out = intermediates[1]
         assert relu_out.min() >= 0 and relu_out.max() <= 1
+
+
+class TestEmptyPredict:
+    def _tiny_sc(self, rng):
+        from repro.training import Flatten, Sequential, SplitOrLinear
+        net = Sequential([Flatten(), SplitOrLinear(16, 3, rng=rng)])
+        return net, SCNetwork.from_trained(net, SCConfig(phase_length=8))
+
+    def test_sc_predict_empty(self, rng):
+        _, sc = self._tiny_sc(rng)
+        preds = sc.predict(np.zeros((0, 1, 4, 4)))
+        assert preds.shape == (0,)
+        assert preds.dtype == np.int64
+
+    def test_fixedpoint_predict_empty(self, rng):
+        net, _ = self._tiny_sc(rng)
+        preds = FixedPointNetwork(net).predict(np.zeros((0, 1, 4, 4)))
+        assert preds.shape == (0,)
+        assert preds.dtype == np.int64
+
+
+class TestWeightStreamCaching:
+    """Layer-level packed weight-stream caches (the plan's substrate)."""
+
+    def _network(self, rng, **config_kwargs):
+        from repro.training import (Flatten, ReLU, Sequential,
+                                    SplitOrConv2d, SplitOrLinear)
+        net = Sequential([
+            SplitOrConv2d(1, 3, 3, rng=rng), ReLU(),
+            Flatten(),
+            SplitOrLinear(3 * 6 * 6, 4, rng=rng),
+        ])
+        return SCNetwork.from_trained(
+            net, SCConfig(phase_length=16, **config_kwargs)
+        )
+
+    def test_repeated_forward_hits_cache(self, rng):
+        sc = self._network(rng)
+        x = rng.uniform(0, 1, (2, 1, 8, 8))
+        sc.forward(x)
+        caches = [l.stream_cache for l in sc.layers
+                  if hasattr(l, "stream_cache")]
+        assert len(caches) == 2
+        assert all(c.misses == 1 and c.hits == 0 for c in caches)
+        sc.forward(x)
+        assert all(c.misses == 1 and c.hits == 1 for c in caches)
+
+    def test_logits_bit_identical_cold_vs_warm(self, rng):
+        sc = self._network(rng)
+        x = rng.uniform(0, 1, (3, 1, 8, 8))
+        cold = sc.forward(x)        # populates the caches
+        warm = sc.forward(x)        # replays the packed streams
+        assert np.array_equal(cold, warm)
+        # And against a fresh network with untouched caches.
+        fresh = self._network(np.random.default_rng(0))
+        assert np.array_equal(cold, fresh.forward(x))
+
+    def test_bipolar_cache_bit_identical(self, rng):
+        sc = self._network(rng, representation="bipolar")
+        x = rng.uniform(0, 1, (2, 1, 8, 8))
+        cold = sc.forward(x)
+        assert np.array_equal(cold, sc.forward(x))
+
+    def test_distinct_configs_get_distinct_entries(self, rng):
+        sc = self._network(rng)
+        x = rng.uniform(0, 1, (1, 1, 8, 8))
+        sc.forward(x)
+        sc.config = SCConfig(phase_length=32)
+        sc.forward(x)
+        linear = sc.layers[-1]
+        assert len(linear.stream_cache) == 2
+        assert linear.stream_cache.misses == 2
+
+    def test_cache_lru_eviction(self, rng):
+        from repro.simulator import WeightStreamCache
+        cache = WeightStreamCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_encode(key, lambda: key.upper())
+        assert len(cache) == 2
+        assert cache.get_or_encode("c", lambda: "?") == "C"   # hit
+        assert cache.get_or_encode("a", lambda: "A2") == "A2"  # evicted
+        assert cache.hits == 1 and cache.misses == 4
