@@ -1,0 +1,163 @@
+"""Kernel throughput: uint64 word kernels vs the byte reference path.
+
+Emits machine-readable ``BENCH_2.json`` (repo root) tracking the perf
+trajectory from PR 2 onward — see ``docs/performance.md`` for the
+schema.  Two sections:
+
+1. **Micro-kernels** — ``split_or_matmul_counts`` /
+   ``bipolar_mux_matmul_counts`` on a LeNet-5 conv2-shaped operand
+   (64 positions x 16 channels x 150 fan-in), byte vs word, reported in
+   simulated product bits/sec.  The acceptance bar lives here: the word
+   kernel must be >= 4x the byte path on the split-unipolar OR conv
+   shape at phase length 128.
+2. **End-to-end** — LeNet-5 img/sec through the runtime, serial and
+   worker-pool, word kernel (via ``repro.runtime.run_bench``).
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke job) shrinks repeats and relaxes
+the speedup assertion to a sanity bound so a loaded shared runner does
+not flake; the committed BENCH_2.json comes from a full run.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.runtime import run_bench
+from repro.simulator.engine import (ENCODE_CACHE, bipolar_mux_matmul_counts,
+                                    encode_bipolar_weight_stream,
+                                    encode_split_weight_streams,
+                                    split_or_matmul_counts)
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_2.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: LeNet-5 conv2 geometry: 16 output channels, 6*5*5 fan-in, 8x8 output.
+N_POS, N_CHAN, FAN_IN = 64, 16, 150
+PHASE_LENGTH = 128
+BITS = 8
+
+
+def _time_kernel(fn, repeats):
+    """Best-of-``repeats`` wall time (least-noise estimator)."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _micro_case(name, accumulator, length, repeats, seed=3):
+    """Time byte vs word on one matmul shape; verify bit-identity."""
+    rng = np.random.default_rng(seed)
+    acts = rng.random((N_POS, FAN_IN))
+    weights = rng.uniform(-1.0, 1.0, (N_CHAN, FAN_IN))
+    common = dict(length=length, bits=BITS, scheme="lfsr", seed=seed)
+    if accumulator == "bipolar":
+        stream = encode_bipolar_weight_stream(weights, **common)
+        phases = 1
+
+        def run(kernel):
+            return bipolar_mux_matmul_counts(
+                acts, weights, weight_stream=stream, kernel=kernel, **common)
+    else:
+        streams = encode_split_weight_streams(weights, **common)
+        phases = 2
+
+        def run(kernel):
+            return split_or_matmul_counts(
+                acts, weights, accumulator=accumulator,
+                weight_streams=streams, kernel=kernel, **common)
+
+    # Warm the encode-table cache so the word timing reflects steady
+    # state (the byte path has no equivalent cache to warm).
+    run("word")
+    byte_s, byte_counts = _time_kernel(lambda: run("byte"), repeats)
+    word_s, word_counts = _time_kernel(lambda: run("word"), repeats)
+    assert np.array_equal(byte_counts, word_counts), name
+    product_bits = phases * N_POS * N_CHAN * FAN_IN * length
+    return {
+        "case": name,
+        "accumulator": accumulator,
+        "phase_length": length,
+        "positions": N_POS, "channels": N_CHAN, "fan_in": FAN_IN,
+        "product_bits": product_bits,
+        "byte_s": byte_s, "word_s": word_s,
+        "byte_bits_per_s": product_bits / byte_s,
+        "word_bits_per_s": product_bits / word_s,
+        "speedup": byte_s / word_s,
+    }
+
+
+def run_suite():
+    repeats = 2 if QUICK else 5
+    ENCODE_CACHE.clear()
+    micro = [
+        _micro_case("or_conv_L128", "or", PHASE_LENGTH, repeats),
+        _micro_case("apc_conv_L128", "apc", PHASE_LENGTH, repeats),
+        _micro_case("mux_conv_L128", "mux", PHASE_LENGTH, repeats),
+        _micro_case("bipolar_conv_L256", "bipolar", 2 * PHASE_LENGTH,
+                    repeats),
+        _micro_case("or_conv_L100", "or", 100, repeats),  # odd length
+    ]
+
+    e2e_repeats = 1 if QUICK else 3
+    e2e = run_bench("lenet5", batch=8, repeats=e2e_repeats, workers=4,
+                    backend="thread", phase_length=16, kernel="word")
+    end_to_end = {
+        "network": "lenet5",
+        "batch": e2e.batch, "repeats": e2e.repeats,
+        "workers": e2e.workers, "backend": e2e.backend,
+        "phase_length": e2e.phase_length,
+        "kernel": "word",
+        "serial_img_per_s": e2e.throughput(e2e.planned_s),
+        "pool_img_per_s": e2e.throughput(e2e.parallel_s),
+        "uncached_img_per_s": e2e.throughput(e2e.uncached_s),
+        "identical": bool(e2e.identical),
+    }
+    return micro, end_to_end
+
+
+def test_kernel_throughput(benchmark, report):
+    micro, end_to_end = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    payload = {
+        "bench": "BENCH_2",
+        "title": "word-packed kernels vs byte reference",
+        "quick": QUICK,
+        "micro_kernels": micro,
+        "end_to_end": end_to_end,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        (m["case"], f"{m['byte_bits_per_s']:.3e}",
+         f"{m['word_bits_per_s']:.3e}", f"{m['speedup']:.2f}x")
+        for m in micro
+    ]
+    table = format_table(
+        ["kernel case", "byte bits/s", "word bits/s", "speedup"],
+        rows,
+        title=f"Kernel throughput — {N_POS}x{N_CHAN}x{FAN_IN} conv shape",
+    )
+    e2e_line = (f"end-to-end lenet5 (word kernel): "
+                f"{end_to_end['serial_img_per_s']:.2f} img/s serial, "
+                f"{end_to_end['pool_img_per_s']:.2f} img/s pool")
+    report("kernel_throughput", table + "\n\n" + e2e_line
+           + f"\n[json saved to {BENCH_PATH}]")
+
+    assert end_to_end["identical"]
+    or_conv = next(m for m in micro if m["case"] == "or_conv_L128")
+    if QUICK:
+        # Smoke bound only — shared CI runners are too noisy for the
+        # real bar, which the committed BENCH_2.json documents.
+        assert or_conv["speedup"] > 1.5
+    else:
+        # The PR's acceptance criterion.
+        assert or_conv["speedup"] >= 4.0

@@ -194,7 +194,7 @@ def _cmd_bench(args) -> int:
         args.network, batch=args.batch, repeats=args.repeats,
         workers=args.workers, backend=args.backend,
         shard_size=args.shard, phase_length=args.phase_length,
-        seed=args.seed,
+        seed=args.seed, kernel=args.kernel,
     )
     print(format_bench(result))
     return 0 if result.identical else 1
@@ -278,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="samples per shard (default: batch/workers)")
     bench_cmd.add_argument("--phase-length", type=int, default=32)
     bench_cmd.add_argument("--seed", type=int, default=0)
+    bench_cmd.add_argument("--kernel", choices=("word", "byte"),
+                           default=None,
+                           help="engine kernel (default: word, or "
+                                "REPRO_SC_KERNEL)")
     return parser
 
 

@@ -3,8 +3,16 @@
 A stochastic bitstream is a sequence of bits whose *density* (fraction of
 ones) encodes a number.  Internally streams are numpy ``uint8`` arrays of
 0/1 with time on the last axis; for bulk linear algebra the functional
-simulator packs eight time steps per byte (``np.packbits``) so AND/OR
-reductions run on 1/8th the memory.
+simulator packs time steps into machine words — eight per byte
+(``np.packbits``) for the reference byte path, and 64 per ``uint64``
+word (:func:`pack_words`) for the production kernels — so AND/OR
+reductions run on a fraction of the memory and one ALU op covers many
+clocks.
+
+This module is the single home of the popcount implementation: the
+``np.bitwise_count`` fast path (numpy >= 2.0) and the 256-entry
+table fallback live here and nowhere else; the simulator engine
+re-exports :func:`packed_popcount` as ``popcount_packed``.
 """
 
 from __future__ import annotations
@@ -15,8 +23,12 @@ __all__ = [
     "Bitstream",
     "pack_stream",
     "unpack_stream",
+    "pack_words",
+    "words_from_bytes",
+    "unpack_words",
     "popcount_bytes",
     "packed_popcount",
+    "popcount_words",
     "scc",
     "scc_matrix",
 ]
@@ -36,14 +48,71 @@ def unpack_stream(packed: np.ndarray, length: int) -> np.ndarray:
     return np.unpackbits(packed, axis=-1)[..., :length]
 
 
+def words_from_bytes(packed: np.ndarray) -> np.ndarray:
+    """Reinterpret byte-packed streams as ``uint64`` word-packed streams.
+
+    Pads the last axis with zero bytes to a multiple of eight and views
+    the result as ``uint64`` (64 clocks per word).  The word layout is
+    *defined* as this view of the ``np.packbits`` byte layout, so the
+    byte path and the word path always describe the same bit sequence
+    and pad bits are always zero.
+    """
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    n_bytes = packed.shape[-1]
+    pad = (-n_bytes) % 8
+    if pad:
+        packed = np.concatenate(
+            [packed,
+             np.zeros(packed.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+        packed = np.ascontiguousarray(packed)
+    return packed.view(np.uint64)
+
+
+def pack_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 array along its last axis into uint64 words.
+
+    64 clocks per word; pad bits beyond the stream length are zero.
+    """
+    return words_from_bytes(np.packbits(bits.astype(np.uint8, copy=False),
+                                        axis=-1))
+
+
+def unpack_words(words: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_words`; ``length`` trims pad bits."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=-1)[..., :length]
+
+
 def popcount_bytes(packed: np.ndarray) -> np.ndarray:
-    """Per-byte popcount via a 256-entry lookup table."""
+    """Per-byte popcount (``np.bitwise_count`` when available, else a
+    256-entry lookup table).  The ``hasattr`` check is at call time so
+    tests can exercise the fallback by monkeypatching numpy."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(packed)
     return _POPCOUNT_TABLE[packed]
 
 
-def packed_popcount(packed: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Total number of set bits along ``axis`` of a packed array."""
+def packed_popcount(packed: np.ndarray, axis=-1) -> np.ndarray:
+    """Total number of set bits along ``axis`` of a byte-packed array."""
     return popcount_bytes(packed).sum(axis=axis, dtype=np.int64)
+
+
+def popcount_words(words: np.ndarray, axis=-1) -> np.ndarray:
+    """Total number of set bits along ``axis`` of a word-packed array.
+
+    ``axis`` may be an int or a tuple of ints (e.g. ``(-2, -1)`` for the
+    APC accumulator's fan-in + time reduction).
+    """
+    if hasattr(np, "bitwise_count"):
+        per_word = np.bitwise_count(words)
+    else:  # numpy < 2.0: count the words one byte at a time.
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        per_word = _POPCOUNT_TABLE[as_bytes].reshape(
+            words.shape + (8,)
+        ).sum(axis=-1)
+    return per_word.sum(axis=axis, dtype=np.int64)
 
 
 class Bitstream:
@@ -159,16 +228,31 @@ def scc_matrix(streams: np.ndarray) -> np.ndarray:
     The diagnostic behind SNG-bank design: off-diagonal magnitudes near
     zero certify that a shared-RNG lane assignment is safe for AND
     multiplication.
+
+    Computed in one batched pass: all pair densities come from a single
+    ``streams @ streams.T`` joint-density product and the numerator /
+    denominator selection is applied matrix-wide.  Bit-for-bit the same
+    values as the scalar :func:`scc` (the documented reference) applied
+    to every pair.
     """
     streams = np.asarray(streams)
     if streams.ndim != 2:
         raise ValueError("expected a (k, n) array of streams")
-    k = streams.shape[0]
-    out = np.empty((k, k))
-    for i in range(k):
-        out[i, i] = 1.0
-        for j in range(i + 1, k):
-            value = scc(streams[i], streams[j])
-            out[i, j] = value
-            out[j, i] = value
+    s = streams.astype(np.float64)
+    k, n = s.shape
+    p = s.mean(axis=-1)                      # per-stream densities
+    pab = (s @ s.T) / n                      # joint densities, all pairs
+    pi, pj = p[:, None], p[None, :]
+    delta = pab - pi * pj
+    # Positive-delta pairs normalize by the overlapped bound, negative
+    # ones by the disjoint bound — same piecewise rule as scalar scc().
+    denom = np.where(
+        delta > 0,
+        np.minimum(pi, pj) - pi * pj,
+        pi * pj - np.maximum(pi + pj - 1.0, 0.0),
+    )
+    defined = denom > max(1.0 / (n * n), 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(defined, delta / np.where(defined, denom, 1.0), 0.0)
+    np.fill_diagonal(out, 1.0)
     return out

@@ -47,11 +47,24 @@ class MetricsSnapshot:
     max_queue_depth: int
     bits_simulated: int
     elapsed_s: float
+    #: Per-kernel ``{name: (calls, seconds)}`` from the engine's
+    #: KERNEL_STATS ("word:or", "byte:bipolar", "encode:act", ...).
+    #: Matmul rows are end-to-end; "encode:*" rows are a breakdown.
+    kernel_seconds: dict = field(default_factory=dict)
+    #: Activation value -> packed-stream table cache (engine
+    #: ENCODE_CACHE), distinct from the weight-stream ``cache_*``.
+    act_cache_hits: int = 0
+    act_cache_misses: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def act_cache_hit_rate(self) -> float:
+        total = self.act_cache_hits + self.act_cache_misses
+        return self.act_cache_hits / total if total else 0.0
 
     @property
     def samples_per_s(self) -> float:
@@ -75,6 +88,9 @@ class MetricsSnapshot:
             ("encode-cache hits", self.cache_hits),
             ("encode-cache misses", self.cache_misses),
             ("encode-cache hit rate", f"{self.cache_hit_rate:.3f}"),
+            ("act-encode-cache hits", self.act_cache_hits),
+            ("act-encode-cache misses", self.act_cache_misses),
+            ("act-encode-cache hit rate", f"{self.act_cache_hit_rate:.3f}"),
             ("queue depth (now/max)",
              f"{self.queue_depth}/{self.max_queue_depth}"),
             ("samples/s", f"{self.samples_per_s:.2f}"),
@@ -85,13 +101,23 @@ class MetricsSnapshot:
             (name, f"{self.stage_seconds.get(name, 0.0) * 1e3:.2f}")
             for name in STAGES if name in self.stage_seconds
         ]
-        return (
+        parts = [
             format_table(["metric", "value"], counter_rows,
-                         title="Runtime metrics")
-            + "\n\n"
-            + format_table(["stage", "total wall [ms]"], stage_rows,
-                           title="Per-stage timings")
-        )
+                         title="Runtime metrics"),
+            format_table(["stage", "total wall [ms]"], stage_rows,
+                         title="Per-stage timings"),
+        ]
+        if self.kernel_seconds:
+            kernel_rows = [
+                (name, calls, f"{seconds * 1e3:.2f}")
+                for name, (calls, seconds)
+                in sorted(self.kernel_seconds.items())
+            ]
+            parts.append(format_table(
+                ["kernel", "calls", "total wall [ms]"], kernel_rows,
+                title="Per-kernel timings",
+            ))
+        return "\n\n".join(parts)
 
 
 @dataclass
@@ -149,12 +175,17 @@ class RuntimeMetrics:
             self.max_queue_depth = max(self.max_queue_depth, depth)
 
     def snapshot(self, extra_cache_hits: int = 0,
-                 extra_cache_misses: int = 0) -> MetricsSnapshot:
+                 extra_cache_misses: int = 0,
+                 kernel_seconds: dict = None,
+                 act_cache_hits: int = 0,
+                 act_cache_misses: int = 0) -> MetricsSnapshot:
         """Freeze the counters.
 
         ``extra_cache_*`` lets the runtime fold in the live per-layer
         cache counters (thread/serial backends mutate the plan's own
         layer caches, which are not routed through ``add_counts``).
+        ``kernel_seconds`` and ``act_cache_*`` carry the engine's
+        per-kernel timings and activation-encode cache counters.
         """
         with self._lock:
             return MetricsSnapshot(
@@ -171,6 +202,9 @@ class RuntimeMetrics:
                 max_queue_depth=self.max_queue_depth,
                 bits_simulated=self.bits_simulated,
                 elapsed_s=time.perf_counter() - self._started,
+                kernel_seconds=dict(kernel_seconds or {}),
+                act_cache_hits=act_cache_hits,
+                act_cache_misses=act_cache_misses,
             )
 
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..analysis import format_table
 from ..simulator.config import SCConfig
+from ..simulator.engine import default_kernel
 from ..simulator.layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear,
                                 SCReLU, SCResidual)
 from ..simulator.network import SCNetwork
@@ -65,6 +66,10 @@ class ExecutionPlan:
         # plan to one config so runs cannot drift from what was compiled.
         self.network = SCNetwork(network.layers, config)
         self.config = config
+        # Resolve the kernel selection at compile time so the plan
+        # records (and `describe` reports) what will actually run, even
+        # when the config leaves it to the environment default.
+        self.kernel = config.kernel if config.kernel else default_kernel()
         self.input_shape = tuple(int(d) for d in input_shape)
         self.layer_plans = []
         shape = self.input_shape
@@ -252,5 +257,6 @@ class ExecutionPlan:
              "bits/sample"],
             rows,
             title=f"Execution plan — {self.config.representation}, "
+                  f"{self.kernel} kernel, "
                   f"{self.bits_per_sample:.2e} product bits/sample",
         )

@@ -109,11 +109,19 @@ class InferenceRuntime:
         """Point-in-time :class:`~repro.runtime.metrics.MetricsSnapshot`.
 
         Folds in the live per-layer weight-stream cache counters
-        (process-backed workers report theirs with each shard result).
+        (process-backed workers report theirs with each shard result)
+        plus the engine's per-kernel timings and activation-encode cache
+        counters.  The engine stats are process-global, so with a
+        process backend they cover only work done in this process.
         """
+        from ..simulator.engine import ENCODE_CACHE, KERNEL_STATS
         hits, misses = self.plan.cache_counters()
+        act_hits, act_misses = ENCODE_CACHE.counters()
         return self.metrics.snapshot(extra_cache_hits=hits,
-                                     extra_cache_misses=misses)
+                                     extra_cache_misses=misses,
+                                     kernel_seconds=KERNEL_STATS.snapshot(),
+                                     act_cache_hits=act_hits,
+                                     act_cache_misses=act_misses)
 
     def describe(self) -> str:
         """The compiled plan's per-layer table."""

@@ -7,9 +7,12 @@ OR-reducing and counting bitstreams.
 """
 
 from .config import SCConfig
-from .engine import (bipolar_mux_matmul_counts, encode_bipolar_weight_stream,
-                     encode_packed, encode_split_weight_streams,
-                     popcount_packed, split_or_matmul_counts)
+from .engine import (ENCODE_CACHE, KERNEL_STATS, KERNELS,
+                     ActivationEncodeCache, KernelStats,
+                     bipolar_mux_matmul_counts, default_kernel,
+                     encode_bipolar_weight_stream, encode_packed,
+                     encode_split_weight_streams, popcount_packed,
+                     split_or_matmul_counts)
 from .fixedpoint import FixedPointNetwork
 from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
                      SCResidual, WeightStreamCache)
@@ -20,8 +23,10 @@ from .reference import ReferenceSplitUnipolarMac
 
 __all__ = [
     "SCConfig",
-    "bipolar_mux_matmul_counts", "encode_bipolar_weight_stream",
-    "encode_packed", "encode_split_weight_streams", "popcount_packed",
+    "ENCODE_CACHE", "KERNEL_STATS", "KERNELS", "ActivationEncodeCache",
+    "KernelStats", "bipolar_mux_matmul_counts", "default_kernel",
+    "encode_bipolar_weight_stream", "encode_packed",
+    "encode_split_weight_streams", "popcount_packed",
     "split_or_matmul_counts",
     "FixedPointNetwork",
     "SCAvgPool", "SCConv2d", "SCFlatten", "SCLinear", "SCReLU", "SCResidual",

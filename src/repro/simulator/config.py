@@ -45,6 +45,18 @@ class SCConfig:
     #: per-layer knob — the basis of the mixed-stream-precision
     #: allocation study.
     layer_phase_lengths: dict = None
+    #: Kernel implementation: ``"word"`` (uint64 bitplanes, production),
+    #: ``"byte"`` (uint8 reference path), or ``None`` to resolve via the
+    #: ``REPRO_SC_KERNEL`` environment variable (default ``"word"``).
+    #: Both kernels return bit-identical counts.
+    kernel: str = None
+    #: Working-set budget (KiB) for one channel-blocked intermediate of
+    #: the word kernel; ~L2/L3-sized keeps the broadcast AND/OR tiles
+    #: cache-resident.
+    block_kib: int = 4096
+    #: Use the global activation value -> packed-stream table cache
+    #: (bit-identical either way; purely a speed knob).
+    encode_cache: bool = True
 
     def __post_init__(self):
         if self.phase_length < 1:
@@ -55,6 +67,10 @@ class SCConfig:
             raise ValueError(
                 f"unknown representation {self.representation!r}"
             )
+        if self.kernel is not None and self.kernel not in ("word", "byte"):
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.block_kib < 1:
+            raise ValueError("block_kib must be positive")
 
     @property
     def total_length(self) -> int:
@@ -67,6 +83,12 @@ class SCConfig:
             return self.layer_phase_lengths.get(layer_index,
                                                 self.phase_length)
         return self.phase_length
+
+    def kernel_kwargs(self) -> dict:
+        """Kernel-selection kwargs for the engine matmuls."""
+        return {"kernel": self.kernel,
+                "block_bytes": self.block_kib * 1024,
+                "encode_cache": self.encode_cache}
 
     def layer_seed(self, layer_index: int, phase: int) -> int:
         """Per-layer, per-phase seed — streams are regenerated at every

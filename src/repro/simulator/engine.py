@@ -1,40 +1,345 @@
 """Vectorized bitstream kernels for the functional simulator.
 
 The hot path of SC simulation is: encode operands to bitstreams, AND the
-pairs, reduce across the fan-in, and count.  Everything here works on
-bit-packed arrays (8 clocks per byte) to keep layer-scale simulation
-tractable — the paper notes "SC is extremely slow to accurately simulate
-in software"; packing and popcount make it merely slow.
+pairs, reduce across the fan-in, and count.  The paper notes "SC is
+extremely slow to accurately simulate in software"; everything here is
+built to make it merely slow:
+
+**Word packing.**  Streams are packed 64 clocks per ``uint64`` word
+(:func:`repro.core.bitstream.pack_words`), so one ALU op covers 64
+simulated clocks.  A byte-packed reference path (8 clocks per op, the
+original implementation style) is kept selectable via ``kernel="byte"``
+or the ``REPRO_SC_KERNEL`` environment variable; both paths are
+bit-identical by construction and asserted so in tests.
+
+**Shared-lane activation encoding.**  One SNG lane per fan-in element,
+time-multiplexed across the output positions of a chunk — exactly how
+the hardware shares its comparator SNGs across the positions a pass
+sweeps.  Lanes are re-seeded per chunk and per phase, so operand pairs
+stay decorrelated where it matters (activation lane vs weight lane).
+
+**Activation-encode caching.**  Activations are quantized to ``bits``
+(<= 8 everywhere in the paper), so a lane can only ever carry
+``2**bits + 1`` distinct values.  :class:`ActivationEncodeCache` builds
+a per-``(scheme, bits, seed, lanes, length)`` value -> packed-stream
+table once and every later forward pass *gathers* packed words instead
+of re-running the comparator and ``np.packbits`` over every position.
+
+**Channel blocking.**  The matmul kernels tile output channels so the
+``(positions, channels, fan-in, words)`` intermediate stays inside a
+configurable working-set budget (``block_bytes``) instead of looping
+over channels one at a time in Python.
+
+Per-kernel wall time is recorded in :data:`KERNEL_STATS` and surfaced
+through the runtime metrics and ``python -m repro bench``.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+from collections import OrderedDict
+
 import numpy as np
 
+from ..core.bitstream import (packed_popcount, pack_words, popcount_words,
+                              words_from_bytes)
+from ..core.rng import make_source
 from ..core.sng import StochasticNumberGenerator
 
 __all__ = ["popcount_packed", "encode_packed", "split_or_matmul_counts",
            "bipolar_mux_matmul_counts", "encode_split_weight_streams",
-           "encode_bipolar_weight_stream"]
+           "encode_bipolar_weight_stream", "ActivationEncodeCache",
+           "ENCODE_CACHE", "KernelStats", "KERNEL_STATS", "KERNELS",
+           "default_kernel"]
 
-_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)],
-                           dtype=np.uint16)
+#: Selectable kernel implementations: ``"word"`` is the production
+#: uint64 path, ``"byte"`` the uint8 per-channel-loop reference.
+KERNELS = ("word", "byte")
+
+#: Default working-set budget for one channel-blocked intermediate.
+DEFAULT_BLOCK_BYTES = 4 << 20
+
+# Consolidated popcount lives in repro.core.bitstream (bitwise_count
+# fast path + numpy<2 table fallback in one place); re-exported here
+# under the engine's historical name.
+popcount_packed = packed_popcount
 
 
-def popcount_packed(packed: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Total set bits along ``axis`` of a bit-packed array."""
-    if hasattr(np, "bitwise_count"):
-        counts = np.bitwise_count(packed)
-    else:  # numpy < 2.0
-        counts = _POPCOUNT_TABLE[packed]
-    return counts.sum(axis=axis, dtype=np.int64)
+def default_kernel() -> str:
+    """The kernel used when a call does not specify one.
+
+    ``REPRO_SC_KERNEL=byte`` forces the byte reference path globally
+    (e.g. to time or debug against it); default is ``"word"``.
+    """
+    return os.environ.get("REPRO_SC_KERNEL", "").strip() or "word"
+
+
+def _resolve_kernel(kernel: str) -> str:
+    kernel = kernel if kernel else default_kernel()
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of "
+                         f"{KERNELS}")
+    return kernel
+
+
+class KernelStats:
+    """Thread-safe per-kernel call counts and cumulative wall time.
+
+    Keys are ``"<kernel>:<accumulator>"`` for the matmuls (e.g.
+    ``"word:or"``, ``"byte:bipolar"``) and ``"encode:*"`` for the
+    encode sub-stages.  Matmul timers are end-to-end, so the encode
+    rows are a *breakdown* of (not additional to) the matmul rows.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stats = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            calls, total = self._stats.get(name, (0, 0.0))
+            self._stats[name] = (calls + 1, total + seconds)
+
+    def snapshot(self) -> dict:
+        """``{name: (calls, seconds)}`` copy of the counters."""
+        with self._lock:
+            return dict(self._stats)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+#: Process-global kernel timing accumulator (one per worker process).
+KERNEL_STATS = KernelStats()
+
+
+class _Timed:
+    __slots__ = ("_name", "_t0")
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        KERNEL_STATS.record(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+def _quantize_targets(values: np.ndarray, bits: int) -> np.ndarray:
+    """Comparator targets (integer thresholds-to-beat) for ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size and (values.min() < 0 or values.max() > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+    levels = 1 << bits
+    return np.round(values * levels).astype(np.uint32)
+
+
+def _build_encode_table(scheme: str, bits: int, seed: int, lanes: int,
+                        length: int) -> np.ndarray:
+    """Value -> word-packed stream table, ``(lanes, 2**bits + 1, W)``.
+
+    Row ``[k, v]`` is the packed stream a comparator SNG on lane ``k``
+    emits for target ``v`` — identical bits to encoding ``v / 2**bits``
+    directly, for every representable value at once.
+    """
+    with _Timed("encode:table"):
+        source = make_source(scheme, bits=bits, seed=seed)
+        thresholds = source.thresholds(lanes, length)
+        levels = 1 << bits
+        n_words = (length + 63) // 64
+        table = np.empty((lanes, levels + 1, n_words), dtype=np.uint64)
+        # Build in value slabs so the 0/1 temporary stays bounded.
+        slab = max(1, (16 << 20) // max(1, lanes * length))
+        for v0 in range(0, levels + 1, slab):
+            v = np.arange(v0, min(v0 + slab, levels + 1), dtype=np.uint32)
+            table[:, v0:v0 + v.size] = pack_words(
+                thresholds[:, None, :] < v[None, :, None]
+            )
+        return table
+
+
+class ActivationEncodeCache:
+    """LRU cache of :func:`_build_encode_table` results.
+
+    Keyed by ``(scheme, bits, seed, lanes, length)`` — everything the
+    table is a pure function of.  The per-chunk activation seed is part
+    of the key, so a steady-traffic runtime hits this cache on every
+    chunk after the first pass over a given layer shape.  Eviction is
+    by total byte budget (``REPRO_ENCODE_CACHE_MB``, default 128) so
+    huge layers cannot wedge a worker.
+
+    Safe for concurrent readers; a race at worst builds the same
+    deterministic table twice.
+    """
+
+    def __init__(self, max_bytes: int = None):
+        if max_bytes is None:
+            max_bytes = int(float(os.environ.get("REPRO_ENCODE_CACHE_MB",
+                                                 "128")) * (1 << 20))
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self._bytes = 0
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def table(self, scheme: str, bits: int, seed: int, lanes: int,
+              length: int) -> np.ndarray:
+        key = (scheme, bits, seed, lanes, length)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        built = _build_encode_table(scheme, bits, seed, lanes, length)
+        with self._lock:
+            self.misses += 1
+            if key not in self._entries:
+                self._entries[key] = built
+                self._bytes += built.nbytes
+                while self._bytes > self.max_bytes and len(self._entries) > 1:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._bytes -= evicted.nbytes
+            return self._entries[key]
+
+    def counters(self) -> tuple:
+        """``(hits, misses)`` since construction (or :meth:`clear`)."""
+        with self._lock:
+            return self.hits, self.misses
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-global activation-encode table cache.
+ENCODE_CACHE = ActivationEncodeCache()
+
+
+def _act_thresholds(scheme: str, bits: int, seed: int, lanes: int,
+                    length: int) -> np.ndarray:
+    return make_source(scheme, bits=bits, seed=seed).thresholds(lanes, length)
+
+
+_ROTATION_MEMO = OrderedDict()
+_ROTATION_LOCK = threading.Lock()
+
+
+def _lane_rotation(n_pos: int, fan_in: int, scale: int = 1) -> np.ndarray:
+    """Rotating SNG lane assignment: position ``p`` reads fan-in element
+    ``k`` from lane ``(p + k) % fan_in``.
+
+    A bank of ``fan_in`` shared SNGs serves every position of a chunk,
+    but with a fixed assignment any residual correlation between an
+    activation lane and the weight lane it meets becomes a *systematic*
+    bias repeated at every position.  Rotating the assignment per
+    position re-randomizes the pairing so the bias averages out — at
+    zero hardware cost (a barrel shift on the SNG bus) and zero extra
+    encode work (the per-lane value -> stream tables are unchanged;
+    only the gather indices rotate).
+
+    ``scale`` pre-multiplies the lane index (the encode-table gather
+    wants flat rows ``lane * (levels + 1) + target``).  The arrays are
+    shape-deterministic and read-only, so they are memoized — chunking
+    makes every forward pass request the same few shapes.
+    """
+    key = (n_pos, fan_in, scale)
+    with _ROTATION_LOCK:
+        hit = _ROTATION_MEMO.get(key)
+        if hit is not None:
+            _ROTATION_MEMO.move_to_end(key)
+            return hit
+    p = np.arange(n_pos)[:, None]
+    k = np.arange(fan_in)[None, :]
+    rotation = ((p + k) % fan_in) * scale
+    rotation.setflags(write=False)
+    with _ROTATION_LOCK:
+        _ROTATION_MEMO[key] = rotation
+        while len(_ROTATION_MEMO) > 32:
+            _ROTATION_MEMO.popitem(last=False)
+    return rotation
+
+
+def _encode_chunk_bytes(values: np.ndarray, length: int, bits: int,
+                        scheme: str, seed: int) -> np.ndarray:
+    """Shared-lane chunk encode, byte-packed: ``(P, K) -> (P, K, B)``.
+
+    A bank of ``fan_in`` SNG lanes is time-multiplexed across the
+    chunk's positions with the :func:`_lane_rotation` assignment; bit
+    ``[p, k, t]`` is ``threshold[(p+k) % K, t] < round(v[p, k] * 2**bits)``.
+    """
+    with _Timed("encode:act"):
+        targets = _quantize_targets(values, bits)
+        thresholds = _act_thresholds(scheme, bits, seed, values.shape[1],
+                                     length)
+        thr = thresholds[_lane_rotation(*values.shape)]
+        return np.packbits(thr < targets[:, :, None], axis=-1)
+
+
+def _time_major(words: np.ndarray) -> np.ndarray:
+    """Swap the last two axes to the kernels' time-major word layout.
+
+    The matmul kernels hold word-packed streams as ``(..., W, K)`` —
+    words outermost, lanes innermost — so the fan-in OR/popcount
+    reduction runs over the *last* (contiguous) axis, which is the
+    layout numpy's pairwise ufunc reduction is fast on (~6x over a
+    middle-axis reduce at conv shapes).
+    """
+    return np.ascontiguousarray(np.swapaxes(words, -1, -2))
+
+
+def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
+                        scheme: str, seed: int,
+                        use_cache: bool) -> np.ndarray:
+    """Shared-lane chunk encode, time-major: ``(P, K) -> (P, W, K)``.
+
+    Bit-identical streams to :func:`_encode_chunk_bytes`.  With the
+    cache enabled this is a pure ``np.take`` gather from the
+    value -> stream table (one row per (lane, value) pair).
+    """
+    lanes = values.shape[1]
+    if use_cache and bits <= 8 and lanes > 0:
+        table = ENCODE_CACHE.table(scheme, bits, seed, lanes, length)
+        with _Timed("encode:act"):
+            targets = _quantize_targets(values, bits)
+            rows = _lane_rotation(*values.shape, scale=table.shape[1]) \
+                + targets
+            flat = table.reshape(-1, table.shape[-1])
+            return _time_major(np.take(flat, rows, axis=0))
+    with _Timed("encode:act"):
+        targets = _quantize_targets(values, bits)
+        thresholds = _act_thresholds(scheme, bits, seed, lanes, length)
+        thr = thresholds[_lane_rotation(*values.shape)]
+        return _time_major(pack_words(thr < targets[:, :, None]))
+
+
+def _channel_block(n_chan: int, n_pos: int, n_lanes: int, n_words: int,
+                   block_bytes: int) -> int:
+    """Channels per block so one intermediate fits the working set."""
+    per_channel = max(1, n_pos * n_lanes * n_words * 8)
+    return max(1, min(n_chan, block_bytes // per_channel))
 
 
 def encode_packed(values: np.ndarray, length: int, bits: int, scheme: str,
                   seed: int) -> np.ndarray:
-    """Encode probabilities to bit-packed streams.
+    """Encode probabilities to bit-packed streams, one lane per element.
 
-    Returns shape ``values.shape + (ceil(length / 8),)``.
+    Returns shape ``values.shape + (ceil(length / 8),)``.  This is the
+    *weight* encoding path — every ``(channel, k)`` weight element keeps
+    its own SNG lane; activations use the shared-lane chunk encoders.
     """
     sng = StochasticNumberGenerator(length, bits=bits, scheme=scheme, seed=seed)
     return np.packbits(sng.generate(values), axis=-1)
@@ -52,13 +357,14 @@ def encode_split_weight_streams(weights: np.ndarray, *, length: int,
     to what the matmul would generate internally.
     """
     weights = np.asarray(weights, dtype=np.float64)
-    phases = []
-    for phase, w_part in ((0, np.maximum(weights, 0.0)),
-                          (1, np.maximum(-weights, 0.0))):
-        w_packed = encode_packed(w_part, length, bits, scheme,
-                                 seed=seed + 7_368_787 * (phase + 1))
-        phases.append((w_part, w_packed))
-    return tuple(phases)
+    with _Timed("encode:weights"):
+        phases = []
+        for phase, w_part in ((0, np.maximum(weights, 0.0)),
+                              (1, np.maximum(-weights, 0.0))):
+            w_packed = encode_packed(w_part, length, bits, scheme,
+                                     seed=seed + 7_368_787 * (phase + 1))
+            phases.append((w_part, w_packed))
+        return tuple(phases)
 
 
 def encode_bipolar_weight_stream(weights: np.ndarray, *, length: int,
@@ -70,56 +376,9 @@ def encode_bipolar_weight_stream(weights: np.ndarray, *, length: int,
     performs internally; pass the result back via ``weight_stream``.
     """
     weights = np.asarray(weights, dtype=np.float64)
-    return encode_packed((weights + 1.0) / 2.0, length, bits, scheme,
-                         seed=seed + 7_368_787)
-
-
-def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
-                              length: int, bits: int, scheme: str, seed: int,
-                              chunk_positions: int = 256,
-                              weight_stream: np.ndarray = None) -> np.ndarray:
-    """Bitstream-exact *bipolar* matrix multiply with MUX accumulation.
-
-    This is the datapath of prior SC accelerators (SC-DCNN, HEIF, ...):
-    operands encoded bipolar (``P(1) = (v+1)/2``), XNOR multipliers, and a
-    k:1 multiplexer performing scaled addition.  The returned ``(P, C)``
-    counts are ones-counts of the MUX output stream; decoding
-    ``2*counts/length - 1`` estimates ``mean_i(a_i * w_i)`` — i.e. the
-    sum *divided by the fan-in*, the scaling loss that motivates
-    ACOUSTIC's OR-unipolar design.
-
-    ``acts`` in [0, 1] (post-ReLU), ``weights`` in [-1, 1].
-    """
-    acts = np.asarray(acts, dtype=np.float64)
-    weights = np.asarray(weights, dtype=np.float64)
-    if acts.ndim != 2 or weights.ndim != 2 or acts.shape[1] != weights.shape[1]:
-        raise ValueError("acts must be (P, K) and weights (C, K)")
-    n_pos, fan_in = acts.shape
-    n_chan = weights.shape[0]
-    counts = np.zeros((n_pos, n_chan), dtype=np.int64)
-    if weight_stream is None:
-        weight_stream = encode_bipolar_weight_stream(
-            weights, length=length, bits=bits, scheme=scheme, seed=seed
-        )
-    w_packed = weight_stream
-    if w_packed.shape[:2] != (n_chan, fan_in):
-        raise ValueError("weight_stream does not match the weight shape")
-    # The select stream's zero pad bits also mask the XNOR's inverted
-    # padding, so partial final bytes stay clean.
-    select = _mux_select_matrix(fan_in, length, seed + 104_729)
-    for start in range(0, n_pos, chunk_positions):
-        sl = slice(start, min(start + chunk_positions, n_pos))
-        a_packed = encode_packed(
-            (acts[sl] + 1.0) / 2.0, length, bits, scheme,
-            seed=seed + 15_485_863 + 104_651 * start,
-        )
-        for c in range(n_chan):
-            # XNOR product streams, then the MUX picks one per clock.
-            prods = ~(a_packed ^ w_packed[c][None, :, :])
-            gated = prods & select[None, :, :]
-            acc = np.bitwise_or.reduce(gated, axis=1)
-            counts[sl, c] += popcount_packed(acc, axis=-1)
-    return counts
+    with _Timed("encode:weights"):
+        return encode_packed((weights + 1.0) / 2.0, length, bits, scheme,
+                             seed=seed + 7_368_787)
 
 
 def _mux_select_matrix(fan_in: int, length: int, seed: int) -> np.ndarray:
@@ -134,7 +393,10 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                            length: int, bits: int, scheme: str, seed: int,
                            accumulator: str = "or",
                            chunk_positions: int = 256,
-                           weight_streams: tuple = None) -> np.ndarray:
+                           weight_streams: tuple = None,
+                           kernel: str = None,
+                           block_bytes: int = None,
+                           encode_cache: bool = True) -> np.ndarray:
     """Bitstream-exact split-unipolar matrix multiply.
 
     Parameters
@@ -154,6 +416,17 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
         Optional pre-encoded phase streams from
         :func:`encode_split_weight_streams` (same ``length``/``bits``/
         ``scheme``/``seed``); skips the per-call weight encoding.
+    kernel:
+        ``"word"`` (uint64 bitplanes, channel-blocked; default) or
+        ``"byte"`` (uint8 reference path).  Both return identical
+        counts; ``None`` resolves via :func:`default_kernel`.
+    block_bytes:
+        Working-set budget for one channel-blocked intermediate of the
+        word kernel (default :data:`DEFAULT_BLOCK_BYTES`).
+    encode_cache:
+        Use the global :data:`ENCODE_CACHE` value -> stream tables for
+        activation encoding (word kernel only; bit-identical either
+        way).
 
     Returns
     -------
@@ -165,6 +438,11 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     weights = np.asarray(weights, dtype=np.float64)
     if acts.ndim != 2 or weights.ndim != 2 or acts.shape[1] != weights.shape[1]:
         raise ValueError("acts must be (P, K) and weights (C, K)")
+    if accumulator not in ("or", "apc", "mux"):
+        raise ValueError(f"unknown accumulator {accumulator!r}")
+    kernel = _resolve_kernel(kernel)
+    if block_bytes is None:
+        block_bytes = DEFAULT_BLOCK_BYTES
     n_pos, fan_in = acts.shape
     n_chan = weights.shape[0]
     counts = np.zeros((n_pos, n_chan), dtype=np.int64)
@@ -175,9 +453,28 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
         weight_streams = encode_split_weight_streams(
             weights, length=length, bits=bits, scheme=scheme, seed=seed
         )
-    for phase, (w_part, w_packed) in enumerate(weight_streams):
+    for _, (_, w_packed) in enumerate(weight_streams):
         if w_packed.shape[:2] != (n_chan, fan_in):
             raise ValueError("weight_streams do not match the weight shape")
+    if fan_in == 0 or n_pos == 0 or n_chan == 0:
+        return counts
+
+    args = (counts, acts, weight_streams, length, bits, scheme, seed,
+            accumulator, chunk_positions)
+    with _Timed(f"{kernel}:{accumulator}"):
+        if kernel == "word":
+            _split_matmul_word(*args, block_bytes, encode_cache)
+        else:
+            _split_matmul_byte(*args)
+    return counts
+
+
+def _split_matmul_byte(counts, acts, weight_streams, length, bits, scheme,
+                       seed, accumulator, chunk_positions) -> None:
+    """Reference byte-path: uint8 packing, per-channel Python loops."""
+    n_pos, fan_in = acts.shape
+    n_chan = counts.shape[1]
+    for phase, (w_part, w_packed) in enumerate(weight_streams):
         sign = 1 if phase == 0 else -1
         # Lanes whose weight component is zero (opposite sign, or a true
         # zero weight) carry all-zero streams and cannot set an OR output
@@ -189,10 +486,8 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                                         seed + 104_729 * (phase + 1))
         for start in range(0, n_pos, chunk_positions):
             sl = slice(start, min(start + chunk_positions, n_pos))
-            a_packed = encode_packed(
+            a_packed = _encode_chunk_bytes(
                 acts[sl], length, bits, scheme,
-                # Distinct lanes per position chunk keep patch streams
-                # decorrelated from each other and from the weights.
                 seed=seed + 15_485_863 * (phase + 1) + 104_651 * start,
             )
             # a_packed: (p, K, B); w_packed: (C, K, B).
@@ -203,22 +498,166 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                         continue
                     prods = a_packed[:, lanes, :] & w_packed[c, lanes, :]
                     acc = np.bitwise_or.reduce(prods, axis=1)
-                    counts[sl, c] += sign * popcount_packed(acc, axis=-1)
+                    counts[sl, c] += sign * packed_popcount(acc, axis=-1)
             elif accumulator == "apc":
                 for c in range(n_chan):
                     lanes = active_lanes[c]
                     if lanes.size == 0:
                         continue
                     prods = a_packed[:, lanes, :] & w_packed[c, lanes, :]
-                    counts[sl, c] += sign * popcount_packed(
+                    counts[sl, c] += sign * packed_popcount(
                         prods, axis=(-2, -1)
                     )
-            elif accumulator == "mux":
+            else:  # mux
+                # Select gating hoisted out of the channel loop:
+                # (a & sel) & w == (a & w) & sel, one gating per chunk.
+                gated_a = a_packed & select[None, :, :]
                 for c in range(n_chan):
-                    prods = a_packed & w_packed[c][None, :, :]
-                    gated = prods & select[None, :, :]
-                    acc = np.bitwise_or.reduce(gated, axis=1)
-                    counts[sl, c] += sign * popcount_packed(acc, axis=-1)
+                    prods = gated_a & w_packed[c][None, :, :]
+                    acc = np.bitwise_or.reduce(prods, axis=1)
+                    counts[sl, c] += sign * packed_popcount(acc, axis=-1)
+
+
+def _split_matmul_word(counts, acts, weight_streams, length, bits, scheme,
+                       seed, accumulator, chunk_positions, block_bytes,
+                       encode_cache) -> None:
+    """uint64 word path: channel-blocked broadcast kernels.
+
+    Operands are held time-major (``(..., W, K)``, see
+    :func:`_time_major`) so the fan-in reduction runs over the
+    contiguous last axis.
+    """
+    n_pos, fan_in = acts.shape
+    n_chan = counts.shape[1]
+    n_words = (length + 63) // 64
+    for phase, (w_part, w_packed) in enumerate(weight_streams):
+        sign = 1 if phase == 0 else -1
+        w_words = _time_major(words_from_bytes(w_packed))    # (C, W, K)
+        active = w_part > 0                                  # (C, K)
+        if accumulator == "mux":
+            select_words = _time_major(words_from_bytes(_mux_select_matrix(
+                fan_in, length, seed + 104_729 * (phase + 1))))  # (W, K)
+        for start in range(0, n_pos, chunk_positions):
+            sl = slice(start, min(start + chunk_positions, n_pos))
+            a_words = _encode_chunk_words(
+                acts[sl], length, bits, scheme,
+                seed=seed + 15_485_863 * (phase + 1) + 104_651 * start,
+                use_cache=encode_cache,
+            )                                                # (p, W, K)
+            p = a_words.shape[0]
+            cb = _channel_block(n_chan, p, fan_in, n_words, block_bytes)
+            if accumulator == "mux":
+                # Hoisted select gating: one AND per chunk, not per
+                # channel; (a & sel) & w == (a & w) & sel.
+                gated_a = a_words & select_words[None, :, :]
+                for c0 in range(0, n_chan, cb):
+                    ww = w_words[c0:c0 + cb]
+                    prods = gated_a[:, None, :, :] & ww[None, :, :, :]
+                    acc = np.bitwise_or.reduce(prods, axis=-1)
+                    counts[sl, c0:c0 + cb] += sign * popcount_words(
+                        acc, axis=-1)
             else:
-                raise ValueError(f"unknown accumulator {accumulator!r}")
+                for c0 in range(0, n_chan, cb):
+                    c1 = min(c0 + cb, n_chan)
+                    # Operand gating, blocked: slice the union of the
+                    # block's active lanes (all-zero weight streams can
+                    # never set an OR bit or add to a popcount, so the
+                    # union slice is exact).
+                    lanes = np.flatnonzero(active[c0:c1].any(axis=0))
+                    if lanes.size == 0:
+                        continue
+                    if lanes.size == fan_in:
+                        aw, ww = a_words, w_words[c0:c1]
+                    else:
+                        aw = a_words[:, :, lanes]
+                        ww = w_words[c0:c1][:, :, lanes]
+                    prods = aw[:, None, :, :] & ww[None, :, :, :]
+                    if accumulator == "or":
+                        acc = np.bitwise_or.reduce(prods, axis=-1)
+                        counts[sl, c0:c1] += sign * popcount_words(
+                            acc, axis=-1)
+                    else:  # apc
+                        counts[sl, c0:c1] += sign * popcount_words(
+                            prods, axis=(-2, -1))
+
+
+def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
+                              length: int, bits: int, scheme: str, seed: int,
+                              chunk_positions: int = 256,
+                              weight_stream: np.ndarray = None,
+                              kernel: str = None,
+                              block_bytes: int = None,
+                              encode_cache: bool = True) -> np.ndarray:
+    """Bitstream-exact *bipolar* matrix multiply with MUX accumulation.
+
+    This is the datapath of prior SC accelerators (SC-DCNN, HEIF, ...):
+    operands encoded bipolar (``P(1) = (v+1)/2``), XNOR multipliers, and a
+    k:1 multiplexer performing scaled addition.  The returned ``(P, C)``
+    counts are ones-counts of the MUX output stream; decoding
+    ``2*counts/length - 1`` estimates ``mean_i(a_i * w_i)`` — i.e. the
+    sum *divided by the fan-in*, the scaling loss that motivates
+    ACOUSTIC's OR-unipolar design.
+
+    ``acts`` in [0, 1] (post-ReLU), ``weights`` in [-1, 1].  ``kernel``/
+    ``block_bytes``/``encode_cache`` as in
+    :func:`split_or_matmul_counts`.
+    """
+    acts = np.asarray(acts, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if acts.ndim != 2 or weights.ndim != 2 or acts.shape[1] != weights.shape[1]:
+        raise ValueError("acts must be (P, K) and weights (C, K)")
+    kernel = _resolve_kernel(kernel)
+    if block_bytes is None:
+        block_bytes = DEFAULT_BLOCK_BYTES
+    n_pos, fan_in = acts.shape
+    n_chan = weights.shape[0]
+    counts = np.zeros((n_pos, n_chan), dtype=np.int64)
+    if weight_stream is None:
+        weight_stream = encode_bipolar_weight_stream(
+            weights, length=length, bits=bits, scheme=scheme, seed=seed
+        )
+    w_packed = weight_stream
+    if w_packed.shape[:2] != (n_chan, fan_in):
+        raise ValueError("weight_stream does not match the weight shape")
+    if fan_in == 0 or n_pos == 0 or n_chan == 0:
+        return counts
+    # The select stream's zero pad bits also mask the XNOR's inverted
+    # padding, so partial final words/bytes stay clean.  The XNOR+gate
+    # is computed as (a & sel) ^ (~w & sel): ~(a ^ w) & sel distributes
+    # over XOR, letting both kernels hoist the activation gating out of
+    # the channel dimension and pre-gate the weights once per call.
+    select = _mux_select_matrix(fan_in, length, seed + 104_729)
+    n_words = (length + 63) // 64
+    with _Timed(f"{kernel}:bipolar"):
+        if kernel == "word":
+            select_words = _time_major(words_from_bytes(select))  # (W, K)
+            w_sel = ~_time_major(words_from_bytes(w_packed)) \
+                & select_words[None, :, :]                        # (C, W, K)
+            for start in range(0, n_pos, chunk_positions):
+                sl = slice(start, min(start + chunk_positions, n_pos))
+                a_words = _encode_chunk_words(
+                    (acts[sl] + 1.0) / 2.0, length, bits, scheme,
+                    seed=seed + 15_485_863 + 104_651 * start,
+                    use_cache=encode_cache,
+                )                                                 # (p, W, K)
+                a_sel = a_words & select_words[None, :, :]
+                p = a_sel.shape[0]
+                cb = _channel_block(n_chan, p, fan_in, n_words, block_bytes)
+                for c0 in range(0, n_chan, cb):
+                    gated = a_sel[:, None, :, :] ^ w_sel[None, c0:c0 + cb]
+                    acc = np.bitwise_or.reduce(gated, axis=-1)
+                    counts[sl, c0:c0 + cb] += popcount_words(acc, axis=-1)
+        else:
+            w_sel = ~w_packed & select[None, :, :]
+            for start in range(0, n_pos, chunk_positions):
+                sl = slice(start, min(start + chunk_positions, n_pos))
+                a_packed = _encode_chunk_bytes(
+                    (acts[sl] + 1.0) / 2.0, length, bits, scheme,
+                    seed=seed + 15_485_863 + 104_651 * start,
+                )
+                a_sel = a_packed & select[None, :, :]
+                for c in range(n_chan):
+                    gated = a_sel ^ w_sel[c][None, :, :]
+                    acc = np.bitwise_or.reduce(gated, axis=1)
+                    counts[sl, c] += packed_popcount(acc, axis=-1)
     return counts

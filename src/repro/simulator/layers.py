@@ -163,6 +163,7 @@ class SCConv2d:
                 representation="split-unipolar", length=length,
                 bits=config.bits, scheme=config.scheme, seed=seed,
             ),
+            **config.kernel_kwargs(),
         ).reshape(n, oh, ow, c_out)
 
         if self.pool_size > 1:
@@ -214,6 +215,7 @@ class SCConv2d:
                 representation="bipolar", length=length, bits=config.bits,
                 scheme=config.scheme, seed=seed,
             ),
+            **config.kernel_kwargs(),
         ).reshape(n, oh, ow, c_out)
         values = 2.0 * counts / length - 1.0
         if self.pool_size > 1:
@@ -259,6 +261,7 @@ class SCLinear:
                     representation="bipolar", length=config.total_length,
                     bits=config.bits, scheme=config.scheme, seed=seed,
                 ),
+                **config.kernel_kwargs(),
             )
             return 2.0 * counts / config.total_length - 1.0
         phase_length = config.phase_length_for(layer_index)
@@ -274,6 +277,7 @@ class SCLinear:
                 representation="split-unipolar", length=phase_length,
                 bits=config.bits, scheme=config.scheme, seed=seed,
             ),
+            **config.kernel_kwargs(),
         )
         out = counts / phase_length
         if config.accumulator == "mux":

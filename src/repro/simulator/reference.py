@@ -33,7 +33,10 @@ class ReferenceSplitUnipolarMac:
         self.seed = seed
 
     def _streams(self, values: np.ndarray, seed: int) -> np.ndarray:
-        """Generate streams exactly like the engine's encode path."""
+        """Generate weight streams exactly like the engine's encode path.
+
+        Weights get one SNG lane per element (``encode_packed``).
+        """
         source = make_source(self.scheme, bits=self.bits, seed=seed)
         flat = values.reshape(-1)
         levels = 1 << self.bits
@@ -45,6 +48,29 @@ class ReferenceSplitUnipolarMac:
                 bits[lane, t] = 1 if thresholds[lane, t] < targets[lane] \
                     else 0
         return bits.reshape(values.shape + (self.length,))
+
+    def _act_streams(self, values: np.ndarray, seed: int) -> np.ndarray:
+        """Generate activation streams for one chunk, shared-lane style.
+
+        The engine time-multiplexes a bank of ``fan_in`` SNG lanes
+        across the chunk's positions, rotating the assignment per
+        position (element ``k`` of position ``p`` reads lane
+        ``(p + k) % fan_in``) so lane/weight pairing bias is not
+        repeated systematically at every position.
+        """
+        n_pos, fan_in = values.shape
+        source = make_source(self.scheme, bits=self.bits, seed=seed)
+        levels = 1 << self.bits
+        thresholds = source.thresholds(fan_in, self.length)
+        targets = np.round(values * levels).astype(np.uint32)
+        bits = np.empty((n_pos, fan_in, self.length), dtype=np.uint8)
+        for p in range(n_pos):
+            for k in range(fan_in):
+                lane = (p + k) % fan_in
+                for t in range(self.length):
+                    bits[p, k, t] = 1 if thresholds[lane, t] < targets[p, k] \
+                        else 0
+        return bits
 
     def matmul_counts(self, acts: np.ndarray, weights: np.ndarray,
                       chunk_positions: int = 256) -> np.ndarray:
@@ -68,7 +94,7 @@ class ReferenceSplitUnipolarMac:
             )
             for start in range(0, n_pos, chunk_positions):
                 stop = min(start + chunk_positions, n_pos)
-                a_streams = self._streams(
+                a_streams = self._act_streams(
                     acts[start:stop],
                     seed=self.seed + 15_485_863 * (phase + 1)
                     + 104_651 * start,

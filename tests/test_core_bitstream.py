@@ -8,10 +8,15 @@ from hypothesis import strategies as st
 from repro.core.bitstream import (
     Bitstream,
     pack_stream,
+    pack_words,
     packed_popcount,
     popcount_bytes,
+    popcount_words,
     scc,
+    scc_matrix,
     unpack_stream,
+    unpack_words,
+    words_from_bytes,
 )
 
 bit_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=200).map(
@@ -120,3 +125,63 @@ class TestScc:
         a = np.ones(64, dtype=np.uint8)
         b = np.zeros(64, dtype=np.uint8)
         assert scc(a, b) == 0.0
+
+
+class TestWordPacking:
+    """uint64 word layout: the view of the np.packbits byte layout."""
+
+    @pytest.mark.parametrize("length", [1, 7, 63, 64, 65, 100, 128, 200])
+    def test_pack_unpack_words_roundtrip(self, length):
+        rng = np.random.default_rng(length)
+        bits = rng.integers(0, 2, (3, length), dtype=np.uint8)
+        words = pack_words(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (3, (length + 63) // 64)
+        assert np.array_equal(unpack_words(words, length), bits)
+
+    @pytest.mark.parametrize("length", [1, 7, 64, 100, 129])
+    def test_words_match_byte_view(self, length):
+        rng = np.random.default_rng(length + 1)
+        bits = rng.integers(0, 2, (2, 5, length), dtype=np.uint8)
+        assert np.array_equal(words_from_bytes(pack_stream(bits)),
+                              pack_words(bits))
+
+    @pytest.mark.parametrize("length", [3, 64, 65, 130])
+    def test_pad_bits_are_zero(self, length):
+        words = pack_words(np.ones((4, length), dtype=np.uint8))
+        assert popcount_words(words).tolist() == [length] * 4
+
+    @pytest.mark.parametrize("length", [1, 7, 63, 64, 65, 100, 128, 200])
+    def test_popcount_words_matches_sum(self, length):
+        rng = np.random.default_rng(length + 2)
+        bits = rng.integers(0, 2, (3, 4, length), dtype=np.uint8)
+        words = pack_words(bits)
+        assert np.array_equal(popcount_words(words, axis=-1),
+                              bits.sum(axis=-1))
+        assert np.array_equal(popcount_words(words, axis=(-2, -1)),
+                              bits.sum(axis=(-2, -1)))
+
+    def test_popcount_words_numpy_fallback(self, monkeypatch):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, (5, 150), dtype=np.uint8)
+        words = pack_words(bits)
+        want = popcount_words(words)
+        monkeypatch.delattr(np, "bitwise_count", raising=False)
+        assert np.array_equal(popcount_words(words), want)
+
+
+class TestSccMatrixVectorized:
+    """Batched scc_matrix must match the scalar scc reference pairwise."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_scc(self, seed):
+        rng = np.random.default_rng(seed)
+        streams = rng.integers(0, 2, (8, 96), dtype=np.uint8)
+        streams[0] = 1  # constant lane: denominator edge case
+        streams[1] = 0
+        streams[2] = streams[3]  # perfectly correlated pair
+        got = scc_matrix(streams)
+        for i in range(8):
+            for j in range(8):
+                want = 1.0 if i == j else scc(streams[i], streams[j])
+                assert got[i, j] == pytest.approx(want, abs=1e-12)

@@ -1,0 +1,249 @@
+"""Golden bit-exactness tests: word kernels vs the byte reference path.
+
+The uint64 word kernels (channel-blocked broadcast, encode-table
+gather) must return *identical* ``(P, C)`` counts to the uint8
+reference path for every accumulator, both representations, odd stream
+lengths (pad-bit handling), and degenerate operands.  Any deviation is
+a correctness bug, not a tolerance question — both paths simulate the
+same gates on the same streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import SCConfig, SCNetwork
+from repro.simulator.engine import (ENCODE_CACHE, KERNEL_STATS,
+                                    ActivationEncodeCache, KernelStats,
+                                    bipolar_mux_matmul_counts,
+                                    default_kernel,
+                                    encode_split_weight_streams,
+                                    split_or_matmul_counts)
+
+#: Non-multiples of 64 exercise partial final words; 64/128 exercise
+#: exact word boundaries; 7 fits inside a single byte.
+LENGTHS = [7, 64, 100, 128, 129]
+
+
+def _operands(seed, n_pos=9, n_chan=5, fan_in=11):
+    rng = np.random.default_rng(seed)
+    acts = rng.random((n_pos, fan_in))
+    weights = rng.uniform(-1.0, 1.0, (n_chan, fan_in))
+    weights[2] = 0.0        # all-zero channel
+    weights[:, 3] = 0.0     # dead fan-in lane
+    weights[4] = np.abs(weights[4])   # one channel with no down phase
+    return acts, weights
+
+
+class TestSplitUnipolarEquivalence:
+    @pytest.mark.parametrize("length", LENGTHS)
+    @pytest.mark.parametrize("accumulator", ["or", "apc", "mux"])
+    def test_word_matches_byte(self, length, accumulator):
+        acts, weights = _operands(length)
+        kwargs = dict(length=length, bits=8, scheme="lfsr", seed=3,
+                      accumulator=accumulator, chunk_positions=4)
+        byte = split_or_matmul_counts(acts, weights, kernel="byte", **kwargs)
+        word = split_or_matmul_counts(acts, weights, kernel="word", **kwargs)
+        assert np.array_equal(byte, word)
+
+    @pytest.mark.parametrize("accumulator", ["or", "apc", "mux"])
+    def test_encode_cache_is_bit_identical(self, accumulator):
+        acts, weights = _operands(1)
+        kwargs = dict(length=100, bits=8, scheme="lfsr", seed=5,
+                      accumulator=accumulator, chunk_positions=4,
+                      kernel="word")
+        cached = split_or_matmul_counts(acts, weights,
+                                        encode_cache=True, **kwargs)
+        direct = split_or_matmul_counts(acts, weights,
+                                        encode_cache=False, **kwargs)
+        assert np.array_equal(cached, direct)
+
+    @pytest.mark.parametrize("block_bytes", [1, 4096, None])
+    def test_channel_blocking_is_bit_identical(self, block_bytes):
+        # block_bytes=1 forces one channel per block; None the default
+        # budget; results must not depend on the tiling.
+        acts, weights = _operands(2, n_chan=7)
+        kwargs = dict(length=128, bits=8, scheme="lfsr", seed=7,
+                      accumulator="or", chunk_positions=4)
+        byte = split_or_matmul_counts(acts, weights, kernel="byte", **kwargs)
+        word = split_or_matmul_counts(acts, weights, kernel="word",
+                                      block_bytes=block_bytes, **kwargs)
+        assert np.array_equal(byte, word)
+
+    @pytest.mark.parametrize("scheme", ["lfsr", "random", "vdc"])
+    def test_all_rng_schemes(self, scheme):
+        acts, weights = _operands(3)
+        kwargs = dict(length=65, bits=6, scheme=scheme, seed=11,
+                      accumulator="or", chunk_positions=3)
+        byte = split_or_matmul_counts(acts, weights, kernel="byte", **kwargs)
+        word = split_or_matmul_counts(acts, weights, kernel="word", **kwargs)
+        assert np.array_equal(byte, word)
+
+    def test_precomputed_weight_streams_match(self):
+        acts, weights = _operands(4)
+        kwargs = dict(length=33, bits=8, scheme="lfsr", seed=13,
+                      accumulator="or")
+        streams = encode_split_weight_streams(weights, length=33, bits=8,
+                                              scheme="lfsr", seed=13)
+        for kernel in ("byte", "word"):
+            inline = split_or_matmul_counts(acts, weights, kernel=kernel,
+                                            **kwargs)
+            reused = split_or_matmul_counts(acts, weights, kernel=kernel,
+                                            weight_streams=streams, **kwargs)
+            assert np.array_equal(inline, reused)
+
+    @pytest.mark.parametrize("kernel", ["byte", "word"])
+    def test_empty_operands(self, kernel):
+        kwargs = dict(length=16, bits=8, scheme="lfsr", seed=1,
+                      kernel=kernel)
+        out = split_or_matmul_counts(np.zeros((0, 3)), np.zeros((2, 3)),
+                                     accumulator="or", **kwargs)
+        assert out.shape == (0, 2)
+        # Zero fan-in must not crash the MUX select generator.
+        out = split_or_matmul_counts(np.zeros((2, 0)), np.zeros((3, 0)),
+                                     accumulator="mux", **kwargs)
+        assert out.shape == (2, 3) and not out.any()
+
+    def test_all_zero_weights_give_zero_counts(self):
+        acts = np.random.default_rng(0).random((4, 6))
+        weights = np.zeros((3, 6))
+        for kernel in ("byte", "word"):
+            out = split_or_matmul_counts(acts, weights, length=128, bits=8,
+                                         scheme="lfsr", seed=2,
+                                         accumulator="or", kernel=kernel)
+            assert not out.any()
+
+
+class TestBipolarEquivalence:
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_word_matches_byte(self, length):
+        acts, weights = _operands(length + 100)
+        kwargs = dict(length=length, bits=8, scheme="lfsr", seed=5,
+                      chunk_positions=4)
+        byte = bipolar_mux_matmul_counts(acts, weights, kernel="byte",
+                                         **kwargs)
+        word = bipolar_mux_matmul_counts(acts, weights, kernel="word",
+                                         **kwargs)
+        assert np.array_equal(byte, word)
+
+    def test_blocking_and_cache_invariance(self):
+        acts, weights = _operands(9)
+        kwargs = dict(length=129, bits=8, scheme="lfsr", seed=17,
+                      chunk_positions=4, kernel="word")
+        base = bipolar_mux_matmul_counts(acts, weights, **kwargs)
+        assert np.array_equal(base, bipolar_mux_matmul_counts(
+            acts, weights, block_bytes=1, **kwargs))
+        assert np.array_equal(base, bipolar_mux_matmul_counts(
+            acts, weights, encode_cache=False, **kwargs))
+
+    @pytest.mark.parametrize("kernel", ["byte", "word"])
+    def test_empty_fan_in(self, kernel):
+        out = bipolar_mux_matmul_counts(np.zeros((2, 0)), np.zeros((3, 0)),
+                                        length=16, bits=8, scheme="lfsr",
+                                        seed=1, kernel=kernel)
+        assert out.shape == (2, 3) and not out.any()
+
+
+class TestNetworkLevelEquivalence:
+    """Kernel choice must never change a network's logits."""
+
+    @pytest.mark.parametrize("representation", ["split-unipolar", "bipolar"])
+    def test_forward_bit_identical(self, representation):
+        from repro.networks import lenet5
+        net = lenet5(seed=0)
+        x = np.random.default_rng(1).uniform(0, 1, (2, 1, 28, 28))
+        logits = {}
+        for kernel in ("byte", "word"):
+            sc = SCNetwork.from_trained(net, SCConfig(
+                phase_length=16, representation=representation,
+                kernel=kernel))
+            logits[kernel] = sc.forward(x)
+        assert np.array_equal(logits["byte"], logits["word"])
+
+
+class TestKernelSelection:
+    def test_invalid_kernel_rejected(self):
+        acts, weights = _operands(0)
+        with pytest.raises(ValueError, match="kernel"):
+            split_or_matmul_counts(acts, weights, length=8, bits=8,
+                                   scheme="lfsr", seed=1, kernel="simd")
+        with pytest.raises(ValueError, match="kernel"):
+            SCConfig(kernel="simd")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SC_KERNEL", raising=False)
+        assert default_kernel() == "word"
+        monkeypatch.setenv("REPRO_SC_KERNEL", "byte")
+        assert default_kernel() == "byte"
+
+    def test_config_kernel_kwargs(self):
+        cfg = SCConfig(kernel="byte", block_kib=8, encode_cache=False)
+        assert cfg.kernel_kwargs() == {"kernel": "byte",
+                                       "block_bytes": 8192,
+                                       "encode_cache": False}
+
+
+class TestActivationEncodeCache:
+    def test_hit_miss_counters(self):
+        cache = ActivationEncodeCache(max_bytes=1 << 30)
+        a = cache.table("lfsr", 4, 1, 3, 40)
+        b = cache.table("lfsr", 4, 1, 3, 40)
+        assert a is b
+        assert cache.counters() == (1, 1)
+        cache.table("lfsr", 4, 2, 3, 40)  # different seed -> new entry
+        assert cache.counters() == (1, 2)
+        assert len(cache) == 2
+
+    def test_byte_budget_eviction(self):
+        probe = ActivationEncodeCache(max_bytes=1 << 30)
+        entry_bytes = probe.table("lfsr", 4, 1, 3, 40).nbytes
+        cache = ActivationEncodeCache(max_bytes=2 * entry_bytes)
+        for seed in range(4):
+            cache.table("lfsr", 4, seed, 3, 40)
+        assert len(cache) <= 2
+        # An over-budget single entry is still served (never wedge).
+        tiny = ActivationEncodeCache(max_bytes=1)
+        assert tiny.table("lfsr", 4, 1, 3, 40) is not None
+        assert len(tiny) == 1
+
+    def test_clear(self):
+        cache = ActivationEncodeCache(max_bytes=1 << 30)
+        cache.table("lfsr", 4, 1, 3, 40)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.counters() == (0, 0)
+
+    def test_table_rows_match_direct_encode(self):
+        from repro.core.bitstream import unpack_words
+        from repro.core.sng import StochasticNumberGenerator
+        cache = ActivationEncodeCache(max_bytes=1 << 30)
+        bits, lanes, length, seed = 4, 5, 40, 21
+        table = cache.table("lfsr", bits, seed, lanes, length)
+        levels = 1 << bits
+        sng = StochasticNumberGenerator(length, bits=bits, scheme="lfsr",
+                                        seed=seed)
+        for v in (0, 1, levels // 2, levels):
+            streams = sng.generate(np.full(lanes, v / levels))
+            assert np.array_equal(unpack_words(table[:, v], length), streams)
+
+
+class TestKernelStats:
+    def test_records_calls_and_time(self):
+        stats = KernelStats()
+        stats.record("word:or", 0.5)
+        stats.record("word:or", 0.25)
+        stats.record("byte:or", 0.1)
+        snap = stats.snapshot()
+        assert snap["word:or"] == (2, 0.75)
+        assert snap["byte:or"] == (1, 0.1)
+        stats.reset()
+        assert stats.snapshot() == {}
+
+    def test_matmul_populates_global_stats(self):
+        KERNEL_STATS.reset()
+        acts, weights = _operands(6)
+        split_or_matmul_counts(acts, weights, length=64, bits=8,
+                               scheme="lfsr", seed=1, accumulator="or",
+                               kernel="word")
+        snap = KERNEL_STATS.snapshot()
+        assert "word:or" in snap and snap["word:or"][0] == 1
+        assert any(name.startswith("encode:") for name in snap)
