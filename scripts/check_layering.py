@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Import-layering check for the graph IR.
+
+``repro.ir`` is the bottom layer of the package: every subsystem
+(training, simulator, arch, runtime, networks) consumes it, so it must
+not import from any of them — a cycle there would make the IR
+un-importable in isolation and let subsystem concepts leak downward.
+
+Walks every module under ``src/repro/ir`` with the ``ast`` module (no
+imports are executed) and fails with a non-zero exit code listing each
+violating import.  Run from the repository root:
+
+    python scripts/check_layering.py
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+#: Subsystems the IR must never import from.
+FORBIDDEN = ("training", "simulator", "arch", "runtime", "networks",
+             "analysis", "baselines", "core", "datasets")
+
+IR_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src/repro/ir"
+
+
+def _forbidden_target(module: str, level: int, path: pathlib.Path) -> str:
+    """Return the offending subsystem name, or '' if the import is fine."""
+    if level == 0:
+        # Absolute import: repro.<subsystem>... is the only repro form.
+        parts = module.split(".")
+        if parts[0] == "repro" and len(parts) > 1 and parts[1] in FORBIDDEN:
+            return parts[1]
+        return ""
+    # Relative import: level 1 stays inside repro.ir; level >= 2 reaches
+    # repro.<module> (e.g. ``from ..training import ...``).
+    if level >= 2 and module:
+        head = module.split(".")[0]
+        if head in FORBIDDEN:
+            return head
+    return ""
+
+
+def check(root: pathlib.Path = IR_ROOT) -> list:
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bad = _forbidden_target(alias.name, 0, path)
+                    if bad:
+                        violations.append(
+                            f"{path}:{node.lineno}: imports repro.{bad} "
+                            f"(via 'import {alias.name}')")
+            elif isinstance(node, ast.ImportFrom):
+                bad = _forbidden_target(node.module or "", node.level, path)
+                if bad:
+                    dots = "." * node.level
+                    violations.append(
+                        f"{path}:{node.lineno}: imports repro.{bad} "
+                        f"(via 'from {dots}{node.module or ''} import ...')")
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("repro.ir must not import from the subsystems above it:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("layering OK: repro.ir imports nothing from the upper layers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ and stochastic baselines used in the paper's evaluation.
 
 Subpackages
 -----------
+``repro.ir``
+    The typed network-graph IR every subsystem consumes (bottom layer).
 ``repro.core``
     SC primitives: split-unipolar representation, OR accumulation,
     computation-skipping pooling (the paper's contribution).
@@ -31,10 +33,10 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import (analysis, arch, baselines, core, datasets, networks,
+from . import (analysis, arch, baselines, core, datasets, ir, networks,
                simulator, training)
 
 __all__ = [
-    "analysis", "arch", "baselines", "core", "datasets", "networks",
+    "analysis", "arch", "baselines", "core", "datasets", "ir", "networks",
     "simulator", "training", "__version__",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..networks.zoo import LayerSpec, NetworkSpec
+from ..ir.spec import LayerSpec, NetworkSpec, as_spec
 from .isa import Opcode, Unit, barrier_mask
 from .params import AcousticConfig
 from .program import Program
@@ -198,14 +198,17 @@ class CapacityError(ValueError):
     """A layer's working set cannot be placed on a DRAM-less device."""
 
 
-def check_capacity(spec: NetworkSpec, config: AcousticConfig) -> list:
+def check_capacity(spec, config: AcousticConfig) -> list:
     """Return human-readable capacity violations for ``spec``.
 
-    On DRAM-backed configurations oversized working sets spill (modeled
+    ``spec`` may be a :class:`NetworkSpec` or a
+    :class:`~repro.ir.NetworkGraph` (lowered on the fly).  On
+    DRAM-backed configurations oversized working sets spill (modeled
     as ACTLD/ACTST traffic); on DRAM-less devices they are hard errors —
     the device physically cannot run the layer without a host streaming
     interface.
     """
+    spec = as_spec(spec)
     problems = []
     for i, layer in enumerate(spec.layers):
         act_bytes = layer.input_activations + layer.output_activations
@@ -222,9 +225,13 @@ def check_capacity(spec: NetworkSpec, config: AcousticConfig) -> list:
     return problems
 
 
-def compile_network(spec: NetworkSpec, config: AcousticConfig,
+def compile_network(spec, config: AcousticConfig,
                     batch: int = 1, strict: bool = False) -> Program:
     """Compile a whole network, chaining layer programs with prefetch.
+
+    ``spec`` may be a :class:`NetworkSpec` or a
+    :class:`~repro.ir.NetworkGraph` (e.g. ``graph_of(trained_model)``),
+    which is lowered on the fly.
 
     ``batch > 1`` wraps each layer in a batch loop: weights are loaded
     once per layer and reused across the batch (the paper notes FC
@@ -235,6 +242,7 @@ def compile_network(spec: NetworkSpec, config: AcousticConfig,
     configuration cannot hold a layer's working set on chip (with DRAM,
     oversized working sets spill and stream instead).
     """
+    spec = as_spec(spec)
     if batch < 1:
         raise ValueError("batch must be >= 1")
     if strict and config.dram is None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..networks.zoo import NetworkSpec
+from ..ir.spec import NetworkSpec, as_spec
 from .energy import AcousticCostModel
 from .params import AcousticConfig, MacGeometry
 from .perfsim import simulate_network
@@ -39,15 +39,18 @@ class DesignPoint:
         return self.frames_per_s / self.area_mm2
 
 
-def sweep_geometries(spec: NetworkSpec, base: AcousticConfig,
+def sweep_geometries(spec, base: AcousticConfig,
                      rows_options=(2, 8, 16, 32),
                      arrays_options=(2, 4, 8),
                      macs_options=(8, 16)) -> list:
     """Evaluate every geometry combination on ``spec``.
 
-    Memories and clock are inherited from ``base``; only the MAC-engine
-    shape varies.  Returns a list of :class:`DesignPoint`.
+    ``spec`` may be a :class:`NetworkSpec` or a
+    :class:`~repro.ir.NetworkGraph` (lowered on the fly).  Memories and
+    clock are inherited from ``base``; only the MAC-engine shape
+    varies.  Returns a list of :class:`DesignPoint`.
     """
+    spec = as_spec(spec)
     points = []
     for rows in rows_options:
         for arrays in arrays_options:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..networks.zoo import NetworkSpec
+from ..ir.spec import NetworkSpec, as_spec
 from .compiler import compile_network, conv_utilization, map_layer
 from .dispatcher import Dispatcher
 from .energy import AcousticCostModel
@@ -65,14 +65,19 @@ class PerfResult:
         return self.energy_j + self.dram_energy_j
 
 
-def simulate_network(spec: NetworkSpec, config: AcousticConfig,
+def simulate_network(spec, config: AcousticConfig,
                      cost_model: AcousticCostModel = None,
                      batch: int = 1) -> PerfResult:
     """Simulate inference of ``spec`` on ``config``.
 
+    ``spec`` may be a :class:`NetworkSpec` or a
+    :class:`~repro.ir.NetworkGraph` (lowered on the fly), so a trained
+    model can be costed directly via ``graph_of(model)``.
+
     With ``batch > 1`` weights are loaded once per layer and reused
     across the batch; the returned latency/energy are **per frame**.
     """
+    spec = as_spec(spec)
     cost_model = cost_model if cost_model is not None \
         else AcousticCostModel(config)
     program = compile_network(spec, config, batch=batch)

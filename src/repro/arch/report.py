@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.reporting import format_table
-from ..networks.zoo import NetworkSpec
+from ..ir.spec import NetworkSpec, as_spec
 from .compiler import check_capacity, conv_utilization, map_layer
 from .memory import DRAM_MODELS
 from .params import AcousticConfig
@@ -43,8 +43,10 @@ class LayerMappingReport:
         return "compute" if self.utilization > 0.5 else "mapping"
 
 
-def mapping_report(spec: NetworkSpec, config: AcousticConfig) -> list:
-    """Per-layer :class:`LayerMappingReport` list."""
+def mapping_report(spec, config: AcousticConfig) -> list:
+    """Per-layer :class:`LayerMappingReport` list (``spec`` may be a
+    :class:`NetworkSpec` or a :class:`~repro.ir.NetworkGraph`)."""
+    spec = as_spec(spec)
     reports = []
     for i, layer in enumerate(spec.layers):
         mapping = map_layer(layer, config)
@@ -63,8 +65,10 @@ def mapping_report(spec: NetworkSpec, config: AcousticConfig) -> list:
     return reports
 
 
-def bottleneck_report(spec: NetworkSpec, config: AcousticConfig) -> str:
-    """Human-readable whole-network bottleneck analysis."""
+def bottleneck_report(spec, config: AcousticConfig) -> str:
+    """Human-readable whole-network bottleneck analysis (``spec`` may
+    be a :class:`NetworkSpec` or a :class:`~repro.ir.NetworkGraph`)."""
+    spec = as_spec(spec)
     result = simulate_network(spec, config)
     reports = mapping_report(spec, config)
 

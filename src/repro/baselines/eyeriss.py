@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..networks.zoo import NetworkSpec
 from ..arch.memory import DRAM_MODELS
+from ..ir.spec import NetworkSpec, as_spec
 
 __all__ = ["EyerissConfig", "EYERISS_BASE", "EYERISS_1K", "EyerissModel",
            "EyerissResult"]
@@ -89,7 +89,8 @@ class EyerissModel:
             return 0.0
         return DRAM_MODELS[self.config.dram].transfer_seconds(weight_bytes)
 
-    def simulate(self, spec: NetworkSpec) -> EyerissResult:
+    def simulate(self, spec) -> EyerissResult:
+        spec = as_spec(spec)
         # The TETRIS-style schedule streams FC weights under conv compute
         # (double-buffered), so the frame latency is the max of the conv
         # compute time and the FC weight traffic (FC arithmetic itself is

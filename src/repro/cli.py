@@ -6,6 +6,9 @@ Commands
     Package overview and configuration summary.
 ``specs``
     MAC/weight statistics for every network in the zoo.
+``describe <network|checkpoint.npz> [--input-shape C,H,W]``
+    Print the graph-IR table (per-layer shapes, fan-in, MACs, weight
+    lanes, phase length) for a zoo network or a saved checkpoint.
 ``perf <network> [--config lp|ulp] [--batch N] [--conv-only]``
     Run the performance simulator on one network.
 ``fig4``
@@ -39,12 +42,24 @@ from .arch import (LP_CONFIG, ULP_CONFIG, AcousticCostModel, Dispatcher,
                    TracingDispatcher, bottleneck_report, compile_network,
                    disassemble, render_gantt, simulate_layer_latency,
                    simulate_network)
+from .ir import LayerSpec, NetworkSpec, lower_to_spec
 from .networks import NETWORK_SPECS
-from .networks.zoo import LayerSpec, NetworkSpec
+from .networks.zoo import NETWORK_GRAPHS
 
 __all__ = ["main"]
 
 _CONFIGS = {"lp": LP_CONFIG, "ulp": ULP_CONFIG}
+
+#: Every name the arch commands accept: the legacy spec tables plus all
+#: graph-IR networks (lowered on demand).
+_ARCH_NETWORKS = sorted(set(NETWORK_SPECS) | set(NETWORK_GRAPHS))
+
+
+def _spec_for(name: str) -> NetworkSpec:
+    """Resolve a network name to a spec, via the graph IR if needed."""
+    if name in NETWORK_SPECS:
+        return NETWORK_SPECS[name]()
+    return lower_to_spec(NETWORK_GRAPHS[name]())
 
 
 def _cmd_info(args) -> int:
@@ -80,8 +95,38 @@ def _cmd_specs(args) -> int:
     return 0
 
 
+def _cmd_describe(args) -> int:
+    from . import ir
+
+    if args.network in NETWORK_GRAPHS:
+        graph = NETWORK_GRAPHS[args.network]()
+    else:
+        import pathlib
+
+        path = pathlib.Path(args.network)
+        if not (path.exists() or path.with_suffix(".npz").exists()):
+            print(f"unknown network {args.network!r}: not a zoo graph "
+                  f"({', '.join(sorted(NETWORK_GRAPHS))}) "
+                  "or a checkpoint path")
+            return 1
+        from .training.checkpoint import load_checkpoint_model
+
+        network, _ = load_checkpoint_model(path)
+        graph = network.graph
+    if args.input_shape:
+        graph.input_shape = tuple(
+            int(d) for d in args.input_shape.split(","))
+    if graph.input_shape is None:
+        print(f"graph {graph.name!r} has no input shape; "
+              "pass --input-shape C,H,W")
+        return 1
+    print(format_table(ir.DESCRIBE_HEADERS, ir.describe_rows(graph),
+                       title=ir.describe_title(graph)))
+    return 0
+
+
 def _cmd_perf(args) -> int:
-    spec = NETWORK_SPECS[args.network]()
+    spec = _spec_for(args.network)
     if args.conv_only:
         spec = NetworkSpec(spec.name + "_conv", spec.conv_layers)
     config = _CONFIGS[args.config]
@@ -135,7 +180,7 @@ def _cmd_breakdown(args) -> int:
 
 
 def _cmd_compile(args) -> int:
-    spec = NETWORK_SPECS[args.network]()
+    spec = _spec_for(args.network)
     config = _CONFIGS[args.config]
     program = compile_network(spec, config)
     listing = disassemble(program)
@@ -174,7 +219,7 @@ def _cmd_summary(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    spec = NETWORK_SPECS[args.network]()
+    spec = _spec_for(args.network)
     config = _CONFIGS[args.config]
     program = compile_network(spec, config)
     issues = lint_program(program, has_dram=config.dram is not None)
@@ -201,14 +246,14 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_map(args) -> int:
-    spec = NETWORK_SPECS[args.network]()
+    spec = _spec_for(args.network)
     config = _CONFIGS[args.config]
     print(bottleneck_report(spec, config))
     return 0
 
 
 def _cmd_trace(args) -> int:
-    spec = NETWORK_SPECS[args.network]()
+    spec = _spec_for(args.network)
     config = _CONFIGS[args.config]
     program = compile_network(spec, config)
     dispatcher = TracingDispatcher(config, trace_limit=args.limit)
@@ -229,8 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="package and configuration summary")
     sub.add_parser("specs", help="network zoo statistics")
 
+    describe = sub.add_parser(
+        "describe", help="print the graph-IR layer table for a zoo "
+                         "network or checkpoint")
+    describe.add_argument("network",
+                          help="zoo graph name or checkpoint .npz path")
+    describe.add_argument("--input-shape", default=None,
+                          help="override/input shape as C,H,W (needed for "
+                               "checkpoints of shape-less models)")
+
     perf = sub.add_parser("perf", help="performance-simulate a network")
-    perf.add_argument("network", choices=sorted(NETWORK_SPECS))
+    perf.add_argument("network", choices=_ARCH_NETWORKS)
     perf.add_argument("--config", choices=("lp", "ulp"), default="lp")
     perf.add_argument("--batch", type=int, default=1)
     perf.add_argument("--conv-only", action="store_true")
@@ -241,17 +295,17 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown.add_argument("--config", choices=("lp", "ulp"), default="lp")
 
     compile_cmd = sub.add_parser("compile", help="compile to the ISA")
-    compile_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    compile_cmd.add_argument("network", choices=_ARCH_NETWORKS)
     compile_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
     compile_cmd.add_argument("--limit", type=int, default=40,
                              help="max listing lines (0 = all)")
 
     map_cmd = sub.add_parser("map", help="mapping/bottleneck report")
-    map_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    map_cmd.add_argument("network", choices=_ARCH_NETWORKS)
     map_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
 
     trace_cmd = sub.add_parser("trace", help="execution Gantt chart")
-    trace_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    trace_cmd.add_argument("network", choices=_ARCH_NETWORKS)
     trace_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
     trace_cmd.add_argument("--width", type=int, default=72)
     trace_cmd.add_argument("--limit", type=int, default=10_000)
@@ -261,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--results", default="benchmarks/results")
 
     lint_cmd = sub.add_parser("lint", help="lint a compiled program")
-    lint_cmd.add_argument("network", choices=sorted(NETWORK_SPECS))
+    lint_cmd.add_argument("network", choices=_ARCH_NETWORKS)
     lint_cmd.add_argument("--config", choices=("lp", "ulp"), default="lp")
 
     from .runtime.bench import BENCH_NETWORKS
@@ -290,6 +344,7 @@ def main(argv=None) -> int:
     handler = {
         "info": _cmd_info,
         "specs": _cmd_specs,
+        "describe": _cmd_describe,
         "perf": _cmd_perf,
         "fig4": _cmd_fig4,
         "breakdown": _cmd_breakdown,

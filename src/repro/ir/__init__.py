@@ -1,0 +1,28 @@
+"""``repro.ir`` — the typed graph IR every subsystem consumes.
+
+One :class:`NetworkGraph` describes a network for training
+(``Sequential.from_graph``), bitstream-exact simulation
+(``SCNetwork.from_graph``), ISA compilation and performance/energy
+modelling (``repro.arch`` lowers via :func:`lower_to_spec`), the
+serving runtime (``ExecutionPlan`` walks it), and self-describing
+checkpoints (the graph serializes next to the parameters).
+
+Layering rule: this package sits at the bottom of the dependency
+stack — it must not import from ``repro.training``, ``repro.simulator``,
+``repro.arch`` or ``repro.runtime`` (``scripts/check_layering.py``
+fails CI on violations).
+"""
+
+from .graph import (KINDS, LayerNode, NetworkGraph, ShapeInfo, avgpool,
+                    conv, conv_output_hw, dropout, flatten, linear, maxpool,
+                    relu, residual)
+from .spec import LayerSpec, NetworkSpec, as_spec, lower_to_spec
+from .summary import DESCRIBE_HEADERS, describe_rows, describe_title
+
+__all__ = [
+    "KINDS", "LayerNode", "NetworkGraph", "ShapeInfo",
+    "avgpool", "conv", "conv_output_hw", "dropout", "flatten", "linear",
+    "maxpool", "relu", "residual",
+    "LayerSpec", "NetworkSpec", "as_spec", "lower_to_spec",
+    "DESCRIBE_HEADERS", "describe_rows", "describe_title",
+]

@@ -1,0 +1,416 @@
+"""The network graph IR: one typed description for the whole stack.
+
+A :class:`NetworkGraph` is an ordered list of :class:`LayerNode` records
+plus an input shape.  It is the single source of truth every other layer
+of the repository consumes:
+
+- ``repro.networks`` zoo builders *emit* graphs;
+- ``repro.training.Sequential.from_graph`` materializes a trainable
+  model (and ``graph_of`` converts one back);
+- ``repro.simulator.SCNetwork.from_graph`` lowers a graph (with
+  parameters) to the bitstream-exact simulator;
+- ``repro.arch`` lowers a graph to the performance/energy models via
+  :func:`repro.ir.spec.lower_to_spec`;
+- ``repro.runtime.ExecutionPlan`` walks the graph for shapes and
+  validation instead of re-deriving layer metadata;
+- checkpoints embed the serialized graph so a saved model is
+  self-describing.
+
+This module is the **bottom layer** of the package: it may import numpy
+and nothing else from :mod:`repro` (enforced by
+``scripts/check_layering.py``).  Shape inference, validation and
+serialization live here so the four consumers above cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "KINDS",
+    "LayerNode",
+    "NetworkGraph",
+    "ShapeInfo",
+    "conv",
+    "linear",
+    "avgpool",
+    "maxpool",
+    "relu",
+    "flatten",
+    "dropout",
+    "residual",
+    "conv_output_hw",
+]
+
+#: Recognized node kinds.
+KINDS = ("conv", "linear", "pool", "relu", "flatten", "dropout", "residual")
+
+
+@dataclass
+class LayerNode:
+    """One layer of a :class:`NetworkGraph`.
+
+    Only the fields relevant to ``kind`` are meaningful; the rest keep
+    their defaults (and are omitted from :meth:`to_dict`).  ``params``
+    holds optional parameter arrays (``weight``/``bias``) *by
+    reference* — a graph converted from a trained model shares its
+    arrays, so updates are visible on both sides and nothing is copied.
+    """
+
+    kind: str
+    # conv fields
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel: int = 1            # int or (kh, kw)
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    pool: int = 1              # fused average-pool window after the conv
+    # linear fields
+    in_features: int = 0
+    out_features: int = 0
+    # pool fields
+    pool_kind: str = "avg"
+    # dropout fields
+    rate: float = 0.0
+    # split-unipolar metadata (conv / linear)
+    or_mode: str = None        # None/"none" = conventional layer
+    stream_length: int = None  # per-phase bits for stream-noise training
+    bias: bool = False         # conv/linear carries an additive bias
+    # parameter references (name -> ndarray) and residual structure
+    params: dict = field(default_factory=dict)
+    body: list = field(default_factory=list)
+    shortcut: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown layer kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+
+    # -- derived metrics ---------------------------------------------
+
+    @property
+    def kernel_hw(self) -> tuple:
+        """Kernel size normalized to ``(kh, kw)``."""
+        if isinstance(self.kernel, (tuple, list)):
+            kh, kw = self.kernel
+            return int(kh), int(kw)
+        return int(self.kernel), int(self.kernel)
+
+    @property
+    def fan_in(self) -> int:
+        """Products accumulated per output value (0 for non-MAC nodes)."""
+        if self.kind == "conv":
+            kh, kw = self.kernel_hw
+            return (self.in_channels // self.groups) * kh * kw
+        if self.kind == "linear":
+            return self.in_features
+        return 0
+
+    @property
+    def weight_count(self) -> int:
+        if self.kind == "conv":
+            return self.out_channels * self.fan_in
+        if self.kind == "linear":
+            return self.in_features * self.out_features
+        return 0
+
+    # -- serialization -----------------------------------------------
+
+    _SCALAR_FIELDS = (
+        "in_channels", "out_channels", "kernel", "stride", "padding",
+        "groups", "pool", "in_features", "out_features", "pool_kind",
+        "rate", "or_mode", "stream_length", "bias",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (parameter arrays excluded)."""
+        d = {"kind": self.kind}
+        defaults = LayerNode("relu")
+        for name in self._SCALAR_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, (tuple, list)):
+                value = list(value)
+            if value != getattr(defaults, name):
+                d[name] = value
+        if self.body:
+            d["body"] = [n.to_dict() for n in self.body]
+        if self.shortcut:
+            d["shortcut"] = [n.to_dict() for n in self.shortcut]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LayerNode":
+        d = dict(d)
+        body = [cls.from_dict(n) for n in d.pop("body", [])]
+        shortcut = [cls.from_dict(n) for n in d.pop("shortcut", [])]
+        kernel = d.get("kernel")
+        if isinstance(kernel, list):
+            d["kernel"] = tuple(kernel)
+        return cls(body=body, shortcut=shortcut, **d)
+
+
+@dataclass
+class ShapeInfo:
+    """Inferred shapes for one node (nested for residual bodies)."""
+
+    node: LayerNode
+    in_shape: tuple
+    out_shape: tuple
+    body: list = field(default_factory=list)
+    shortcut: list = field(default_factory=list)
+
+
+def conv_output_hw(node: LayerNode, hw: tuple) -> tuple:
+    """Spatial output size of a conv node *before* any fused pooling."""
+    kh, kw = node.kernel_hw
+    h, w = hw
+    oh = (h + 2 * node.padding - kh) // node.stride + 1
+    ow = (w + 2 * node.padding - kw) // node.stride + 1
+    return oh, ow
+
+
+def _infer_node(node: LayerNode, shape: tuple, exact_pool: bool,
+                path: str) -> ShapeInfo:
+    """Shape-check one node; raises ValueError on any inconsistency."""
+    if node.kind == "conv":
+        if len(shape) != 3:
+            raise ValueError(
+                f"layer {path}: conv expects (C, H, W) input, got {shape}")
+        c, h, w = shape
+        if c != node.in_channels:
+            raise ValueError(
+                f"layer {path}: conv expects {node.in_channels} channels, "
+                f"input has {c}")
+        if node.groups < 1 or node.in_channels % node.groups \
+                or node.out_channels % node.groups:
+            raise ValueError(
+                f"layer {path}: groups={node.groups} must divide both "
+                f"{node.in_channels} and {node.out_channels} channels")
+        oh, ow = conv_output_hw(node, (h, w))
+        if oh < 1 or ow < 1:
+            raise ValueError(
+                f"layer {path}: conv output collapses to {oh}x{ow}")
+        if node.pool > 1:
+            p = node.pool
+            if exact_pool and (oh % p or ow % p):
+                raise ValueError(
+                    f"layer {path}: pool window {p} must tile conv output "
+                    f"{oh}x{ow}")
+            oh, ow = max(1, oh // p), max(1, ow // p)
+        return ShapeInfo(node, shape, (node.out_channels, oh, ow))
+    if node.kind == "linear":
+        features = int(np.prod(shape))
+        if len(shape) != 1:
+            raise ValueError(
+                f"layer {path}: linear expects flattened input, got {shape}")
+        if features != node.in_features:
+            raise ValueError(
+                f"layer {path}: linear expects {node.in_features} features, "
+                f"input has {features}")
+        return ShapeInfo(node, shape, (node.out_features,))
+    if node.kind == "pool":
+        if len(shape) != 3:
+            raise ValueError(
+                f"layer {path}: pool expects (C, H, W) input, got {shape}")
+        c, h, w = shape
+        k = node.kernel_hw[0]
+        if exact_pool and (h % k or w % k):
+            raise ValueError(
+                f"layer {path}: pool window {k} must tile input {h}x{w}")
+        if h < k or w < k:
+            raise ValueError(
+                f"layer {path}: pool window {k} exceeds input {h}x{w}")
+        return ShapeInfo(node, shape, (c, h // k, w // k))
+    if node.kind == "flatten":
+        return ShapeInfo(node, shape, (int(np.prod(shape)),))
+    if node.kind in ("relu", "dropout"):
+        return ShapeInfo(node, shape, shape)
+    if node.kind == "residual":
+        body = _infer_chain(node.body, shape, exact_pool, f"{path}.body")
+        body_out = body[-1].out_shape if body else shape
+        shortcut = _infer_chain(node.shortcut, shape, exact_pool,
+                                f"{path}.shortcut")
+        skip_out = shortcut[-1].out_shape if shortcut else shape
+        if body_out != skip_out:
+            raise ValueError(
+                f"layer {path}: residual body produces {body_out} but the "
+                f"skip path carries {skip_out}")
+        return ShapeInfo(node, shape, body_out, body=body, shortcut=shortcut)
+    raise ValueError(f"layer {path}: unknown kind {node.kind!r}")
+
+
+def _infer_chain(nodes, shape, exact_pool, prefix) -> list:
+    infos = []
+    for i, node in enumerate(nodes):
+        path = f"{prefix}.{i}" if prefix else str(i)
+        info = _infer_node(node, shape, exact_pool, path)
+        infos.append(info)
+        shape = info.out_shape
+    return infos
+
+
+@dataclass
+class NetworkGraph:
+    """An ordered stack of :class:`LayerNode` with a known input shape."""
+
+    name: str
+    input_shape: tuple
+    nodes: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.input_shape is not None:
+            self.input_shape = tuple(int(d) for d in self.input_shape)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self):
+        return len(self.nodes)
+
+    # -- shape inference / validation --------------------------------
+
+    def infer_shapes(self, input_shape: tuple = None,
+                     exact_pool: bool = False) -> list:
+        """Per-node :class:`ShapeInfo` list; raises ValueError on any
+        shape inconsistency.
+
+        ``exact_pool=True`` additionally requires pooling windows to
+        tile their inputs exactly (the functional simulator's rule);
+        the performance models tolerate ragged windows (floor).
+        """
+        shape = input_shape if input_shape is not None else self.input_shape
+        if shape is None:
+            raise ValueError(
+                f"graph {self.name!r} has no input shape; pass one to "
+                "infer_shapes()")
+        return _infer_chain(self.nodes, tuple(int(d) for d in shape),
+                            exact_pool, "")
+
+    def validate(self, exact_pool: bool = False) -> None:
+        self.infer_shapes(exact_pool=exact_pool)
+
+    def output_shape(self, input_shape: tuple = None) -> tuple:
+        infos = self.infer_shapes(input_shape)
+        return infos[-1].out_shape if infos else tuple(self.input_shape)
+
+    # -- aggregate metrics -------------------------------------------
+
+    @property
+    def total_macs(self) -> int:
+        """Multiply-accumulates for one inference (conv + fc)."""
+        return sum(_node_macs(i) for i in _walk(self.infer_shapes()))
+
+    @property
+    def total_weights(self) -> int:
+        return sum(i.node.weight_count for i in _walk(self.infer_shapes()))
+
+    # -- parameters ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Parameter arrays keyed compatibly with
+        :meth:`repro.training.network.Sequential.state_dict`."""
+        state = {}
+        for i, node in enumerate(self.nodes):
+            _collect_params(node, str(i), state)
+        return state
+
+    # -- serialization -----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable structure (parameters excluded)."""
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape)
+            if self.input_shape is not None else None,
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NetworkGraph":
+        input_shape = d.get("input_shape")
+        return cls(
+            name=d.get("name", "graph"),
+            input_shape=tuple(input_shape) if input_shape is not None
+            else None,
+            nodes=[LayerNode.from_dict(n) for n in d.get("nodes", [])],
+        )
+
+
+def _collect_params(node: LayerNode, prefix: str, state: dict) -> None:
+    for name, value in node.params.items():
+        state[f"{prefix}.{name}"] = value
+    for j, sub in enumerate(node.body):
+        _collect_params(sub, f"{prefix}.body.{j}", state)
+
+
+def _walk(infos):
+    """Flatten nested ShapeInfo records (residual bodies + shortcuts)."""
+    for info in infos:
+        if info.node.kind == "residual":
+            yield from _walk(info.body)
+            yield from _walk(info.shortcut)
+        else:
+            yield info
+
+
+def _node_macs(info: ShapeInfo) -> int:
+    node = info.node
+    if node.kind == "linear":
+        return node.in_features * node.out_features
+    if node.kind == "conv":
+        oh, ow = conv_output_hw(node, info.in_shape[1:])
+        return node.fan_in * node.out_channels * oh * ow
+    return 0
+
+
+# --------------------------------------------------------------------
+# Node constructors (the zoo's building blocks)
+# --------------------------------------------------------------------
+
+def conv(in_channels: int, out_channels: int, kernel, stride: int = 1,
+         padding: int = 0, groups: int = 1, pool: int = 1,
+         or_mode: str = None, stream_length: int = None,
+         bias: bool = False, weight=None) -> LayerNode:
+    params = {} if weight is None else {"weight": weight}
+    return LayerNode("conv", in_channels=in_channels,
+                     out_channels=out_channels, kernel=kernel, stride=stride,
+                     padding=padding, groups=groups, pool=pool,
+                     or_mode=or_mode, stream_length=stream_length, bias=bias,
+                     params=params)
+
+
+def linear(in_features: int, out_features: int, or_mode: str = None,
+           stream_length: int = None, bias: bool = False,
+           weight=None) -> LayerNode:
+    params = {} if weight is None else {"weight": weight}
+    return LayerNode("linear", in_features=in_features,
+                     out_features=out_features, or_mode=or_mode,
+                     stream_length=stream_length, bias=bias, params=params)
+
+
+def avgpool(kernel: int) -> LayerNode:
+    return LayerNode("pool", kernel=kernel, pool_kind="avg")
+
+
+def maxpool(kernel: int) -> LayerNode:
+    return LayerNode("pool", kernel=kernel, pool_kind="max")
+
+
+def relu() -> LayerNode:
+    return LayerNode("relu")
+
+
+def flatten() -> LayerNode:
+    return LayerNode("flatten")
+
+
+def dropout(rate: float = 0.5) -> LayerNode:
+    return LayerNode("dropout", rate=rate)
+
+
+def residual(body, shortcut=None) -> LayerNode:
+    return LayerNode("residual", body=list(body),
+                     shortcut=list(shortcut) if shortcut else [])

@@ -1,0 +1,166 @@
+"""Lowering from :class:`~repro.ir.graph.NetworkGraph` to layer specs.
+
+:class:`LayerSpec`/:class:`NetworkSpec` are the shape-only records the
+performance models (``repro.arch``, ``repro.baselines``) cost.  They
+used to be hand-written tables in ``repro.networks.zoo``; they are now
+the *internal lowering record* of the IR — :func:`lower_to_spec`
+derives them from any graph, so a trained model can be compiled and
+costed without transcribing its shapes.
+
+Deprecation path: ``LayerSpec``/``NetworkSpec`` remain importable from
+``repro.networks.zoo`` for backward compatibility, but new code should
+hold a :class:`NetworkGraph` and let the ``arch`` entry points lower it
+(they all accept either type via :func:`as_spec`).
+
+Lowering rules (matching the hardware's cost structure):
+
+- ``conv`` nodes become ``LayerSpec("conv", ...)``; an immediately
+  following ``pool`` node is fused into the spec's ``pool`` field (the
+  output counters accumulate the window — computation skipping);
+- ``linear`` nodes become ``LayerSpec("fc", ...)``;
+- ``relu``/``flatten``/``dropout`` and unfused pools cost nothing and
+  only affect shapes;
+- ``residual`` nodes flatten to body specs then projection-shortcut
+  specs (the skip addition is a fixed-point add on counter outputs and
+  is negligible, Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import NetworkGraph
+
+__all__ = ["LayerSpec", "NetworkSpec", "lower_to_spec", "as_spec"]
+
+
+@dataclass
+class LayerSpec:
+    """Shape description of one layer for the performance models."""
+
+    kind: str                 # "conv" or "fc"
+    in_channels: int
+    out_channels: int
+    kernel: int = 1           # spatial kernel size (conv)
+    stride: int = 1
+    padding: int = 0
+    in_size: int = 1          # input spatial size (square)
+    pool: int = 1             # fused average-pool window after the layer
+    groups: int = 1           # grouped convolution (AlexNet conv2/4/5)
+
+    @property
+    def out_size(self) -> int:
+        if self.kind == "fc":
+            return 1
+        return (self.in_size + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def fan_in(self) -> int:
+        """Products accumulated per output value."""
+        if self.kind == "fc":
+            return self.in_channels
+        return (self.in_channels // self.groups) * self.kernel * self.kernel
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates for one inference of this layer."""
+        if self.kind == "fc":
+            return self.in_channels * self.out_channels
+        return self.fan_in * self.out_channels * self.out_size**2
+
+    @property
+    def weight_count(self) -> int:
+        if self.kind == "fc":
+            return self.in_channels * self.out_channels
+        return self.out_channels * self.fan_in
+
+    @property
+    def output_activations(self) -> int:
+        if self.kind == "fc":
+            return self.out_channels
+        return self.out_channels * (self.out_size // max(1, self.pool)) ** 2
+
+    @property
+    def input_activations(self) -> int:
+        if self.kind == "fc":
+            return self.in_channels
+        return self.in_channels * self.in_size**2
+
+
+@dataclass
+class NetworkSpec:
+    """A named stack of layer specs."""
+
+    name: str
+    layers: list = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+    @property
+    def conv_layers(self) -> list:
+        return [l for l in self.layers if l.kind == "conv"]
+
+    @property
+    def fc_layers(self) -> list:
+        return [l for l in self.layers if l.kind == "fc"]
+
+
+def lower_to_spec(graph: NetworkGraph, name: str = None) -> NetworkSpec:
+    """Lower a graph to the performance-model spec table.
+
+    Shapes come from the graph's centralized inference (ragged pooling
+    windows floor, matching the published ImageNet tables); the MAC
+    engine only sees conv/fc work, so every other node kind is folded
+    into shapes or dropped.
+    """
+    infos = graph.infer_shapes(exact_pool=False)
+    layers = []
+    _emit(graph.nodes, infos, layers)
+    return NetworkSpec(name if name is not None else graph.name, layers)
+
+
+def as_spec(network) -> NetworkSpec:
+    """Accept either a :class:`NetworkGraph` or an (already lowered)
+    :class:`NetworkSpec` — the polymorphic entry used by ``repro.arch``
+    and ``repro.baselines``."""
+    if isinstance(network, NetworkGraph):
+        return lower_to_spec(network)
+    return network
+
+
+def _emit(nodes, infos, out) -> None:
+    i = 0
+    while i < len(nodes):
+        node, info = nodes[i], infos[i]
+        if node.kind == "conv":
+            pool = node.pool
+            if pool == 1 and i + 1 < len(nodes) \
+                    and nodes[i + 1].kind == "pool":
+                pool = nodes[i + 1].kernel_hw[0]
+                i += 1
+            out.append(_conv_spec(node, info, pool))
+        elif node.kind == "linear":
+            out.append(LayerSpec("fc", node.in_features, node.out_features))
+        elif node.kind == "residual":
+            _emit(node.body, info.body, out)
+            _emit(node.shortcut, info.shortcut, out)
+        # pool / relu / flatten / dropout: shape-only, no MAC cost
+        i += 1
+
+
+def _conv_spec(node, info, pool) -> LayerSpec:
+    kh, kw = node.kernel_hw
+    _, h, w = info.in_shape
+    if kh != kw or h != w:
+        raise ValueError(
+            "the performance models require square kernels and inputs; "
+            f"got kernel {kh}x{kw} on input {h}x{w}")
+    return LayerSpec("conv", node.in_channels, node.out_channels,
+                     kernel=kh, stride=node.stride, padding=node.padding,
+                     in_size=h, pool=pool, groups=node.groups)

@@ -1,0 +1,62 @@
+"""IR introspection: the per-layer table behind ``repro describe``.
+
+Pure data — the CLI renders the rows with
+:func:`repro.analysis.format_table` (this module must not import it;
+the IR stays the bottom layer).
+"""
+
+from __future__ import annotations
+
+from .graph import NetworkGraph, ShapeInfo, conv_output_hw
+
+__all__ = ["DESCRIBE_HEADERS", "describe_rows", "describe_title"]
+
+DESCRIBE_HEADERS = ["layer", "kind", "out shape", "fan-in", "MACs",
+                    "weight lanes", "phase len"]
+
+
+def describe_rows(graph: NetworkGraph) -> list:
+    """One row per node (residual bodies indented with dotted indices)."""
+    rows = []
+    _rows(graph.infer_shapes(), "", rows)
+    return rows
+
+
+def describe_title(graph: NetworkGraph) -> str:
+    shape = "x".join(str(d) for d in graph.input_shape) \
+        if graph.input_shape else "?"
+    return (f"{graph.name} — input {shape}, "
+            f"{graph.total_macs / 1e6:.3g} MMACs, "
+            f"{graph.total_weights / 1e6:.3g} Mweights")
+
+
+def _rows(infos, prefix, rows) -> None:
+    for i, info in enumerate(infos):
+        index = f"{prefix}{i}"
+        node = info.node
+        if node.kind == "residual":
+            rows.append((index, "residual",
+                         "x".join(str(d) for d in info.out_shape),
+                         "-", "-", "-", "-"))
+            _rows(info.body, f"{index}.", rows)
+            _rows(info.shortcut, f"{index}.s", rows)
+            continue
+        rows.append((
+            index,
+            node.kind,
+            "x".join(str(d) for d in info.out_shape),
+            node.fan_in or "-",
+            _macs(info) or "-",
+            node.weight_count or "-",
+            node.stream_length if node.stream_length else "-",
+        ))
+
+
+def _macs(info: ShapeInfo) -> int:
+    node = info.node
+    if node.kind == "linear":
+        return node.in_features * node.out_features
+    if node.kind == "conv":
+        oh, ow = conv_output_hw(node, info.in_shape[1:])
+        return node.fan_in * node.out_channels * oh * ow
+    return 0

@@ -1,12 +1,24 @@
-"""Network zoo: trainable models + performance-model layer specs."""
+"""Network zoo: graph-IR builders, trainable models, and perf specs."""
 
-from .zoo import (NETWORK_SPECS, LayerSpec, NetworkSpec, alexnet_spec,
-                  cifar10_cnn, cifar10_cnn_spec, lenet5, lenet5_spec,
-                  mnist_mlp, resnet18_spec, svhn_cnn, tiny_resnet,
+from .zoo import (NETWORK_GRAPHS, NETWORK_SPECS, TRAINABLE_GRAPHS, LayerSpec,
+                  NetworkSpec, alexnet_graph, alexnet_spec, cifar10_cnn,
+                  cifar10_cnn_graph, cifar10_cnn_reference_graph,
+                  cifar10_cnn_spec, lenet5, lenet5_graph,
+                  lenet5_reference_graph, lenet5_spec, mnist_mlp,
+                  mnist_mlp_graph, resnet18_graph, resnet18_spec, svhn_cnn,
+                  svhn_cnn_graph, tiny_resnet, tiny_resnet_graph, vgg16_graph,
                   vgg16_spec)
 
 __all__ = [
-    "NETWORK_SPECS", "LayerSpec", "NetworkSpec", "alexnet_spec",
-    "cifar10_cnn", "cifar10_cnn_spec", "lenet5", "lenet5_spec",
-    "mnist_mlp", "resnet18_spec", "svhn_cnn", "tiny_resnet", "vgg16_spec",
+    "NETWORK_GRAPHS", "NETWORK_SPECS", "TRAINABLE_GRAPHS",
+    "LayerSpec", "NetworkSpec",
+    "alexnet_graph", "alexnet_spec",
+    "cifar10_cnn", "cifar10_cnn_graph", "cifar10_cnn_reference_graph",
+    "cifar10_cnn_spec",
+    "lenet5", "lenet5_graph", "lenet5_reference_graph", "lenet5_spec",
+    "mnist_mlp", "mnist_mlp_graph",
+    "resnet18_graph", "resnet18_spec",
+    "svhn_cnn", "svhn_cnn_graph",
+    "tiny_resnet", "tiny_resnet_graph",
+    "vgg16_graph", "vgg16_spec",
 ]

@@ -1,29 +1,35 @@
-"""Network definitions: trainable models and performance-model specs.
+"""Network zoo: every architecture defined once, as a graph.
 
-Two kinds of definitions live here:
+Each network is a :class:`~repro.ir.NetworkGraph` builder.  From the
+graph, every downstream representation derives mechanically:
 
-- **Trainable builders** (:func:`lenet5`, :func:`cifar10_cnn`,
-  :func:`svhn_cnn`) return :class:`~repro.training.network.Sequential`
-  models.  ``or_mode="approx"``/``"exact"`` builds the ACOUSTIC-aware
-  split-unipolar OR layers; ``or_mode="none"`` builds a conventional
-  network for the fixed-point baseline.  SC variants order blocks
-  conv -> pool -> ReLU because the hardware's output counters accumulate
-  the pooling window *before* the conversion-time ReLU.
+- a trainable :class:`~repro.training.network.Sequential` via the
+  thin builder wrappers below (``lenet5(...)`` etc., which call
+  ``Sequential.from_graph``);
+- the performance-model :class:`~repro.ir.spec.NetworkSpec` via
+  :func:`repro.ir.lower_to_spec` (the ``*_spec`` functions — formerly
+  hand-written tables — are now one-line lowerings);
+- the bitstream-exact simulator via ``SCNetwork.from_graph``.
 
-- **Layer specs** (:func:`lenet5_spec` .. :func:`resnet18_spec`) are
-  shape-only descriptions consumed by the performance simulator and the
-  Eyeriss baseline model; the big ImageNet networks are never trained
-  here (the paper's own SC simulator could not fit AlexNet either).
+Two graph families live here:
+
+- **Trainable graphs** (:func:`lenet5_graph` .. :func:`mnist_mlp_graph`)
+  carry split-unipolar metadata (``or_mode``, ``stream_length``).
+  SC variants order blocks conv -> pool -> ReLU because the hardware's
+  output counters accumulate the pooling window *before* the
+  conversion-time ReLU.
+- **Reference graphs** (:func:`lenet5_reference_graph` ..
+  :func:`resnet18_graph`) mirror the published topologies the paper
+  costs but never trains (its own SC simulator could not fit AlexNet
+  either); the ImageNet graphs use ragged (floored) pooling exactly as
+  the legacy spec tables did.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..training.layers import (AvgPool2d, Conv2d, Flatten, Linear, ReLU,
-                               Residual, SplitOrConv2d, SplitOrLinear)
+from .. import ir
+from ..ir import NetworkGraph
+from ..ir.spec import LayerSpec, NetworkSpec, lower_to_spec
 from ..training.network import Sequential
 
 __all__ = [
@@ -34,32 +40,109 @@ __all__ = [
     "svhn_cnn",
     "tiny_resnet",
     "mnist_mlp",
+    "lenet5_graph",
+    "cifar10_cnn_graph",
+    "svhn_cnn_graph",
+    "tiny_resnet_graph",
+    "mnist_mlp_graph",
+    "lenet5_reference_graph",
+    "cifar10_cnn_reference_graph",
+    "alexnet_graph",
+    "vgg16_graph",
+    "resnet18_graph",
     "lenet5_spec",
     "cifar10_cnn_spec",
     "alexnet_spec",
     "vgg16_spec",
     "resnet18_spec",
     "NETWORK_SPECS",
+    "NETWORK_GRAPHS",
+    "TRAINABLE_GRAPHS",
 ]
 
 
 # --------------------------------------------------------------------------
-# Trainable builders
+# Trainable graphs (split-unipolar metadata threaded through the IR)
 # --------------------------------------------------------------------------
 
-def _conv(or_mode, cin, cout, k, pad, rng, stream_length):
-    if or_mode == "none":
-        return Conv2d(cin, cout, k, padding=pad, bias=False, rng=rng)
-    return SplitOrConv2d(cin, cout, k, padding=pad, or_mode=or_mode,
-                         stream_length=stream_length, rng=rng)
+def lenet5_graph(or_mode: str = "approx",
+                 stream_length: int = None) -> NetworkGraph:
+    """LeNet-5 (28x28x1 -> 10 classes), the paper's MNIST workload."""
+    m = dict(or_mode=or_mode, stream_length=stream_length)
+    return NetworkGraph("lenet5", (1, 28, 28), [
+        ir.conv(1, 6, 5, **m), ir.avgpool(2), ir.relu(),
+        ir.conv(6, 16, 5, **m), ir.avgpool(2), ir.relu(),
+        ir.flatten(),
+        ir.linear(16 * 4 * 4, 10, **m),
+    ])
 
 
-def _linear(or_mode, fin, fout, rng, stream_length):
-    if or_mode == "none":
-        return Linear(fin, fout, bias=False, rng=rng)
-    return SplitOrLinear(fin, fout, or_mode=or_mode,
-                         stream_length=stream_length, rng=rng)
+def cifar10_cnn_graph(or_mode: str = "approx", in_channels: int = 3,
+                      stream_length: int = None) -> NetworkGraph:
+    """The paper's small "CIFAR-10 CNN" (32x32x3 -> 10 classes).
 
+    The exact topology is unpublished; this 64/64/128 stack is sized so
+    the LP performance model lands near the paper's Table III CIFAR-10
+    throughput.
+    """
+    m = dict(or_mode=or_mode, stream_length=stream_length)
+    return NetworkGraph("cifar10_cnn", (in_channels, 32, 32), [
+        ir.conv(in_channels, 64, 3, padding=1, **m), ir.avgpool(2), ir.relu(),
+        ir.conv(64, 64, 3, padding=1, **m), ir.avgpool(2), ir.relu(),
+        ir.conv(64, 128, 3, padding=1, **m), ir.avgpool(2), ir.relu(),
+        ir.flatten(),
+        ir.linear(128 * 4 * 4, 10, **m),
+    ])
+
+
+def svhn_cnn_graph(or_mode: str = "approx",
+                   stream_length: int = None) -> NetworkGraph:
+    """The SVHN "CNN" of Table II — same topology as the CIFAR-10 CNN."""
+    graph = cifar10_cnn_graph(or_mode=or_mode, stream_length=stream_length)
+    graph.name = "svhn_cnn"
+    return graph
+
+
+def tiny_resnet_graph(or_mode: str = "approx",
+                      stream_length: int = None) -> NetworkGraph:
+    """A small residual network (32x32x3 -> 10 classes).
+
+    Demonstrates the residual-connection support the paper claims for
+    the ACOUSTIC ISA: skip additions happen on converted binary
+    activations at layer boundaries.
+    """
+    m = dict(or_mode=or_mode, stream_length=stream_length)
+    return NetworkGraph("tiny_resnet", (3, 32, 32), [
+        ir.conv(3, 16, 3, padding=1, **m), ir.avgpool(2), ir.relu(),
+        ir.residual([ir.conv(16, 16, 3, padding=1, **m), ir.relu()]),
+        ir.residual([ir.conv(16, 16, 3, padding=1, **m), ir.relu()]),
+        ir.avgpool(2), ir.relu(),
+        ir.flatten(),
+        ir.linear(16 * 8 * 8, 10, **m),
+    ])
+
+
+def mnist_mlp_graph(or_mode: str = "approx",
+                    stream_length: int = None) -> NetworkGraph:
+    """A fully-connected 784-256-128-10 MNIST classifier.
+
+    FC layers are the weight-heavy extreme of the ACOUSTIC mapping
+    study (Sec. IV-C): encoding their constant weight streams dominates
+    a software forward pass, which makes this network the stress case
+    for the runtime's weight-stream caching.
+    """
+    m = dict(or_mode=or_mode, stream_length=stream_length)
+    return NetworkGraph("mnist_mlp", (1, 28, 28), [
+        ir.flatten(),
+        ir.linear(28 * 28, 256, **m), ir.relu(),
+        ir.linear(256, 128, **m), ir.relu(),
+        ir.linear(128, 10, **m),
+    ])
+
+
+# --------------------------------------------------------------------------
+# Trainable builders (graph -> Sequential; rng order matches the graph walk)
+# --------------------------------------------------------------------------
 
 def lenet5(or_mode: str = "approx", seed: int = 0,
            stream_length: int = None) -> Sequential:
@@ -69,260 +152,184 @@ def lenet5(or_mode: str = "approx", seed: int = 0,
     injection during training, which is how ACOUSTIC networks become
     robust at short streams.
     """
-    rng = np.random.default_rng(seed)
-    return Sequential([
-        _conv(or_mode, 1, 6, 5, 0, rng, stream_length), AvgPool2d(2), ReLU(),
-        _conv(or_mode, 6, 16, 5, 0, rng, stream_length), AvgPool2d(2), ReLU(),
-        Flatten(),
-        _linear(or_mode, 16 * 4 * 4, 10, rng, stream_length),
-    ])
+    return Sequential.from_graph(lenet5_graph(or_mode, stream_length),
+                                 seed=seed)
 
 
 def cifar10_cnn(or_mode: str = "approx", seed: int = 0, in_channels: int = 3,
                 stream_length: int = None) -> Sequential:
-    """The paper's small "CIFAR-10 CNN" (32x32x3 -> 10 classes).
-
-    The exact topology is unpublished; this 64/64/128 stack is sized so
-    the LP performance model lands near the paper's Table III CIFAR-10
-    throughput.
-    """
-    rng = np.random.default_rng(seed)
-    return Sequential([
-        _conv(or_mode, in_channels, 64, 3, 1, rng, stream_length),
-        AvgPool2d(2), ReLU(),
-        _conv(or_mode, 64, 64, 3, 1, rng, stream_length),
-        AvgPool2d(2), ReLU(),
-        _conv(or_mode, 64, 128, 3, 1, rng, stream_length),
-        AvgPool2d(2), ReLU(),
-        Flatten(),
-        _linear(or_mode, 128 * 4 * 4, 10, rng, stream_length),
-    ])
+    """The paper's small "CIFAR-10 CNN" (32x32x3 -> 10 classes)."""
+    return Sequential.from_graph(
+        cifar10_cnn_graph(or_mode, in_channels, stream_length), seed=seed)
 
 
 def svhn_cnn(or_mode: str = "approx", seed: int = 0,
              stream_length: int = None) -> Sequential:
     """The SVHN "CNN" of Table II — same topology as the CIFAR-10 CNN."""
-    return cifar10_cnn(or_mode=or_mode, seed=seed, stream_length=stream_length)
+    return Sequential.from_graph(svhn_cnn_graph(or_mode, stream_length),
+                                 seed=seed)
 
 
 def tiny_resnet(or_mode: str = "approx", seed: int = 0,
                 stream_length: int = None) -> Sequential:
-    """A small residual network (32x32x3 -> 10 classes).
-
-    Demonstrates the residual-connection support the paper claims for
-    the ACOUSTIC ISA: skip additions happen on converted binary
-    activations at layer boundaries.
-    """
-    rng = np.random.default_rng(seed)
-    return Sequential([
-        _conv(or_mode, 3, 16, 3, 1, rng, stream_length),
-        AvgPool2d(2), ReLU(),
-        Residual([
-            _conv(or_mode, 16, 16, 3, 1, rng, stream_length), ReLU(),
-        ]),
-        Residual([
-            _conv(or_mode, 16, 16, 3, 1, rng, stream_length), ReLU(),
-        ]),
-        AvgPool2d(2), ReLU(),
-        Flatten(),
-        _linear(or_mode, 16 * 8 * 8, 10, rng, stream_length),
-    ])
+    """A small residual network (32x32x3 -> 10 classes)."""
+    return Sequential.from_graph(tiny_resnet_graph(or_mode, stream_length),
+                                 seed=seed)
 
 
 def mnist_mlp(or_mode: str = "approx", seed: int = 0,
               stream_length: int = None) -> Sequential:
-    """A fully-connected 784-256-128-10 MNIST classifier.
+    """A fully-connected 784-256-128-10 MNIST classifier."""
+    return Sequential.from_graph(mnist_mlp_graph(or_mode, stream_length),
+                                 seed=seed)
 
-    FC layers are the weight-heavy extreme of the ACOUSTIC mapping
-    study (Sec. IV-C): encoding their constant weight streams dominates
-    a software forward pass, which makes this network the stress case
-    for the runtime's weight-stream caching.
-    """
-    rng = np.random.default_rng(seed)
-    return Sequential([
-        Flatten(),
-        _linear(or_mode, 28 * 28, 256, rng, stream_length), ReLU(),
-        _linear(or_mode, 256, 128, rng, stream_length), ReLU(),
-        _linear(or_mode, 128, 10, rng, stream_length),
+
+# --------------------------------------------------------------------------
+# Reference graphs (performance-model topologies; never trained here)
+# --------------------------------------------------------------------------
+
+def lenet5_reference_graph() -> NetworkGraph:
+    """The full LeNet-5 the paper costs (three-FC classifier head)."""
+    return NetworkGraph("lenet5", (1, 28, 28), [
+        ir.conv(1, 6, 5), ir.avgpool(2), ir.relu(),
+        ir.conv(6, 16, 5), ir.avgpool(2), ir.relu(),
+        ir.flatten(),
+        ir.linear(256, 120), ir.relu(),
+        ir.linear(120, 84), ir.relu(),
+        ir.linear(84, 10),
     ])
 
 
+def cifar10_cnn_reference_graph() -> NetworkGraph:
+    return cifar10_cnn_graph(or_mode=None)
+
+
+def alexnet_graph() -> NetworkGraph:
+    """AlexNet (ImageNet, 227x227 input), per Krizhevsky et al. [28].
+
+    Pooling windows are the 2x-effective windows the legacy spec table
+    used (the 3x3/stride-2 max pools modeled as 2x2); they floor on the
+    odd feature-map sizes, exactly as the published arithmetic does.
+    """
+    return NetworkGraph("alexnet", (3, 227, 227), [
+        ir.conv(3, 96, 11, stride=4), ir.avgpool(2), ir.relu(),
+        ir.conv(96, 256, 5, padding=2, groups=2), ir.avgpool(2), ir.relu(),
+        ir.conv(256, 384, 3, padding=1), ir.relu(),
+        ir.conv(384, 384, 3, padding=1, groups=2), ir.relu(),
+        ir.conv(384, 256, 3, padding=1, groups=2), ir.avgpool(2), ir.relu(),
+        ir.flatten(),
+        ir.linear(9216, 4096), ir.relu(),
+        ir.linear(4096, 4096), ir.relu(),
+        ir.linear(4096, 1000),
+    ])
+
+
+def vgg16_graph() -> NetworkGraph:
+    """VGG-16 (ImageNet, 224x224 input), per Simonyan & Zisserman [29]."""
+    cfg = [
+        (3, 64), (64, 64, 2),
+        (64, 128), (128, 128, 2),
+        (128, 256), (256, 256), (256, 256, 2),
+        (256, 512), (512, 512), (512, 512, 2),
+        (512, 512), (512, 512), (512, 512, 2),
+    ]
+    nodes = []
+    for entry in cfg:
+        cin, cout = entry[0], entry[1]
+        nodes.append(ir.conv(cin, cout, 3, padding=1))
+        if len(entry) > 2:
+            nodes.append(ir.avgpool(entry[2]))
+        nodes.append(ir.relu())
+    nodes += [
+        ir.flatten(),
+        ir.linear(25088, 4096), ir.relu(),
+        ir.linear(4096, 4096), ir.relu(),
+        ir.linear(4096, 1000),
+    ]
+    return NetworkGraph("vgg16", (3, 224, 224), nodes)
+
+
+def resnet18_graph() -> NetworkGraph:
+    """ResNet-18 (ImageNet, 224x224 input), per He et al. [31].
+
+    Residual additions are performed on converted binary activations
+    and are negligible for the performance model; stride-2 stages carry
+    a 1x1 projection on the skip path, and the classifier head global-
+    average-pools to the single small FC layer — which is what makes
+    ResNet-18 ACOUSTIC-friendly (Sec. IV-D).
+    """
+    nodes = [ir.conv(3, 64, 7, stride=2, padding=3), ir.avgpool(2),
+             ir.relu()]
+    stages = [(64, 64, 56, 1), (64, 128, 28, 2), (128, 256, 14, 2),
+              (256, 512, 7, 2)]
+    for cin, cout, _out_size, first_stride in stages:
+        shortcut = [ir.conv(cin, cout, 1, stride=first_stride)] \
+            if first_stride != 1 else None
+        nodes.append(ir.residual([
+            ir.conv(cin, cout, 3, padding=1, stride=first_stride), ir.relu(),
+            ir.conv(cout, cout, 3, padding=1),
+        ], shortcut=shortcut))
+        nodes.append(ir.relu())
+        nodes.append(ir.residual([
+            ir.conv(cout, cout, 3, padding=1), ir.relu(),
+            ir.conv(cout, cout, 3, padding=1),
+        ]))
+        nodes.append(ir.relu())
+    nodes += [ir.avgpool(7), ir.flatten(), ir.linear(512, 1000)]
+    return NetworkGraph("resnet18", (3, 224, 224), nodes)
+
+
 # --------------------------------------------------------------------------
-# Performance-model layer specs
+# Performance-model spec tables — now one-line graph lowerings
 # --------------------------------------------------------------------------
-
-@dataclass
-class LayerSpec:
-    """Shape description of one layer for the performance models."""
-
-    kind: str                 # "conv" or "fc"
-    in_channels: int
-    out_channels: int
-    kernel: int = 1           # spatial kernel size (conv)
-    stride: int = 1
-    padding: int = 0
-    in_size: int = 1          # input spatial size (square)
-    pool: int = 1             # fused average-pool window after the layer
-    groups: int = 1           # grouped convolution (AlexNet conv2/4/5)
-
-    @property
-    def out_size(self) -> int:
-        if self.kind == "fc":
-            return 1
-        return (self.in_size + 2 * self.padding - self.kernel) // self.stride + 1
-
-    @property
-    def fan_in(self) -> int:
-        """Products accumulated per output value."""
-        if self.kind == "fc":
-            return self.in_channels
-        return (self.in_channels // self.groups) * self.kernel * self.kernel
-
-    @property
-    def macs(self) -> int:
-        """Multiply-accumulates for one inference of this layer."""
-        if self.kind == "fc":
-            return self.in_channels * self.out_channels
-        return self.fan_in * self.out_channels * self.out_size**2
-
-    @property
-    def weight_count(self) -> int:
-        if self.kind == "fc":
-            return self.in_channels * self.out_channels
-        return self.out_channels * self.fan_in
-
-    @property
-    def output_activations(self) -> int:
-        if self.kind == "fc":
-            return self.out_channels
-        return self.out_channels * (self.out_size // max(1, self.pool)) ** 2
-
-    @property
-    def input_activations(self) -> int:
-        if self.kind == "fc":
-            return self.in_channels
-        return self.in_channels * self.in_size**2
-
-
-@dataclass
-class NetworkSpec:
-    """A named stack of layer specs."""
-
-    name: str
-    layers: list = field(default_factory=list)
-
-    @property
-    def total_macs(self) -> int:
-        return sum(layer.macs for layer in self.layers)
-
-    @property
-    def total_weights(self) -> int:
-        return sum(layer.weight_count for layer in self.layers)
-
-    @property
-    def conv_layers(self) -> list:
-        return [l for l in self.layers if l.kind == "conv"]
-
-    @property
-    def fc_layers(self) -> list:
-        return [l for l in self.layers if l.kind == "fc"]
-
 
 def lenet5_spec() -> NetworkSpec:
-    return NetworkSpec("lenet5", [
-        LayerSpec("conv", 1, 6, kernel=5, in_size=28, pool=2),
-        LayerSpec("conv", 6, 16, kernel=5, in_size=12, pool=2),
-        LayerSpec("fc", 256, 120),
-        LayerSpec("fc", 120, 84),
-        LayerSpec("fc", 84, 10),
-    ])
+    return lower_to_spec(lenet5_reference_graph())
 
 
 def cifar10_cnn_spec() -> NetworkSpec:
-    return NetworkSpec("cifar10_cnn", [
-        LayerSpec("conv", 3, 64, kernel=3, padding=1, in_size=32, pool=2),
-        LayerSpec("conv", 64, 64, kernel=3, padding=1, in_size=16, pool=2),
-        LayerSpec("conv", 64, 128, kernel=3, padding=1, in_size=8, pool=2),
-        LayerSpec("fc", 2048, 10),
-    ])
+    return lower_to_spec(cifar10_cnn_reference_graph())
 
 
 def alexnet_spec() -> NetworkSpec:
-    """AlexNet (ImageNet, 227x227 input), per Krizhevsky et al. [28]."""
-    return NetworkSpec("alexnet", [
-        LayerSpec("conv", 3, 96, kernel=11, stride=4, in_size=227, pool=2),
-        LayerSpec("conv", 96, 256, kernel=5, padding=2, in_size=27, pool=2,
-                  groups=2),
-        LayerSpec("conv", 256, 384, kernel=3, padding=1, in_size=13),
-        LayerSpec("conv", 384, 384, kernel=3, padding=1, in_size=13,
-                  groups=2),
-        LayerSpec("conv", 384, 256, kernel=3, padding=1, in_size=13, pool=2,
-                  groups=2),
-        LayerSpec("fc", 9216, 4096),
-        LayerSpec("fc", 4096, 4096),
-        LayerSpec("fc", 4096, 1000),
-    ])
+    return lower_to_spec(alexnet_graph())
 
 
 def vgg16_spec() -> NetworkSpec:
-    """VGG-16 (ImageNet, 224x224 input), per Simonyan & Zisserman [29]."""
-    cfg = [
-        (3, 64, 224), (64, 64, 224, 2),
-        (64, 128, 112), (128, 128, 112, 2),
-        (128, 256, 56), (256, 256, 56), (256, 256, 56, 2),
-        (256, 512, 28), (512, 512, 28), (512, 512, 28, 2),
-        (512, 512, 14), (512, 512, 14), (512, 512, 14, 2),
-    ]
-    layers = []
-    for entry in cfg:
-        cin, cout, size = entry[0], entry[1], entry[2]
-        pool = entry[3] if len(entry) > 3 else 1
-        layers.append(
-            LayerSpec("conv", cin, cout, kernel=3, padding=1, in_size=size,
-                      pool=pool)
-        )
-    layers += [
-        LayerSpec("fc", 25088, 4096),
-        LayerSpec("fc", 4096, 4096),
-        LayerSpec("fc", 4096, 1000),
-    ]
-    return NetworkSpec("vgg16", layers)
+    return lower_to_spec(vgg16_graph())
 
 
 def resnet18_spec() -> NetworkSpec:
-    """ResNet-18 (ImageNet, 224x224 input), per He et al. [31].
-
-    Residual additions are performed on converted binary activations and
-    are negligible for the performance model; the spec lists the conv and
-    single small FC layer, which is what makes ResNet-18 ACOUSTIC-friendly
-    (Sec. IV-D).
-    """
-    layers = [LayerSpec("conv", 3, 64, kernel=7, stride=2, padding=3,
-                        in_size=224, pool=2)]
-    stages = [(64, 64, 56, 1), (64, 128, 28, 2), (128, 256, 14, 2),
-              (256, 512, 7, 2)]
-    for cin, cout, out_size, first_stride in stages:
-        in_size = out_size * first_stride
-        layers.append(LayerSpec("conv", cin, cout, kernel=3, padding=1,
-                                stride=first_stride, in_size=in_size))
-        layers.append(LayerSpec("conv", cout, cout, kernel=3, padding=1,
-                                in_size=out_size))
-        if first_stride != 1:  # projection shortcut
-            layers.append(LayerSpec("conv", cin, cout, kernel=1,
-                                    stride=first_stride, in_size=in_size))
-        for _ in range(1):  # second basic block of the stage
-            layers.append(LayerSpec("conv", cout, cout, kernel=3, padding=1,
-                                    in_size=out_size))
-            layers.append(LayerSpec("conv", cout, cout, kernel=3, padding=1,
-                                    in_size=out_size))
-    layers.append(LayerSpec("fc", 512, 1000))
-    return NetworkSpec("resnet18", layers)
+    return lower_to_spec(resnet18_graph())
 
 
+#: Legacy registry: name -> spec factory (graph lowerings since the IR).
 NETWORK_SPECS = {
     "lenet5": lenet5_spec,
     "cifar10_cnn": cifar10_cnn_spec,
     "alexnet": alexnet_spec,
     "vgg16": vgg16_spec,
     "resnet18": resnet18_spec,
+}
+
+#: name -> zero-argument graph builder for every network in the zoo
+#: (reference topology where one exists, trainable topology otherwise).
+NETWORK_GRAPHS = {
+    "lenet5": lenet5_reference_graph,
+    "cifar10_cnn": cifar10_cnn_reference_graph,
+    "alexnet": alexnet_graph,
+    "vgg16": vgg16_graph,
+    "resnet18": resnet18_graph,
+    "svhn_cnn": svhn_cnn_graph,
+    "tiny_resnet": tiny_resnet_graph,
+    "mnist_mlp": mnist_mlp_graph,
+}
+
+#: name -> trainable graph builder (split-unipolar metadata threaded).
+TRAINABLE_GRAPHS = {
+    "lenet5": lenet5_graph,
+    "cifar10_cnn": cifar10_cnn_graph,
+    "svhn_cnn": svhn_cnn_graph,
+    "tiny_resnet": tiny_resnet_graph,
+    "mnist_mlp": mnist_mlp_graph,
 }

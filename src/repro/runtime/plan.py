@@ -1,10 +1,12 @@
 """Execution plans: compile an :class:`SCNetwork` once, run it many times.
 
-An :class:`ExecutionPlan` walks the network with a symbolic input shape,
-validates layer compatibility up front, pre-encodes every constant packed
+An :class:`ExecutionPlan` walks the network's fused SC-level
+:class:`~repro.ir.NetworkGraph` (one node per simulator layer) with a
+symbolic input shape: the IR's shape inference validates layer
+compatibility up front, then the plan pre-encodes every constant packed
 weight bitstream into the per-layer :class:`~repro.simulator.layers.
 WeightStreamCache` (the encoding a naive ``forward`` would redo on every
-call), and records per-layer cost metadata — stream lengths, weight
+call) and records per-layer cost metadata — stream lengths, weight
 lanes, and the number of bitstream product-bits one sample simulates.
 
 Plans are picklable: process-backed worker pools ship one plan per
@@ -18,10 +20,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis import format_table
+from ..ir import conv_output_hw
 from ..simulator.config import SCConfig
 from ..simulator.engine import default_kernel
-from ..simulator.layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear,
-                                SCReLU, SCResidual)
+from ..simulator.layers import SCConv2d, SCResidual
 from ..simulator.network import SCNetwork
 
 __all__ = ["ExecutionPlan", "LayerPlan"]
@@ -46,6 +48,11 @@ class LayerPlan:
     product_bits_per_sample: int
 
 
+#: IR node kind -> plan row kind (pool nodes in an SC graph are always
+#: the standalone average pools; fused ones live on the conv node).
+_PLAN_KINDS = {"pool": "avgpool"}
+
+
 class ExecutionPlan:
     """A compiled, cache-warm inference plan for one SC network.
 
@@ -64,7 +71,7 @@ class ExecutionPlan:
         config = config if config is not None else network.config
         # Share layer objects (and therefore stream caches) but pin the
         # plan to one config so runs cannot drift from what was compiled.
-        self.network = SCNetwork(network.layers, config)
+        self.network = SCNetwork(network.layers, config, graph=network.graph)
         self.config = config
         # Resolve the kernel selection at compile time so the plan
         # records (and `describe` reports) what will actually run, even
@@ -72,120 +79,64 @@ class ExecutionPlan:
         self.kernel = config.kernel if config.kernel else default_kernel()
         self.input_shape = tuple(int(d) for d in input_shape)
         self.layer_plans = []
-        shape = self.input_shape
-        for index, layer in enumerate(self.network.layers):
-            shape = self._compile_layer(layer, index, shape)
-        self.output_shape = shape
+        # The fused SC-level graph is 1:1 with the simulator layers; the
+        # IR's shape inference does all compatibility validation
+        # (channel counts, collapsing convs, pool tiling, residual
+        # shape preservation) with exact-pool simulator semantics.
+        graph = self.network.to_graph()
+        infos = graph.infer_shapes(input_shape=self.input_shape,
+                                   exact_pool=True)
+        for index, (info, layer) in enumerate(zip(infos,
+                                                  self.network.layers)):
+            self._compile_node(info, layer, index)
+        self.output_shape = infos[-1].out_shape if infos \
+            else self.input_shape
 
     # -- compilation -------------------------------------------------
 
-    def _compile_layer(self, layer, index: int, shape: tuple) -> tuple:
-        """Validate one layer, warm its caches, record its plan row."""
-        if isinstance(layer, SCConv2d):
-            shape = self._compile_conv(layer, index, shape)
-        elif isinstance(layer, SCLinear):
-            shape = self._compile_linear(layer, index, shape)
-        elif isinstance(layer, SCResidual):
-            entry_shape = shape
-            for offset, sub in enumerate(layer.body):
+    def _compile_node(self, info, layer, index: int) -> None:
+        """Warm one node's caches and record its plan row."""
+        node = info.node
+        if node.kind == "conv":
+            length, phases = self._stream_params(layer, index)
+            self._warm(layer, index, length)
+            # Product bits are clocked on the *pre-pool* conv output:
+            # computation skipping shortens the streams, not the number
+            # of window positions the OR accumulator sees.
+            oh, ow = conv_output_hw(node, info.in_shape[1:])
+            self.layer_plans.append(LayerPlan(
+                index=index, kind="conv", output_shape=info.out_shape,
+                phase_length=length, weight_lanes=node.weight_count,
+                product_bits_per_sample=(
+                    phases * oh * ow * node.out_channels * node.fan_in
+                    * length
+                ),
+            ))
+        elif node.kind == "linear":
+            length, phases = self._stream_params(layer, index)
+            self._warm(layer, index, length)
+            self.layer_plans.append(LayerPlan(
+                index=index, kind="linear", output_shape=info.out_shape,
+                phase_length=length, weight_lanes=node.weight_count,
+                product_bits_per_sample=phases * node.weight_count * length,
+            ))
+        elif node.kind == "residual":
+            for offset, (sub_info, sub_layer) in enumerate(
+                    zip(info.body, layer.body)):
                 # Mirror SCResidual.forward's sub-index derivation so the
                 # warmed cache keys match the seeds used at run time.
-                shape = self._compile_layer(sub, index * 131 + offset + 1,
-                                            shape)
-            if shape != entry_shape:
-                raise ValueError(
-                    f"residual body changed shape {entry_shape} -> {shape}"
-                )
+                self._compile_node(sub_info, sub_layer,
+                                   index * 131 + offset + 1)
             self.layer_plans.append(LayerPlan(
-                index=index, kind="residual", output_shape=shape,
-                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
-            ))
-        elif isinstance(layer, SCAvgPool):
-            c, h, w = shape
-            p = layer.pool_size
-            if h % p or w % p:
-                raise ValueError(f"pool window {p} must tile input {h}x{w}")
-            shape = (c, h // p, w // p)
-            self.layer_plans.append(LayerPlan(
-                index=index, kind="avgpool", output_shape=shape,
-                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
-            ))
-        elif isinstance(layer, SCFlatten):
-            shape = (int(np.prod(shape)),)
-            self.layer_plans.append(LayerPlan(
-                index=index, kind="flatten", output_shape=shape,
-                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
-            ))
-        elif isinstance(layer, SCReLU):
-            self.layer_plans.append(LayerPlan(
-                index=index, kind="relu", output_shape=shape,
+                index=index, kind="residual", output_shape=info.out_shape,
                 phase_length=0, weight_lanes=0, product_bits_per_sample=0,
             ))
         else:
-            raise TypeError(
-                f"cannot plan layer {type(layer).__name__}"
-            )
-        return shape
-
-    def _compile_conv(self, layer: SCConv2d, index: int,
-                      shape: tuple) -> tuple:
-        if len(shape) != 3:
-            raise ValueError(f"conv expects (C, H, W) input, got {shape}")
-        c_in, h, w = shape
-        c_out, c_w, kh, kw = layer.weight.shape
-        if c_w != c_in:
-            raise ValueError(
-                f"layer {index}: conv expects {c_w} channels, input has "
-                f"{c_in}"
-            )
-        oh = (h + 2 * layer.padding - kh) // layer.stride + 1
-        ow = (w + 2 * layer.padding - kw) // layer.stride + 1
-        if oh < 1 or ow < 1:
-            raise ValueError(f"layer {index}: conv output collapses to "
-                             f"{oh}x{ow}")
-        out_h, out_w = oh, ow
-        if layer.pool_size > 1:
-            p = layer.pool_size
-            if oh % p or ow % p:
-                raise ValueError(
-                    f"layer {index}: pool window {p} must tile conv "
-                    f"output {oh}x{ow}"
-                )
-            out_h, out_w = oh // p, ow // p
-        length, phases = self._stream_params(layer, index)
-        self._warm(layer, index, length)
-        fan_in = c_in * kh * kw
-        self.layer_plans.append(LayerPlan(
-            index=index, kind="conv", output_shape=(c_out, out_h, out_w),
-            phase_length=length, weight_lanes=c_out * fan_in,
-            product_bits_per_sample=(
-                phases * oh * ow * c_out * fan_in * length
-            ),
-        ))
-        return (c_out, out_h, out_w)
-
-    def _compile_linear(self, layer: SCLinear, index: int,
-                        shape: tuple) -> tuple:
-        features = int(np.prod(shape))
-        out_f, in_f = layer.weight.shape
-        if len(shape) != 1:
-            raise ValueError(
-                f"layer {index}: linear expects flattened input, got "
-                f"{shape}"
-            )
-        if in_f != features:
-            raise ValueError(
-                f"layer {index}: linear expects {in_f} features, input "
-                f"has {features}"
-            )
-        length, phases = self._stream_params(layer, index)
-        self._warm(layer, index, length)
-        self.layer_plans.append(LayerPlan(
-            index=index, kind="linear", output_shape=(out_f,),
-            phase_length=length, weight_lanes=out_f * in_f,
-            product_bits_per_sample=phases * out_f * in_f * length,
-        ))
-        return (out_f,)
+            self.layer_plans.append(LayerPlan(
+                index=index, kind=_PLAN_KINDS.get(node.kind, node.kind),
+                output_shape=info.out_shape,
+                phase_length=0, weight_lanes=0, product_bits_per_sample=0,
+            ))
 
     def _stream_params(self, layer, index: int) -> tuple:
         """(per-pass stream length, temporal phases) for one layer."""

@@ -18,7 +18,7 @@ from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
                      SCResidual, WeightStreamCache)
 from .metrics import (confusion_matrix, evaluate_classifier,
                       per_class_accuracy, top_k_accuracy)
-from .network import SCNetwork
+from .network import SCNetwork, sc_graph_of
 from .reference import ReferenceSplitUnipolarMac
 
 __all__ = [
@@ -31,7 +31,7 @@ __all__ = [
     "FixedPointNetwork",
     "SCAvgPool", "SCConv2d", "SCFlatten", "SCLinear", "SCReLU", "SCResidual",
     "WeightStreamCache",
-    "SCNetwork",
+    "SCNetwork", "sc_graph_of",
     "confusion_matrix", "evaluate_classifier", "per_class_accuracy",
     "top_k_accuracy",
     "ReferenceSplitUnipolarMac",

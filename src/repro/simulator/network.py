@@ -1,43 +1,80 @@
-"""SC network container and conversion from trained models."""
+"""SC network container and lowering from the graph IR.
+
+:meth:`SCNetwork.from_graph` lowers a :class:`~repro.ir.NetworkGraph`
+(with parameters) to simulator layers, fusing conv + avg-pool pairs for
+computation skipping.  :meth:`SCNetwork.from_trained` is a thin adapter:
+it captures the trained model's graph via
+:func:`repro.training.network.graph_of` and lowers that.
+
+The network keeps the *fused* SC-level graph (one node per SC layer) on
+``self.graph``; the runtime's :class:`~repro.runtime.plan.ExecutionPlan`
+walks it for shapes and validation instead of re-deriving layer
+metadata.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..training import layers as tlayers
-from ..training.network import Sequential
+from .. import ir
+from ..training.network import Sequential, graph_of
 from .config import SCConfig
 from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
                      SCResidual)
 
-__all__ = ["SCNetwork"]
+__all__ = ["SCNetwork", "sc_graph_of"]
 
 
 class SCNetwork:
     """A stochastic-computing CNN evaluated bitstream-exactly.
 
-    Build one directly from simulator layers, or convert a trained
-    :class:`~repro.training.network.Sequential` with
+    Build one directly from simulator layers, lower a
+    :class:`~repro.ir.NetworkGraph` with :meth:`from_graph`, or convert
+    a trained :class:`~repro.training.network.Sequential` with
     :meth:`from_trained`.
     """
 
-    def __init__(self, layers, config: SCConfig = None):
+    def __init__(self, layers, config: SCConfig = None, graph=None):
         self.layers = list(layers)
         self.config = config if config is not None else SCConfig()
+        #: Fused SC-level :class:`~repro.ir.NetworkGraph`, 1:1 with
+        #: ``layers`` (``None`` for hand-assembled stacks until
+        #: :meth:`to_graph` reconstructs it).
+        self.graph = graph
+
+    @classmethod
+    def from_graph(cls, graph, config: SCConfig = None) -> "SCNetwork":
+        """Lower an IR graph to its SC-simulated counterpart.
+
+        Conv/linear nodes must carry a ``weight`` parameter and be
+        bias-free — the ACOUSTIC datapath has no additive-constant
+        path, so a biased layer raises :class:`ValueError` outright.
+        An avg-pool node directly after a conv is fused into it for
+        computation skipping.
+        """
+        config = config if config is not None else SCConfig()
+        layers, fused_nodes = _lower_nodes(graph.nodes)
+        fused = ir.NetworkGraph(graph.name, graph.input_shape, fused_nodes)
+        return cls(layers, config, graph=fused)
 
     @classmethod
     def from_trained(cls, network: Sequential, config: SCConfig = None
                      ) -> "SCNetwork":
         """Convert a trained network into its SC-simulated counterpart.
 
-        Recognized training layers: ``SplitOrConv2d`` (optionally followed
-        by ``AvgPool2d``, which is fused for computation skipping),
-        ``SplitOrLinear``, ``ReLU``, ``AvgPool2d``, ``Flatten``.  Plain
-        ``Conv2d``/``Linear`` weights are accepted too (their bias must be
-        absent — the SC datapath has no bias path).
+        Thin adapter over :meth:`from_graph`: captures the model's
+        graph (parameters by reference) and lowers it.  Plain
+        ``Conv2d``/``Linear`` weights are accepted; layers constructed
+        with a bias are rejected with :class:`ValueError`.
         """
-        config = config if config is not None else SCConfig()
-        return cls(_convert_layers(list(network.layers)), config)
+        return cls.from_graph(graph_of(network), config)
+
+    def to_graph(self):
+        """The fused SC-level graph (reconstructed if not attached)."""
+        if self.graph is None:
+            self.graph = ir.NetworkGraph(
+                "sc_network", None, _nodes_from_sc_layers(self.layers))
+        return self.graph
 
     def forward(self, x: np.ndarray,
                 return_intermediates: bool = False):
@@ -70,50 +107,120 @@ class SCNetwork:
         return float((self.predict(x, batch_size) == y).mean())
 
 
-def _convert_layers(source) -> list:
-    """Map training layers to SC layers, fusing conv + avg-pool pairs."""
+def sc_graph_of(network: "SCNetwork"):
+    """The fused SC-level graph of a network (module-level spelling of
+    :meth:`SCNetwork.to_graph` for adapter call sites)."""
+    return network.to_graph()
+
+
+def _reject_bias(node, what: str) -> None:
+    if node.bias or "bias" in node.params:
+        raise ValueError(
+            f"cannot lower {what} layer with a bias to the SC simulator: "
+            "the ACOUSTIC datapath has no additive-constant (bias) path; "
+            "rebuild or retrain the layer with bias=False"
+        )
+
+
+def _node_weight(node, what: str) -> np.ndarray:
+    weight = node.params.get("weight")
+    if weight is None:
+        raise ValueError(
+            f"{what} node carries no weights — lower a trained graph "
+            "(graph_of(model) / Sequential.from_graph) to the simulator"
+        )
+    return weight
+
+
+def _lower_nodes(source) -> tuple:
+    """Map IR nodes to SC layers, fusing conv + avg-pool pairs.
+
+    Returns ``(sc_layers, fused_nodes)`` with the two lists aligned
+    1:1 (the fused node list is the SC-level graph).
+    """
     sc_layers = []
+    fused_nodes = []
     i = 0
     while i < len(source):
-        layer = source[i]
-        if isinstance(layer, (tlayers.SplitOrConv2d, tlayers.Conv2d)):
-            _reject_bias(layer)
-            pool_size = 1
+        node = source[i]
+        if node.kind == "conv":
+            _reject_bias(node, "conv")
+            weight = _node_weight(node, "conv")
+            pool_size = node.pool
             # Fuse an immediately following average pool (the hardware
             # counter accumulates the window before conversion).
-            if i + 1 < len(source) and isinstance(
-                source[i + 1], tlayers.AvgPool2d
-            ):
-                pool_size = source[i + 1].kernel_size
+            if pool_size == 1 and i + 1 < len(source) \
+                    and source[i + 1].kind == "pool" \
+                    and source[i + 1].pool_kind == "avg":
+                pool_size = source[i + 1].kernel_hw[0]
                 i += 1
             sc_layers.append(
-                SCConv2d(layer.weight, stride=layer.stride,
-                         padding=layer.padding, pool_size=pool_size)
+                SCConv2d(weight, stride=node.stride, padding=node.padding,
+                         pool_size=pool_size)
             )
-        elif isinstance(layer, (tlayers.SplitOrLinear, tlayers.Linear)):
-            _reject_bias(layer)
-            sc_layers.append(SCLinear(layer.weight))
-        elif isinstance(layer, tlayers.ReLU):
+            fused_nodes.append(ir.conv(
+                node.in_channels, node.out_channels, node.kernel,
+                stride=node.stride, padding=node.padding, pool=pool_size,
+                or_mode=node.or_mode, stream_length=node.stream_length,
+                weight=weight))
+        elif node.kind == "linear":
+            _reject_bias(node, "linear")
+            weight = _node_weight(node, "linear")
+            sc_layers.append(SCLinear(weight))
+            fused_nodes.append(ir.linear(
+                node.in_features, node.out_features, or_mode=node.or_mode,
+                stream_length=node.stream_length, weight=weight))
+        elif node.kind == "relu":
             sc_layers.append(SCReLU())
-        elif isinstance(layer, tlayers.AvgPool2d):
-            sc_layers.append(SCAvgPool(layer.kernel_size))
-        elif isinstance(layer, tlayers.Flatten):
+            fused_nodes.append(ir.relu())
+        elif node.kind == "pool" and node.pool_kind == "avg":
+            sc_layers.append(SCAvgPool(node.kernel_hw[0]))
+            fused_nodes.append(ir.avgpool(node.kernel_hw[0]))
+        elif node.kind == "flatten":
             sc_layers.append(SCFlatten())
-        elif isinstance(layer, tlayers.Residual):
-            sc_layers.append(SCResidual(_convert_layers(list(layer.body))))
+            fused_nodes.append(ir.flatten())
+        elif node.kind == "residual":
+            if node.shortcut:
+                raise TypeError(
+                    "projection shortcuts exist only in the performance "
+                    "models; the SC simulator supports identity skips only"
+                )
+            body_layers, body_nodes = _lower_nodes(node.body)
+            sc_layers.append(SCResidual(body_layers))
+            fused_nodes.append(ir.residual(body_nodes))
         else:
             raise TypeError(
-                f"no SC equivalent for layer {type(layer).__name__}"
+                f"no SC equivalent for {node.pool_kind + ' ' if node.kind == 'pool' else ''}"
+                f"{node.kind} layers"
             )
         i += 1
-    return sc_layers
+    return sc_layers, fused_nodes
 
 
-def _reject_bias(layer) -> None:
-    bias = getattr(layer, "bias", None)
-    if bias is not None and np.any(bias != 0):
-        raise ValueError(
-            "SC conversion requires bias-free layers (the ACOUSTIC "
-            "datapath has no additive-constant path); retrain with "
-            "bias=False"
-        )
+def _nodes_from_sc_layers(layers) -> list:
+    """Reconstruct the fused SC-level graph from bare SC layer objects
+    (for networks assembled directly from simulator layers)."""
+    nodes = []
+    for layer in layers:
+        if isinstance(layer, SCConv2d):
+            c_out, c_in, kh, kw = layer.weight.shape
+            nodes.append(ir.conv(
+                c_in, c_out, kh if kh == kw else (kh, kw),
+                stride=layer.stride, padding=layer.padding,
+                pool=layer.pool_size, weight=layer.weight))
+        elif isinstance(layer, SCLinear):
+            out_f, in_f = layer.weight.shape
+            nodes.append(ir.linear(in_f, out_f, weight=layer.weight))
+        elif isinstance(layer, SCReLU):
+            nodes.append(ir.relu())
+        elif isinstance(layer, SCAvgPool):
+            nodes.append(ir.avgpool(layer.pool_size))
+        elif isinstance(layer, SCFlatten):
+            nodes.append(ir.flatten())
+        elif isinstance(layer, SCResidual):
+            nodes.append(ir.residual(_nodes_from_sc_layers(layer.body)))
+        else:
+            raise TypeError(
+                f"no IR node for SC layer {type(layer).__name__}"
+            )
+    return nodes

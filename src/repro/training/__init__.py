@@ -6,14 +6,15 @@ Standard layers train the fixed-point reference networks; the
 approximation of Eq. (1).
 """
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (load_checkpoint, load_checkpoint_model,
+                         save_checkpoint)
 from .im2col import col2im, conv_output_size, im2col
 from .initializers import he_normal, scaled_uniform, xavier_uniform
 from .layers import (AvgPool2d, Conv2d, Dropout, Flatten, Layer, Linear,
                      MaxPool2d, ReLU, Residual, SplitOrConv2d,
                      SplitOrLinear)
 from .losses import CrossEntropyLoss, softmax
-from .network import Sequential
+from .network import Sequential, graph_of
 from .optim import SGD, Adam, Optimizer
 from .or_approx import (approximation2_error, approximation_error,
                         exact_or_forward, exact_or_grad_scale, or_approx,
@@ -25,14 +26,14 @@ from .quantize import (quantize_network_weights, quantize_symmetric,
 from .trainer import History, Trainer
 
 __all__ = [
-    "load_checkpoint", "save_checkpoint",
+    "load_checkpoint", "load_checkpoint_model", "save_checkpoint",
     "col2im", "conv_output_size", "im2col",
     "he_normal", "scaled_uniform", "xavier_uniform",
     "AvgPool2d", "Conv2d", "Dropout", "Flatten", "Layer", "Linear",
     "MaxPool2d",
     "ReLU", "Residual", "SplitOrConv2d", "SplitOrLinear",
     "CrossEntropyLoss", "softmax",
-    "Sequential",
+    "Sequential", "graph_of",
     "SGD", "Adam", "Optimizer",
     "approximation2_error", "approximation_error", "exact_or_forward",
     "exact_or_grad_scale", "or_approx", "or_approx2", "or_approx2_grads",

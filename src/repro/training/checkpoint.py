@@ -1,4 +1,11 @@
-"""Model checkpointing: save/load trained parameters as ``.npz`` files."""
+"""Model checkpointing: save/load trained parameters as ``.npz`` files.
+
+Format v2 checkpoints are *self-describing*: the serialized
+:class:`~repro.ir.NetworkGraph` is stored in the JSON header next to
+the parameters, so :func:`load_checkpoint_model` can rebuild the model
+without the caller re-specifying the architecture.  v1 checkpoints
+(parameters only) remain loadable via :func:`load_checkpoint`.
+"""
 
 from __future__ import annotations
 
@@ -7,18 +14,22 @@ import pathlib
 
 import numpy as np
 
-from .network import Sequential
+from .. import ir
+from .network import Sequential, graph_of
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "load_checkpoint_model"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_checkpoint(network: Sequential, path, metadata: dict = None) -> None:
     """Persist a network's parameters (plus optional JSON metadata).
 
-    Only parameters are stored; the architecture must be rebuilt by the
-    caller (e.g. via the :mod:`repro.networks` zoo) before loading.
+    The network's :class:`~repro.ir.NetworkGraph` is serialized into
+    the header (format v2), making the checkpoint self-describing:
+    :func:`load_checkpoint_model` rebuilds the model from the file
+    alone.
     """
     path = pathlib.Path(path)
     state = network.state_dict()
@@ -26,6 +37,7 @@ def save_checkpoint(network: Sequential, path, metadata: dict = None) -> None:
         "format_version": _FORMAT_VERSION,
         "num_layers": len(network.layers),
         "metadata": metadata or {},
+        "graph": graph_of(network).to_dict(),
     }
     np.savez(
         path,
@@ -36,26 +48,54 @@ def save_checkpoint(network: Sequential, path, metadata: dict = None) -> None:
     )
 
 
-def load_checkpoint(network: Sequential, path) -> dict:
-    """Load parameters saved by :func:`save_checkpoint` into ``network``.
-
-    Returns the stored metadata dictionary.  Raises if the architecture
-    (layer count / parameter shapes) does not match.
-    """
+def _read_archive(path):
     path = pathlib.Path(path)
     if not path.exists() and path.with_suffix(".npz").exists():
         path = path.with_suffix(".npz")
     with np.load(path) as archive:
         header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
+        if header.get("format_version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
-                f"unsupported checkpoint format: {header.get('format_version')}"
-            )
-        if header["num_layers"] != len(network.layers):
-            raise ValueError(
-                f"checkpoint has {header['num_layers']} layers, network has "
-                f"{len(network.layers)}"
+                f"unsupported checkpoint format: "
+                f"{header.get('format_version')}"
             )
         state = {k: archive[k] for k in archive.files if k != "__header__"}
+    return header, state
+
+
+def load_checkpoint(network: Sequential, path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``network``.
+
+    Returns the stored metadata dictionary.  Raises if the architecture
+    (layer count / parameter shapes) does not match.  Accepts both v1
+    (parameters-only) and v2 (self-describing) checkpoints.
+    """
+    header, state = _read_archive(path)
+    if header["num_layers"] != len(network.layers):
+        raise ValueError(
+            f"checkpoint has {header['num_layers']} layers, network has "
+            f"{len(network.layers)}"
+        )
     network.load_state_dict(state)
     return header["metadata"]
+
+
+def load_checkpoint_model(path, seed: int = 0) -> tuple:
+    """Rebuild the model a v2 checkpoint describes and load its weights.
+
+    Returns ``(network, metadata)``.  The architecture comes from the
+    graph embedded in the checkpoint header — nothing else is needed.
+    v1 checkpoints carry no graph and raise :class:`ValueError`; load
+    them with :func:`load_checkpoint` into a caller-built network.
+    """
+    header, state = _read_archive(path)
+    graph_dict = header.get("graph")
+    if not graph_dict:
+        raise ValueError(
+            "checkpoint carries no architecture graph (format v1); "
+            "rebuild the network yourself and use load_checkpoint()"
+        )
+    graph = ir.NetworkGraph.from_dict(graph_dict)
+    network = Sequential.from_graph(graph, seed=seed)
+    network.load_state_dict(state)
+    return network, header["metadata"]

@@ -1,10 +1,19 @@
-"""Sequential network container."""
+"""Sequential network container and its IR conversions.
+
+:meth:`Sequential.from_graph` materializes a trainable model from a
+:class:`~repro.ir.NetworkGraph`; :func:`graph_of` converts a model back
+(sharing parameter arrays by reference), which is what lets a trained
+network drive the SC simulator, the ISA compiler and the energy models
+without hand-transcribed shapes.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Sequential"]
+from .. import ir
+
+__all__ = ["Sequential", "graph_of"]
 
 
 class Sequential:
@@ -17,6 +26,40 @@ class Sequential:
 
     def __init__(self, layers):
         self.layers = list(layers)
+        #: The :class:`~repro.ir.NetworkGraph` this model was built from
+        #: (set by :meth:`from_graph`; ``None`` for hand-assembled
+        #: stacks — :func:`graph_of` reconstructs one on demand).
+        self.graph = None
+
+    @classmethod
+    def from_graph(cls, graph: "ir.NetworkGraph", seed: int = 0,
+                   rng: np.random.Generator = None) -> "Sequential":
+        """Materialize a trainable network from a graph.
+
+        Layers are constructed in node order with a single ``rng``
+        stream, so for a given graph + seed the initial weights are
+        bit-identical across runs.  Nodes carrying ``params`` (e.g. a
+        graph captured from a trained model or a checkpoint) have their
+        arrays copied into the fresh layers.
+        """
+        if graph.input_shape is not None:
+            graph.validate(exact_pool=True)
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        network = cls(_build_layers(graph.nodes, rng))
+        network.graph = graph
+        state = graph.state_dict()
+        if state:
+            own = network.state_dict()
+            for key, value in state.items():
+                if key not in own:
+                    raise KeyError(f"graph parameter {key} has no "
+                                   "matching layer parameter")
+                if own[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: {value.shape} vs "
+                        f"{own[key].shape}")
+            network.load_state_dict({**own, **state})
+        return network
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         for layer in self.layers:
@@ -66,3 +109,155 @@ class Sequential:
 
     def __len__(self):
         return len(self.layers)
+
+
+def _build_layers(nodes, rng) -> list:
+    """Materialize training layers from IR nodes (one layer per node)."""
+    from .layers import (AvgPool2d, Conv2d, Dropout, Flatten, Linear,
+                         MaxPool2d, ReLU, Residual, SplitOrConv2d,
+                         SplitOrLinear)
+
+    layers = []
+    for node in nodes:
+        if node.kind == "conv":
+            kh, kw = node.kernel_hw
+            if kh != kw:
+                raise ValueError("training layers require square kernels; "
+                                 f"got {kh}x{kw}")
+            if node.groups != 1:
+                raise ValueError(
+                    "grouped convolutions exist only in the performance "
+                    "models; the training runtime cannot build them")
+            if node.pool > 1:
+                raise ValueError(
+                    "fused conv+pool nodes are a simulator/performance "
+                    "lowering; trainable graphs keep pooling explicit")
+            if node.or_mode in (None, "none"):
+                layers.append(Conv2d(node.in_channels, node.out_channels,
+                                     kh, stride=node.stride,
+                                     padding=node.padding, bias=node.bias,
+                                     rng=rng))
+            else:
+                if node.bias:
+                    raise ValueError("split-unipolar conv layers are "
+                                     "bias-free by construction")
+                layers.append(SplitOrConv2d(
+                    node.in_channels, node.out_channels, kh,
+                    stride=node.stride, padding=node.padding,
+                    or_mode=node.or_mode, stream_length=node.stream_length,
+                    rng=rng))
+        elif node.kind == "linear":
+            if node.or_mode in (None, "none"):
+                layers.append(Linear(node.in_features, node.out_features,
+                                     bias=node.bias, rng=rng))
+            else:
+                if node.bias:
+                    raise ValueError("split-unipolar linear layers are "
+                                     "bias-free by construction")
+                layers.append(SplitOrLinear(
+                    node.in_features, node.out_features,
+                    or_mode=node.or_mode, stream_length=node.stream_length,
+                    rng=rng))
+        elif node.kind == "pool":
+            k = node.kernel_hw[0]
+            layers.append(MaxPool2d(k) if node.pool_kind == "max"
+                          else AvgPool2d(k))
+        elif node.kind == "relu":
+            layers.append(ReLU())
+        elif node.kind == "flatten":
+            layers.append(Flatten())
+        elif node.kind == "dropout":
+            layers.append(Dropout(node.rate, rng=rng))
+        elif node.kind == "residual":
+            if node.shortcut:
+                raise ValueError(
+                    "projection shortcuts exist only in the performance "
+                    "models; trainable residual bodies must preserve shape")
+            layers.append(Residual(_build_layers(node.body, rng)))
+        else:
+            raise ValueError(f"cannot build layer for node kind "
+                             f"{node.kind!r}")
+    return layers
+
+
+def graph_of(network: Sequential, name: str = "model",
+             input_shape: tuple = None) -> "ir.NetworkGraph":
+    """Capture a model's architecture (and parameters, by reference) as
+    a :class:`~repro.ir.NetworkGraph`.
+
+    Returns the graph the model was built from when one is attached
+    (re-pointing its ``params`` at the live arrays); otherwise
+    reconstructs one from the layer objects.  Either way the returned
+    graph can drive ``SCNetwork.from_graph``, the ``arch`` lowering and
+    self-describing checkpoints with no hand-written spec.
+    """
+    if getattr(network, "graph", None) is not None:
+        graph = network.graph
+        _attach_params(graph.nodes, network.layers)
+        return graph
+    graph = ir.NetworkGraph(name, input_shape,
+                            _nodes_of(list(network.layers)))
+    return graph
+
+
+def _attach_params(nodes, layers) -> None:
+    if len(nodes) != len(layers):
+        raise ValueError(f"graph has {len(nodes)} nodes but the network "
+                         f"has {len(layers)} layers")
+    for node, layer in zip(nodes, layers):
+        if node.kind == "residual":
+            _attach_params(node.body, layer.body)
+            continue
+        if node.kind in ("conv", "linear"):
+            node.params["weight"] = layer.weight
+            if getattr(layer, "bias", None) is not None:
+                node.params["bias"] = layer.bias
+
+
+def _nodes_of(layers) -> list:
+    from . import layers as tlayers
+
+    nodes = []
+    for layer in layers:
+        if isinstance(layer, tlayers.SplitOrConv2d):
+            nodes.append(ir.conv(
+                layer.in_channels, layer.out_channels, layer.kernel_size,
+                stride=layer.stride, padding=layer.padding,
+                or_mode=layer.or_mode, stream_length=layer.stream_length,
+                weight=layer.weight))
+        elif isinstance(layer, tlayers.Conv2d):
+            node = ir.conv(layer.in_channels, layer.out_channels,
+                           layer.kernel_size, stride=layer.stride,
+                           padding=layer.padding,
+                           bias=layer.bias is not None, weight=layer.weight)
+            if layer.bias is not None:
+                node.params["bias"] = layer.bias
+            nodes.append(node)
+        elif isinstance(layer, tlayers.SplitOrLinear):
+            nodes.append(ir.linear(
+                layer.in_features, layer.out_features,
+                or_mode=layer.or_mode, stream_length=layer.stream_length,
+                weight=layer.weight))
+        elif isinstance(layer, tlayers.Linear):
+            node = ir.linear(layer.in_features, layer.out_features,
+                             bias=layer.bias is not None,
+                             weight=layer.weight)
+            if layer.bias is not None:
+                node.params["bias"] = layer.bias
+            nodes.append(node)
+        elif isinstance(layer, tlayers.AvgPool2d):
+            nodes.append(ir.avgpool(layer.kernel_size))
+        elif isinstance(layer, tlayers.MaxPool2d):
+            nodes.append(ir.maxpool(layer.kernel_size))
+        elif isinstance(layer, tlayers.ReLU):
+            nodes.append(ir.relu())
+        elif isinstance(layer, tlayers.Flatten):
+            nodes.append(ir.flatten())
+        elif isinstance(layer, tlayers.Dropout):
+            nodes.append(ir.dropout(layer.rate))
+        elif isinstance(layer, tlayers.Residual):
+            nodes.append(ir.residual(_nodes_of(list(layer.body))))
+        else:
+            raise TypeError(
+                f"no IR node for layer {type(layer).__name__}")
+    return nodes

@@ -1,12 +1,15 @@
 """Tests for checkpointing and the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.networks import lenet5
+from repro.networks import lenet5, tiny_resnet
 from repro.training import Linear, Sequential
-from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.checkpoint import (load_checkpoint, load_checkpoint_model,
+                                       save_checkpoint)
 
 
 class TestCheckpoint:
@@ -45,6 +48,64 @@ class TestCheckpoint:
         other = Sequential([Linear(4, 3)])
         with pytest.raises(ValueError):
             load_checkpoint(other, tmp_path / "m.npz")
+
+
+def _v1_checkpoint(network, path):
+    """Write a pre-IR (format v1) checkpoint: parameters only, no graph."""
+    header = {"format_version": 1, "num_layers": len(network.layers),
+              "metadata": {"origin": "v1"}}
+    np.savez(path, __header__=np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        **network.state_dict())
+
+
+class TestSelfDescribingCheckpoint:
+    def test_v2_rebuilds_model_without_architecture(self, tmp_path, rng=None):
+        rng = np.random.default_rng(3)
+        net = tiny_resnet(seed=3)
+        # Nudge weights away from init so we know the *stored* values win.
+        for layer in net.layers:
+            for p in layer.params().values():
+                p += rng.uniform(-0.01, 0.01, p.shape)
+        path = tmp_path / "resnet.npz"
+        save_checkpoint(net, path, metadata={"epochs": 3})
+        rebuilt, meta = load_checkpoint_model(path)
+        assert meta == {"epochs": 3}
+        x = rng.uniform(0, 1, (2, 3, 32, 32))
+        assert np.array_equal(net.forward(x, training=False),
+                              rebuilt.forward(x, training=False))
+
+    def test_v2_header_contains_graph(self, tmp_path):
+        net = lenet5(seed=0)
+        save_checkpoint(net, tmp_path / "m.npz")
+        with np.load(tmp_path / "m.npz") as archive:
+            header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
+        assert header["format_version"] == 2
+        assert header["graph"]["nodes"][0]["kind"] == "conv"
+
+    def test_v1_still_loads_into_caller_built_network(self, tmp_path):
+        net = lenet5(seed=4)
+        path = tmp_path / "old.npz"
+        _v1_checkpoint(net, path)
+        fresh = lenet5(seed=9)
+        meta = load_checkpoint(fresh, path)
+        assert meta == {"origin": "v1"}
+        for key, value in fresh.state_dict().items():
+            assert np.array_equal(value, net.state_dict()[key])
+
+    def test_v1_rejected_by_load_checkpoint_model(self, tmp_path):
+        net = Sequential([Linear(4, 2)])
+        path = tmp_path / "old.npz"
+        _v1_checkpoint(net, path)
+        with pytest.raises(ValueError, match="v1"):
+            load_checkpoint_model(path)
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        header = {"format_version": 99, "num_layers": 0, "metadata": {}}
+        np.savez(tmp_path / "m.npz", __header__=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8))
+        with pytest.raises(ValueError, match="format"):
+            load_checkpoint_model(tmp_path / "m.npz")
 
 
 class TestCli:
@@ -98,3 +159,34 @@ class TestCli:
         main(["trace", "lenet5", "--width", "30"])
         out = capsys.readouterr().out
         assert "mac" in out and "%" in out
+
+
+class TestDescribeCommand:
+    def test_zoo_network(self, capsys):
+        assert main(["describe", "lenet5"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet5" in out
+        assert "conv" in out and "linear" in out
+        assert "MACs" in out and "phase len" in out
+
+    def test_reference_graph_only_network(self, capsys):
+        # resnet18 has no trainable builder — only an IR graph.
+        assert main(["describe", "resnet18"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out
+
+    def test_checkpoint_path(self, tmp_path, capsys):
+        net = lenet5(seed=0)
+        path = tmp_path / "model.npz"
+        save_checkpoint(net, path)
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "conv" in out and "linear" in out
+
+    def test_input_shape_override(self, capsys):
+        assert main(["describe", "lenet5", "--input-shape", "1,28,28"]) == 0
+        assert "24x24" in capsys.readouterr().out
+
+    def test_unknown_name_fails(self, capsys):
+        assert main(["describe", "googlenet"]) == 1
+        assert "googlenet" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Golden-equivalence suite for the graph-IR spec lowering.
+
+The hand-written ``LayerSpec`` tables that ``repro.networks.zoo`` carried
+before the IR refactor are embedded here **verbatim**; the graph-derived
+specs must reproduce them exactly — same layer records, same
+``total_macs``/``total_weights``, and bit-equal perfsim cycles and
+energy on both published configurations.
+"""
+
+import pytest
+
+from repro.arch import LP_CONFIG, ULP_CONFIG, simulate_network
+from repro.ir import LayerSpec, NetworkSpec, lower_to_spec
+from repro.networks import zoo
+
+
+def golden_lenet5_spec() -> NetworkSpec:
+    return NetworkSpec("lenet5", [
+        LayerSpec("conv", 1, 6, kernel=5, in_size=28, pool=2),
+        LayerSpec("conv", 6, 16, kernel=5, in_size=12, pool=2),
+        LayerSpec("fc", 256, 120),
+        LayerSpec("fc", 120, 84),
+        LayerSpec("fc", 84, 10),
+    ])
+
+
+def golden_cifar10_cnn_spec() -> NetworkSpec:
+    return NetworkSpec("cifar10_cnn", [
+        LayerSpec("conv", 3, 64, kernel=3, padding=1, in_size=32, pool=2),
+        LayerSpec("conv", 64, 64, kernel=3, padding=1, in_size=16, pool=2),
+        LayerSpec("conv", 64, 128, kernel=3, padding=1, in_size=8, pool=2),
+        LayerSpec("fc", 2048, 10),
+    ])
+
+
+def golden_alexnet_spec() -> NetworkSpec:
+    return NetworkSpec("alexnet", [
+        LayerSpec("conv", 3, 96, kernel=11, stride=4, in_size=227, pool=2),
+        LayerSpec("conv", 96, 256, kernel=5, padding=2, in_size=27, pool=2,
+                  groups=2),
+        LayerSpec("conv", 256, 384, kernel=3, padding=1, in_size=13),
+        LayerSpec("conv", 384, 384, kernel=3, padding=1, in_size=13,
+                  groups=2),
+        LayerSpec("conv", 384, 256, kernel=3, padding=1, in_size=13, pool=2,
+                  groups=2),
+        LayerSpec("fc", 9216, 4096),
+        LayerSpec("fc", 4096, 4096),
+        LayerSpec("fc", 4096, 1000),
+    ])
+
+
+def golden_vgg16_spec() -> NetworkSpec:
+    cfg = [
+        (3, 64, 224), (64, 64, 224, 2),
+        (64, 128, 112), (128, 128, 112, 2),
+        (128, 256, 56), (256, 256, 56), (256, 256, 56, 2),
+        (256, 512, 28), (512, 512, 28), (512, 512, 28, 2),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14, 2),
+    ]
+    layers = []
+    for entry in cfg:
+        cin, cout, size = entry[0], entry[1], entry[2]
+        pool = entry[3] if len(entry) > 3 else 1
+        layers.append(
+            LayerSpec("conv", cin, cout, kernel=3, padding=1, in_size=size,
+                      pool=pool)
+        )
+    layers += [
+        LayerSpec("fc", 25088, 4096),
+        LayerSpec("fc", 4096, 4096),
+        LayerSpec("fc", 4096, 1000),
+    ]
+    return NetworkSpec("vgg16", layers)
+
+
+def golden_resnet18_spec() -> NetworkSpec:
+    layers = [LayerSpec("conv", 3, 64, kernel=7, stride=2, padding=3,
+                        in_size=224, pool=2)]
+    stages = [(64, 64, 56, 1), (64, 128, 28, 2), (128, 256, 14, 2),
+              (256, 512, 7, 2)]
+    for cin, cout, out_size, first_stride in stages:
+        in_size = out_size * first_stride
+        layers.append(LayerSpec("conv", cin, cout, kernel=3, padding=1,
+                                stride=first_stride, in_size=in_size))
+        layers.append(LayerSpec("conv", cout, cout, kernel=3, padding=1,
+                                in_size=out_size))
+        if first_stride != 1:  # projection shortcut
+            layers.append(LayerSpec("conv", cin, cout, kernel=1,
+                                    stride=first_stride, in_size=in_size))
+        layers.append(LayerSpec("conv", cout, cout, kernel=3, padding=1,
+                                in_size=out_size))
+        layers.append(LayerSpec("conv", cout, cout, kernel=3, padding=1,
+                                in_size=out_size))
+    layers.append(LayerSpec("fc", 512, 1000))
+    return NetworkSpec("resnet18", layers)
+
+
+GOLDEN = {
+    "lenet5": golden_lenet5_spec,
+    "cifar10_cnn": golden_cifar10_cnn_spec,
+    "alexnet": golden_alexnet_spec,
+    "vgg16": golden_vgg16_spec,
+    "resnet18": golden_resnet18_spec,
+}
+
+_FIELDS = ("kind", "in_channels", "out_channels", "kernel", "stride",
+           "padding", "groups", "pool", "in_size")
+
+
+def _record(layer: LayerSpec) -> tuple:
+    return tuple(getattr(layer, f) for f in _FIELDS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+class TestSpecEquivalence:
+    def test_layer_records_identical(self, name):
+        golden = GOLDEN[name]()
+        derived = zoo.NETWORK_SPECS[name]()
+        assert derived.name == golden.name
+        assert len(derived.layers) == len(golden.layers)
+        for i, (want, got) in enumerate(zip(golden.layers, derived.layers)):
+            assert _record(got) == _record(want), f"layer {i} of {name}"
+
+    def test_aggregate_metrics_identical(self, name):
+        golden = GOLDEN[name]()
+        derived = zoo.NETWORK_SPECS[name]()
+        assert derived.total_macs == golden.total_macs
+        assert derived.total_weights == golden.total_weights
+        assert len(derived.conv_layers) == len(golden.conv_layers)
+        assert len(derived.fc_layers) == len(golden.fc_layers)
+
+    @pytest.mark.parametrize("config", [LP_CONFIG, ULP_CONFIG],
+                             ids=["lp", "ulp"])
+    def test_perfsim_cycles_and_energy_identical(self, name, config):
+        golden = simulate_network(GOLDEN[name](), config)
+        derived = simulate_network(zoo.NETWORK_SPECS[name](), config)
+        assert derived.total_cycles == golden.total_cycles
+        assert derived.compute_cycles == golden.compute_cycles
+        assert derived.energy_j == golden.energy_j
+        assert derived.dram_bytes == golden.dram_bytes
+
+
+class TestGraphAggregatesMatchSpecs:
+    """The graph's own MAC/weight accounting agrees with the lowering."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_totals(self, name):
+        graph = zoo.NETWORK_GRAPHS[name]()
+        spec = lower_to_spec(graph)
+        assert graph.total_macs == spec.total_macs
+        assert graph.total_weights == spec.total_weights

@@ -150,6 +150,29 @@ class TestFromTrained:
         with pytest.raises(ValueError):
             SCNetwork.from_trained(net, SCConfig())
 
+    def test_zero_bias_still_rejected(self, rng):
+        # A bias term left at zero is still a bias term: the ACOUSTIC
+        # datapath has no additive-constant path, so conversion must fail
+        # loudly rather than silently drop the parameter.
+        net = Sequential([Conv2d(1, 2, 3, bias=True, rng=rng)])
+        net.layers[0].bias[...] = 0.0
+        with pytest.raises(ValueError, match="bias"):
+            SCNetwork.from_trained(net, SCConfig())
+
+    def test_linear_bias_rejected(self, rng):
+        net = Sequential([Flatten(), Linear(4, 2, bias=True, rng=rng)])
+        with pytest.raises(ValueError, match="bias"):
+            SCNetwork.from_trained(net, SCConfig())
+
+    def test_from_graph_bias_rejected(self, rng):
+        from repro import ir
+        node = ir.conv(1, 2, 3, bias=True,
+                       weight=rng.uniform(-0.4, 0.4, (2, 1, 3, 3)))
+        node.params["bias"] = np.zeros(2)
+        graph = ir.NetworkGraph("biased", (1, 8, 8), [node])
+        with pytest.raises(ValueError, match="bias"):
+            SCNetwork.from_graph(graph, SCConfig())
+
     def test_unsupported_layer_rejected(self, rng):
         net = Sequential([MaxPool2d(2)])
         with pytest.raises(TypeError):
