@@ -12,6 +12,20 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so the
+    tier-1 default (``-m "not slow and not bench"``) never runs it; CI's
+    bench jobs select it back with an explicit ``-m bench``.
+
+    The hook sees the whole session's items (this conftest only scopes
+    *loading*, not the hook's view), so filter by path before marking.
+    """
+    bench_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if bench_dir in item.path.parents:
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def report():
     """Persist and echo a reproduced table/figure."""

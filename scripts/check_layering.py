@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Import-layering check for the graph IR.
+"""Import-layering check for the bottom-layer packages.
 
-``repro.ir`` is the bottom layer of the package: every subsystem
-(training, simulator, arch, runtime, networks) consumes it, so it must
-not import from any of them — a cycle there would make the IR
-un-importable in isolation and let subsystem concepts leak downward.
+``repro.ir`` and ``repro.obs`` are the bottom layers of the package:
+every subsystem (training, simulator, arch, runtime, networks) consumes
+them, so they must not import from any of those — a cycle there would
+make the bottom layers un-importable in isolation and let subsystem
+concepts leak downward.  The two bottom layers are also independent of
+each other.
 
-Walks every module under ``src/repro/ir`` with the ``ast`` module (no
-imports are executed) and fails with a non-zero exit code listing each
-violating import.  Run from the repository root:
+Walks every module under each bottom-layer root with the ``ast`` module
+(no imports are executed) and fails with a non-zero exit code listing
+each violating import.  Run from the repository root:
 
     python scripts/check_layering.py
 """
@@ -19,44 +21,56 @@ import ast
 import pathlib
 import sys
 
-#: Subsystems the IR must never import from.
-FORBIDDEN = ("training", "simulator", "arch", "runtime", "networks",
-             "analysis", "baselines", "core", "datasets")
+_SUBSYSTEMS = ("training", "simulator", "arch", "runtime", "networks",
+               "analysis", "baselines", "core", "datasets")
 
-IR_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src/repro/ir"
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src/repro"
+
+#: Bottom-layer root -> subsystems it must never import from.
+BOTTOM_LAYERS = {
+    _SRC / "ir": _SUBSYSTEMS + ("obs",),
+    _SRC / "obs": _SUBSYSTEMS + ("ir",),
+}
+
+# Historical single-root spellings, kept for check()'s callers/tests.
+FORBIDDEN = _SUBSYSTEMS
+IR_ROOT = _SRC / "ir"
 
 
-def _forbidden_target(module: str, level: int, path: pathlib.Path) -> str:
+def _forbidden_target(module: str, level: int, forbidden: tuple) -> str:
     """Return the offending subsystem name, or '' if the import is fine."""
     if level == 0:
         # Absolute import: repro.<subsystem>... is the only repro form.
         parts = module.split(".")
-        if parts[0] == "repro" and len(parts) > 1 and parts[1] in FORBIDDEN:
+        if parts[0] == "repro" and len(parts) > 1 and parts[1] in forbidden:
             return parts[1]
         return ""
-    # Relative import: level 1 stays inside repro.ir; level >= 2 reaches
-    # repro.<module> (e.g. ``from ..training import ...``).
+    # Relative import: level 1 stays inside the bottom-layer package;
+    # level >= 2 reaches repro.<module> (e.g. ``from ..training import``).
     if level >= 2 and module:
         head = module.split(".")[0]
-        if head in FORBIDDEN:
+        if head in forbidden:
             return head
     return ""
 
 
-def check(root: pathlib.Path = IR_ROOT) -> list:
+def check(root: pathlib.Path = IR_ROOT, forbidden: tuple = None) -> list:
+    if forbidden is None:
+        forbidden = BOTTOM_LAYERS.get(root, FORBIDDEN)
     violations = []
     for path in sorted(root.rglob("*.py")):
         tree = ast.parse(path.read_text(), filename=str(path))
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    bad = _forbidden_target(alias.name, 0, path)
+                    bad = _forbidden_target(alias.name, 0, forbidden)
                     if bad:
                         violations.append(
                             f"{path}:{node.lineno}: imports repro.{bad} "
                             f"(via 'import {alias.name}')")
             elif isinstance(node, ast.ImportFrom):
-                bad = _forbidden_target(node.module or "", node.level, path)
+                bad = _forbidden_target(node.module or "", node.level,
+                                        forbidden)
                 if bad:
                     dots = "." * node.level
                     violations.append(
@@ -66,13 +80,16 @@ def check(root: pathlib.Path = IR_ROOT) -> list:
 
 
 def main() -> int:
-    violations = check()
+    violations = []
+    for root, forbidden in BOTTOM_LAYERS.items():
+        violations.extend(check(root, forbidden))
     if violations:
-        print("repro.ir must not import from the subsystems above it:")
+        print("bottom layers must not import from the subsystems above:")
         for violation in violations:
             print(f"  {violation}")
         return 1
-    print("layering OK: repro.ir imports nothing from the upper layers")
+    print("layering OK: repro.ir and repro.obs import nothing from the "
+          "upper layers")
     return 0
 
 

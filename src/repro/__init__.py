@@ -11,6 +11,9 @@ Subpackages
 -----------
 ``repro.ir``
     The typed network-graph IR every subsystem consumes (bottom layer).
+``repro.obs``
+    Unified tracing/profiling: nested spans, per-kernel counters, JSON
+    and Chrome trace-event exporters (bottom layer).
 ``repro.core``
     SC primitives: split-unipolar representation, OR accumulation,
     computation-skipping pooling (the paper's contribution).
@@ -34,9 +37,9 @@ Subpackages
 __version__ = "1.0.0"
 
 from . import (analysis, arch, baselines, core, datasets, ir, networks,
-               simulator, training)
+               obs, simulator, training)
 
 __all__ = [
     "analysis", "arch", "baselines", "core", "datasets", "ir", "networks",
-    "simulator", "training", "__version__",
+    "obs", "simulator", "training", "__version__",
 ]

@@ -29,6 +29,10 @@ Commands
     Benchmark the batched inference runtime: serial uncached vs planned
     (weight-stream cache) vs planned parallel, with bit-identity
     verification and the runtime metrics snapshot.
+``profile <network> [--out trace.json] [--format chrome|json]``
+    Run a traced inference workload, write a Chrome-trace-loadable
+    artifact, and print the top-N span summary with per-IR-layer wall
+    time attribution (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -245,6 +249,19 @@ def _cmd_bench(args) -> int:
     return 0 if result.identical else 1
 
 
+def _cmd_profile(args) -> int:
+    from .runtime.profile import format_profile, run_profile
+
+    result = run_profile(
+        args.network, batch=args.batch, repeats=args.repeats,
+        backend=args.backend, workers=args.workers, shard_size=args.shard,
+        phase_length=args.phase_length, seed=args.seed, out=args.out,
+        fmt=args.format,
+    )
+    print(format_profile(result, top=args.top))
+    return 0
+
+
 def _cmd_map(args) -> int:
     spec = _spec_for(args.network)
     config = _CONFIGS[args.config]
@@ -336,6 +353,34 @@ def build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="engine kernel (default: word, or "
                                 "REPRO_SC_KERNEL)")
+
+    profile_cmd = sub.add_parser(
+        "profile", help="trace a workload and write a Chrome-loadable "
+                        "profile artifact"
+    )
+    profile_cmd.add_argument("network", choices=sorted(BENCH_NETWORKS))
+    profile_cmd.add_argument("--out", default="trace.json",
+                             help="trace artifact path (default trace.json)")
+    profile_cmd.add_argument("--format", choices=("chrome", "json"),
+                             default="chrome",
+                             help="chrome trace events (default) or the "
+                                  "nested span-tree JSON")
+    profile_cmd.add_argument("--batch", type=int, default=8)
+    profile_cmd.add_argument("--repeats", type=int, default=3)
+    profile_cmd.add_argument("--backend",
+                             choices=("serial", "thread", "process"),
+                             default="serial",
+                             help="serial (default) gives full per-layer "
+                                  "attribution; process reports shard "
+                                  "times only")
+    profile_cmd.add_argument("--workers", type=int, default=1)
+    profile_cmd.add_argument("--shard", type=int, default=None,
+                             help="samples per shard (default: "
+                                  "batch/workers)")
+    profile_cmd.add_argument("--phase-length", type=int, default=32)
+    profile_cmd.add_argument("--seed", type=int, default=0)
+    profile_cmd.add_argument("--top", type=int, default=12,
+                             help="rows in the top-span summary table")
     return parser
 
 
@@ -354,5 +399,6 @@ def main(argv=None) -> int:
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)

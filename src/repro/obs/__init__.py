@@ -1,0 +1,31 @@
+"""Unified observability: hierarchical tracing, counters, exporters.
+
+``repro.obs`` is the cross-cutting instrumentation layer the serving
+stack reports through: nested spans with thread-local context
+(:class:`Tracer`), per-span counters, the process-global per-kernel
+:class:`CounterStore`, and exporters to a JSON span tree or the Chrome
+trace-event format.  Like :mod:`repro.ir` it sits at the bottom of the
+package — it imports nothing from the other subsystems (enforced by
+``scripts/check_layering.py``), so every layer from the simulator
+kernels to the training loop can instrument itself against it.
+
+Tracing is disabled by default and the disabled path is a single
+attribute check returning the shared no-op span; enable it with
+:func:`enable`, ``REPRO_TRACE=1``, or ``RuntimeConfig(trace=True)``.
+See ``docs/observability.md`` for the span API, exporter formats, and
+the ``python -m repro profile`` walkthrough.
+"""
+
+from .export import (aggregate_spans, attributed_fraction, trace_to_chrome,
+                     trace_to_dict, walk_spans, write_trace)
+from .trace import (KERNEL_COUNTERS, NULL_SPAN, CounterStore, Span, Tracer,
+                    add_counter, current, disable, enable, enabled,
+                    kernel_section, merge_counters, reset, span, tracer)
+
+__all__ = [
+    "KERNEL_COUNTERS", "NULL_SPAN", "CounterStore", "Span", "Tracer",
+    "add_counter", "current", "disable", "enable", "enabled",
+    "kernel_section", "merge_counters", "reset", "span", "tracer",
+    "aggregate_spans", "attributed_fraction", "trace_to_chrome",
+    "trace_to_dict", "walk_spans", "write_trace",
+]

@@ -1,0 +1,151 @@
+"""Trace exporters: span-tree JSON and Chrome trace-event format.
+
+Two offline formats from one span tree:
+
+**JSON tree** (:func:`trace_to_dict`) — a nested, self-describing dump
+(name, category, start/duration in seconds relative to the tracer
+epoch, counters, children) for programmatic analysis.
+
+**Chrome trace events** (:func:`trace_to_chrome`) — the ``traceEvents``
+array format that ``chrome://tracing`` / Perfetto load directly: one
+complete ("ph": "X") event per span, microsecond timestamps, spans
+bucketed into tracks by thread id, counters in ``args``.
+
+:func:`write_trace` serializes either format to a file;
+:func:`aggregate_spans` flattens a tree back into per-name
+``(calls, seconds)`` totals (the view the runtime metrics tables use).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .trace import Span, Tracer, tracer
+
+__all__ = ["trace_to_dict", "trace_to_chrome", "write_trace",
+           "aggregate_spans", "walk_spans", "attributed_fraction"]
+
+
+def _span_dict(span: Span, epoch_s: float) -> dict:
+    return {
+        "name": span.name,
+        "category": span.category,
+        "start_s": span.start_s - epoch_s,
+        "duration_s": span.duration_s,
+        "thread": span.thread_id,
+        "counters": dict(span.counters),
+        "children": [_span_dict(c, epoch_s) for c in span.children],
+    }
+
+
+def _resolve(trace) -> tuple:
+    """``(roots, epoch_s)`` from a Tracer, span list, or None (global)."""
+    if trace is None:
+        trace = tracer()
+    if isinstance(trace, Tracer):
+        return trace.roots(), trace.epoch_s
+    roots = list(trace)
+    epoch = min((s.start_s for s in roots), default=0.0)
+    return roots, epoch
+
+
+def trace_to_dict(trace=None) -> dict:
+    """The span forest as a JSON-ready nested dict."""
+    roots, epoch_s = _resolve(trace)
+    return {
+        "format": "repro-trace-v1",
+        "spans": [_span_dict(root, epoch_s) for root in roots],
+    }
+
+
+def trace_to_chrome(trace=None) -> dict:
+    """The span forest as a Chrome ``traceEvents`` document.
+
+    Load the written file in ``chrome://tracing`` or
+    https://ui.perfetto.dev — spans appear as nested slices per thread
+    track, with counters in the slice's ``args`` pane.
+    """
+    roots, epoch_s = _resolve(trace)
+    pid = os.getpid()
+    events = []
+    for root in roots:
+        for span in walk_spans([root]):
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": (span.start_s - epoch_s) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": dict(span.counters),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path, fmt: str = "chrome", trace=None) -> None:
+    """Serialize the trace to ``path`` as ``"chrome"`` or ``"json"``."""
+    if fmt == "chrome":
+        document = trace_to_chrome(trace)
+    elif fmt == "json":
+        document = trace_to_dict(trace)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}; "
+                         "expected 'chrome' or 'json'")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+
+
+def walk_spans(roots):
+    """Yield every span of the forest, parents before children."""
+    stack = list(reversed(list(roots)))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.children))
+
+
+def aggregate_spans(trace=None, category: str = None,
+                    prefix: str = None) -> dict:
+    """Flatten a span forest to ``{name: (calls, seconds)}`` totals.
+
+    Optionally filter by span ``category`` and/or name ``prefix`` (the
+    prefix is stripped from the keys, so kernel spans aggregate under
+    the same names the flat :data:`~repro.obs.KERNEL_COUNTERS` uses).
+    """
+    roots, _ = _resolve(trace)
+    totals = {}
+    for span in walk_spans(roots):
+        if category is not None and span.category != category:
+            continue
+        name = span.name
+        if prefix is not None:
+            if not name.startswith(prefix):
+                continue
+            name = name[len(prefix):]
+        calls, seconds = totals.get(name, (0, 0.0))
+        totals[name] = (calls + 1, seconds + span.duration_s)
+    return totals
+
+
+def attributed_fraction(root: Span, category: str = "layer") -> float:
+    """Fraction of ``root``'s wall time inside ``category`` spans.
+
+    Sums the durations of the *outermost* spans of the category under
+    ``root`` (nested same-category spans, e.g. a residual body's conv
+    layers, are not double counted).
+    """
+    if root.duration_s <= 0:
+        return 0.0
+
+    def _sum(span):
+        total = 0.0
+        for child in span.children:
+            if child.category == category:
+                total += child.duration_s
+            else:
+                total += _sum(child)
+        return total
+
+    return min(1.0, _sum(root) / root.duration_s)

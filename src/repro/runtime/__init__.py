@@ -15,7 +15,10 @@ machinery a production deployment needs:
 - :class:`RuntimeMetrics` — per-stage wall time, encode-cache hit rate,
   simulated bits/sec, queue depth;
 - :class:`InferenceRuntime` — the assembled front-end, with optional
-  graceful degradation to fixed-point reference execution.
+  graceful degradation to fixed-point reference execution;
+- :func:`run_profile` — the ``python -m repro profile`` harness: a
+  traced workload, a Chrome-loadable artifact, and per-IR-layer wall
+  time attribution via :mod:`repro.obs`.
 """
 
 from .batcher import DynamicBatcher
@@ -23,6 +26,7 @@ from .bench import BENCH_NETWORKS, BenchResult, format_bench, run_bench
 from .config import RuntimeConfig
 from .metrics import MetricsSnapshot, RuntimeMetrics
 from .plan import ExecutionPlan, LayerPlan
+from .profile import ProfileResult, format_profile, run_profile
 from .runtime import InferenceRuntime
 from .workers import WorkerPool
 
@@ -32,6 +36,7 @@ __all__ = [
     "RuntimeConfig",
     "MetricsSnapshot", "RuntimeMetrics",
     "ExecutionPlan", "LayerPlan",
+    "ProfileResult", "format_profile", "run_profile",
     "InferenceRuntime",
     "WorkerPool",
 ]

@@ -21,6 +21,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from .. import obs
 from .metrics import RuntimeMetrics
 
 __all__ = ["DynamicBatcher"]
@@ -138,20 +139,25 @@ class DynamicBatcher:
 
     def _flush(self, wave) -> None:
         now = time.perf_counter()
-        if self._metrics is not None:
-            for request in wave:
-                self._metrics.add_stage_time(
-                    "queue", now - request.enqueued_at
-                )
-            self._metrics.add_counts(requests=len(wave), batches=1)
-            with self._lock:
-                depth = len(self._queue)
-            self._metrics.observe_queue_depth(depth)
-        try:
-            results = self._process([r.x for r in wave])
-        except Exception as exc:
-            for request in wave:
-                request.future.set_exception(exc)
-            return
-        for request, result in zip(wave, results):
-            request.future.set_result(result)
+        with obs.span("batch:flush", category="batch") as span:
+            span.add_counter("requests", len(wave))
+            span.add_counter("samples", sum(r.x.shape[0] for r in wave))
+            span.add_counter("queue_wait_s",
+                             sum(now - r.enqueued_at for r in wave))
+            if self._metrics is not None:
+                for request in wave:
+                    self._metrics.add_stage_time(
+                        "queue", now - request.enqueued_at
+                    )
+                self._metrics.add_counts(requests=len(wave), batches=1)
+                with self._lock:
+                    depth = len(self._queue)
+                self._metrics.observe_queue_depth(depth)
+            try:
+                results = self._process([r.x for r in wave])
+            except Exception as exc:
+                for request in wave:
+                    request.future.set_exception(exc)
+                return
+            for request, result in zip(wave, results):
+                request.future.set_result(result)

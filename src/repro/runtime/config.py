@@ -42,6 +42,12 @@ class RuntimeConfig:
         even if ``max_batch`` was not reached.
     fallback:
         One of :data:`FALLBACKS`.
+    trace:
+        Enable :mod:`repro.obs` hierarchical tracing for this process
+        when the runtime is constructed (the ``REPRO_TRACE`` environment
+        variable enables it globally instead).  Off by default: the
+        disabled fast path is a single boolean check per instrumented
+        section, so serving throughput is unaffected.
     """
 
     workers: int = 1
@@ -50,6 +56,7 @@ class RuntimeConfig:
     max_batch: int = 16
     max_wait_s: float = 0.01
     fallback: str = "none"
+    trace: bool = False
 
     def __post_init__(self):
         if self.workers < 1:

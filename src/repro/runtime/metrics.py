@@ -22,6 +22,15 @@ __all__ = ["RuntimeMetrics", "MetricsSnapshot", "StageTimer"]
 STAGES = ("plan", "queue", "dispatch", "compute", "merge", "fallback")
 
 
+def _layer_order(item):
+    """Sort ``layer:<index>:<kind>`` rows numerically by layer index."""
+    parts = item[0].split(":")
+    try:
+        return (0, int(parts[1]), item[0])
+    except (IndexError, ValueError):
+        return (1, 0, item[0])
+
+
 @dataclass(frozen=True)
 class MetricsSnapshot:
     """Immutable point-in-time view of the runtime counters.
@@ -55,6 +64,9 @@ class MetricsSnapshot:
     #: ENCODE_CACHE), distinct from the weight-stream ``cache_*``.
     act_cache_hits: int = 0
     act_cache_misses: int = 0
+    #: Per-IR-layer ``{"layer:<i>:<kind>": (calls, seconds)}`` from the
+    #: repro.obs trace tree; populated only while tracing is enabled.
+    layer_seconds: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -107,6 +119,16 @@ class MetricsSnapshot:
             format_table(["stage", "total wall [ms]"], stage_rows,
                          title="Per-stage timings"),
         ]
+        if self.layer_seconds:
+            layer_rows = [
+                (name, calls, f"{seconds * 1e3:.2f}")
+                for name, (calls, seconds)
+                in sorted(self.layer_seconds.items(), key=_layer_order)
+            ]
+            parts.append(format_table(
+                ["layer", "calls", "total wall [ms]"], layer_rows,
+                title="Per-layer timings (traced)",
+            ))
         if self.kernel_seconds:
             kernel_rows = [
                 (name, calls, f"{seconds * 1e3:.2f}")
@@ -178,14 +200,16 @@ class RuntimeMetrics:
                  extra_cache_misses: int = 0,
                  kernel_seconds: dict = None,
                  act_cache_hits: int = 0,
-                 act_cache_misses: int = 0) -> MetricsSnapshot:
+                 act_cache_misses: int = 0,
+                 layer_seconds: dict = None) -> MetricsSnapshot:
         """Freeze the counters.
 
         ``extra_cache_*`` lets the runtime fold in the live per-layer
         cache counters (thread/serial backends mutate the plan's own
         layer caches, which are not routed through ``add_counts``).
         ``kernel_seconds`` and ``act_cache_*`` carry the engine's
-        per-kernel timings and activation-encode cache counters.
+        per-kernel timings and activation-encode cache counters;
+        ``layer_seconds`` the per-IR-layer span totals when tracing.
         """
         with self._lock:
             return MetricsSnapshot(
@@ -205,6 +229,7 @@ class RuntimeMetrics:
                 kernel_seconds=dict(kernel_seconds or {}),
                 act_cache_hits=act_cache_hits,
                 act_cache_misses=act_cache_misses,
+                layer_seconds=dict(layer_seconds or {}),
             )
 
 

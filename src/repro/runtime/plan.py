@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..analysis import format_table
 from ..ir import conv_output_hw
 from ..simulator.config import SCConfig
@@ -83,12 +84,15 @@ class ExecutionPlan:
         # IR's shape inference does all compatibility validation
         # (channel counts, collapsing convs, pool tiling, residual
         # shape preservation) with exact-pool simulator semantics.
-        graph = self.network.to_graph()
-        infos = graph.infer_shapes(input_shape=self.input_shape,
-                                   exact_pool=True)
-        for index, (info, layer) in enumerate(zip(infos,
-                                                  self.network.layers)):
-            self._compile_node(info, layer, index)
+        with obs.span("plan:compile", category="plan") as span:
+            graph = self.network.to_graph()
+            infos = graph.infer_shapes(input_shape=self.input_shape,
+                                       exact_pool=True)
+            for index, (info, layer) in enumerate(zip(infos,
+                                                      self.network.layers)):
+                self._compile_node(info, layer, index)
+            span.add_counter("layers", len(self.layer_plans))
+            span.add_counter("weight_lanes", self.weight_lanes)
         self.output_shape = infos[-1].out_shape if infos \
             else self.input_shape
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..simulator.config import SCConfig
 from ..simulator.fixedpoint import FixedPointNetwork
 from ..simulator.network import SCNetwork
@@ -53,6 +54,8 @@ class InferenceRuntime:
                  sc_config: SCConfig = None, config: RuntimeConfig = None,
                  reference=None):
         self.config = config if config is not None else RuntimeConfig()
+        if self.config.trace:
+            obs.enable()
         self.metrics = RuntimeMetrics()
         with self.metrics.stage("plan"):
             self.plan = ExecutionPlan(network, input_shape, sc_config)
@@ -110,18 +113,28 @@ class InferenceRuntime:
 
         Folds in the live per-layer weight-stream cache counters
         (process-backed workers report theirs with each shard result)
-        plus the engine's per-kernel timings and activation-encode cache
-        counters.  The engine stats are process-global, so with a
-        process backend they cover only work done in this process.
+        plus the engine's per-kernel timings (the obs layer's
+        :data:`~repro.obs.KERNEL_COUNTERS` store) and activation-encode
+        cache counters.  With :mod:`repro.obs` tracing enabled, the
+        per-IR-layer span totals from the process-global trace tree are
+        folded in as well, giving :meth:`MetricsSnapshot.render` its
+        per-layer breakdown.  The engine stats are process-global, so
+        with a process backend they cover only work done in this
+        process.
         """
-        from ..simulator.engine import ENCODE_CACHE, KERNEL_STATS
+        from ..simulator.engine import ENCODE_CACHE
         hits, misses = self.plan.cache_counters()
         act_hits, act_misses = ENCODE_CACHE.counters()
-        return self.metrics.snapshot(extra_cache_hits=hits,
-                                     extra_cache_misses=misses,
-                                     kernel_seconds=KERNEL_STATS.snapshot(),
-                                     act_cache_hits=act_hits,
-                                     act_cache_misses=act_misses)
+        layer_seconds = (obs.aggregate_spans(category="layer")
+                         if obs.enabled() else None)
+        return self.metrics.snapshot(
+            extra_cache_hits=hits,
+            extra_cache_misses=misses,
+            kernel_seconds=obs.KERNEL_COUNTERS.snapshot(),
+            act_cache_hits=act_hits,
+            act_cache_misses=act_misses,
+            layer_seconds=layer_seconds,
+        )
 
     def describe(self) -> str:
         """The compiled plan's per-layer table."""

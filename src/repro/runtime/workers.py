@@ -22,6 +22,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
+from .. import obs
 from .config import RuntimeConfig
 from .metrics import RuntimeMetrics
 from .plan import ExecutionPlan
@@ -83,29 +84,33 @@ class WorkerPool:
         with), all shards are dispatched together, and per-request
         results are reassembled in order.
         """
-        with self.metrics.stage("dispatch"):
-            jobs = []  # (request_idx, shard)
-            for idx, x in enumerate(arrays):
-                x = np.asarray(x, dtype=np.float64)
-                for start in range(0, x.shape[0], self.config.shard_size):
-                    jobs.append(
-                        (idx, x[start:start + self.config.shard_size])
-                    )
-        futures = self._submit([shard for _, shard in jobs])
-        outputs = [self._collect(f, shard) for f, (_, shard)
-                   in zip(futures, jobs)]
-        with self.metrics.stage("merge"):
-            results = []
-            for idx, x in enumerate(arrays):
-                parts = [out for (i, _), out in zip(jobs, outputs)
-                         if i == idx]
-                if not parts:
-                    results.append(
-                        np.zeros((0,) + self.plan.output_shape)
-                    )
-                else:
-                    results.append(np.concatenate(parts, axis=0))
-        return results
+        with obs.span("pool:wave", category="pool") as wave:
+            with self.metrics.stage("dispatch"):
+                jobs = []  # (request_idx, shard)
+                for idx, x in enumerate(arrays):
+                    x = np.asarray(x, dtype=np.float64)
+                    for start in range(0, x.shape[0],
+                                       self.config.shard_size):
+                        jobs.append(
+                            (idx, x[start:start + self.config.shard_size])
+                        )
+            wave.add_counter("requests", len(arrays))
+            wave.add_counter("shards", len(jobs))
+            futures = self._submit([shard for _, shard in jobs])
+            outputs = [self._collect(f, shard) for f, (_, shard)
+                       in zip(futures, jobs)]
+            with self.metrics.stage("merge"):
+                results = []
+                for idx, x in enumerate(arrays):
+                    parts = [out for (i, _), out in zip(jobs, outputs)
+                             if i == idx]
+                    if not parts:
+                        results.append(
+                            np.zeros((0,) + self.plan.output_shape)
+                        )
+                    else:
+                        results.append(np.concatenate(parts, axis=0))
+            return results
 
     def close(self) -> None:
         if self._executor is not None:
@@ -122,14 +127,20 @@ class WorkerPool:
     # -- execution backends ------------------------------------------
 
     def _submit(self, shards) -> list:
-        """Dispatch shards; returns one result-thunk per shard, in order."""
+        """Dispatch shards; returns one result-thunk per shard, in order.
+
+        The current span (the wave) is captured here, on the submitting
+        thread, and handed to thread-pool shards so their
+        ``shard:compute`` spans attach under the right parent."""
         backend = self.config.backend
+        parent = obs.current()
         if backend == "serial":
             # The reference order: compute eagerly, in shard order.
-            return [_Immediate(self._run_local, shard) for shard in shards]
+            return [_Immediate(self._run_local, shard, parent)
+                    for shard in shards]
         executor = self._ensure_executor()
         if backend == "thread":
-            return [executor.submit(self._run_local, shard)
+            return [executor.submit(self._run_local, shard, parent)
                     for shard in shards]
         return [executor.submit(_run_shard_in_worker, shard)
                 for shard in shards]
@@ -147,6 +158,16 @@ class WorkerPool:
             logits, compute_s, hits, misses = result
             self.metrics.add_stage_time("compute", compute_s)
             self.metrics.add_counts(cache_hits=hits, cache_misses=misses)
+            # Spans cannot cross the process boundary; attach the
+            # worker-reported compute time as a synthetic span so the
+            # trace still attributes shard wall time (per-layer detail
+            # needs the serial or thread backend).
+            obs.tracer().record_span(
+                "shard:compute", compute_s, category="shard",
+                counters={"samples": shard.shape[0],
+                          "weight_cache_hits": hits,
+                          "weight_cache_misses": misses},
+            )
         else:
             logits = result
         self.metrics.add_counts(
@@ -155,12 +176,22 @@ class WorkerPool:
         )
         return logits
 
-    def _run_local(self, x: np.ndarray) -> np.ndarray:
+    def _run_local(self, x: np.ndarray, parent=None) -> np.ndarray:
         """Serial/thread execution against the shared plan."""
-        t0 = time.perf_counter()
-        logits = self.plan.run(x)
-        self.metrics.add_stage_time("compute", time.perf_counter() - t0)
-        return logits
+        with obs.span("shard:compute", category="shard",
+                      parent=parent) as span:
+            traced = span is not obs.NULL_SPAN
+            if traced:
+                h0, m0 = self.plan.cache_counters()
+            t0 = time.perf_counter()
+            logits = self.plan.run(x)
+            self.metrics.add_stage_time("compute", time.perf_counter() - t0)
+            span.add_counter("samples", x.shape[0])
+            if traced:
+                h1, m1 = self.plan.cache_counters()
+                span.add_counter("weight_cache_hits", h1 - h0)
+                span.add_counter("weight_cache_misses", m1 - m0)
+            return logits
 
     def _run_fallback(self, shard: np.ndarray) -> np.ndarray:
         """Degrade one failed shard to fixed-point reference execution.
@@ -169,8 +200,10 @@ class WorkerPool:
         the SC datapath: argmax-compatible, but on the reference scale
         rather than the stochastic counter scale.
         """
-        with self.metrics.stage("fallback"):
-            logits = self.reference.forward(shard)
+        with obs.span("shard:fallback", category="shard") as span:
+            span.add_counter("samples", shard.shape[0])
+            with self.metrics.stage("fallback"):
+                logits = self.reference.forward(shard)
         self.metrics.add_counts(shards=1, samples=shard.shape[0],
                                 fallbacks=1, errors=1)
         return logits

@@ -30,19 +30,23 @@ of re-running the comparator and ``np.packbits`` over every position.
 configurable working-set budget (``block_bytes``) instead of looping
 over channels one at a time in Python.
 
-Per-kernel wall time is recorded in :data:`KERNEL_STATS` and surfaced
-through the runtime metrics and ``python -m repro bench``.
+Per-kernel wall time is recorded once, in the observability layer's
+:data:`~repro.obs.KERNEL_COUNTERS` store (``KERNEL_STATS`` here is an
+alias of it), and — when tracing is enabled — as ``kernel:*`` spans in
+the :mod:`repro.obs` trace tree, timed from the identical clock
+readings.  Both are surfaced through the runtime metrics,
+``python -m repro bench``, and ``python -m repro profile``.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-import time
 from collections import OrderedDict
 
 import numpy as np
 
+from .. import obs
 from ..core.bitstream import (packed_popcount, pack_words, popcount_words,
                               words_from_bytes)
 from ..core.rng import make_source
@@ -84,51 +88,19 @@ def _resolve_kernel(kernel: str) -> str:
     return kernel
 
 
-class KernelStats:
-    """Thread-safe per-kernel call counts and cumulative wall time.
+# Per-kernel accounting lives in repro.obs: KernelStats is the generic
+# CounterStore and KERNEL_STATS the process-global instance (one per
+# worker process).  Keys are "<kernel>:<accumulator>" for the matmuls
+# (e.g. "word:or", "byte:bipolar") and "encode:*" for the encode
+# sub-stages.  Matmul timers are end-to-end, so the encode rows are a
+# *breakdown* of (not additional to) the matmul rows.  The historical
+# names are kept as aliases so existing consumers keep working.
+KernelStats = obs.CounterStore
+KERNEL_STATS = obs.KERNEL_COUNTERS
 
-    Keys are ``"<kernel>:<accumulator>"`` for the matmuls (e.g.
-    ``"word:or"``, ``"byte:bipolar"``) and ``"encode:*"`` for the
-    encode sub-stages.  Matmul timers are end-to-end, so the encode
-    rows are a *breakdown* of (not additional to) the matmul rows.
-    """
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._stats = {}
-
-    def record(self, name: str, seconds: float) -> None:
-        with self._lock:
-            calls, total = self._stats.get(name, (0, 0.0))
-            self._stats[name] = (calls + 1, total + seconds)
-
-    def snapshot(self) -> dict:
-        """``{name: (calls, seconds)}`` copy of the counters."""
-        with self._lock:
-            return dict(self._stats)
-
-    def reset(self) -> None:
-        with self._lock:
-            self._stats.clear()
-
-
-#: Process-global kernel timing accumulator (one per worker process).
-KERNEL_STATS = KernelStats()
-
-
-class _Timed:
-    __slots__ = ("_name", "_t0")
-
-    def __init__(self, name: str):
-        self._name = name
-
-    def __enter__(self):
-        self._t0 = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        KERNEL_STATS.record(self._name, time.perf_counter() - self._t0)
-        return False
+# Kernel sections record flat (calls, seconds) totals and, when tracing
+# is enabled, an identical "kernel:<name>" span in the trace tree.
+_Timed = obs.kernel_section
 
 
 def _quantize_targets(values: np.ndarray, bits: int) -> np.ndarray:
@@ -312,8 +284,15 @@ def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
     """
     lanes = values.shape[1]
     if use_cache and bits <= 8 and lanes > 0:
+        traced = obs.enabled()
+        if traced:
+            h0, m0 = ENCODE_CACHE.counters()
         table = ENCODE_CACHE.table(scheme, bits, seed, lanes, length)
-        with _Timed("encode:act"):
+        with _Timed("encode:act") as section:
+            if traced:
+                h1, m1 = ENCODE_CACHE.counters()
+                section.add_counter("encode_cache_hits", h1 - h0)
+                section.add_counter("encode_cache_misses", m1 - m0)
             targets = _quantize_targets(values, bits)
             rows = _lane_rotation(*values.shape, scale=table.shape[1]) \
                 + targets
@@ -461,7 +440,13 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
 
     args = (counts, acts, weight_streams, length, bits, scheme, seed,
             accumulator, chunk_positions)
-    with _Timed(f"{kernel}:{accumulator}"):
+    with _Timed(f"{kernel}:{accumulator}") as section:
+        section.add_counter("positions", n_pos)
+        section.add_counter("channels", n_chan)
+        # Upper bound, as in LayerPlan: operand gating skips the lanes
+        # whose weight phase component is zero.
+        section.add_counter("product_bits",
+                            2 * n_pos * n_chan * fan_in * length)
         if kernel == "word":
             _split_matmul_word(*args, block_bytes, encode_cache)
         else:
@@ -628,7 +613,10 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     # the channel dimension and pre-gate the weights once per call.
     select = _mux_select_matrix(fan_in, length, seed + 104_729)
     n_words = (length + 63) // 64
-    with _Timed(f"{kernel}:bipolar"):
+    with _Timed(f"{kernel}:bipolar") as section:
+        section.add_counter("positions", n_pos)
+        section.add_counter("channels", n_chan)
+        section.add_counter("product_bits", n_pos * n_chan * fan_in * length)
         if kernel == "word":
             select_words = _time_major(words_from_bytes(select))  # (W, K)
             w_sel = ~_time_major(words_from_bytes(w_packed)) \

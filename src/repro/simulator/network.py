@@ -16,13 +16,29 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import ir
+from .. import ir, obs
 from ..training.network import Sequential, graph_of
 from .config import SCConfig
 from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
                      SCResidual)
 
 __all__ = ["SCNetwork", "sc_graph_of"]
+
+#: Simulator layer class -> IR-layer span kind (trace span names are
+#: ``layer:<index>:<kind>``, matching the fused graph's node kinds).
+_SPAN_KINDS = {SCConv2d: "conv", SCLinear: "linear", SCReLU: "relu",
+               SCAvgPool: "avgpool", SCFlatten: "flatten",
+               SCResidual: "residual"}
+
+
+def _span_kind(layer) -> str:
+    kind = _SPAN_KINDS.get(type(layer))
+    if kind is not None:
+        return kind
+    for cls, kind in _SPAN_KINDS.items():   # subclassed simulator layers
+        if isinstance(layer, cls):
+            return kind
+    return "custom"
 
 
 class SCNetwork:
@@ -81,16 +97,37 @@ class SCNetwork:
         """Run bitstream-exact inference; ``x`` is ``(N, C, H, W)`` in
         [0, 1].  Returns the final counter values (logits); with
         ``return_intermediates=True`` also returns the per-layer outputs
-        (the converted binary activations the scratchpads would hold)."""
+        (the converted binary activations the scratchpads would hold).
+
+        With :mod:`repro.obs` tracing enabled, each layer runs inside a
+        ``layer:<index>:<kind>`` span carrying a ``samples`` counter —
+        the IR-layer attribution ``python -m repro profile`` reports.
+        Disabled, the only per-layer cost is one boolean check."""
         x = np.asarray(x, dtype=np.float64)
+        traced = obs.enabled()
+        names = self._layer_span_names() if traced else None
         intermediates = []
         for index, layer in enumerate(self.layers):
-            x = layer.forward(x, self.config, index)
+            if traced:
+                with obs.span(names[index], category="layer") as span:
+                    span.add_counter("samples", x.shape[0])
+                    x = layer.forward(x, self.config, index)
+            else:
+                x = layer.forward(x, self.config, index)
             if return_intermediates:
                 intermediates.append(x)
         if return_intermediates:
             return x, intermediates
         return x
+
+    def _layer_span_names(self) -> list:
+        """``layer:<index>:<kind>`` trace names, built once per network."""
+        names = getattr(self, "_span_names", None)
+        if names is None:
+            names = [f"layer:{i}:{_span_kind(layer)}"
+                     for i, layer in enumerate(self.layers)]
+            self._span_names = names
+        return names
 
     def predict(self, x: np.ndarray, batch_size: int = 8) -> np.ndarray:
         x = np.asarray(x)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .losses import CrossEntropyLoss
 
 __all__ = ["History", "Trainer"]
@@ -57,25 +58,29 @@ class Trainer:
         n = x.shape[0]
         for epoch in range(epochs):
             start = time.perf_counter()
-            order = self.rng.permutation(n)
-            losses = []
-            correct = 0
-            for batch_start in range(0, n, batch_size):
-                idx = order[batch_start:batch_start + batch_size]
-                xb, yb = x[idx], y[idx]
-                if augmenter is not None:
-                    xb = augmenter(xb)
-                logits = self.network.forward(xb, training=True)
-                losses.append(self.loss.forward(logits, yb))
-                correct += int((np.argmax(logits, axis=-1) == yb).sum())
-                self.network.backward(self.loss.backward())
-                self.optimizer.step()
-            history.train_loss.append(float(np.mean(losses)))
-            history.train_accuracy.append(correct / n)
-            if x_val is not None:
-                history.val_accuracy.append(
-                    self.network.accuracy(x_val, y_val)
-                )
+            with obs.span(f"train:epoch:{epoch}", category="train") as span:
+                order = self.rng.permutation(n)
+                losses = []
+                correct = 0
+                for batch_start in range(0, n, batch_size):
+                    idx = order[batch_start:batch_start + batch_size]
+                    xb, yb = x[idx], y[idx]
+                    if augmenter is not None:
+                        xb = augmenter(xb)
+                    logits = self.network.forward(xb, training=True)
+                    losses.append(self.loss.forward(logits, yb))
+                    correct += int((np.argmax(logits, axis=-1) == yb).sum())
+                    self.network.backward(self.loss.backward())
+                    self.optimizer.step()
+                span.add_counter("samples", n)
+                span.add_counter("batches",
+                                 -(-n // batch_size) if n else 0)
+                history.train_loss.append(float(np.mean(losses)))
+                history.train_accuracy.append(correct / n)
+                if x_val is not None:
+                    history.val_accuracy.append(
+                        self.network.accuracy(x_val, y_val)
+                    )
             history.epoch_seconds.append(time.perf_counter() - start)
             if scheduler is not None:
                 scheduler.step()

@@ -1,11 +1,22 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.datasets import synthetic_mnist
 from repro.networks import lenet5
 from repro.training import Adam, CrossEntropyLoss, Trainer
+
+# Hypothesis profiles.  ``ci`` derandomizes example generation (every run
+# sees the same examples, so a red CI is reproducible locally with
+# HYPOTHESIS_PROFILE=ci) and drops the per-example deadline, which flakes
+# on loaded shared runners.  ``dev`` is the library default behaviour.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", settings.get_profile("default"))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

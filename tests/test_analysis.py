@@ -8,6 +8,7 @@ from repro.analysis import (PaperComparison, accumulation_error_study,
                             representation_error_study)
 
 
+@pytest.mark.slow
 class TestRepresentationStudy:
     def test_unipolar_beats_bipolar(self):
         results = representation_error_study([64], trials=50)
@@ -31,6 +32,7 @@ class TestRepresentationStudy:
         assert rms[0] > rms[1] > rms[2]
 
 
+@pytest.mark.slow
 class TestAccumulationStudy:
     def test_or_much_better_than_mux(self):
         # Scaled-down version of the paper's 2304-wide Monte-Carlo; the

@@ -1,0 +1,172 @@
+"""Property-based tests for the repro.obs span tree and counters.
+
+Random nested open/close programs — including concurrent trees built on
+the shared tracer from several threads — must always yield well-formed
+trees: every span closed, children time-contained in their parent,
+same-thread sequential child durations summing to at most the parent's,
+and counter merges behaving as an associative, commutative monoid over
+integer counters.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import Tracer, merge_counters, walk_spans
+
+#: Recursive tree shapes: a node is a list of child shapes, depth <= 4.
+tree_shapes = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, min_size=0, max_size=4),
+    max_leaves=12,
+)
+
+counter_dicts = st.dictionaries(
+    st.sampled_from(["bits", "hits", "misses", "samples", "rows"]),
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    max_size=5,
+)
+
+
+def _build(tracer, shape, path="r"):
+    """Open/close spans following ``shape``; return the number created."""
+    count = 1
+    with tracer.span(path) as span:
+        span.add_counter("nodes", 1)
+        for index, child in enumerate(shape):
+            count += _build(tracer, child, f"{path}.{index}")
+    return count
+
+
+def _check_tree(span):
+    """Structural invariants that must hold for every completed span."""
+    assert span.start_s is not None and span.end_s is not None
+    assert span.end_s >= span.start_s
+    child_sum = 0.0
+    for child in span.children:
+        assert child.parent is span
+        # Time containment: children run inside the parent window.
+        assert child.start_s >= span.start_s - 1e-9
+        assert child.end_s <= span.end_s + 1e-9
+        child_sum += child.duration_s
+        _check_tree(child)
+    if all(c.thread_id == span.thread_id for c in span.children):
+        # Same-thread children are sequential: durations cannot overlap,
+        # so their sum is bounded by the parent duration.
+        assert child_sum <= span.duration_s + 1e-9
+
+
+class TestSpanTreeProperties:
+    @given(shape=tree_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_random_nesting_yields_well_formed_tree(self, shape):
+        tracer = Tracer(enabled=True)
+        expected = _build(tracer, shape)
+        roots = tracer.roots()
+        assert len(roots) == 1
+        assert sum(1 for _ in walk_spans(roots)) == expected
+        _check_tree(roots[0])
+        # Every span was closed: the thread-local stack is empty.
+        assert tracer.current() is None
+
+    @given(shapes=st.lists(tree_shapes, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_forest_of_sequential_roots(self, shapes):
+        tracer = Tracer(enabled=True)
+        expected = sum(_build(tracer, s, f"root{i}")
+                       for i, s in enumerate(shapes))
+        roots = tracer.roots()
+        assert [r.name for r in roots] == [
+            f"root{i}" for i in range(len(shapes))]
+        assert sum(1 for _ in walk_spans(roots)) == expected
+        for root in roots:
+            _check_tree(root)
+
+    @given(shapes=st.lists(tree_shapes, min_size=2, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_concurrent_threads_share_one_tracer(self, shapes):
+        """Each thread builds its own root on the shared tracer; the
+        trees never entangle because the open-span stack is
+        thread-local."""
+        tracer = Tracer(enabled=True)
+        counts = {}
+        errors = []
+
+        def worker(index, shape):
+            try:
+                counts[index] = _build(tracer, shape, f"t{index}")
+            except Exception as exc:   # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i, s))
+                   for i, s in enumerate(shapes)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = tracer.roots()
+        assert sorted(r.name for r in roots) == sorted(
+            f"t{i}" for i in range(len(shapes)))
+        for root in roots:
+            _check_tree(root)
+            index = int(root.name[1:])
+            assert sum(1 for _ in walk_spans([root])) == counts[index]
+            # A whole tree lives on the thread that built it.
+            assert all(s.thread_id == root.thread_id
+                       for s in walk_spans([root]))
+
+    @given(shape=tree_shapes, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_counts_every_span_once(self, shape, data):
+        tracer = Tracer(enabled=True)
+        expected = _build(tracer, shape)
+        totals = obs.aggregate_spans(tracer)
+        assert sum(calls for calls, _ in totals.values()) == expected
+        total_seconds = sum(seconds for _, seconds in totals.values())
+        all_seconds = sum(s.duration_s for s in walk_spans(tracer.roots()))
+        assert total_seconds == pytest.approx(all_seconds)
+
+
+class TestCounterMergeProperties:
+    @given(a=counter_dicts, b=counter_dicts, c=counter_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_associative_over_integers(self, a, b, c):
+        left = merge_counters(merge_counters(a, b), c)
+        right = merge_counters(a, merge_counters(b, c))
+        assert left == right
+
+    @given(a=counter_dicts, b=counter_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutative_over_integers(self, a, b):
+        assert merge_counters(a, b) == merge_counters(b, a)
+
+    @given(a=counter_dicts)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_is_identity(self, a):
+        assert merge_counters(a, {}) == a
+        assert merge_counters({}, a) == a
+
+    @given(values=st.lists(
+        st.tuples(st.sampled_from(["k1", "k2"]),
+                  st.floats(min_value=0.0, max_value=10.0,
+                            allow_nan=False)),
+        max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_counter_store_totals_match_sums(self, values):
+        store = obs.CounterStore()
+        for name, value in values:
+            store.record(name, value)
+        snap = store.snapshot()
+        for name in ("k1", "k2"):
+            recorded = [v for n, v in values if n == name]
+            if not recorded:
+                assert name not in snap
+                continue
+            calls, total = snap[name]
+            assert calls == len(recorded)
+            assert total == pytest.approx(np.sum(recorded), abs=1e-12)

@@ -5,6 +5,9 @@ import pytest
 
 from repro.simulator import SCConfig, SCNetwork
 
+#: Statistical sweeps over a trained network — minutes, not seconds.
+pytestmark = pytest.mark.slow
+
 
 class TestSeedRobustness:
     def test_sc_accuracy_stable_across_stream_seeds(self, trained_lenet):
