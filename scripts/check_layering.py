@@ -8,6 +8,16 @@ make the bottom layers un-importable in isolation and let subsystem
 concepts leak downward.  The two bottom layers are also independent of
 each other.
 
+One sanctioned exception: ``repro.ir.passes`` (the lowering pipeline)
+may import ``repro.obs`` for its per-pass tracing spans — it is listed
+in :data:`EXCEPTIONS` and nothing else gets a waiver.
+
+The check also scans the whole package for re-imports of the retired
+private lowering helpers (:data:`DEPRECATED_LOWERING_HELPERS`): the
+conv+pool fusion decision lives only in ``repro.ir.passes`` now, and no
+subsystem may route around the pipeline by importing the deprecated
+shims.
+
 Walks every module under each bottom-layer root with the ``ast`` module
 (no imports are executed) and fails with a non-zero exit code listing
 each violating import.  Run from the repository root:
@@ -30,6 +40,19 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src/repro"
 BOTTOM_LAYERS = {
     _SRC / "ir": _SUBSYSTEMS + ("obs",),
     _SRC / "obs": _SUBSYSTEMS + ("ir",),
+}
+
+#: Per-file waivers: module path -> names dropped from its forbidden
+#: set.  The pass pipeline may use repro.obs for per-pass spans.
+EXCEPTIONS = {
+    _SRC / "ir" / "passes.py": ("obs",),
+}
+
+#: Retired private lowering entry points: kept as deprecation shims in
+#: their home module, but no other module may import them — all
+#: lowering goes through repro.ir.passes.
+DEPRECATED_LOWERING_HELPERS = {
+    "_lower_nodes": _SRC / "simulator" / "network.py",
 }
 
 # Historical single-root spellings, kept for check()'s callers/tests.
@@ -59,23 +82,44 @@ def check(root: pathlib.Path = IR_ROOT, forbidden: tuple = None) -> list:
         forbidden = BOTTOM_LAYERS.get(root, FORBIDDEN)
     violations = []
     for path in sorted(root.rglob("*.py")):
+        allowed = EXCEPTIONS.get(path, ())
+        effective = tuple(n for n in forbidden if n not in allowed)
         tree = ast.parse(path.read_text(), filename=str(path))
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    bad = _forbidden_target(alias.name, 0, forbidden)
+                    bad = _forbidden_target(alias.name, 0, effective)
                     if bad:
                         violations.append(
                             f"{path}:{node.lineno}: imports repro.{bad} "
                             f"(via 'import {alias.name}')")
             elif isinstance(node, ast.ImportFrom):
                 bad = _forbidden_target(node.module or "", node.level,
-                                        forbidden)
+                                        effective)
                 if bad:
                     dots = "." * node.level
                     violations.append(
                         f"{path}:{node.lineno}: imports repro.{bad} "
                         f"(via 'from {dots}{node.module or ''} import ...')")
+    return violations
+
+
+def check_deprecated_helpers(root: pathlib.Path = _SRC) -> list:
+    """Flag imports of retired lowering helpers outside their home
+    module (where only the deprecation shim itself may live)."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            for alias in node.names:
+                home = DEPRECATED_LOWERING_HELPERS.get(alias.name)
+                if home is not None and path != home:
+                    violations.append(
+                        f"{path}:{node.lineno}: imports deprecated "
+                        f"lowering helper {alias.name!r} — lower through "
+                        "repro.ir.passes instead")
     return violations
 
 
@@ -88,8 +132,15 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}")
         return 1
+    deprecated = check_deprecated_helpers()
+    if deprecated:
+        print("deprecated lowering helpers must not be re-imported:")
+        for violation in deprecated:
+            print(f"  {violation}")
+        return 1
     print("layering OK: repro.ir and repro.obs import nothing from the "
-          "upper layers")
+          "upper layers (sole waiver: repro.ir.passes -> repro.obs), and "
+          "no module re-imports the deprecated lowering helpers")
     return 0
 
 

@@ -15,9 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..ir.passes import fusion_groups
 from ..simulator.config import SCConfig
 from ..simulator.network import SCNetwork
-from ..training.network import Sequential
+from ..training.network import Sequential, graph_of
 
 __all__ = ["LayerSnr", "layer_snr_profile"]
 
@@ -57,28 +58,22 @@ def layer_snr_profile(network: Sequential, x: np.ndarray,
     sc_net = SCNetwork.from_trained(network, config)
 
     # Build the float reference activations at SC-layer granularity.
-    # SC layers fuse conv+pool, so walk the float net and collapse the
-    # same pairs.
+    # SC layers fuse conv+pool; the canonical pass pipeline owns that
+    # decision, so ask it which source-layer ranges each fused SC-level
+    # node (sc_net.graph) covers instead of re-deriving the collapse.
+    groups = fusion_groups(graph_of(network).nodes)
+    if len(groups) != len(sc_net.layers):
+        raise ValueError(
+            "float/SC stage mismatch: the fused SC graph has "
+            f"{len(sc_net.layers)} layers but the fusion grouping of the "
+            f"trained model yields {len(groups)} stages"
+        )
     float_inputs = []
     current = np.asarray(x, dtype=np.float64)
-    from ..training import layers as tlayers
-    i = 0
-    source = list(network.layers)
-    while i < len(source):
+    for start, stop in groups:
         float_inputs.append(current)
-        layer = source[i]
-        current = layer.forward(current, training=False)
-        if (isinstance(layer, (tlayers.SplitOrConv2d, tlayers.Conv2d))
-                and i + 1 < len(source)
-                and isinstance(source[i + 1], tlayers.AvgPool2d)):
-            current = source[i + 1].forward(current, training=False)
-            i += 1
-        i += 1
-
-    if len(float_inputs) != len(sc_net.layers):
-        raise ValueError(
-            "float/SC layer walk mismatch — unsupported network structure"
-        )
+        for layer in network.layers[start:stop]:
+            current = layer.forward(current, training=False)
 
     profile = []
     reference = np.asarray(x, dtype=np.float64)

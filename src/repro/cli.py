@@ -9,6 +9,10 @@ Commands
 ``describe <network|checkpoint.npz> [--input-shape C,H,W]``
     Print the graph-IR table (per-layer shapes, fan-in, MACs, weight
     lanes, phase length) for a zoo network or a saved checkpoint.
+``lower <network|checkpoint.npz> [--dump-after PASS] [--exact-pool]``
+    Run the canonical IR pass pipeline (normalize, shape legalization,
+    conv+pool fusion, stream-parameter assignment) and print the layer
+    table before lowering and after the final (or each requested) pass.
 ``perf <network> [--config lp|ulp] [--batch N] [--conv-only]``
     Run the performance simulator on one network.
 ``fig4``
@@ -99,33 +103,72 @@ def _cmd_specs(args) -> int:
     return 0
 
 
-def _cmd_describe(args) -> int:
-    from . import ir
-
-    if args.network in NETWORK_GRAPHS:
-        graph = NETWORK_GRAPHS[args.network]()
+def _resolve_graph(name: str, input_shape: str = None):
+    """Zoo name or checkpoint path -> shaped NetworkGraph, or None
+    (with a message printed) when it cannot be resolved."""
+    if name in NETWORK_GRAPHS:
+        graph = NETWORK_GRAPHS[name]()
     else:
         import pathlib
 
-        path = pathlib.Path(args.network)
+        path = pathlib.Path(name)
         if not (path.exists() or path.with_suffix(".npz").exists()):
-            print(f"unknown network {args.network!r}: not a zoo graph "
+            print(f"unknown network {name!r}: not a zoo graph "
                   f"({', '.join(sorted(NETWORK_GRAPHS))}) "
                   "or a checkpoint path")
-            return 1
+            return None
         from .training.checkpoint import load_checkpoint_model
 
         network, _ = load_checkpoint_model(path)
         graph = network.graph
-    if args.input_shape:
-        graph.input_shape = tuple(
-            int(d) for d in args.input_shape.split(","))
+    if input_shape:
+        graph.input_shape = tuple(int(d) for d in input_shape.split(","))
     if graph.input_shape is None:
         print(f"graph {graph.name!r} has no input shape; "
               "pass --input-shape C,H,W")
+        return None
+    return graph
+
+
+def _cmd_describe(args) -> int:
+    from . import ir
+
+    graph = _resolve_graph(args.network, args.input_shape)
+    if graph is None:
         return 1
     print(format_table(ir.DESCRIBE_HEADERS, ir.describe_rows(graph),
                        title=ir.describe_title(graph)))
+    return 0
+
+
+def _cmd_lower(args) -> int:
+    from . import ir
+
+    graph = _resolve_graph(args.network, args.input_shape)
+    if graph is None:
+        return 1
+    known = ir.pass_names()
+    requested = args.dump_after or []
+    unknown = [name for name in requested if name not in known]
+    if unknown:
+        print(f"unknown pass(es): {', '.join(unknown)} — "
+              f"registered passes: {', '.join(known)}")
+        return 1
+    snapshots = []
+    ir.passes.lower(graph, exact_pool=args.exact_pool,
+                    observer=lambda name, g: snapshots.append((name, g)))
+    print(format_table(
+        ir.DESCRIBE_HEADERS, ir.describe_rows(graph),
+        title=f"{ir.describe_title(graph)} — before lowering"))
+    # Default: the pipeline's final artifact; --dump-after adds the
+    # intermediate graphs for debugging individual passes.
+    selected = set(requested) if requested else {snapshots[-1][0]}
+    for name, g in snapshots:
+        if name in selected:
+            print()
+            print(format_table(
+                ir.DESCRIBE_HEADERS, ir.describe_rows(g),
+                title=f"{g.name} — after pass {name!r}"))
     return 0
 
 
@@ -300,6 +343,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override/input shape as C,H,W (needed for "
                                "checkpoints of shape-less models)")
 
+    lower_cmd = sub.add_parser(
+        "lower", help="run the IR pass pipeline and print before/after "
+                      "layer tables")
+    lower_cmd.add_argument("network",
+                           help="zoo graph name or checkpoint .npz path")
+    lower_cmd.add_argument("--input-shape", default=None,
+                           help="override/input shape as C,H,W (needed for "
+                                "checkpoints of shape-less models)")
+    lower_cmd.add_argument("--dump-after", action="append", default=None,
+                           metavar="PASS",
+                           help="also print the graph after the named pass "
+                                "(repeatable; default: final graph only)")
+    lower_cmd.add_argument("--exact-pool", action="store_true",
+                           help="legalize with exact-pool simulator "
+                                "semantics (pool windows must tile) instead "
+                                "of the performance models' floor semantics")
+
     perf = sub.add_parser("perf", help="performance-simulate a network")
     perf.add_argument("network", choices=_ARCH_NETWORKS)
     perf.add_argument("--config", choices=("lp", "ulp"), default="lp")
@@ -390,6 +450,7 @@ def main(argv=None) -> int:
         "info": _cmd_info,
         "specs": _cmd_specs,
         "describe": _cmd_describe,
+        "lower": _cmd_lower,
         "perf": _cmd_perf,
         "fig4": _cmd_fig4,
         "breakdown": _cmd_breakdown,

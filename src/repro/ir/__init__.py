@@ -7,15 +7,25 @@ modelling (``repro.arch`` lowers via :func:`lower_to_spec`), the
 serving runtime (``ExecutionPlan`` walks it), and self-describing
 checkpoints (the graph serializes next to the parameters).
 
+Network *transformations* live in :mod:`repro.ir.passes`: the
+:class:`~repro.ir.passes.PassManager` pipeline (normalize, shape
+legalization, conv+pool fusion, stream-parameter assignment) is the one
+canonical lowering path every consumer above runs.
+
 Layering rule: this package sits at the bottom of the dependency
 stack — it must not import from ``repro.training``, ``repro.simulator``,
 ``repro.arch`` or ``repro.runtime`` (``scripts/check_layering.py``
-fails CI on violations).
+fails CI on violations; ``repro.ir.passes`` alone may additionally
+import ``repro.obs`` for per-pass spans).
 """
 
+from . import passes
 from .graph import (KINDS, LayerNode, NetworkGraph, ShapeInfo, avgpool,
                     conv, conv_output_hw, dropout, flatten, linear, maxpool,
                     relu, residual)
+from .passes import (DEFAULT_PASSES, LEGALIZE_PASSES, LoweringResult,
+                     PassContext, PassError, PassManager, fusion_groups,
+                     lower, pass_names, register_pass)
 from .spec import LayerSpec, NetworkSpec, as_spec, lower_to_spec
 from .summary import DESCRIBE_HEADERS, describe_rows, describe_title
 
@@ -23,6 +33,9 @@ __all__ = [
     "KINDS", "LayerNode", "NetworkGraph", "ShapeInfo",
     "avgpool", "conv", "conv_output_hw", "dropout", "flatten", "linear",
     "maxpool", "relu", "residual",
+    "passes", "DEFAULT_PASSES", "LEGALIZE_PASSES", "LoweringResult",
+    "PassContext", "PassError", "PassManager", "fusion_groups", "lower",
+    "pass_names", "register_pass",
     "LayerSpec", "NetworkSpec", "as_spec", "lower_to_spec",
     "DESCRIBE_HEADERS", "describe_rows", "describe_title",
 ]

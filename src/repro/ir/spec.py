@@ -14,21 +14,29 @@ hold a :class:`NetworkGraph` and let the ``arch`` entry points lower it
 
 Lowering rules (matching the hardware's cost structure):
 
-- ``conv`` nodes become ``LayerSpec("conv", ...)``; an immediately
-  following ``pool`` node is fused into the spec's ``pool`` field (the
-  output counters accumulate the window — computation skipping);
+- the graph first runs the canonical :mod:`repro.ir.passes` pipeline
+  (floor-pooling semantics), which fuses an average pool immediately
+  following a conv into the conv's ``pool`` field (the output counters
+  accumulate the window — computation skipping);
+- fused ``conv`` nodes become ``LayerSpec("conv", ...)``;
 - ``linear`` nodes become ``LayerSpec("fc", ...)``;
 - ``relu``/``flatten``/``dropout`` and unfused pools cost nothing and
   only affect shapes;
 - ``residual`` nodes flatten to body specs then projection-shortcut
   specs (the skip addition is a fixed-point add on counter outputs and
   is negligible, Sec. III-C).
+
+This module performs **no fusion of its own** — spec emission is the
+final pass-pipeline consumer, so the performance models
+(``repro.arch``, ``repro.baselines``) cost exactly the graph the SC
+simulator executes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from . import passes
 from .graph import NetworkGraph
 
 __all__ = ["LayerSpec", "NetworkSpec", "lower_to_spec", "as_spec"]
@@ -114,14 +122,20 @@ class NetworkSpec:
 def lower_to_spec(graph: NetworkGraph, name: str = None) -> NetworkSpec:
     """Lower a graph to the performance-model spec table.
 
-    Shapes come from the graph's centralized inference (ragged pooling
-    windows floor, matching the published ImageNet tables); the MAC
-    engine only sees conv/fc work, so every other node kind is folded
-    into shapes or dropped.
+    Runs the canonical :mod:`repro.ir.passes` pipeline with
+    floor-pooling semantics (ragged windows floor, matching the
+    published ImageNet tables), then emits one spec per MAC node of the
+    fused graph; every other node kind is folded into shapes or dropped.
     """
-    infos = graph.infer_shapes(exact_pool=False)
+    result = passes.lower(graph, exact_pool=False)
+    fused = result.graph
+    infos = result.infos
+    if infos is None:
+        # No input shape: let the centralized inference raise its
+        # canonical error.
+        infos = fused.infer_shapes(exact_pool=False)
     layers = []
-    _emit(graph.nodes, infos, layers)
+    _emit(fused.nodes, infos, layers)
     return NetworkSpec(name if name is not None else graph.name, layers)
 
 
@@ -135,23 +149,17 @@ def as_spec(network) -> NetworkSpec:
 
 
 def _emit(nodes, infos, out) -> None:
-    i = 0
-    while i < len(nodes):
-        node, info = nodes[i], infos[i]
+    """Emit specs from an already-fused graph (no fusion logic here —
+    conv nodes carry their pool window; see ``repro.ir.passes``)."""
+    for node, info in zip(nodes, infos):
         if node.kind == "conv":
-            pool = node.pool
-            if pool == 1 and i + 1 < len(nodes) \
-                    and nodes[i + 1].kind == "pool":
-                pool = nodes[i + 1].kernel_hw[0]
-                i += 1
-            out.append(_conv_spec(node, info, pool))
+            out.append(_conv_spec(node, info, node.pool))
         elif node.kind == "linear":
             out.append(LayerSpec("fc", node.in_features, node.out_features))
         elif node.kind == "residual":
             _emit(node.body, info.body, out)
             _emit(node.shortcut, info.shortcut, out)
         # pool / relu / flatten / dropout: shape-only, no MAC cost
-        i += 1
 
 
 def _conv_spec(node, info, pool) -> LayerSpec:

@@ -22,6 +22,7 @@ import numpy as np
 from .. import obs
 from ..analysis import format_table
 from ..ir import conv_output_hw
+from ..ir.passes import LEGALIZE_PASSES, lower
 from ..simulator.config import SCConfig
 from ..simulator.engine import default_kernel
 from ..simulator.layers import SCConv2d, SCResidual
@@ -80,14 +81,16 @@ class ExecutionPlan:
         self.kernel = config.kernel if config.kernel else default_kernel()
         self.input_shape = tuple(int(d) for d in input_shape)
         self.layer_plans = []
-        # The fused SC-level graph is 1:1 with the simulator layers; the
-        # IR's shape inference does all compatibility validation
-        # (channel counts, collapsing convs, pool tiling, residual
-        # shape preservation) with exact-pool simulator semantics.
+        # The fused SC-level graph is 1:1 with the simulator layers, so
+        # the plan runs only the legalization subset of the pass
+        # pipeline (normalize + shape inference with exact-pool
+        # simulator semantics): fusion already happened in
+        # SCNetwork.from_graph and must not regroup nodes here — the
+        # plan rows have to stay aligned with the layers forward() runs.
         with obs.span("plan:compile", category="plan") as span:
-            graph = self.network.to_graph()
-            infos = graph.infer_shapes(input_shape=self.input_shape,
-                                       exact_pool=True)
+            result = lower(self.network.to_graph(), passes=LEGALIZE_PASSES,
+                           exact_pool=True, input_shape=self.input_shape)
+            infos = result.infos
             for index, (info, layer) in enumerate(zip(infos,
                                                       self.network.layers)):
                 self._compile_node(info, layer, index)

@@ -1,10 +1,13 @@
 """SC network container and lowering from the graph IR.
 
 :meth:`SCNetwork.from_graph` lowers a :class:`~repro.ir.NetworkGraph`
-(with parameters) to simulator layers, fusing conv + avg-pool pairs for
-computation skipping.  :meth:`SCNetwork.from_trained` is a thin adapter:
-it captures the trained model's graph via
-:func:`repro.training.network.graph_of` and lowers that.
+(with parameters) to simulator layers by running the canonical
+:mod:`repro.ir.passes` pipeline (exact-pool semantics) and materializing
+one SC layer per node of the resulting fused graph — conv + avg-pool
+fusion for computation skipping happens in the pipeline, not here.
+:meth:`SCNetwork.from_trained` is a thin adapter: it captures the
+trained model's graph via :func:`repro.training.network.graph_of` and
+lowers that.
 
 The network keeps the *fused* SC-level graph (one node per SC layer) on
 ``self.graph``; the runtime's :class:`~repro.runtime.plan.ExecutionPlan`
@@ -13,6 +16,8 @@ metadata.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -62,16 +67,18 @@ class SCNetwork:
     def from_graph(cls, graph, config: SCConfig = None) -> "SCNetwork":
         """Lower an IR graph to its SC-simulated counterpart.
 
-        Conv/linear nodes must carry a ``weight`` parameter and be
-        bias-free — the ACOUSTIC datapath has no additive-constant
-        path, so a biased layer raises :class:`ValueError` outright.
-        An avg-pool node directly after a conv is fused into it for
-        computation skipping.
+        Runs the :mod:`repro.ir.passes` pipeline with exact-pool
+        (simulator) semantics — an avg-pool node directly after a conv
+        is fused into it for computation skipping, and graphs with a
+        known input shape are shape-legalized up front — then builds
+        one SC layer per fused node.  Conv/linear nodes must carry a
+        ``weight`` parameter and be bias-free: the ACOUSTIC datapath
+        has no additive-constant path, so a biased layer raises
+        :class:`ValueError` outright.
         """
         config = config if config is not None else SCConfig()
-        layers, fused_nodes = _lower_nodes(graph.nodes)
-        fused = ir.NetworkGraph(graph.name, graph.input_shape, fused_nodes)
-        return cls(layers, config, graph=fused)
+        fused = ir.passes.lower(graph, exact_pool=True).graph
+        return cls(_layers_from_fused(fused.nodes), config, graph=fused)
 
     @classmethod
     def from_trained(cls, network: Sequential, config: SCConfig = None
@@ -169,69 +176,68 @@ def _node_weight(node, what: str) -> np.ndarray:
     return weight
 
 
-def _lower_nodes(source) -> tuple:
-    """Map IR nodes to SC layers, fusing conv + avg-pool pairs.
+def _layers_from_fused(nodes) -> list:
+    """One SC layer per node of a pipeline-fused graph.
 
-    Returns ``(sc_layers, fused_nodes)`` with the two lists aligned
-    1:1 (the fused node list is the SC-level graph).
+    No fusion happens here: conv nodes already carry their pooling
+    window in ``pool`` (see :mod:`repro.ir.passes`), so the mapping is
+    a straight 1:1 walk enforcing the simulator's legality rules
+    (weights present, bias-free, no grouped convs, identity skips).
     """
     sc_layers = []
-    fused_nodes = []
-    i = 0
-    while i < len(source):
-        node = source[i]
+    for node in nodes:
         if node.kind == "conv":
             _reject_bias(node, "conv")
-            weight = _node_weight(node, "conv")
-            pool_size = node.pool
-            # Fuse an immediately following average pool (the hardware
-            # counter accumulates the window before conversion).
-            if pool_size == 1 and i + 1 < len(source) \
-                    and source[i + 1].kind == "pool" \
-                    and source[i + 1].pool_kind == "avg":
-                pool_size = source[i + 1].kernel_hw[0]
-                i += 1
+            if node.groups != 1:
+                raise TypeError(
+                    "grouped convolutions exist only in the performance "
+                    "models; the SC simulator cannot lower them"
+                )
             sc_layers.append(
-                SCConv2d(weight, stride=node.stride, padding=node.padding,
-                         pool_size=pool_size)
+                SCConv2d(_node_weight(node, "conv"), stride=node.stride,
+                         padding=node.padding, pool_size=node.pool)
             )
-            fused_nodes.append(ir.conv(
-                node.in_channels, node.out_channels, node.kernel,
-                stride=node.stride, padding=node.padding, pool=pool_size,
-                or_mode=node.or_mode, stream_length=node.stream_length,
-                weight=weight))
         elif node.kind == "linear":
             _reject_bias(node, "linear")
-            weight = _node_weight(node, "linear")
-            sc_layers.append(SCLinear(weight))
-            fused_nodes.append(ir.linear(
-                node.in_features, node.out_features, or_mode=node.or_mode,
-                stream_length=node.stream_length, weight=weight))
+            sc_layers.append(SCLinear(_node_weight(node, "linear")))
         elif node.kind == "relu":
             sc_layers.append(SCReLU())
-            fused_nodes.append(ir.relu())
         elif node.kind == "pool" and node.pool_kind == "avg":
             sc_layers.append(SCAvgPool(node.kernel_hw[0]))
-            fused_nodes.append(ir.avgpool(node.kernel_hw[0]))
         elif node.kind == "flatten":
             sc_layers.append(SCFlatten())
-            fused_nodes.append(ir.flatten())
         elif node.kind == "residual":
             if node.shortcut:
                 raise TypeError(
                     "projection shortcuts exist only in the performance "
                     "models; the SC simulator supports identity skips only"
                 )
-            body_layers, body_nodes = _lower_nodes(node.body)
-            sc_layers.append(SCResidual(body_layers))
-            fused_nodes.append(ir.residual(body_nodes))
+            sc_layers.append(SCResidual(_layers_from_fused(node.body)))
         else:
             raise TypeError(
                 f"no SC equivalent for {node.pool_kind + ' ' if node.kind == 'pool' else ''}"
                 f"{node.kind} layers"
             )
-        i += 1
-    return sc_layers, fused_nodes
+    return sc_layers
+
+
+def _lower_nodes(source) -> tuple:
+    """Deprecated pre-pipeline entry point.
+
+    Kept for external scripts that called the historical fusing walk
+    directly; the fusion now happens in :mod:`repro.ir.passes` and this
+    shim merely runs the pipeline.  Returns ``(sc_layers, fused_nodes)``
+    with the two lists aligned 1:1, exactly as before.
+    """
+    warnings.warn(
+        "repro.simulator.network._lower_nodes is deprecated: lowering "
+        "now runs through the repro.ir.passes pipeline — use "
+        "SCNetwork.from_graph (or ir.passes.lower) instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    fused = ir.passes.lower(
+        ir.NetworkGraph("legacy_lowering", None, list(source))).graph
+    return _layers_from_fused(fused.nodes), fused.nodes
 
 
 def _nodes_from_sc_layers(layers) -> list:

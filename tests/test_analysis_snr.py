@@ -53,3 +53,16 @@ class TestLayerSnrProfile:
         record = LayerSnr(index=0, layer_type="t", signal_rms=1.0,
                           noise_rms=0.1)
         assert record.snr_db == pytest.approx(10.0)
+
+    def test_stage_list_matches_fused_graph_node_kinds(self, profile):
+        # Regression for the private fused-stage walk the profiler used
+        # to carry: the stage list must correspond 1:1 to the node kinds
+        # of the canonical fused SC graph the pipeline produces.
+        from repro.simulator.network import SCNetwork
+
+        sc_net = SCNetwork.from_trained(lenet5(or_mode="approx", seed=1))
+        kind_to_type = {"conv": "SCConv2d", "linear": "SCLinear",
+                        "relu": "SCReLU", "pool": "SCAvgPool",
+                        "flatten": "SCFlatten", "residual": "SCResidual"}
+        assert [p.layer_type for p in profile] == \
+            [kind_to_type[node.kind] for node in sc_net.graph.nodes]

@@ -190,3 +190,44 @@ class TestDescribeCommand:
     def test_unknown_name_fails(self, capsys):
         assert main(["describe", "googlenet"]) == 1
         assert "googlenet" in capsys.readouterr().out
+
+
+class TestLowerCommand:
+    def test_before_and_after_tables(self, capsys):
+        assert main(["lower", "lenet5"]) == 0
+        out = capsys.readouterr().out
+        assert "before lowering" in out
+        assert "after pass 'assign_stream_params'" in out
+        # Fusion absorbed the standalone pools into the convs.
+        before, after = out.split("after pass")
+        assert "pool" in before
+        assert "pool" not in after
+
+    def test_dump_after_selects_passes(self, capsys):
+        assert main(["lower", "lenet5", "--dump-after", "normalize",
+                     "--dump-after", "fuse_conv_pool"]) == 0
+        out = capsys.readouterr().out
+        assert "after pass 'normalize'" in out
+        assert "after pass 'fuse_conv_pool'" in out
+        assert "after pass 'assign_stream_params'" not in out
+
+    def test_unknown_pass_fails(self, capsys):
+        assert main(["lower", "lenet5", "--dump-after", "nope"]) == 1
+        out = capsys.readouterr().out
+        assert "nope" in out
+        assert "fuse_conv_pool" in out   # lists the registered passes
+
+    def test_exact_pool_flag(self, capsys):
+        assert main(["lower", "lenet5", "--exact-pool"]) == 0
+        assert "before lowering" in capsys.readouterr().out
+
+    def test_checkpoint_path(self, tmp_path, capsys):
+        net = lenet5(seed=0)
+        path = tmp_path / "model.npz"
+        save_checkpoint(net, path)
+        assert main(["lower", str(path)]) == 0
+        assert "after pass" in capsys.readouterr().out
+
+    def test_unknown_name_fails(self, capsys):
+        assert main(["lower", "googlenet"]) == 1
+        assert "googlenet" in capsys.readouterr().out

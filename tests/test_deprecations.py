@@ -1,0 +1,67 @@
+"""The pre-pipeline lowering entry points survive as warning shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.simulator.layers import SCConv2d, SCLinear
+from repro.simulator.network import SCNetwork, _lower_nodes
+
+
+def _source_nodes():
+    rng = np.random.default_rng(0)
+    return [
+        ir.conv(1, 2, 3, weight=rng.uniform(-1, 1, (2, 1, 3, 3))),
+        ir.avgpool(2),
+        ir.relu(),
+        ir.flatten(),
+        ir.linear(2 * 3 * 3, 4, weight=rng.uniform(-1, 1, (4, 18))),
+    ]
+
+
+class TestLowerNodesShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.ir.passes pipeline"):
+            _lower_nodes(_source_nodes())
+
+    def test_result_matches_from_graph(self):
+        # The shim must keep producing exactly what the pipeline-backed
+        # SCNetwork.from_graph builds: same fused layer stack, same
+        # fused node list, weights shared by reference.
+        nodes = _source_nodes()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sc_layers, fused_nodes = _lower_nodes(nodes)
+        net = SCNetwork.from_graph(ir.NetworkGraph("g", None, list(nodes)))
+        assert len(sc_layers) == len(fused_nodes) == len(net.layers)
+        assert [type(l) for l in sc_layers] == \
+            [type(l) for l in net.layers]
+        assert isinstance(sc_layers[0], SCConv2d)
+        assert sc_layers[0].pool_size == 2      # conv+avgpool fused
+        assert sc_layers[0].weight is nodes[0].params["weight"]
+        assert isinstance(sc_layers[-1], SCLinear)
+        assert [n.kind for n in fused_nodes] == \
+            [n.kind for n in net.graph.nodes]
+
+    def test_module_import_does_not_warn(self):
+        # Importing the module (as every consumer does) must stay
+        # silent; only calling the shim warns.  A fresh interpreter so
+        # the import actually executes.
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro.simulator.network"],
+            capture_output=True, text=True, env=env,
+        )
+        assert result.returncode == 0, result.stderr

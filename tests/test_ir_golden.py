@@ -5,12 +5,18 @@ before the IR refactor are embedded here **verbatim**; the graph-derived
 specs must reproduce them exactly — same layer records, same
 ``total_macs``/``total_weights``, and bit-equal perfsim cycles and
 energy on both published configurations.
+
+The pass-pipeline refactor added a second golden layer: the fusion walk
+the pre-pipeline ``SCNetwork._lower_nodes`` performed is replicated here
+(:func:`legacy_fused_records`) and the canonical ``repro.ir.passes``
+pipeline must reproduce its fused structure node-for-node on every zoo
+graph, and the SC layers built from it must match exactly.
 """
 
 import pytest
 
 from repro.arch import LP_CONFIG, ULP_CONFIG, simulate_network
-from repro.ir import LayerSpec, NetworkSpec, lower_to_spec
+from repro.ir import LayerSpec, NetworkSpec, lower_to_spec, passes
 from repro.networks import zoo
 
 
@@ -143,9 +149,137 @@ class TestSpecEquivalence:
 class TestGraphAggregatesMatchSpecs:
     """The graph's own MAC/weight accounting agrees with the lowering."""
 
-    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    @pytest.mark.parametrize("name", sorted(zoo.NETWORK_GRAPHS))
     def test_totals(self, name):
         graph = zoo.NETWORK_GRAPHS[name]()
         spec = lower_to_spec(graph)
         assert graph.total_macs == spec.total_macs
         assert graph.total_weights == spec.total_weights
+
+
+# --------------------------------------------------------------------------
+# Pass-pipeline fusion vs the pre-pipeline lowering walk
+# --------------------------------------------------------------------------
+
+def legacy_fused_records(nodes) -> list:
+    """Replica of the fusion walk the pre-pipeline lowerings performed.
+
+    Embedded verbatim in spirit: a conv node with no fused pool followed
+    immediately by an average pool absorbs the pool window (the decision
+    ``SCNetwork._lower_nodes`` and the spec ``_emit`` each implemented
+    privately); every other node passes through.  Returns one record per
+    fused node so the pipeline's output can be compared field-by-field.
+    """
+    records = []
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        pool = node.pool
+        if node.kind == "conv" and pool == 1 and i + 1 < len(nodes) \
+                and nodes[i + 1].kind == "pool" \
+                and nodes[i + 1].pool_kind == "avg":
+            pool = nodes[i + 1].kernel_hw[0]
+            i += 1
+        records.append({
+            "kind": node.kind,
+            "kernel_hw": node.kernel_hw,
+            "stride": node.stride,
+            "padding": node.padding,
+            "pool": pool,
+            "pool_kind": node.pool_kind,
+            "or_mode": None if node.or_mode == "none" else node.or_mode,
+            "stream_length": node.stream_length,
+            "in_channels": node.in_channels,
+            "out_channels": node.out_channels,
+            "in_features": node.in_features,
+            "out_features": node.out_features,
+            "body": legacy_fused_records(node.body),
+            "shortcut": legacy_fused_records(node.shortcut),
+        })
+        i += 1
+    return records
+
+
+def pipeline_records(nodes) -> list:
+    return [{
+        "kind": n.kind,
+        "kernel_hw": n.kernel_hw,
+        "stride": n.stride,
+        "padding": n.padding,
+        "pool": n.pool,
+        "pool_kind": n.pool_kind,
+        "or_mode": n.or_mode,
+        "stream_length": n.stream_length,
+        "in_channels": n.in_channels,
+        "out_channels": n.out_channels,
+        "in_features": n.in_features,
+        "out_features": n.out_features,
+        "body": pipeline_records(n.body),
+        "shortcut": pipeline_records(n.shortcut),
+    } for n in nodes]
+
+
+_ALL_GRAPHS = sorted(
+    set(zoo.NETWORK_GRAPHS) | set(zoo.TRAINABLE_GRAPHS))
+
+
+def _graphs_named(name):
+    built = []
+    if name in zoo.NETWORK_GRAPHS:
+        built.append(zoo.NETWORK_GRAPHS[name]())
+    if name in zoo.TRAINABLE_GRAPHS:
+        built.append(zoo.TRAINABLE_GRAPHS[name]())
+    return built
+
+
+@pytest.mark.parametrize("name", _ALL_GRAPHS)
+class TestPipelineFusionMatchesLegacyWalk:
+    def test_fused_graph_identical(self, name):
+        for graph in _graphs_named(name):
+            fused = passes.lower(graph).graph
+            assert pipeline_records(fused.nodes) == \
+                legacy_fused_records(graph.nodes)
+
+    def test_fusion_is_shape_preserving(self, name):
+        for graph in _graphs_named(name):
+            result = passes.lower(graph)
+            want = graph.infer_shapes(exact_pool=False)[-1].out_shape
+            assert result.infos[-1].out_shape == want
+
+
+class TestScLoweringMatchesLegacyStructure:
+    """SC layers built through the pipeline mirror the legacy walk."""
+
+    @pytest.mark.parametrize("name", sorted(zoo.TRAINABLE_GRAPHS))
+    def test_sc_layer_structure(self, name):
+        import numpy as np
+
+        from repro.simulator.network import SCNetwork
+        from repro.training.network import Sequential
+
+        net = Sequential.from_graph(zoo.TRAINABLE_GRAPHS[name](), seed=0)
+        sc = SCNetwork.from_trained(net)
+        legacy = legacy_fused_records(
+            passes.lower(zoo.TRAINABLE_GRAPHS[name]()).graph.nodes)
+
+        def compare(layers, records):
+            assert len(layers) == len(records)
+            for layer, record in zip(layers, records):
+                if record["kind"] == "conv":
+                    assert layer.pool_size == record["pool"]
+                    assert layer.stride == record["stride"]
+                    assert layer.padding == record["padding"]
+                    assert layer.weight.shape == (
+                        record["out_channels"], record["in_channels"],
+                        *record["kernel_hw"])
+                elif record["kind"] == "linear":
+                    assert layer.weight.shape == (
+                        record["out_features"], record["in_features"])
+                elif record["kind"] == "residual":
+                    compare(layer.body, record["body"])
+
+        compare(sc.layers, legacy)
+        # And the attached fused graph is 1:1 with the layer stack.
+        assert len(sc.graph.nodes) == len(sc.layers)
+        assert np.all([n.kind != "pool" or n.pool_kind == "avg"
+                       for n in sc.graph.nodes])

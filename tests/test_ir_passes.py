@@ -1,0 +1,330 @@
+"""Unit and property tests for the pass-based lowering pipeline.
+
+The unit half exercises :class:`~repro.ir.passes.PassManager` mechanics
+(registry lookup, ad-hoc passes, tracing spans, verification failures)
+and each built-in pass's contract.  The property half uses Hypothesis to
+generate legal conv/pool/residual stacks and checks the pipeline
+invariants the consumers rely on: idempotence (lowering a lowered graph
+is the identity) and shape preservation after every single pass,
+including inside nested residual bodies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ir, obs
+from repro.ir.passes import (DEFAULT_PASSES, LEGALIZE_PASSES, PassContext,
+                             PassError, PassManager, fusion_groups, lower,
+                             pass_names)
+
+
+def small_stack():
+    """conv -> avgpool -> relu -> flatten -> linear on a 1x8x8 input."""
+    return ir.NetworkGraph("small", (1, 8, 8), [
+        ir.conv(1, 4, 3, padding=1),
+        ir.avgpool(2),
+        ir.relu(),
+        ir.flatten(),
+        ir.linear(4 * 4 * 4, 10),
+    ])
+
+
+class TestPassManager:
+    def test_default_pipeline_names(self):
+        manager = PassManager()
+        assert tuple(name for name, _ in manager.passes) == DEFAULT_PASSES
+
+    def test_registry_lists_default_passes(self):
+        names = pass_names()
+        for name in DEFAULT_PASSES:
+            assert name in names
+
+    def test_unknown_pass_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown pass 'nope'"):
+            PassManager(["nope"])
+
+    def test_ad_hoc_pass_runs(self):
+        def drop_relus(graph, ctx):
+            return ir.NetworkGraph(graph.name, graph.input_shape,
+                                   [n for n in graph.nodes
+                                    if n.kind != "relu"])
+        fused = PassManager([("drop_relus", drop_relus)]).run(small_stack())
+        assert all(n.kind != "relu" for n in fused.nodes)
+
+    def test_observer_sees_every_pass(self):
+        seen = []
+        lower(small_stack(), observer=lambda name, g: seen.append(name))
+        assert tuple(seen) == DEFAULT_PASSES
+
+    def test_passes_emit_obs_spans(self):
+        obs.enable()
+        try:
+            with obs.span("root"):
+                lower(small_stack())
+            roots = obs.tracer().roots()
+        finally:
+            obs.disable()
+        names = [child.name for child in roots[-1].children]
+        assert names == [f"pass:{p}" for p in DEFAULT_PASSES]
+        assert all(child.counters["nodes"] > 0
+                   for child in roots[-1].children)
+
+    def test_broken_pass_is_named_in_the_error(self):
+        def truncate(graph, ctx):
+            return ir.NetworkGraph(graph.name, graph.input_shape,
+                                   graph.nodes[:1])
+        # Output-shape preservation is checked against the previous
+        # pass's inference, so run the legalizer first.
+        manager = PassManager(list(LEGALIZE_PASSES)
+                              + [("truncate", truncate)])
+        with pytest.raises(PassError, match="'truncate'"):
+            manager.run(small_stack())
+
+    def test_pass_dropping_params_is_caught(self):
+        graph = ir.NetworkGraph("g", None, [
+            ir.linear(4, 2, weight=np.zeros((2, 4)))])
+
+        def strip_params(g, ctx):
+            node = ir.linear(4, 2)
+            return ir.NetworkGraph(g.name, g.input_shape, [node])
+        with pytest.raises(PassError, match="parameter array"):
+            PassManager([("strip_params", strip_params)]).run(graph)
+
+    def test_input_graph_is_never_mutated(self):
+        graph = small_stack()
+        before = graph.to_dict()
+        lower(graph)
+        assert graph.to_dict() == before
+
+
+class TestNormalizePass:
+    def test_canonical_forms(self):
+        graph = ir.NetworkGraph("g", None, [
+            ir.conv(1, 2, (3, 3), or_mode="none"),
+            ir.residual([ir.conv(2, 2, (1, 1), stride=np.int64(1))]),
+        ])
+        fused = PassManager(["normalize"]).run(graph)
+        assert fused.nodes[0].kernel == 3
+        assert fused.nodes[0].or_mode is None
+        inner = fused.nodes[1].body[0]
+        assert inner.kernel == 1
+        assert type(inner.stride) is int
+
+    def test_rectangular_kernels_survive(self):
+        graph = ir.NetworkGraph("g", None, [ir.conv(1, 2, (3, 5))])
+        fused = PassManager(["normalize"]).run(graph)
+        assert fused.nodes[0].kernel_hw == (3, 5)
+
+
+class TestFuseConvPool:
+    def test_avg_pool_fuses(self):
+        fused = lower(small_stack()).graph
+        assert fused.nodes[0].kind == "conv"
+        assert fused.nodes[0].pool == 2
+        assert all(n.kind != "pool" for n in fused.nodes)
+
+    def test_max_pool_does_not_fuse(self):
+        graph = ir.NetworkGraph("g", (1, 8, 8), [
+            ir.conv(1, 4, 3, padding=1), ir.maxpool(2)])
+        fused = lower(graph).graph
+        assert fused.nodes[0].pool == 1
+        assert fused.nodes[1].kind == "pool"
+        assert fused.nodes[1].pool_kind == "max"
+
+    def test_already_fused_conv_keeps_standalone_pool(self):
+        graph = ir.NetworkGraph("g", (1, 16, 16), [
+            ir.conv(1, 4, 3, padding=1, pool=2), ir.avgpool(2)])
+        fused = lower(graph).graph
+        assert fused.nodes[0].pool == 2
+        assert fused.nodes[1].kind == "pool"
+
+    def test_fusion_inside_residual_body_and_shortcut(self):
+        graph = ir.NetworkGraph("g", (4, 8, 8), [
+            ir.residual(
+                body=[ir.conv(4, 4, 2, stride=2), ir.avgpool(2),
+                      ir.conv(4, 4, 1)],
+                shortcut=[ir.conv(4, 4, 2, stride=2), ir.avgpool(2)],
+            ),
+        ])
+        fused = lower(graph).graph
+        node = fused.nodes[0]
+        assert [n.kind for n in node.body] == ["conv", "conv"]
+        assert node.body[0].pool == 2
+        assert [n.kind for n in node.shortcut] == ["conv"]
+        assert node.shortcut[0].pool == 2
+
+    def test_fusion_groups_align_with_fused_graph(self):
+        graph = small_stack()
+        groups = fusion_groups(graph.nodes)
+        fused = lower(graph).graph
+        assert len(groups) == len(fused.nodes)
+        assert groups[0] == (0, 2)   # conv + avgpool
+        assert groups[1:] == [(2, 3), (3, 4), (4, 5)]
+
+
+class TestShapeLegalization:
+    def test_exact_pool_rejects_ragged_windows(self):
+        graph = ir.NetworkGraph("g", (1, 9, 9), [
+            ir.conv(1, 2, 2), ir.avgpool(3)])   # conv out 8x8, 3 !| 8
+        with pytest.raises(ValueError):
+            lower(graph, exact_pool=True)
+        fused = lower(graph, exact_pool=False).graph  # floors instead
+        assert fused.nodes[0].pool == 3
+
+    def test_shapeless_graph_passes_through(self):
+        graph = ir.NetworkGraph("g", None, [ir.conv(1, 2, 3)])
+        result = lower(graph)
+        assert result.infos is None
+        assert result.graph.nodes[0].kind == "conv"
+
+    def test_input_shape_override(self):
+        graph = ir.NetworkGraph("g", None, [ir.conv(1, 2, 3)])
+        result = lower(graph, input_shape=(1, 5, 5))
+        assert result.infos[-1].out_shape == (2, 3, 3)
+
+    def test_legalize_subset_does_not_fuse(self):
+        fused = lower(small_stack(), passes=LEGALIZE_PASSES).graph
+        assert [n.kind for n in fused.nodes] == \
+            ["conv", "pool", "relu", "flatten", "linear"]
+
+
+class TestAssignStreamParams:
+    def test_defaults_fill_bare_nodes_only(self):
+        graph = ir.NetworkGraph("g", None, [
+            ir.conv(1, 2, 3, or_mode="exact", stream_length=128),
+            ir.linear(8, 4),
+        ])
+        fused = lower(graph, options={"or_mode": "approx",
+                                      "stream_length": 64}).graph
+        assert fused.nodes[0].or_mode == "exact"
+        assert fused.nodes[0].stream_length == 128
+        assert fused.nodes[1].or_mode == "approx"
+        assert fused.nodes[1].stream_length == 64
+
+    def test_no_options_is_identity(self):
+        graph = ir.NetworkGraph("g", None, [ir.linear(8, 4)])
+        fused = lower(graph).graph
+        assert fused.nodes[0].or_mode is None
+        assert fused.nodes[0].stream_length is None
+
+
+# --------------------------------------------------------------------------
+# Property tests: generated conv/pool/residual stacks
+# --------------------------------------------------------------------------
+
+@st.composite
+def conv_stacks(draw, max_blocks: int = 3, allow_residual: bool = True):
+    """A legal (exact-pool) conv stack on a CxSxS input.
+
+    Sizes are powers of two and every conv preserves the spatial size
+    (odd kernel, same-padding), so any avg pool of window 2 tiles — the
+    stacks legalize under both pooling semantics.
+    """
+    channels = draw(st.sampled_from([1, 2, 4]))
+    size = draw(st.sampled_from([8, 16]))
+    nodes = []
+    c, s = channels, size
+    for _ in range(draw(st.integers(1, max_blocks))):
+        kind = draw(st.sampled_from(
+            ["conv", "conv_pool", "pool", "relu"]
+            + (["residual"] if allow_residual else [])))
+        if kind == "residual":
+            body = draw(conv_stacks_body(c))
+            nodes.append(ir.residual(body))
+        elif kind == "conv":
+            c_out = draw(st.sampled_from([2, 4]))
+            nodes.append(ir.conv(c, c_out, 3, padding=1))
+            c = c_out
+        elif kind == "conv_pool":
+            c_out = draw(st.sampled_from([2, 4]))
+            nodes.append(ir.conv(c, c_out, 3, padding=1))
+            nodes.append(ir.avgpool(2))
+            c, s = c_out, s // 2
+        elif kind == "pool" and s >= 2:
+            nodes.append(ir.avgpool(2))
+            s //= 2
+        else:
+            nodes.append(ir.relu())
+    nodes.append(ir.flatten())
+    nodes.append(ir.linear(c * s * s, 10))
+    return ir.NetworkGraph("prop", (channels, size, size), nodes)
+
+
+@st.composite
+def conv_stacks_body(draw, channels: int):
+    """A shape-preserving residual body, possibly with conv+avgpool."""
+    if draw(st.booleans()):
+        # conv halves the size, the fused-to-be avg pool needs the conv
+        # output to tile; stride-2 conv + pool would shrink below the
+        # skip shape, so keep it same-shape: conv 3x3 pad 1 + no pool.
+        return [ir.conv(channels, channels, 3, padding=1), ir.relu()]
+    return [ir.conv(channels, channels, 3, padding=1),
+            ir.conv(channels, channels, 3, padding=1)]
+
+
+@settings(max_examples=25)
+@given(graph=conv_stacks())
+def test_pipeline_is_idempotent(graph):
+    once = lower(graph).graph
+    twice = lower(once).graph
+    assert twice.to_dict() == once.to_dict()
+
+
+@settings(max_examples=25)
+@given(graph=conv_stacks())
+def test_every_pass_preserves_output_shape(graph):
+    want = graph.infer_shapes(exact_pool=False)[-1].out_shape
+    snapshots = []
+    lower(graph, observer=lambda name, g: snapshots.append((name, g)))
+    assert len(snapshots) == len(DEFAULT_PASSES)
+    for name, snapshot in snapshots:
+        infos = snapshot.infer_shapes(graph.input_shape, exact_pool=False)
+        assert infos[-1].out_shape == want, f"after pass {name}"
+
+
+@settings(max_examples=25)
+@given(graph=conv_stacks())
+def test_fusion_groups_partition_the_node_list(graph):
+    groups = fusion_groups(graph.nodes)
+    flattened = [i for start, stop in groups for i in range(start, stop)]
+    assert flattened == list(range(len(graph.nodes)))
+    fused = lower(graph).graph
+    assert len(fused.nodes) == len(groups)
+
+
+@settings(max_examples=15)
+@given(channels=st.sampled_from([1, 2, 4]),
+       size=st.sampled_from([8, 16, 32]),
+       exact_pool=st.booleans(),
+       nest=st.booleans())
+def test_nested_residual_bodies_fuse_and_legalize(channels, size,
+                                                  exact_pool, nest):
+    # A downsampling residual whose body holds a fusable conv+avgpool
+    # pair and whose projection shortcut matches the body's output
+    # shape; optionally nested one level deeper.
+    body = [
+        ir.conv(channels, channels, 2, stride=2),
+        ir.avgpool(2),
+        ir.conv(channels, channels, 1, stride=1),
+    ]
+    if nest:
+        body.append(ir.residual(
+            [ir.conv(channels, channels, 3, padding=1), ir.relu()]))
+    block = ir.residual(
+        body, shortcut=[ir.conv(channels, channels, 4, stride=4)])
+    out_size = size // 4
+    graph = ir.NetworkGraph("nested", (channels, size, size), [
+        block, ir.flatten(),
+        ir.linear(channels * out_size * out_size, 10)])
+    result = lower(graph, exact_pool=exact_pool)
+    node = result.graph.nodes[0]
+    kinds = [n.kind for n in node.body]
+    assert kinds[:2] == ["conv", "conv"]   # avgpool absorbed
+    assert node.body[0].pool == 2
+    if nest:
+        assert node.body[-1].kind == "residual"
+        assert [n.kind for n in node.body[-1].body] == ["conv", "relu"]
+    assert result.infos is not None
+    assert result.infos[-1].out_shape == (10,)
