@@ -1,0 +1,60 @@
+"""Serving-layer traffic-replay bench (BENCH_6).
+
+Boots the asyncio server in-process and replays a seeded Poisson trace
+against it over real TCP in both loop modes:
+
+- closed loop — sustainable latency at the system's own pace; the
+  acceptance bar for CI is zero errors and a populated latency
+  histogram.
+- open loop — offered load above capacity; documents that admission
+  control sheds with backpressure instead of letting the queue grow
+  without bound.
+
+Writes ``BENCH_6.json`` at the repo root (uploaded by the CI
+serve-smoke job).  ``REPRO_BENCH_QUICK=1`` shortens the replay for CI.
+"""
+
+import os
+import pathlib
+
+from repro.serve import format_loadtest, run_loadtest, write_bench_artifact
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_6.json"
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+DURATION_S = 1.5 if QUICK else 5.0
+PHASE = 8 if QUICK else 16
+
+
+def test_serve_loadtest(report):
+    closed = run_loadtest(
+        "mnist_mlp", mode="closed", duration_s=DURATION_S,
+        rate_rps=50.0, concurrency=4, batch=4, phase_length=PHASE,
+        seed=0,
+    )
+    # Open loop deliberately offers ~2x the closed-loop throughput with
+    # a tight queue bound, so the shed path is exercised on record.
+    overload_rps = max(20.0, 2.0 * closed.throughput_rps)
+    opened = run_loadtest(
+        "mnist_mlp", mode="open", duration_s=DURATION_S,
+        rate_rps=overload_rps, batch=4, phase_length=PHASE, seed=0,
+        max_queue_depth=8,
+    )
+    report("serve_loadtest",
+           format_loadtest(closed) + "\n\n" + format_loadtest(opened))
+    write_bench_artifact([closed, opened], path=BENCH_PATH, quick=QUICK)
+
+    # Closed loop: every request completes, histogram is non-empty.
+    assert closed.errors == 0
+    assert closed.completed > 0
+    assert closed.completed == closed.requests
+    assert closed.p50_ms > 0.0
+    assert closed.p50_ms <= closed.p95_ms <= closed.p99_ms
+
+    # Open loop under overload: no hard errors, and the queue stayed
+    # bounded — anything not served was shed with an explicit response.
+    assert opened.errors == 0
+    assert opened.completed + opened.shed + opened.deadline_expired \
+        == opened.requests
+    assert opened.server["peak_in_flight"] <= opened.server["max_queue_depth"]
+    assert BENCH_PATH.exists()

@@ -12,6 +12,13 @@ One sanctioned exception: ``repro.ir.passes`` (the lowering pipeline)
 may import ``repro.obs`` for its per-pass tracing spans — it is listed
 in :data:`EXCEPTIONS` and nothing else gets a waiver.
 
+``repro.serve`` sits at the *top* of the stack: it orchestrates the
+runtime, networks and obs layers to serve traffic, and nothing below it
+may import it (the CLI, which wires every subsystem to argv, is the one
+sanctioned consumer — see :data:`TOP_LAYERS`).  A lower layer importing
+serve would invert the dependency and make the core library drag the
+serving machinery into every import.
+
 The check also scans the whole package for re-imports of the retired
 private lowering helpers (:data:`DEPRECATED_LOWERING_HELPERS`): the
 conv+pool fusion decision lives only in ``repro.ir.passes`` now, and no
@@ -46,6 +53,12 @@ BOTTOM_LAYERS = {
 #: set.  The pass pipeline may use repro.obs for per-pass spans.
 EXCEPTIONS = {
     _SRC / "ir" / "passes.py": ("obs",),
+}
+
+#: Top-layer package name -> files allowed to import it.  Everything
+#: else under src/repro (outside the package itself) must not.
+TOP_LAYERS = {
+    "serve": (_SRC / "cli.py",),
 }
 
 #: Retired private lowering entry points: kept as deprecation shims in
@@ -104,6 +117,39 @@ def check(root: pathlib.Path = IR_ROOT, forbidden: tuple = None) -> list:
     return violations
 
 
+def check_top_layers(root: pathlib.Path = _SRC) -> list:
+    """Flag imports of a top-layer package from anywhere below it."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        for package, allowed in TOP_LAYERS.items():
+            if path in allowed or (root / package) in path.parents:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                bad = ""
+                if isinstance(node, ast.Import):
+                    if any(_forbidden_target(a.name, 0, (package,))
+                           for a in node.names):
+                        bad = package
+                elif isinstance(node, ast.ImportFrom):
+                    bad = _forbidden_target(node.module or "", node.level,
+                                            (package,))
+                    # ``from .serve import ...`` / ``from . import serve``
+                    # in a module that sits directly under src/repro.
+                    if not bad and node.level == 1 and path.parent == root:
+                        head = (node.module or "").split(".")[0]
+                        names = [a.name for a in node.names]
+                        if head == package or (not node.module
+                                               and package in names):
+                            bad = package
+                if bad:
+                    violations.append(
+                        f"{path}:{node.lineno}: imports repro.{bad} — the "
+                        f"serving layer sits on top; only the CLI may "
+                        f"import it")
+    return violations
+
+
 def check_deprecated_helpers(root: pathlib.Path = _SRC) -> list:
     """Flag imports of retired lowering helpers outside their home
     module (where only the deprecation shim itself may live)."""
@@ -132,6 +178,12 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}")
         return 1
+    top = check_top_layers()
+    if top:
+        print("lower layers must not import the serving layer:")
+        for violation in top:
+            print(f"  {violation}")
+        return 1
     deprecated = check_deprecated_helpers()
     if deprecated:
         print("deprecated lowering helpers must not be re-imported:")
@@ -139,8 +191,9 @@ def main() -> int:
             print(f"  {violation}")
         return 1
     print("layering OK: repro.ir and repro.obs import nothing from the "
-          "upper layers (sole waiver: repro.ir.passes -> repro.obs), and "
-          "no module re-imports the deprecated lowering helpers")
+          "upper layers (sole waiver: repro.ir.passes -> repro.obs), "
+          "repro.serve is imported only by the CLI, and no module "
+          "re-imports the deprecated lowering helpers")
     return 0
 
 

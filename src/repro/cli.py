@@ -37,6 +37,15 @@ Commands
     Run a traced inference workload, write a Chrome-trace-loadable
     artifact, and print the top-N span summary with per-IR-layer wall
     time attribution (see docs/observability.md).
+``serve <network...> [--port P] [--max-queue-depth N] [--quota-rate R]``
+    Run the asyncio inference server: warm-compiled plans for the named
+    networks, dynamic batching, per-client quotas, queue-depth admission
+    control, request deadlines, a metrics endpoint, graceful drain on
+    SIGINT (see docs/serving.md).
+``loadtest <network> [--mode closed|open] [--duration S] [--rate RPS]``
+    Self-contained traffic-replay load bench: in-process server plus a
+    seeded Poisson trace, closed- or open-loop replay, latency
+    p50/p95/p99, shed rate; writes the BENCH_6.json artifact.
 """
 
 from __future__ import annotations
@@ -305,6 +314,63 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .runtime import RuntimeConfig
+    from .serve import ServeConfig, Server
+
+    config = ServeConfig(
+        host=args.host, port=args.port, models=tuple(args.network),
+        max_loaded=max(args.max_loaded, len(args.network)),
+        max_queue_depth=args.max_queue_depth,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        default_deadline_s=args.deadline,
+        phase_length=args.phase_length, seed=args.seed,
+        runtime=RuntimeConfig(
+            workers=args.workers, backend=args.backend,
+            shard_size=args.shard, max_batch=args.max_batch,
+            max_wait_s=args.max_wait,
+        ),
+    )
+
+    async def _main() -> None:
+        server = Server(config)
+        await server.start()
+        print(f"serving {', '.join(config.models)} on "
+              f"{config.host}:{server.port} "
+              f"(queue depth {config.max_queue_depth}, "
+              f"quota {config.quota_rate or 'off'}) — Ctrl-C to drain")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.drain()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\ninterrupted — drained in-flight requests, bye")
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from .serve import format_loadtest, run_loadtest, write_bench_artifact
+
+    result = run_loadtest(
+        args.network, mode=args.mode, duration_s=args.duration,
+        rate_rps=args.rate, concurrency=args.concurrency,
+        batch=args.batch, phase_length=args.phase_length, seed=args.seed,
+        deadline_s=args.deadline, workers=args.workers,
+        backend=args.backend, max_queue_depth=args.max_queue_depth,
+        quota_rate=args.quota_rate,
+    )
+    print(format_loadtest(result))
+    if args.out:
+        path = write_bench_artifact(result, args.out)
+        print(f"[saved to {path}]")
+    return 0 if result.errors == 0 else 1
+
+
 def _cmd_map(args) -> int:
     spec = _spec_for(args.network)
     config = _CONFIGS[args.config]
@@ -441,6 +507,72 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("--seed", type=int, default=0)
     profile_cmd.add_argument("--top", type=int, default=12,
                              help="rows in the top-span summary table")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the asyncio inference server (docs/serving.md)"
+    )
+    serve_cmd.add_argument("network", nargs="+",
+                           choices=sorted(BENCH_NETWORKS),
+                           help="warm-compiled model(s); other zoo "
+                                "networks load lazily")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8707,
+                           help="bind port (0 = ephemeral)")
+    serve_cmd.add_argument("--max-loaded", type=int, default=4,
+                           help="registry LRU capacity, warm set included")
+    serve_cmd.add_argument("--max-queue-depth", type=int, default=32,
+                           help="admitted-request bound; beyond it the "
+                                "server sheds with backpressure")
+    serve_cmd.add_argument("--quota-rate", type=float, default=0.0,
+                           help="per-client sustained requests/s "
+                                "(0 = quotas off)")
+    serve_cmd.add_argument("--quota-burst", type=float, default=8.0)
+    serve_cmd.add_argument("--deadline", type=float, default=None,
+                           help="default per-request deadline [s]")
+    serve_cmd.add_argument("--phase-length", type=int, default=16)
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument("--workers", type=int, default=2)
+    serve_cmd.add_argument("--backend", choices=("serial", "thread",
+                                                 "process"),
+                           default="thread")
+    serve_cmd.add_argument("--shard", type=int, default=4,
+                           help="samples per worker shard")
+    serve_cmd.add_argument("--max-batch", type=int, default=16,
+                           help="dynamic batcher flush size")
+    serve_cmd.add_argument("--max-wait", type=float, default=0.002,
+                           help="dynamic batcher flush window [s]")
+
+    loadtest_cmd = sub.add_parser(
+        "loadtest", help="traffic-replay load bench against an "
+                         "in-process server; writes BENCH_6.json"
+    )
+    loadtest_cmd.add_argument("network", choices=sorted(BENCH_NETWORKS))
+    loadtest_cmd.add_argument("--mode", choices=("closed", "open"),
+                              default="closed",
+                              help="closed: workers replay back-to-back; "
+                                   "open: Poisson arrivals on the wall "
+                                   "clock (overload => shed)")
+    loadtest_cmd.add_argument("--duration", type=float, default=5.0,
+                              help="trace duration [s]")
+    loadtest_cmd.add_argument("--rate", type=float, default=50.0,
+                              help="offered arrival rate [req/s]")
+    loadtest_cmd.add_argument("--concurrency", type=int, default=4,
+                              help="closed-loop worker connections")
+    loadtest_cmd.add_argument("--batch", type=int, default=4,
+                              help="max samples per request (trace draws "
+                                   "1..batch)")
+    loadtest_cmd.add_argument("--phase-length", type=int, default=16)
+    loadtest_cmd.add_argument("--seed", type=int, default=0)
+    loadtest_cmd.add_argument("--deadline", type=float, default=None,
+                              help="per-request deadline [s]")
+    loadtest_cmd.add_argument("--workers", type=int, default=2)
+    loadtest_cmd.add_argument("--backend", choices=("serial", "thread",
+                                                    "process"),
+                              default="thread")
+    loadtest_cmd.add_argument("--max-queue-depth", type=int, default=32)
+    loadtest_cmd.add_argument("--quota-rate", type=float, default=0.0)
+    loadtest_cmd.add_argument("--out", default="BENCH_6.json",
+                              help="artifact path ('' to skip writing)")
     return parser
 
 
@@ -461,5 +593,7 @@ def main(argv=None) -> int:
         "trace": _cmd_trace,
         "bench": _cmd_bench,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }[args.command]
     return handler(args)

@@ -18,12 +18,14 @@ the ``python -m repro profile`` walkthrough.
 
 from .export import (aggregate_spans, attributed_fraction, trace_to_chrome,
                      trace_to_dict, walk_spans, write_trace)
-from .trace import (KERNEL_COUNTERS, NULL_SPAN, CounterStore, Span, Tracer,
-                    add_counter, current, disable, enable, enabled,
-                    kernel_section, merge_counters, reset, span, tracer)
+from .trace import (KERNEL_COUNTERS, NULL_SPAN, CounterScope, CounterStore,
+                    Span, Tracer, add_counter, current, disable, enable,
+                    enabled, kernel_section, merge_counters, reset, span,
+                    tracer)
 
 __all__ = [
-    "KERNEL_COUNTERS", "NULL_SPAN", "CounterStore", "Span", "Tracer",
+    "KERNEL_COUNTERS", "NULL_SPAN", "CounterScope", "CounterStore",
+    "Span", "Tracer",
     "add_counter", "current", "disable", "enable", "enabled",
     "kernel_section", "merge_counters", "reset", "span", "tracer",
     "aggregate_spans", "attributed_fraction", "trace_to_chrome",

@@ -29,9 +29,10 @@ import os
 import threading
 import time
 
-__all__ = ["Span", "Tracer", "NULL_SPAN", "CounterStore", "KERNEL_COUNTERS",
-           "kernel_section", "merge_counters", "tracer", "enabled", "enable",
-           "disable", "reset", "span", "current", "add_counter"]
+__all__ = ["Span", "Tracer", "NULL_SPAN", "CounterStore", "CounterScope",
+           "KERNEL_COUNTERS", "kernel_section", "merge_counters", "tracer",
+           "enabled", "enable", "disable", "reset", "span", "current",
+           "add_counter"]
 
 
 class _NullSpan:
@@ -244,6 +245,65 @@ class CounterStore:
     def reset(self) -> None:
         with self._lock:
             self._stats.clear()
+
+    def delta_since(self, baseline: dict) -> dict:
+        """``{name: (calls, total)}`` accumulated since ``baseline``.
+
+        ``baseline`` is a prior :meth:`snapshot`.  Rows whose call count
+        did not advance are dropped, so the delta of an idle store is
+        ``{}``.  This is the scoped view long-lived processes need: the
+        store itself is process-global and only ever grows, so
+        per-request / per-interval accounting must difference two
+        snapshots rather than :meth:`reset` (which would race other
+        readers).
+        """
+        current = self.snapshot()
+        delta = {}
+        for name, (calls, total) in current.items():
+            base_calls, base_total = baseline.get(name, (0, 0.0))
+            if calls != base_calls:
+                delta[name] = (calls - base_calls, total - base_total)
+        return delta
+
+    def scope(self) -> "CounterScope":
+        """A :class:`CounterScope` anchored at the store's current state."""
+        return CounterScope(self)
+
+
+class CounterScope:
+    """Snapshot-delta window over a :class:`CounterStore`.
+
+    Marks the store's state at construction (or on ``__enter__``) and
+    reports only what accumulated since via :meth:`delta`; :meth:`rebase`
+    slides the window forward.  Many scopes can watch one store
+    concurrently — nothing is reset, so scopes never disturb each other
+    or the process-lifetime totals.
+
+        with KERNEL_COUNTERS.scope() as scope:
+            ...                       # serve one request
+        per_request = scope.delta()   # this request's kernel seconds
+    """
+
+    __slots__ = ("_store", "_baseline")
+
+    def __init__(self, store: CounterStore):
+        self._store = store
+        self.rebase()
+
+    def rebase(self) -> None:
+        """Move the window start to the store's current state."""
+        self._baseline = self._store.snapshot()
+
+    def delta(self) -> dict:
+        """``{name: (calls, total)}`` accumulated since the baseline."""
+        return self._store.delta_since(self._baseline)
+
+    def __enter__(self):
+        self.rebase()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
 
 
 #: Process-global kernel timing accumulator (one per worker process).

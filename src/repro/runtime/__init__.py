@@ -21,7 +21,7 @@ machinery a production deployment needs:
   time attribution via :mod:`repro.obs`.
 """
 
-from .batcher import DynamicBatcher
+from .batcher import BatcherClosedError, DynamicBatcher
 from .bench import BENCH_NETWORKS, BenchResult, format_bench, run_bench
 from .config import RuntimeConfig
 from .metrics import MetricsSnapshot, RuntimeMetrics
@@ -32,7 +32,7 @@ from .workers import WorkerPool
 
 __all__ = [
     "BENCH_NETWORKS", "BenchResult", "format_bench", "run_bench",
-    "DynamicBatcher",
+    "BatcherClosedError", "DynamicBatcher",
     "RuntimeConfig",
     "MetricsSnapshot", "RuntimeMetrics",
     "ExecutionPlan", "LayerPlan",

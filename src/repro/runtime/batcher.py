@@ -24,7 +24,16 @@ import numpy as np
 from .. import obs
 from .metrics import RuntimeMetrics
 
-__all__ = ["DynamicBatcher"]
+__all__ = ["BatcherClosedError", "DynamicBatcher"]
+
+
+class BatcherClosedError(RuntimeError):
+    """Submit refused because the batcher (or its runtime) is closing.
+
+    A typed subclass of the historical ``RuntimeError`` so existing
+    callers keep working, while serving layers can map it to a clean
+    "shed: draining" response instead of a generic 500.
+    """
 
 
 class _Request:
@@ -77,7 +86,7 @@ class DynamicBatcher:
         request = _Request(x)
         with self._lock:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise BatcherClosedError("batcher is closed")
             self._queue.append(request)
             depth = len(self._queue)
             self._wakeup.notify()
@@ -86,12 +95,19 @@ class DynamicBatcher:
         return request.future
 
     def close(self) -> None:
-        """Flush pending requests and stop the collector thread."""
+        """Flush pending requests and stop the collector thread.
+
+        Idempotent and safe to call from several threads at once: every
+        caller returns only after the collector has drained the queue
+        and exited.  Submissions racing a close either make it into the
+        final drain or fail with :class:`BatcherClosedError` — a request
+        is never silently dropped.
+        """
         with self._lock:
-            if self._closed:
-                return
             self._closed = True
             self._wakeup.notify()
+        # Outside the lock: the collector needs it to drain.  join() is
+        # safe to call repeatedly and from multiple closers concurrently.
         self._thread.join()
 
     def __enter__(self):
@@ -139,25 +155,35 @@ class DynamicBatcher:
 
     def _flush(self, wave) -> None:
         now = time.perf_counter()
+        # Transition every Future to RUNNING before computing.  A request
+        # cancelled while it sat in the queue reports False here and is
+        # dropped from the wave (no wasted compute); afterwards a
+        # concurrent cancel() can no longer win, so resolving the
+        # survivors below cannot raise InvalidStateError.
+        live = [r for r in wave
+                if r.future.set_running_or_notify_cancel()]
         with obs.span("batch:flush", category="batch") as span:
-            span.add_counter("requests", len(wave))
-            span.add_counter("samples", sum(r.x.shape[0] for r in wave))
+            span.add_counter("requests", len(live))
+            span.add_counter("cancelled", len(wave) - len(live))
+            span.add_counter("samples", sum(r.x.shape[0] for r in live))
             span.add_counter("queue_wait_s",
-                             sum(now - r.enqueued_at for r in wave))
+                             sum(now - r.enqueued_at for r in live))
             if self._metrics is not None:
-                for request in wave:
+                for request in live:
                     self._metrics.add_stage_time(
                         "queue", now - request.enqueued_at
                     )
-                self._metrics.add_counts(requests=len(wave), batches=1)
+                self._metrics.add_counts(requests=len(live), batches=1)
                 with self._lock:
                     depth = len(self._queue)
                 self._metrics.observe_queue_depth(depth)
+            if not live:
+                return
             try:
-                results = self._process([r.x for r in wave])
+                results = self._process([r.x for r in live])
             except Exception as exc:
-                for request in wave:
+                for request in live:
                     request.future.set_exception(exc)
                 return
-            for request, result in zip(wave, results):
+            for request, result in zip(live, results):
                 request.future.set_result(result)

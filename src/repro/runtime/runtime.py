@@ -21,7 +21,7 @@ from .. import obs
 from ..simulator.config import SCConfig
 from ..simulator.fixedpoint import FixedPointNetwork
 from ..simulator.network import SCNetwork
-from .batcher import DynamicBatcher
+from .batcher import BatcherClosedError, DynamicBatcher
 from .config import RuntimeConfig
 from .metrics import RuntimeMetrics
 from .plan import ExecutionPlan
@@ -158,7 +158,7 @@ class InferenceRuntime:
 
     def _check_input(self, x) -> None:
         if self._closed:
-            raise RuntimeError("runtime is closed")
+            raise BatcherClosedError("runtime is closed")
         x = np.asarray(x)
         if x.ndim != len(self.plan.input_shape) + 1:
             raise ValueError(

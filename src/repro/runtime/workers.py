@@ -17,12 +17,14 @@ the failure is recorded in the metrics instead of crashing the caller.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
 from .. import obs
+from .batcher import BatcherClosedError
 from .config import RuntimeConfig
 from .metrics import RuntimeMetrics
 from .plan import ExecutionPlan
@@ -69,6 +71,8 @@ class WorkerPool:
         self.metrics = metrics
         self.reference = reference
         self._executor = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
 
     # -- public API --------------------------------------------------
 
@@ -113,9 +117,18 @@ class WorkerPool:
             return results
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut the executor down; idempotent and thread-safe.
+
+        Concurrent closers all wait for in-flight shards to finish
+        (``shutdown(wait=True)`` is itself reentrant); submits racing a
+        close fail with :class:`BatcherClosedError` instead of silently
+        respawning an executor after shutdown.
+        """
+        with self._executor_lock:
+            self._closed = True
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self):
         return self
@@ -209,19 +222,22 @@ class WorkerPool:
         return logits
 
     def _ensure_executor(self):
-        if self._executor is None:
-            if self.config.backend == "thread":
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.config.workers,
-                    thread_name_prefix="repro-runtime",
-                )
-            else:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.config.workers,
-                    initializer=_init_worker,
-                    initargs=(self.plan,),
-                )
-        return self._executor
+        with self._executor_lock:
+            if self._closed:
+                raise BatcherClosedError("worker pool is closed")
+            if self._executor is None:
+                if self.config.backend == "thread":
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.config.workers,
+                        thread_name_prefix="repro-runtime",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.config.workers,
+                        initializer=_init_worker,
+                        initargs=(self.plan,),
+                    )
+            return self._executor
 
 
 class _Immediate:

@@ -1,0 +1,99 @@
+"""Asyncio client for the serving protocol.
+
+One :class:`Client` holds one TCP connection and serializes its
+request/response pairs with a lock (the protocol is strictly
+alternating per connection).  For concurrent in-flight requests, open
+several clients — that is what the load bench's connection pool does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from .protocol import decode_array, encode_array, read_message, write_message
+
+__all__ = ["Client"]
+
+
+class Client:
+    """``async with Client(host, port) as c: await c.predict(...)``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8707,
+                 client_id: str = None):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self._reader = None
+        self._writer = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "Client":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb):
+        await self.close()
+        return False
+
+    # -- requests -----------------------------------------------------
+
+    async def request(self, message: dict) -> dict:
+        """Send one raw message and await its response."""
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        async with self._lock:
+            await write_message(self._writer, message)
+            return await read_message(self._reader)
+
+    async def predict_raw(self, model: str, x, *, deadline_s: float = None,
+                          request_id=None) -> dict:
+        """One predict; returns the raw response dict (ok, shed, ...)."""
+        message = {"type": "predict", "model": model,
+                   "x": encode_array(np.asarray(x))}
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        if request_id is not None:
+            message["id"] = request_id
+        if self.client_id is not None:
+            message["client"] = self.client_id
+        return await self.request(message)
+
+    async def predict(self, model: str, x, *, deadline_s: float = None):
+        """Logits array for one request.
+
+        Shed/deadline/error responses raise a ``RuntimeError`` naming
+        the response's error and reason; use :meth:`predict_raw` to
+        handle backpressure without exceptions.
+        """
+        response = await self.predict_raw(model, x, deadline_s=deadline_s)
+        if not response.get("ok"):
+            error = response.get("error", "unknown")
+            reason = response.get("reason") or response.get("detail", "")
+            raise RuntimeError(
+                f"predict failed: {error}" + (f" ({reason})" if reason
+                                              else "")
+            )
+        return decode_array(response["logits"])
+
+    async def metrics(self) -> dict:
+        return await self.request({"type": "metrics"})
+
+    async def ping(self) -> dict:
+        return await self.request({"type": "ping"})

@@ -1,0 +1,313 @@
+"""Traffic-replay load benchmark for the serving layer.
+
+Generates a seeded request trace (Poisson arrival offsets + batch
+sizes), spins up a :class:`~repro.serve.Server` in-process on an
+ephemeral port, and replays the trace against it in one of two modes:
+
+- **closed loop** — ``concurrency`` workers each hold one connection
+  and replay trace entries back-to-back (a new request departs only
+  when the previous response lands).  Measures the latency the system
+  sustains at its own pace; sheds should be ~zero.
+- **open loop** — arrivals fire at their trace timestamps regardless of
+  outstanding responses (the honest overload model: real clients do not
+  politely wait).  When the offered rate exceeds capacity the server's
+  admission control sheds with backpressure responses — the shed rate
+  is a first-class result, not an error.
+
+Each run reports p50/p95/p99/mean/max latency over completed requests,
+achieved throughput, and the shed/deadline/error split;
+:func:`write_bench_artifact` persists runs as ``BENCH_6.json`` next to
+``BENCH_2.json``.  Used by ``python -m repro loadtest`` and the CI
+serve-smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..analysis import format_table
+from .client import Client
+from .config import ServeConfig
+from .server import Server
+
+__all__ = ["LoadtestResult", "format_loadtest", "generate_trace",
+           "run_loadtest", "write_bench_artifact"]
+
+
+def generate_trace(*, duration_s: float, rate_rps: float, batch: int,
+                   seed: int = 0) -> list:
+    """Seeded Poisson request trace: ``[(offset_s, n_samples), ...]``.
+
+    Inter-arrival gaps are exponential at ``rate_rps``; batch sizes are
+    uniform on ``[1, batch]``.  The same seed always replays the same
+    traffic, so two servers (or two PRs) see identical offered load.
+    """
+    rng = np.random.default_rng(seed)
+    trace = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate_rps)
+        if t >= duration_s:
+            return trace
+        trace.append((t, int(rng.integers(1, batch + 1))))
+
+
+@dataclass
+class LoadtestResult:
+    """Outcome of one load-bench run (all latencies in milliseconds)."""
+
+    network: str
+    mode: str
+    duration_s: float
+    concurrency: int
+    offered_rps: float
+    batch: int
+    phase_length: int
+    seed: int
+    requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
+    errors: int = 0
+    shed_reasons: dict = field(default_factory=dict)
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+    max_ms: float = 0.0
+    throughput_rps: float = 0.0
+    samples_per_s: float = 0.0
+    elapsed_s: float = 0.0
+    server: dict = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["shed_rate"] = self.shed_rate
+        return data
+
+
+async def _replay(server: Server, network: str, *, mode: str, trace: list,
+                  concurrency: int, deadline_s: float,
+                  input_shape: tuple, seed: int) -> list:
+    """Drive the trace; returns ``[(outcome, latency_s or None), ...]``.
+
+    ``outcome`` is ``ok`` / ``shed:<reason>`` / ``deadline`` /
+    ``error``.  One payload array is reused for every request (values
+    do not affect serving cost; the wire size tracks the batch).
+    """
+    rng = np.random.default_rng(seed + 1)
+    payload = rng.uniform(0.0, 1.0, (max(n for _, n in trace),)
+                          + input_shape)
+    records = []
+
+    async def one(client: Client, n_samples: int) -> None:
+        t0 = time.perf_counter()
+        try:
+            response = await client.predict_raw(
+                network, payload[:n_samples], deadline_s=deadline_s
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            records.append(("error", None, n_samples))
+            return
+        latency = time.perf_counter() - t0
+        if response.get("ok"):
+            records.append(("ok", latency, n_samples))
+        elif response.get("error") == "shed":
+            records.append((f"shed:{response.get('reason')}", None,
+                            n_samples))
+        elif response.get("error") == "deadline":
+            records.append(("deadline", None, n_samples))
+        else:
+            records.append(("error", None, n_samples))
+
+    if mode == "closed":
+        queue = asyncio.Queue()
+        for entry in trace:
+            queue.put_nowait(entry)
+
+        async def worker() -> None:
+            async with Client("127.0.0.1", server.port,
+                              client_id=f"closed-{id(asyncio.current_task())}"
+                              ) as client:
+                while True:
+                    try:
+                        _, n_samples = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    await one(client, n_samples)
+
+        await asyncio.gather(*(worker() for _ in range(concurrency)))
+        return records
+
+    # Open loop: a free-connection pool; arrivals never wait for each
+    # other, so the pool grows to the true in-flight demand.
+    pool = []
+
+    async def fire(n_samples: int) -> None:
+        if pool:
+            client = pool.pop()
+        else:
+            client = await Client("127.0.0.1", server.port,
+                                  client_id="open").connect()
+        try:
+            await one(client, n_samples)
+        finally:
+            pool.append(client)
+
+    t_start = time.perf_counter()
+    tasks = []
+    for offset, n_samples in trace:
+        delay = offset - (time.perf_counter() - t_start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(n_samples)))
+    await asyncio.gather(*tasks)
+    for client in pool:
+        await client.close()
+    return records
+
+
+async def _run(network: str, *, mode: str, duration_s: float,
+               rate_rps: float, concurrency: int, batch: int,
+               phase_length: int, seed: int, deadline_s: float,
+               config: ServeConfig) -> LoadtestResult:
+    trace = generate_trace(duration_s=duration_s, rate_rps=rate_rps,
+                           batch=batch, seed=seed)
+    if not trace:
+        trace = [(0.0, 1)]
+    async with Server(config) as server:
+        shape = server.registry.input_shape(network)
+        t0 = time.perf_counter()
+        records = await _replay(
+            server, network, mode=mode, trace=trace,
+            concurrency=concurrency, deadline_s=deadline_s,
+            input_shape=shape, seed=seed,
+        )
+        elapsed = time.perf_counter() - t0
+        metrics = await _server_counters(server)
+    latencies = np.array([lat for outcome, lat, _ in records
+                          if outcome == "ok"])
+    ok_samples = sum(n for outcome, _, n in records if outcome == "ok")
+    shed_reasons = {}
+    for outcome, _, _ in records:
+        if outcome.startswith("shed:"):
+            reason = outcome.split(":", 1)[1]
+            shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+    result = LoadtestResult(
+        network=network, mode=mode, duration_s=duration_s,
+        concurrency=concurrency, offered_rps=rate_rps, batch=batch,
+        phase_length=phase_length, seed=seed,
+        requests=len(records),
+        completed=int(latencies.size),
+        shed=sum(shed_reasons.values()),
+        deadline_expired=sum(1 for o, _, _ in records
+                             if o == "deadline"),
+        errors=sum(1 for o, _, _ in records if o == "error"),
+        shed_reasons=shed_reasons,
+        elapsed_s=elapsed,
+        server=metrics,
+    )
+    if latencies.size:
+        result.p50_ms = float(np.percentile(latencies, 50) * 1e3)
+        result.p95_ms = float(np.percentile(latencies, 95) * 1e3)
+        result.p99_ms = float(np.percentile(latencies, 99) * 1e3)
+        result.mean_ms = float(latencies.mean() * 1e3)
+        result.max_ms = float(latencies.max() * 1e3)
+        result.throughput_rps = result.completed / elapsed
+        result.samples_per_s = ok_samples / elapsed
+    return result
+
+
+async def _server_counters(server: Server) -> dict:
+    counters = dict(server.counters)
+    counters["peak_in_flight"] = server.admission.peak_in_flight
+    counters["max_queue_depth"] = server.admission.max_depth
+    return counters
+
+
+def run_loadtest(network: str = "mnist_mlp", *, mode: str = "closed",
+                 duration_s: float = 5.0, rate_rps: float = 50.0,
+                 concurrency: int = 4, batch: int = 4,
+                 phase_length: int = 16, seed: int = 0,
+                 deadline_s: float = None, workers: int = 2,
+                 backend: str = "thread", max_queue_depth: int = 32,
+                 quota_rate: float = 0.0) -> LoadtestResult:
+    """Self-contained load bench: in-process server, replayed trace.
+
+    ``mode="closed"`` measures sustainable latency (the trace is a work
+    queue under a concurrency cap); ``mode="open"`` replays the trace's
+    Poisson arrival times on the wall clock, so offered load above
+    capacity exercises admission control and the shed path.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"unknown mode {mode!r}; use 'closed' or 'open'")
+    from ..runtime import RuntimeConfig
+    config = ServeConfig(
+        port=0, models=(network,),
+        max_queue_depth=max_queue_depth, quota_rate=quota_rate,
+        phase_length=phase_length, seed=seed,
+        runtime=RuntimeConfig(workers=workers, backend=backend,
+                              shard_size=max(1, batch // 2),
+                              max_batch=4 * batch, max_wait_s=0.002),
+    )
+    return asyncio.run(_run(
+        network, mode=mode, duration_s=duration_s, rate_rps=rate_rps,
+        concurrency=concurrency, batch=batch, phase_length=phase_length,
+        seed=seed, deadline_s=deadline_s, config=config,
+    ))
+
+
+def write_bench_artifact(results, path="BENCH_6.json",
+                         quick: bool = False) -> pathlib.Path:
+    """Persist runs as the BENCH_6 artifact (schema mirrors BENCH_2)."""
+    if isinstance(results, LoadtestResult):
+        results = [results]
+    path = pathlib.Path(path)
+    path.write_text(json.dumps({
+        "bench": "BENCH_6",
+        "title": "serving-layer traffic replay (open/closed loop)",
+        "quick": quick,
+        "runs": [r.to_dict() for r in results],
+    }, indent=2) + "\n")
+    return path
+
+
+def format_loadtest(result: LoadtestResult) -> str:
+    """Render one run as the report the CLI prints."""
+    rows = [
+        ("requests", result.requests),
+        ("completed", result.completed),
+        ("shed", f"{result.shed} ({result.shed_rate:.1%})"),
+        ("deadline expired", result.deadline_expired),
+        ("errors", result.errors),
+        ("latency p50 [ms]", f"{result.p50_ms:.2f}"),
+        ("latency p95 [ms]", f"{result.p95_ms:.2f}"),
+        ("latency p99 [ms]", f"{result.p99_ms:.2f}"),
+        ("latency mean/max [ms]",
+         f"{result.mean_ms:.2f} / {result.max_ms:.2f}"),
+        ("throughput [req/s]", f"{result.throughput_rps:.2f}"),
+        ("offered [req/s]", f"{result.offered_rps:.2f}"),
+        ("peak in-flight",
+         f"{result.server.get('peak_in_flight', 0)}"
+         f"/{result.server.get('max_queue_depth', 0)}"),
+    ]
+    if result.shed_reasons:
+        rows.append(("shed reasons", ", ".join(
+            f"{reason}={count}" for reason, count
+            in sorted(result.shed_reasons.items()))))
+    return format_table(
+        ["metric", "value"], rows,
+        title=f"Loadtest — {result.network}, {result.mode} loop, "
+              f"{result.duration_s:.0f}s, concurrency "
+              f"{result.concurrency}, phase length {result.phase_length}",
+    )

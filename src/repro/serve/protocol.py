@@ -1,0 +1,109 @@
+"""Length-prefixed JSON wire protocol for the serving layer.
+
+Every message — request or response — is one UTF-8 JSON object framed
+by a 4-byte big-endian length prefix.  The framing is symmetric, so the
+same two functions serve both sides of the connection, and a connection
+carries a strict request/response alternation (pipelining is a client
+concern: open more connections).
+
+Request types (the ``type`` field):
+
+``predict``
+    ``{"type": "predict", "model": name, "x": nested lists or
+    encode_array() dict, "id": opt, "client": opt, "deadline_s": opt}``
+    -> ``{"ok": true, "id": ..., "logits": [...], "argmax": [...],
+    "latency_s": ...}`` or a shed/error response (below).
+``metrics``
+    -> ``{"ok": true, "server": {...}, "models": {name: snapshot},
+    "kernels": {name: [calls, seconds]}}`` — the ``/metrics``-style
+    endpoint; see ``docs/serving.md`` for the schema.
+``ping``
+    -> ``{"ok": true, "type": "pong"}`` — liveness / drain probe.
+
+Failure responses carry ``"ok": false`` plus ``"error"``: ``"shed"``
+(with ``"reason"``: ``queue_full`` / ``quota`` / ``draining``),
+``"deadline"``, ``"bad_request"``, or ``"internal"``.  Shed and
+deadline responses are *protocol-level backpressure*: the connection
+stays usable and the client is expected to back off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+
+__all__ = ["MAX_MESSAGE_BYTES", "ProtocolError", "decode_array",
+           "encode_array", "read_message", "write_message"]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one framed message; a peer announcing more is treated
+#: as corrupt (or hostile) framing rather than an allocation request.
+MAX_MESSAGE_BYTES = 32 << 20
+
+
+class ProtocolError(RuntimeError):
+    """Malformed framing or JSON on the wire."""
+
+
+def encode_array(x: np.ndarray) -> dict:
+    """JSON-encodable ``{"shape": [...], "data": flat list}`` form.
+
+    Flat row-major data avoids the deep nesting of ``tolist()`` for
+    high-rank activation tensors and round-trips exactly for float64.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return {"shape": list(x.shape), "data": x.reshape(-1).tolist()}
+
+
+def decode_array(obj) -> np.ndarray:
+    """Inverse of :func:`encode_array`; nested lists also accepted."""
+    if isinstance(obj, dict):
+        try:
+            shape = tuple(int(d) for d in obj["shape"])
+            data = obj["data"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed array object: {exc}") from exc
+        arr = np.asarray(data, dtype=np.float64)
+        try:
+            return arr.reshape(shape)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    try:
+        return np.asarray(obj, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"not an array: {exc}") from exc
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict:
+    """Read one framed JSON message; raises ``IncompleteReadError`` on
+    clean EOF at a frame boundary and :class:`ProtocolError` on junk."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte message bound"
+        )
+    payload = await reader.readexactly(length)
+    try:
+        message = json.loads(payload)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Frame and send one JSON message, draining the transport."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte frame"
+        )
+    writer.write(_HEADER.pack(len(payload)) + payload)
+    await writer.drain()

@@ -457,3 +457,53 @@ class TestDisabledOverhead:
         obs.enable()
         traced = net.forward(x)
         np.testing.assert_array_equal(baseline, traced)
+
+
+class TestCounterScopes:
+    """Snapshot-delta windows: per-request metrics on a global store."""
+
+    def test_delta_since_reports_only_new_activity(self):
+        store = obs.CounterStore()
+        store.record("word:or", 0.5)
+        baseline = store.snapshot()
+        store.record("word:or", 0.25)
+        store.record("encode:act", 0.1)
+        delta = store.delta_since(baseline)
+        assert delta == {"word:or": (1, 0.25), "encode:act": (1, 0.1)}
+
+    def test_idle_store_delta_is_empty(self):
+        store = obs.CounterStore()
+        store.record("word:or", 0.5)
+        assert store.delta_since(store.snapshot()) == {}
+
+    def test_scope_window_and_rebase(self):
+        store = obs.CounterStore()
+        scope = store.scope()
+        store.record("k", 1.0)
+        assert scope.delta() == {"k": (1, 1.0)}
+        scope.rebase()
+        assert scope.delta() == {}
+        store.record("k", 2.0)
+        assert scope.delta() == {"k": (1, 2.0)}
+
+    def test_concurrent_scopes_do_not_disturb_each_other(self):
+        # Scoping must never reset: the process-lifetime totals and any
+        # other open scope keep accumulating unchanged.
+        store = obs.CounterStore()
+        outer = store.scope()
+        store.record("k", 1.0)
+        with store.scope() as inner:
+            store.record("k", 1.0)
+        assert inner.delta() == {"k": (1, 1.0)}
+        assert outer.delta() == {"k": (2, 2.0)}
+        calls, total = store.snapshot()["k"]
+        assert (calls, total) == (2, 2.0)
+
+    def test_kernel_counters_scope_tracks_real_kernels(self):
+        with obs.KERNEL_COUNTERS.scope() as scope:
+            with obs.kernel_section("scope-probe"):
+                pass
+        delta = scope.delta()
+        assert "scope-probe" in delta
+        calls, seconds = delta["scope-probe"]
+        assert calls == 1 and seconds >= 0.0

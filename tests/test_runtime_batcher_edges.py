@@ -1,0 +1,217 @@
+"""Batcher/pool edge cases the serving layer leans on.
+
+The asyncio server (repro.serve) turns request deadlines into Future
+cancellations and maps :class:`BatcherClosedError` to shed responses,
+so the exact close/cancel semantics of the batcher and pool are load-
+bearing: a request must never be silently dropped, a cancelled request
+must never be computed if cancellation wins the race to the flush, and
+close must be callable from any number of threads at once.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.networks import mnist_mlp
+from repro.runtime import (BatcherClosedError, DynamicBatcher,
+                           InferenceRuntime, RuntimeConfig)
+from repro.simulator import SCConfig, SCNetwork
+
+
+def _echo_process(arrays):
+    return [np.asarray(x) * 2.0 for x in arrays]
+
+
+def _runtime(**overrides):
+    defaults = dict(workers=2, backend="thread", shard_size=2,
+                    max_batch=8, max_wait_s=0.005)
+    defaults.update(overrides)
+    sc = SCNetwork.from_trained(mnist_mlp(seed=0),
+                                SCConfig(phase_length=4))
+    return InferenceRuntime(sc, (1, 28, 28),
+                            config=RuntimeConfig(**defaults))
+
+
+class TestZeroTimeoutFlush:
+    def test_zero_wait_flushes_immediately(self):
+        with DynamicBatcher(_echo_process, max_batch=64,
+                            max_wait_s=0.0) as batcher:
+            future = batcher.submit(np.ones((1, 2)))
+            np.testing.assert_array_equal(
+                future.result(timeout=5.0), np.full((1, 2), 2.0))
+
+    def test_zero_wait_through_runtime(self):
+        with _runtime(max_wait_s=0.0) as runtime:
+            x = np.random.default_rng(0).uniform(0, 1, (2, 1, 28, 28))
+            logits = runtime.submit(x).result(timeout=30.0)
+            assert logits.shape[0] == 2
+
+
+class TestCloseSemantics:
+    def test_submit_after_close_raises_typed_error(self):
+        batcher = DynamicBatcher(_echo_process, max_batch=4,
+                                 max_wait_s=0.01)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(np.ones((1, 2)))
+        # Typed, but still the historical RuntimeError for old callers.
+        assert issubclass(BatcherClosedError, RuntimeError)
+
+    def test_close_idempotent_and_reentrant(self):
+        batcher = DynamicBatcher(_echo_process, max_batch=4,
+                                 max_wait_s=0.01)
+        batcher.close()
+        batcher.close()
+        batcher.close()
+
+    def test_drain_on_close_resolves_queued_requests_in_order(self):
+        # Nothing can flush on its own (huge window, huge batch): close
+        # must drain the queue, and results must land per-request.
+        with DynamicBatcher(_echo_process, max_batch=1024,
+                            max_wait_s=60.0) as batcher:
+            futures = [batcher.submit(np.full((1, 2), float(i)))
+                       for i in range(5)]
+            batcher.close()
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(
+                    future.result(timeout=1.0), np.full((1, 2), 2.0 * i))
+
+    def test_concurrent_close_and_submit_never_drops_a_request(self):
+        batcher = DynamicBatcher(_echo_process, max_batch=4,
+                                 max_wait_s=0.001)
+        futures, refused = [], []
+        start = threading.Barrier(5)
+
+        def submitter():
+            start.wait()
+            for i in range(20):
+                try:
+                    futures.append(batcher.submit(np.full((1, 2), 1.0)))
+                except BatcherClosedError:
+                    refused.append(i)
+
+        def closer():
+            start.wait()
+            batcher.close()
+
+        threads = ([threading.Thread(target=submitter) for _ in range(3)]
+                   + [threading.Thread(target=closer),
+                      threading.Thread(target=closer)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        # Every accepted submission resolved; none hangs or errors.
+        for future in futures:
+            np.testing.assert_array_equal(
+                future.result(timeout=1.0), np.full((1, 2), 2.0))
+
+
+class TestCancellation:
+    def test_cancelled_queued_request_is_never_computed(self):
+        release = threading.Event()
+        calls = []
+
+        def gated(arrays):
+            calls.append([np.array(a) for a in arrays])
+            release.wait(timeout=5.0)
+            return [np.asarray(x) for x in arrays]
+
+        batcher = DynamicBatcher(gated, max_batch=1, max_wait_s=0.0)
+        try:
+            first = batcher.submit(np.full((1, 2), 1.0))
+            # Wait until the collector is inside gated() with request 1.
+            deadline = time.monotonic() + 5.0
+            while not calls and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert calls, "collector never picked up the first wave"
+            second = batcher.submit(np.full((1, 2), 2.0))
+            assert second.cancel()
+            release.set()
+            first.result(timeout=5.0)
+        finally:
+            release.set()
+            batcher.close()
+        assert second.cancelled()
+        # The cancelled request's samples were never processed.
+        assert all(float(wave[0][0, 0]) == 1.0 for wave in calls)
+
+    def test_cancel_losing_the_race_still_gets_a_result(self):
+        # Deadline expiry racing a flush: once the wave is marked
+        # RUNNING, cancel() must fail cleanly and the result must land
+        # without InvalidStateError.
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(arrays):
+            entered.set()
+            release.wait(timeout=5.0)
+            return [np.asarray(x) * 2.0 for x in arrays]
+
+        with DynamicBatcher(gated, max_batch=1, max_wait_s=0.0) as batcher:
+            future = batcher.submit(np.full((1, 2), 3.0))
+            assert entered.wait(timeout=5.0)
+            assert not future.cancel()   # already running: too late
+            release.set()
+            np.testing.assert_array_equal(
+                future.result(timeout=5.0), np.full((1, 2), 6.0))
+
+    def test_wave_of_only_cancelled_requests_skips_processing(self):
+        calls = []
+        with DynamicBatcher(lambda arrays: calls.append(len(arrays))
+                            or [np.asarray(x) for x in arrays],
+                            max_batch=1024, max_wait_s=60.0) as batcher:
+            futures = [batcher.submit(np.ones((1, 2))) for _ in range(3)]
+            for future in futures:
+                assert future.cancel()
+            batcher.close()
+        assert calls == []
+        assert all(f.cancelled() for f in futures)
+
+
+class TestWorkerPoolClose:
+    def _pool(self):
+        sc = SCNetwork.from_trained(mnist_mlp(seed=0),
+                                    SCConfig(phase_length=4))
+        runtime = InferenceRuntime(
+            sc, (1, 28, 28),
+            config=RuntimeConfig(workers=2, backend="thread",
+                                 shard_size=2))
+        return runtime
+
+    def test_close_concurrent_from_many_threads(self):
+        runtime = self._pool()
+        pool = runtime.pool
+        x = np.random.default_rng(1).uniform(0, 1, (2, 1, 28, 28))
+        pool.run_batch(x)   # spin the executor up
+        threads = [threading.Thread(target=pool.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        runtime.close()
+
+    def test_submit_after_close_raises_typed_error(self):
+        runtime = self._pool()
+        runtime.pool.close()
+        x = np.random.default_rng(1).uniform(0, 1, (2, 1, 28, 28))
+        with pytest.raises(BatcherClosedError):
+            runtime.pool.run_batch(x)
+        runtime.close()
+
+    def test_runtime_submit_after_close_is_typed(self):
+        runtime = self._pool()
+        runtime.close()
+        with pytest.raises(BatcherClosedError):
+            runtime.infer(np.zeros((1, 1, 28, 28)))
+
+    def test_pool_close_still_idempotent(self):
+        runtime = self._pool()
+        runtime.pool.close()
+        runtime.pool.close()
+        runtime.close()
+        runtime.close()

@@ -1,0 +1,279 @@
+"""Unit tests for the serving layer's building blocks.
+
+Protocol framing, token buckets, the admission controller, and the
+model registry — everything below the socket.  End-to-end server tests
+live in ``tests/test_serve_server.py``.
+"""
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runtime import RuntimeConfig
+from repro.serve import (AdmissionController, ModelRegistry, ProtocolError,
+                         QuotaTable, ServeConfig, TokenBucket, decode_array,
+                         encode_array, read_message, write_message)
+from repro.serve import registry as registry_mod
+
+
+class TestArrayCodec:
+    def test_round_trip_exact(self):
+        x = np.random.default_rng(0).uniform(-1, 1, (3, 1, 4, 4))
+        out = decode_array(json.loads(json.dumps(encode_array(x))))
+        np.testing.assert_array_equal(out, x)
+        assert out.dtype == np.float64
+
+    def test_nested_lists_accepted(self):
+        np.testing.assert_array_equal(
+            decode_array([[1.0, 2.0], [3.0, 4.0]]),
+            np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_shape_mismatch_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_array({"shape": [2, 3], "data": [1.0, 2.0]})
+
+    def test_malformed_array_object(self):
+        with pytest.raises(ProtocolError):
+            decode_array({"shape": "nope"})
+        with pytest.raises(ProtocolError):
+            decode_array("just a string")
+
+
+class _CollectingWriter:
+    """StreamWriter stand-in capturing framed bytes."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    async def drain(self):
+        pass
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+def _feed_reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_write_then_read_round_trips(self):
+        async def run():
+            writer = _CollectingWriter()
+            message = {"type": "ping", "x": [1, 2, 3]}
+            await write_message(writer, message)
+            return await read_message(_feed_reader(writer.data))
+
+        assert asyncio.run(run()) == {"type": "ping", "x": [1, 2, 3]}
+
+    def test_oversize_frame_rejected(self):
+        async def run():
+            huge = struct.pack(">I", (64 << 20) + 1)
+            with pytest.raises(ProtocolError, match="bound"):
+                await read_message(_feed_reader(huge + b"x"))
+
+        asyncio.run(run())
+
+    def test_invalid_json_rejected(self):
+        async def run():
+            frame = struct.pack(">I", 4) + b"{{{{"
+            with pytest.raises(ProtocolError, match="JSON"):
+                await read_message(_feed_reader(frame))
+
+        asyncio.run(run())
+
+    def test_non_object_message_rejected(self):
+        async def run():
+            payload = b"[1,2]"
+            frame = struct.pack(">I", len(payload)) + payload
+            with pytest.raises(ProtocolError, match="object"):
+                await read_message(_feed_reader(frame))
+
+        asyncio.run(run())
+
+    def test_eof_mid_frame_is_incomplete_read(self):
+        async def run():
+            frame = struct.pack(">I", 100) + b"short"
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_message(_feed_reader(frame))
+
+        asyncio.run(run())
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.try_acquire(now=0.0)
+        assert bucket.try_acquire(now=0.0)
+        assert not bucket.try_acquire(now=0.0)    # burst exhausted
+        assert not bucket.try_acquire(now=0.5)    # half a token back
+        assert bucket.try_acquire(now=1.6)        # refilled past 1.0
+        assert not bucket.try_acquire(now=1.6)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        assert bucket.try_acquire(now=100.0)
+        assert bucket.try_acquire(now=100.0)
+        assert not bucket.try_acquire(now=100.0)
+
+    def test_clock_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=10.0)
+        assert bucket.try_acquire(now=10.0)
+        assert not bucket.try_acquire(now=5.0)    # skew ignored
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestQuotaTable:
+    def test_rate_zero_always_admits(self):
+        table = QuotaTable(rate=0.0, burst=1.0)
+        assert all(table.admit("c", now=0.0) for _ in range(100))
+        assert len(table) == 0
+
+    def test_clients_are_independent(self):
+        table = QuotaTable(rate=0.001, burst=1.0)
+        assert table.admit("a", now=0.0)
+        assert not table.admit("a", now=0.0)
+        assert table.admit("b", now=0.0)   # b's bucket is fresh
+        assert len(table) == 2
+
+
+class TestAdmissionController:
+    def test_depth_bound_and_release(self):
+        ctrl = AdmissionController(max_depth=2)
+        assert ctrl.admit("a") is None
+        assert ctrl.admit("a") is None
+        assert ctrl.admit("a") == "queue_full"
+        ctrl.release()
+        assert ctrl.admit("a") is None
+        assert ctrl.peak_in_flight == 2
+
+    def test_draining_shed_first(self):
+        ctrl = AdmissionController(max_depth=1, quota_rate=0.001,
+                                   quota_burst=1.0)
+        ctrl.draining = True
+        assert ctrl.admit("a") == "draining"
+        assert ctrl.in_flight == 0
+
+    def test_quota_checked_before_depth(self):
+        ctrl = AdmissionController(max_depth=8, quota_rate=0.001,
+                                   quota_burst=1.0)
+        assert ctrl.admit("noisy", now=0.0) is None
+        assert ctrl.admit("noisy", now=0.0) == "quota"
+        assert ctrl.in_flight == 1
+
+    def test_release_underflow_raises(self):
+        ctrl = AdmissionController(max_depth=1)
+        with pytest.raises(RuntimeError):
+            ctrl.release()
+
+
+@pytest.fixture
+def fast_zoo(monkeypatch):
+    """Alias three registry keys onto the cheapest zoo network so
+    LRU tests compile in milliseconds-scale, not minutes."""
+    mlp = registry_mod.BENCH_NETWORKS["mnist_mlp"]
+    for alias in ("zoo_a", "zoo_b", "zoo_c"):
+        monkeypatch.setitem(registry_mod.BENCH_NETWORKS, alias, mlp)
+    return ("zoo_a", "zoo_b", "zoo_c")
+
+
+class TestModelRegistry:
+    def test_warm_up_precompiles_and_pins(self, fast_zoo):
+        with ModelRegistry(warm=("zoo_a",), max_loaded=2,
+                           phase_length=4) as registry:
+            registry.warm_up()
+            assert registry.loaded() == ("zoo_a",)
+            registry.get("zoo_b")
+            registry.get("zoo_c")   # evicts zoo_b, never warm zoo_a
+            assert set(registry.loaded()) == {"zoo_a", "zoo_c"}
+            assert registry.evictions == 1
+
+    def test_lru_order_refreshes_on_get(self, fast_zoo):
+        with ModelRegistry(warm=(), max_loaded=2,
+                           phase_length=4) as registry:
+            registry.get("zoo_a")
+            registry.get("zoo_b")
+            registry.get("zoo_a")   # zoo_a now MRU
+            registry.get("zoo_c")   # evicts zoo_b
+            assert set(registry.loaded()) == {"zoo_a", "zoo_c"}
+
+    def test_evicted_runtime_is_closed(self, fast_zoo):
+        from repro.runtime import BatcherClosedError
+        with ModelRegistry(warm=(), max_loaded=1,
+                           phase_length=4) as registry:
+            first = registry.get("zoo_a")
+            registry.get("zoo_b")
+            with pytest.raises(BatcherClosedError):
+                first.infer(np.zeros((1, 1, 28, 28)))
+
+    def test_unknown_model_raises_keyerror(self):
+        registry = ModelRegistry(warm=(), max_loaded=1)
+        with pytest.raises(KeyError, match="unknown model"):
+            registry.get("not_a_network")
+        with pytest.raises(KeyError, match="unknown warm"):
+            ModelRegistry(warm=("not_a_network",))
+
+    def test_closed_registry_refuses_lookups(self, fast_zoo):
+        registry = ModelRegistry(warm=(), max_loaded=1, phase_length=4)
+        registry.close()
+        registry.close()   # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            registry.get("zoo_a")
+
+    def test_snapshots_cover_resident_models(self, fast_zoo):
+        with ModelRegistry(warm=(), max_loaded=2,
+                           phase_length=4) as registry:
+            runtime = registry.get("zoo_a")
+            runtime.infer(np.zeros((1, 1, 28, 28)))
+            snapshots = registry.snapshots()
+            assert set(snapshots) == {"zoo_a"}
+            assert snapshots["zoo_a"].requests == 1
+
+    def test_results_identical_to_direct_runtime(self, fast_zoo):
+        # Serving through the registry must not change any bits.
+        from repro.simulator import SCConfig, SCNetwork
+        from repro.runtime import InferenceRuntime
+        from repro.networks import mnist_mlp
+        x = np.random.default_rng(3).uniform(0, 1, (2, 1, 28, 28))
+        with ModelRegistry(warm=(), max_loaded=1, phase_length=4,
+                           seed=0) as registry:
+            served = registry.get("zoo_a").infer(x)
+        sc = SCNetwork.from_trained(mnist_mlp(seed=0),
+                                    SCConfig(phase_length=4))
+        with InferenceRuntime(sc, (1, 28, 28)) as direct:
+            np.testing.assert_array_equal(served, direct.infer(x))
+
+
+class TestServeConfig:
+    def test_single_model_string_normalized(self):
+        config = ServeConfig(models="mnist_mlp")
+        assert config.models == ("mnist_mlp",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            ServeConfig(quota_rate=-1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(default_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(models=("mnist_mlp", "lenet5"), max_loaded=1)
+
+    def test_runtime_template_threaded_through(self):
+        config = ServeConfig(runtime=RuntimeConfig(workers=3))
+        assert config.runtime.workers == 3

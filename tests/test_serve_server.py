@@ -1,0 +1,306 @@
+"""End-to-end tests of the asyncio serving layer.
+
+Every test boots a real :class:`Server` on an ephemeral port and talks
+to it over TCP with the real :class:`Client` — admission control,
+deadlines, metrics and graceful drain are exercised through the wire
+protocol, exactly as production traffic would.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.networks import mnist_mlp
+from repro.runtime import InferenceRuntime, RuntimeConfig
+from repro.serve import Client, ServeConfig, Server
+from repro.simulator import SCConfig, SCNetwork
+
+PHASE = 4
+SHAPE = (1, 28, 28)
+
+
+def _config(**overrides):
+    defaults = dict(
+        port=0, models=("mnist_mlp",), phase_length=PHASE, seed=0,
+        runtime=RuntimeConfig(workers=2, backend="thread", shard_size=2,
+                              max_batch=16, max_wait_s=0.002),
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _x(n=2, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 1.0, (n,) + SHAPE)
+
+
+class TestPredict:
+    def test_round_trip_bit_identical_to_library(self):
+        # The wire adds framing, batching and admission — but never
+        # changes a single bit of the logits.
+        x = _x(3)
+
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict("mnist_mlp", x)
+
+        served = asyncio.run(run())
+        sc = SCNetwork.from_trained(mnist_mlp(seed=0),
+                                    SCConfig(phase_length=PHASE))
+        with InferenceRuntime(sc, SHAPE) as direct:
+            np.testing.assert_array_equal(served, direct.infer(x))
+
+    def test_unbatched_sample_is_auto_batched(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    response = await client.predict_raw(
+                        "mnist_mlp", _x(1)[0])
+                    return response
+
+        response = asyncio.run(run())
+        assert response["ok"]
+        assert len(response["argmax"]) == 1
+
+    def test_unknown_model_is_bad_request(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict_raw("nope", _x(1))
+
+        response = asyncio.run(run())
+        assert response == {
+            "ok": False, "error": "bad_request", "id": response["id"],
+            "detail": response["detail"],
+        }
+        assert "unknown model" in response["detail"]
+
+    def test_wrong_shape_is_bad_request(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict_raw(
+                        "mnist_mlp", np.zeros((2, 3, 5, 5)))
+
+        response = asyncio.run(run())
+        assert not response["ok"]
+        assert response["error"] == "bad_request"
+
+    def test_unknown_message_type_is_bad_request(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.request({"type": "frobnicate"})
+
+        response = asyncio.run(run())
+        assert response["error"] == "bad_request"
+
+    def test_many_concurrent_clients_all_complete(self):
+        async def run():
+            async with Server(_config()) as server:
+
+                async def one(i):
+                    async with Client("127.0.0.1", server.port) as c:
+                        return await c.predict_raw("mnist_mlp",
+                                                   _x(1, seed=i))
+
+                return await asyncio.gather(*(one(i) for i in range(8)))
+
+        responses = asyncio.run(run())
+        assert all(r["ok"] for r in responses)
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_backpressure(self):
+        # Depth 1 and a wide batch window: the first request is parked
+        # in the batcher while the rest arrive, so exactly one is
+        # admitted and the others get an explicit shed — the queue
+        # never grows past the bound.
+        config = _config(
+            max_queue_depth=1,
+            runtime=RuntimeConfig(workers=1, backend="thread",
+                                  shard_size=2, max_batch=64,
+                                  max_wait_s=0.1),
+        )
+
+        async def run():
+            async with Server(config) as server:
+
+                async def one(i):
+                    async with Client("127.0.0.1", server.port) as c:
+                        return await c.predict_raw("mnist_mlp", _x(1))
+
+                responses = await asyncio.gather(
+                    *(one(i) for i in range(5)))
+                return responses, server.admission.peak_in_flight
+
+        responses, peak = asyncio.run(run())
+        ok = [r for r in responses if r.get("ok")]
+        shed = [r for r in responses if r.get("error") == "shed"]
+        assert len(ok) == 1
+        assert len(shed) == 4
+        assert all(r["reason"] == "queue_full" for r in shed)
+        assert peak == 1
+
+    def test_quota_sheds_noisy_client_only(self):
+        config = _config(quota_rate=0.001, quota_burst=1.0)
+
+        async def run():
+            async with Server(config) as server:
+                async with Client("127.0.0.1", server.port,
+                                  client_id="noisy") as noisy:
+                    first = await noisy.predict_raw("mnist_mlp", _x(1))
+                    second = await noisy.predict_raw("mnist_mlp", _x(1))
+                async with Client("127.0.0.1", server.port,
+                                  client_id="quiet") as quiet:
+                    third = await quiet.predict_raw("mnist_mlp", _x(1))
+                return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert first["ok"]
+        assert second == {"ok": False, "error": "shed",
+                          "reason": "quota", "id": second["id"]}
+        assert third["ok"]
+
+    def test_deadline_expiry_answers_deadline_error(self):
+        # Batch window far beyond the deadline: the request sits queued
+        # until the deadline cancels it.
+        config = _config(
+            runtime=RuntimeConfig(workers=1, backend="thread",
+                                  shard_size=2, max_batch=64,
+                                  max_wait_s=0.5),
+        )
+
+        async def run():
+            async with Server(config) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict_raw(
+                        "mnist_mlp", _x(1), deadline_s=0.02)
+
+        response = asyncio.run(run())
+        assert response["ok"] is False
+        assert response["error"] == "deadline"
+        assert response["deadline_s"] == 0.02
+
+
+class TestMetricsEndpoint:
+    def test_schema_and_counters(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    await client.predict("mnist_mlp", _x(2))
+                    return await client.metrics()
+
+        metrics = asyncio.run(run())
+        assert metrics["ok"]
+        server = metrics["server"]
+        assert server["requests"] == 1
+        assert server["completed"] == 1
+        assert server["in_flight"] == 0
+        assert server["draining"] is False
+        assert server["warm_models"] == ["mnist_mlp"]
+        snapshot = metrics["models"]["mnist_mlp"]
+        # MetricsSnapshot fields survive the JSON trip, rates included.
+        assert snapshot["requests"] >= 1
+        assert snapshot["samples"] == 2
+        assert "samples_per_s" in snapshot
+        assert "stage_seconds" in snapshot
+        # Kernel counters are scoped to served traffic (warm-up kernels
+        # were rebased away), so they only contain this request's work.
+        assert metrics["kernels"]
+        for name, (calls, seconds) in metrics["kernels"].items():
+            assert calls > 0 and seconds >= 0.0
+
+    def test_shed_traffic_is_visible_in_metrics(self):
+        config = _config(quota_rate=0.001, quota_burst=1.0)
+
+        async def run():
+            async with Server(config) as server:
+                async with Client("127.0.0.1", server.port,
+                                  client_id="n") as client:
+                    await client.predict_raw("mnist_mlp", _x(1))
+                    await client.predict_raw("mnist_mlp", _x(1))
+                    return await client.metrics()
+
+        metrics = asyncio.run(run())
+        assert metrics["server"]["shed_quota"] == 1
+        assert metrics["server"]["quota_clients"] == 1
+
+
+class TestGracefulDrain:
+    def test_inflight_completes_while_new_requests_are_refused(self):
+        # Wide batch window parks the in-flight request long enough to
+        # start the drain underneath it.
+        config = _config(
+            runtime=RuntimeConfig(workers=1, backend="thread",
+                                  shard_size=2, max_batch=64,
+                                  max_wait_s=0.15),
+        )
+
+        async def run():
+            server = Server(config)
+            await server.start()
+            inflight_client = await Client("127.0.0.1",
+                                           server.port).connect()
+            inflight = asyncio.ensure_future(
+                inflight_client.predict_raw("mnist_mlp", _x(1)))
+            await asyncio.sleep(0.03)   # request parked in the batcher
+            late_client = await Client("127.0.0.1",
+                                       server.port).connect()
+            drain = asyncio.ensure_future(server.drain())
+            await asyncio.sleep(0.01)   # draining flag is now set
+            late = await late_client.predict_raw("mnist_mlp", _x(1))
+            first = await inflight
+            await drain
+            await inflight_client.close()
+            await late_client.close()
+            return first, late, server
+
+        first, late, server = asyncio.run(run())
+        assert first["ok"], "in-flight request must complete"
+        assert late == {"ok": False, "error": "shed",
+                        "reason": "draining", "id": late["id"]}
+        assert server.counters["completed"] == 1
+        assert server.counters["shed_draining"] == 1
+
+    def test_drain_is_idempotent_and_closes_registry(self):
+        async def run():
+            server = Server(_config())
+            await server.start()
+            await server.drain()
+            await server.drain()
+            return server
+
+        server = asyncio.run(run())
+        with pytest.raises(RuntimeError):
+            server.registry.get("mnist_mlp")
+
+    def test_ping_reports_draining(self):
+        # The listening socket closes on drain, so probe via a
+        # connection opened before the drain started.
+        config = _config(
+            runtime=RuntimeConfig(workers=1, backend="thread",
+                                  shard_size=2, max_batch=64,
+                                  max_wait_s=0.15),
+        )
+
+        async def run():
+            server = Server(config)
+            await server.start()
+            client = await Client("127.0.0.1", server.port).connect()
+            inflight = asyncio.ensure_future(
+                client.predict_raw("mnist_mlp", _x(1)))
+            await asyncio.sleep(0.03)
+            probe = await Client("127.0.0.1", server.port).connect()
+            drain = asyncio.ensure_future(server.drain())
+            await asyncio.sleep(0.01)
+            pong = await probe.ping()
+            await inflight
+            await drain
+            await client.close()
+            await probe.close()
+            return pong
+
+        pong = asyncio.run(run())
+        assert pong["ok"] and pong["draining"] is True
