@@ -41,8 +41,14 @@ def test_runtime_throughput(benchmark, report):
     # a loaded CI box does not flake).
     assert mlp.cache_speedup > 1.5
     assert mlp.total_speedup > 1.5
-    # Steady-state inference should run almost entirely out of cache.
-    assert mlp.snapshot.cache_hit_rate > 0.8
+    # Steady-state inference never re-encodes constants: generic plans
+    # run almost entirely out of the weight-stream cache, specialized
+    # plans embed the packed streams in their kernel plans and stop
+    # consulting the cache at inference time altogether.
+    if mlp.specialization and mlp.specialization.get("enabled"):
+        assert mlp.specialization["totals"]["specialized_layers"] > 0
+    else:
+        assert mlp.snapshot.cache_hit_rate > 0.8
     # The conv workload must not regress: planned execution is never
     # slower than re-encoding the constants every call.
     assert conv.cache_speedup > 0.95

@@ -1,0 +1,213 @@
+"""Specialized kernel plans vs the generic word kernel (PR 7 A/B).
+
+Emits machine-readable ``BENCH_7.json`` (repo root) — see
+``docs/performance.md`` for the schema.  Three sections:
+
+1. **Micro-kernels** — ``split_or_matmul_counts`` (the PR 2 generic
+   word kernel, weight streams pre-encoded, i.e. its steady state) vs a
+   compiled :class:`SplitMatmulPlan` on the LeNet-5 conv2 shape, dense
+   and magnitude-pruned.  The plan runs **pure numpy** (no ``jit_or``
+   loop is passed), so the measured win comes from zero-lane skipping
+   and the retiled block schedule alone.  The acceptance bar lives
+   here: >= 1.5x on the pruned conv workload.
+2. **End-to-end A/B** — ``run_bench`` with ``specialize`` on vs off on
+   LeNet-5: identical logits, planned-serial seconds for both.
+3. **Zoo skip rates** — per-network specialization summaries (variant,
+   lanes skipped, autotuned block sizes) at compile time.
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke job) shrinks repeats and relaxes
+the speedup assertion to a sanity bound; the committed BENCH_7.json
+comes from a full run.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.runtime import (BENCH_NETWORKS, ExecutionPlan, run_bench)
+from repro.simulator import SCConfig, SCNetwork
+from repro.simulator.engine import (ENCODE_CACHE, SplitMatmulPlan,
+                                    encode_split_weight_streams,
+                                    split_or_matmul_counts)
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_7.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: LeNet-5 conv2 geometry: 16 output channels, 6*5*5 fan-in, 8x8 output.
+N_POS, N_CHAN, FAN_IN = 64, 16, 150
+PHASE_LENGTH = 128
+BITS = 8
+
+
+def _time_kernel(fn, repeats):
+    """Best-of-``repeats`` wall time (least-noise estimator)."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _prune_lanes(weights, keep_fraction, rng):
+    """Structured magnitude pruning: zero the weakest fan-in lanes.
+
+    Mirrors channel/filter pruning of a trained conv — whole input
+    lanes drop out, which is exactly the sparsity the specialization
+    stage exploits (an all-zero lane is never encoded or popcounted).
+    """
+    norms = np.abs(weights).sum(axis=0)
+    keep = max(1, int(round(keep_fraction * weights.shape[1])))
+    order = np.argsort(norms)
+    pruned = weights.copy()
+    pruned[:, order[:-keep]] = 0.0
+    return pruned
+
+
+def _micro_case(name, weights, repeats, seed=3):
+    """Generic word kernel (streams warm) vs compiled plan, pure numpy."""
+    rng = np.random.default_rng(seed)
+    acts = rng.random((N_POS, FAN_IN))
+    common = dict(length=PHASE_LENGTH, bits=BITS, scheme="lfsr", seed=seed)
+    streams = encode_split_weight_streams(weights, **common)
+
+    def run_generic():
+        return split_or_matmul_counts(acts, weights, accumulator="or",
+                                      weight_streams=streams,
+                                      kernel="word", **common)
+
+    # The plan is built for the workload geometry it will serve — that
+    # is what specialization means; ExecutionPlan derives the same thing
+    # per layer (chunk size from positions, block size from autotune).
+    plan = SplitMatmulPlan(weights, accumulator="or",
+                           weight_streams=streams,
+                           chunk_positions=N_POS, **common)
+    run_generic()                       # warm the encode-table cache
+    plan.execute(acts)
+    generic_s, generic_counts = _time_kernel(run_generic, repeats)
+    plan_s, plan_counts = _time_kernel(
+        lambda: plan.execute(acts, jit_or=None), repeats)
+    assert np.array_equal(generic_counts, plan_counts), name
+    product_bits = 2 * N_POS * N_CHAN * FAN_IN * PHASE_LENGTH
+    return {
+        "case": name,
+        "phase_length": PHASE_LENGTH,
+        "positions": N_POS, "channels": N_CHAN, "fan_in": FAN_IN,
+        "lanes_skipped_pct": round(100 * plan.lanes_skipped_fraction, 2),
+        "product_bits": product_bits,
+        "generic_s": generic_s, "plan_s": plan_s,
+        "generic_bits_per_s": product_bits / generic_s,
+        "plan_bits_per_s": product_bits / plan_s,
+        "speedup": generic_s / plan_s,
+    }
+
+
+def _zoo_skip_rates():
+    """Compile-time specialization summary per zoo network."""
+    out = {}
+    for name, (builder, shape) in sorted(BENCH_NETWORKS.items()):
+        sc = SCNetwork.from_trained(builder(seed=0),
+                                    SCConfig(phase_length=8))
+        plan = ExecutionPlan(sc, shape)
+        summary = plan.specialization_summary()
+        out[name] = {
+            "totals": summary["totals"],
+            "layers": summary["layers"],
+        }
+    return out
+
+
+def run_suite():
+    repeats = 2 if QUICK else 5
+    rng = np.random.default_rng(7)
+    ENCODE_CACHE.clear()
+    dense = rng.uniform(-1.0, 1.0, (N_CHAN, FAN_IN))
+    micro = [
+        _micro_case("or_conv_dense", dense, repeats),
+        _micro_case("or_conv_pruned_50",
+                    _prune_lanes(dense, 0.50, rng), repeats),
+        _micro_case("or_conv_pruned_25",
+                    _prune_lanes(dense, 0.25, rng), repeats),
+    ]
+
+    e2e_repeats = 1 if QUICK else 3
+    on = run_bench("lenet5", batch=8, repeats=e2e_repeats, workers=4,
+                   backend="thread", phase_length=16, kernel="word",
+                   specialize=True)
+    off = run_bench("lenet5", batch=8, repeats=e2e_repeats, workers=4,
+                    backend="thread", phase_length=16, kernel="word",
+                    specialize=False)
+    end_to_end = {
+        "network": "lenet5",
+        "batch": on.batch, "repeats": on.repeats,
+        "phase_length": on.phase_length, "kernel": "word",
+        "specialized_serial_img_per_s": on.throughput(on.planned_s),
+        "generic_serial_img_per_s": off.throughput(off.planned_s),
+        "specialized_pool_img_per_s": on.throughput(on.parallel_s),
+        "generic_pool_img_per_s": off.throughput(off.parallel_s),
+        "serial_speedup": (off.planned_s / on.planned_s
+                           if on.planned_s else 0.0),
+        "identical": bool(on.identical and off.identical),
+        "specialization": on.specialization,
+    }
+    return micro, end_to_end, _zoo_skip_rates()
+
+
+def test_specialization_throughput(benchmark, report):
+    micro, end_to_end, zoo = benchmark.pedantic(run_suite, rounds=1,
+                                                iterations=1)
+
+    payload = {
+        "bench": "BENCH_7",
+        "title": "specialized kernel plans vs generic word kernel",
+        "quick": QUICK,
+        "micro_kernels": micro,
+        "end_to_end": end_to_end,
+        "zoo_skip_rates": zoo,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        (m["case"], f"{m['lanes_skipped_pct']:.1f}%",
+         f"{m['generic_bits_per_s']:.3e}", f"{m['plan_bits_per_s']:.3e}",
+         f"{m['speedup']:.2f}x")
+        for m in micro
+    ]
+    table = format_table(
+        ["kernel case", "lanes skipped", "generic bits/s", "plan bits/s",
+         "speedup"],
+        rows,
+        title=f"Specialized plans — {N_POS}x{N_CHAN}x{FAN_IN} conv shape, "
+              f"pure numpy",
+    )
+    e2e_line = (f"end-to-end lenet5 planned serial: "
+                f"{end_to_end['generic_serial_img_per_s']:.2f} img/s "
+                f"generic -> "
+                f"{end_to_end['specialized_serial_img_per_s']:.2f} img/s "
+                f"specialized "
+                f"({end_to_end['serial_speedup']:.2f}x)")
+    skip_lines = "\n".join(
+        f"  {name}: {stats['totals']['lanes_skipped_pct']:.2f}% lanes "
+        f"skipped across {stats['totals']['specialized_layers']} layers"
+        for name, stats in zoo.items()
+    )
+    report("specialization_throughput",
+           table + "\n\n" + e2e_line + "\nzoo skip rates:\n" + skip_lines
+           + f"\n[json saved to {BENCH_PATH}]")
+
+    assert end_to_end["identical"]
+    pruned = next(m for m in micro if m["case"] == "or_conv_pruned_25")
+    if QUICK:
+        # Smoke bound only — shared CI runners are too noisy for the
+        # real bar, which the committed BENCH_7.json documents.
+        assert pruned["speedup"] > 1.1
+    else:
+        # The PR's acceptance criterion: >= 1.5x over the generic word
+        # kernel on a sparse conv workload, with no jit involved.
+        assert pruned["speedup"] >= 1.5

@@ -295,7 +295,7 @@ def _cmd_bench(args) -> int:
         args.network, batch=args.batch, repeats=args.repeats,
         workers=args.workers, backend=args.backend,
         shard_size=args.shard, phase_length=args.phase_length,
-        seed=args.seed, kernel=args.kernel,
+        seed=args.seed, kernel=args.kernel, specialize=args.specialize,
     )
     print(format_bench(result))
     return 0 if result.identical else 1
@@ -479,6 +479,14 @@ def build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="engine kernel (default: word, or "
                                 "REPRO_SC_KERNEL)")
+    bench_cmd.add_argument("--specialize", dest="specialize",
+                           action="store_true", default=True,
+                           help="run planned modes with per-layer "
+                                "specialized kernel plans (default)")
+    bench_cmd.add_argument("--no-specialize", dest="specialize",
+                           action="store_false",
+                           help="pin the generic kernels — the B side of "
+                                "the specialization A/B comparison")
 
     profile_cmd = sub.add_parser(
         "profile", help="trace a workload and write a Chrome-loadable "

@@ -66,17 +66,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from .. import obs
-from .graph import LayerNode, NetworkGraph
+from .graph import LayerNode, NetworkGraph, conv_output_hw
 
 __all__ = [
     "DEFAULT_PASSES",
+    "GroupFacts",
     "LEGALIZE_PASSES",
     "LoweringResult",
     "PassContext",
     "PassError",
     "PassManager",
     "fusion_groups",
+    "group_facts",
     "lower",
     "pass_names",
     "register_pass",
@@ -241,6 +245,85 @@ def fusion_groups(nodes) -> list:
             groups.append((i, i + 1))
             i += 1
     return groups
+
+
+@dataclass(frozen=True)
+class GroupFacts:
+    """Compile-time facts about one fused node, for kernel specializers.
+
+    This is what the pass pipeline *knows* at ``ExecutionPlan`` compile
+    time and used to throw away: MAC structure, exact weight sparsity
+    (the all-zero fan-in lanes ACOUSTIC's skipped datapath never
+    clocks), and the per-sample position count the kernel will stream.
+    Non-MAC nodes report zero fan-in and no sparsity.
+    """
+
+    index: int
+    kind: str
+    fan_in: int
+    out_channels: int
+    weight_count: int
+    #: Fan-in lanes (columns of ``weight.reshape(C, -1)``) that are
+    #: exactly zero for *every* output channel — skippable per se.
+    zero_weight_lanes: int
+    #: Fraction of exactly-zero weight entries (elementwise sparsity).
+    sparsity: float
+    #: Spatial output positions one sample streams through the MAC
+    #: (``oh * ow`` pre-pool for conv, 1 for linear, 0 otherwise).
+    positions: int
+    #: Facts of a residual node's body, in body order.
+    body: tuple = ()
+
+
+def _node_facts(info, index: int) -> GroupFacts:
+    node = info.node
+    if node.kind == "residual":
+        body = tuple(_node_facts(sub, i)
+                     for i, sub in enumerate(info.body))
+        return GroupFacts(index=index, kind="residual", fan_in=0,
+                          out_channels=0, weight_count=0,
+                          zero_weight_lanes=0, sparsity=0.0, positions=0,
+                          body=body)
+    zero_lanes = 0
+    sparsity = 0.0
+    positions = 0
+    if node.kind in ("conv", "linear"):
+        weight = node.params.get("weight")
+        if weight is not None:
+            w2d = np.asarray(weight).reshape(node.out_channels
+                                             if node.kind == "conv"
+                                             else node.out_features, -1)
+            zero_mask = w2d == 0.0
+            zero_lanes = int(zero_mask.all(axis=0).sum())
+            sparsity = float(zero_mask.mean()) if w2d.size else 0.0
+        if node.kind == "conv":
+            oh, ow = conv_output_hw(node, info.in_shape[1:])
+            positions = oh * ow
+        else:
+            positions = 1
+    return GroupFacts(
+        index=index, kind=node.kind, fan_in=node.fan_in,
+        out_channels=(node.out_channels if node.kind == "conv"
+                      else node.out_features if node.kind == "linear"
+                      else 0),
+        weight_count=node.weight_count, zero_weight_lanes=zero_lanes,
+        sparsity=sparsity, positions=positions,
+    )
+
+
+def group_facts(result: LoweringResult) -> list:
+    """Per-fused-node :class:`GroupFacts` of a shape-legalized lowering.
+
+    The bridge between the pass pipeline and kernel specialization:
+    :class:`~repro.runtime.plan.ExecutionPlan` consumes these to decide
+    which layers get specialized kernel plans and to size them.
+    Requires shape infos (lower with a known input shape).
+    """
+    if result.infos is None:
+        raise ValueError(
+            "group_facts needs shape infos — lower with an input shape")
+    return [_node_facts(info, index)
+            for index, info in enumerate(result.infos)]
 
 
 def _fuse_chain(nodes) -> list:

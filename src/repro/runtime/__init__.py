@@ -28,6 +28,10 @@ from .metrics import MetricsSnapshot, RuntimeMetrics
 from .plan import ExecutionPlan, LayerPlan
 from .profile import ProfileResult, format_profile, run_profile
 from .runtime import InferenceRuntime
+from .specialize import (GatherPlan, KernelPlan, Specialization,
+                         build_specialization, clear_specialization_cache,
+                         specialization_cache_info,
+                         specialization_fingerprint)
 from .workers import WorkerPool
 
 __all__ = [
@@ -38,5 +42,8 @@ __all__ = [
     "ExecutionPlan", "LayerPlan",
     "ProfileResult", "format_profile", "run_profile",
     "InferenceRuntime",
+    "GatherPlan", "KernelPlan", "Specialization", "build_specialization",
+    "clear_specialization_cache", "specialization_cache_info",
+    "specialization_fingerprint",
     "WorkerPool",
 ]

@@ -58,6 +58,10 @@ class BenchResult:
     identical: bool
     snapshot: object       # MetricsSnapshot of the parallel runtime
     plan_text: str
+    #: Whether the planned modes ran specialized kernel plans.
+    specialize: bool = True
+    #: ``ExecutionPlan.specialization_summary()`` of the planned runtime.
+    specialization: dict = None
 
     @property
     def samples(self) -> int:
@@ -93,13 +97,17 @@ def _clear_stream_caches(layers) -> None:
 def run_bench(network: str = "mnist_mlp", *, batch: int = 8,
               repeats: int = 3, workers: int = 4, backend: str = "thread",
               shard_size: int = None, phase_length: int = 32,
-              seed: int = 0, kernel: str = None) -> BenchResult:
+              seed: int = 0, kernel: str = None,
+              specialize: bool = True) -> BenchResult:
     """Run the three-mode benchmark on one zoo network.
 
     Weights are untrained (throughput does not depend on values); the
     per-shard bit-exactness checks are what matter.  ``kernel`` selects
     the engine implementation ("word"/"byte"); ``None`` uses the
-    environment default.
+    environment default.  ``specialize`` toggles the planned modes'
+    per-layer kernel plans (the serial uncached mode is always the
+    generic forward, so mode 1 vs mode 2 is the A/B the
+    ``--specialize``/``--no-specialize`` CLI flags expose).
     """
     builder, shape = BENCH_NETWORKS[network]
     if shard_size is None:
@@ -125,7 +133,8 @@ def run_bench(network: str = "mnist_mlp", *, batch: int = 8,
     # Mode 2 — planned serial.
     serial_runtime = InferenceRuntime(
         sc, shape, config=RuntimeConfig(workers=1, backend="serial",
-                                        shard_size=shard_size),
+                                        shard_size=shard_size,
+                                        specialize=specialize),
     )
     with serial_runtime:
         serial_runtime.infer(x)  # warm-up (pool spin-up excluded)
@@ -137,7 +146,8 @@ def run_bench(network: str = "mnist_mlp", *, batch: int = 8,
     # Mode 3 — planned parallel.
     parallel_runtime = InferenceRuntime(
         sc, shape, config=RuntimeConfig(workers=workers, backend=backend,
-                                        shard_size=shard_size),
+                                        shard_size=shard_size,
+                                        specialize=specialize),
     )
     with parallel_runtime:
         parallel_runtime.infer(x)  # warm-up
@@ -147,6 +157,7 @@ def run_bench(network: str = "mnist_mlp", *, batch: int = 8,
         parallel_s = time.perf_counter() - t0
         snapshot = parallel_runtime.snapshot()
         plan_text = parallel_runtime.describe()
+        specialization = parallel_runtime.plan.specialization_summary()
 
     identical = (np.array_equal(uncached_logits, planned_logits)
                  and np.array_equal(planned_logits, parallel_logits))
@@ -155,6 +166,7 @@ def run_bench(network: str = "mnist_mlp", *, batch: int = 8,
         backend=backend, shard_size=shard_size, phase_length=phase_length,
         uncached_s=uncached_s, planned_s=planned_s, parallel_s=parallel_s,
         identical=identical, snapshot=snapshot, plan_text=plan_text,
+        specialize=specialize, specialization=specialization,
     )
 
 
@@ -164,7 +176,8 @@ def format_bench(result: BenchResult) -> str:
         ("serial uncached (today's forward)",
          f"{result.uncached_s:.3f}",
          f"{result.throughput(result.uncached_s):.2f}", "1.00"),
-        ("planned serial (weight-stream cache)",
+        ("planned serial (weight-stream cache"
+         + (", specialized kernels)" if result.specialize else ")"),
          f"{result.planned_s:.3f}",
          f"{result.throughput(result.planned_s):.2f}",
          f"{result.cache_speedup:.2f}"),

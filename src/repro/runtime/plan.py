@@ -22,11 +22,12 @@ import numpy as np
 from .. import obs
 from ..analysis import format_table
 from ..ir import conv_output_hw
-from ..ir.passes import LEGALIZE_PASSES, lower
+from ..ir.passes import LEGALIZE_PASSES, group_facts, lower
 from ..simulator.config import SCConfig
 from ..simulator.engine import default_kernel
 from ..simulator.layers import SCConv2d, SCResidual
 from ..simulator.network import SCNetwork
+from .specialize import build_specialization
 
 __all__ = ["ExecutionPlan", "LayerPlan"]
 
@@ -66,10 +67,22 @@ class ExecutionPlan:
         Per-sample shape ``(C, H, W)`` (no batch dimension).
     config:
         Optional :class:`SCConfig` override; defaults to the network's.
+    specialize:
+        Compile per-layer :class:`~repro.runtime.specialize.KernelPlan`
+        variants (gather tables, zero-lane masks, autotuned block
+        schedules) and run them from :meth:`run`.  Bit-identical to the
+        generic path; only applies to the word kernel — pinning the
+        byte reference kernel (``REPRO_SC_KERNEL=byte`` or
+        ``SCConfig(kernel="byte")``) keeps the plan fully generic.
+    autotune_budget_s:
+        Total compile-time budget for the per-layer block-schedule
+        measurement pass; ``0`` keeps the config's global ``block_kib``
+        everywhere.
     """
 
     def __init__(self, network: SCNetwork, input_shape: tuple,
-                 config: SCConfig = None):
+                 config: SCConfig = None, *, specialize: bool = True,
+                 autotune_budget_s: float = 0.25):
         config = config if config is not None else network.config
         # Share layer objects (and therefore stream caches) but pin the
         # plan to one config so runs cannot drift from what was compiled.
@@ -98,6 +111,15 @@ class ExecutionPlan:
             span.add_counter("weight_lanes", self.weight_lanes)
         self.output_shape = infos[-1].out_shape if infos \
             else self.input_shape
+        # Specialization consumes the pass pipeline's per-group facts;
+        # it rides on the word kernel's plan classes, so a byte-pinned
+        # config stays generic end to end.
+        self.specialization = None
+        if specialize and self.kernel == "word":
+            self.specialization = build_specialization(
+                self.network, self.input_shape, infos, self.config,
+                facts=group_facts(result),
+                autotune_budget_s=autotune_budget_s)
 
     # -- compilation -------------------------------------------------
 
@@ -166,7 +188,15 @@ class ExecutionPlan:
     # -- execution ---------------------------------------------------
 
     def run(self, x: np.ndarray) -> np.ndarray:
-        """Bitstream-exact forward pass using the pre-encoded streams."""
+        """Bitstream-exact forward pass using the pre-encoded streams.
+
+        With specialization compiled, conv/linear layers run through
+        their :class:`~repro.runtime.specialize.KernelPlan` (same bits,
+        fewer clocked lanes); otherwise this is the network's generic
+        forward.
+        """
+        if self.specialization is not None:
+            return self.specialization.run(x)
         return self.network.forward(x)
 
     # -- introspection -----------------------------------------------
@@ -201,20 +231,41 @@ class ExecutionPlan:
                 seen.add(id(cache))
                 yield cache
 
+    def specialization_summary(self) -> dict:
+        """Decision record of the specialization stage (for metrics)."""
+        if self.specialization is None:
+            return {"enabled": False, "kernel": self.kernel}
+        return self.specialization.summary()
+
     def describe(self) -> str:
-        """Per-layer plan table (shapes, stream lengths, simulated bits)."""
-        rows = [
-            (p.index, p.kind, "x".join(str(d) for d in p.output_shape),
-             p.phase_length or "-", p.weight_lanes or "-",
-             f"{p.product_bits_per_sample:.2e}"
-             if p.product_bits_per_sample else "-")
-            for p in self.layer_plans
-        ]
+        """Per-layer plan table (shapes, stream lengths, simulated bits,
+        and — when specialization is compiled — the kernel variant,
+        chosen block budget, and zero-lane skip rate per layer)."""
+        kernel_plans = (self.specialization.plans
+                        if self.specialization is not None else {})
+        rows = []
+        for p in self.layer_plans:
+            kp = kernel_plans.get(p.index)
+            rows.append(
+                (p.index, p.kind, "x".join(str(d) for d in p.output_shape),
+                 p.phase_length or "-", p.weight_lanes or "-",
+                 f"{p.product_bits_per_sample:.2e}"
+                 if p.product_bits_per_sample else "-",
+                 kp.variant if kp else "generic" if p.weight_lanes else "-",
+                 kp.block_kib if kp else "-",
+                 f"{100.0 * kp.lanes_skipped_fraction:.1f}%" if kp else "-")
+            )
+        title = (f"Execution plan — {self.config.representation}, "
+                 f"{self.kernel} kernel, "
+                 f"{self.bits_per_sample:.2e} product bits/sample")
+        if self.specialization is not None:
+            totals = self.specialization.summary()["totals"]
+            title += (f", specialized ({totals['specialized_layers']} "
+                      f"layers, {totals['lanes_skipped_pct']}% lanes "
+                      f"skipped)")
         return format_table(
             ["layer", "kind", "out shape", "phase len", "weight lanes",
-             "bits/sample"],
+             "bits/sample", "variant", "block KiB", "skip"],
             rows,
-            title=f"Execution plan — {self.config.representation}, "
-                  f"{self.kernel} kernel, "
-                  f"{self.bits_per_sample:.2e} product bits/sample",
+            title=title,
         )

@@ -58,7 +58,10 @@ class InferenceRuntime:
             obs.enable()
         self.metrics = RuntimeMetrics()
         with self.metrics.stage("plan"):
-            self.plan = ExecutionPlan(network, input_shape, sc_config)
+            self.plan = ExecutionPlan(
+                network, input_shape, sc_config,
+                specialize=self.config.specialize,
+                autotune_budget_s=self.config.autotune_budget_s)
         if reference is not None and not isinstance(reference,
                                                     FixedPointNetwork):
             reference = FixedPointNetwork(reference)

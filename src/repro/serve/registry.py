@@ -106,6 +106,16 @@ class ModelRegistry:
             items = list(self._loaded.items())
         return {name: runtime.snapshot() for name, runtime in items}
 
+    def specializations(self) -> dict:
+        """``{name: specialization summary}`` per resident runtime —
+        which plan variant is live, per-layer block schedules, and
+        zero-lane skip rates (see
+        :meth:`~repro.runtime.ExecutionPlan.specialization_summary`)."""
+        with self._lock:
+            items = list(self._loaded.items())
+        return {name: runtime.plan.specialization_summary()
+                for name, runtime in items}
+
     def get(self, name: str) -> InferenceRuntime:
         """The runtime for ``name``, compiling and/or evicting as needed.
 

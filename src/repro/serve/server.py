@@ -286,4 +286,5 @@ class Server:
         kernels = {name: [calls, seconds] for name, (calls, seconds)
                    in sorted(self._kernel_scope.delta().items())}
         return {"ok": True, "server": server, "models": models,
-                "kernels": kernels}
+                "kernels": kernels,
+                "specialization": self.registry.specializations()}

@@ -56,7 +56,7 @@ __all__ = ["popcount_packed", "encode_packed", "split_or_matmul_counts",
            "bipolar_mux_matmul_counts", "encode_split_weight_streams",
            "encode_bipolar_weight_stream", "ActivationEncodeCache",
            "ENCODE_CACHE", "KernelStats", "KERNEL_STATS", "KERNELS",
-           "default_kernel"]
+           "default_kernel", "SplitMatmulPlan", "BipolarMatmulPlan"]
 
 #: Selectable kernel implementations: ``"word"`` is the production
 #: uint64 path, ``"byte"`` the uint8 per-channel-loop reference.
@@ -274,15 +274,25 @@ def _time_major(words: np.ndarray) -> np.ndarray:
 
 
 def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
-                        scheme: str, seed: int,
-                        use_cache: bool) -> np.ndarray:
+                        scheme: str, seed: int, use_cache: bool,
+                        lane_subset: np.ndarray = None) -> np.ndarray:
     """Shared-lane chunk encode, time-major: ``(P, K) -> (P, W, K)``.
 
     Bit-identical streams to :func:`_encode_chunk_bytes`.  With the
     cache enabled this is a pure ``np.take`` gather from the
     value -> stream table (one row per (lane, value) pair).
+
+    ``lane_subset`` (sorted fan-in indices) restricts the encode to the
+    requested lanes, returning ``(P, W, len(lane_subset))`` — the same
+    words a full encode would produce at those columns.  The SNG bank
+    (thresholds, rotation, cache table) always spans the *full* fan-in,
+    so a subset encode is a pure column selection, never a re-seeding:
+    this is how precompiled plans skip all-zero weight lanes without
+    perturbing a single bit of the lanes they keep.
     """
     lanes = values.shape[1]
+    if lane_subset is not None and lane_subset.size == lanes:
+        lane_subset = None
     if use_cache and bits <= 8 and lanes > 0:
         traced = obs.enabled()
         if traced:
@@ -293,15 +303,21 @@ def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
                 h1, m1 = ENCODE_CACHE.counters()
                 section.add_counter("encode_cache_hits", h1 - h0)
                 section.add_counter("encode_cache_misses", m1 - m0)
-            targets = _quantize_targets(values, bits)
-            rows = _lane_rotation(*values.shape, scale=table.shape[1]) \
-                + targets
+            rotation = _lane_rotation(*values.shape, scale=table.shape[1])
+            if lane_subset is not None:
+                rotation = rotation[:, lane_subset]
+                values = values[:, lane_subset]
+            rows = rotation + _quantize_targets(values, bits)
             flat = table.reshape(-1, table.shape[-1])
             return _time_major(np.take(flat, rows, axis=0))
     with _Timed("encode:act"):
-        targets = _quantize_targets(values, bits)
         thresholds = _act_thresholds(scheme, bits, seed, lanes, length)
-        thr = thresholds[_lane_rotation(*values.shape)]
+        rotation = _lane_rotation(*values.shape)
+        if lane_subset is not None:
+            rotation = rotation[:, lane_subset]
+            values = values[:, lane_subset]
+        targets = _quantize_targets(values, bits)
+        thr = thresholds[rotation]
         return _time_major(pack_words(thr < targets[:, :, None]))
 
 
@@ -564,6 +580,325 @@ def _split_matmul_word(counts, acts, weight_streams, length, bits, scheme,
                     else:  # apc
                         counts[sl, c0:c1] += sign * popcount_words(
                             prods, axis=(-2, -1))
+
+
+class _NullSection:
+    """Timing-section stand-in for unrecorded (autotune probe) runs."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def add_counter(self, name, value=1):
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class _SplitPhase:
+    """One split-unipolar phase of a :class:`SplitMatmulPlan`."""
+
+    __slots__ = ("phase", "sign", "active", "union", "w_words",
+                 "select_words", "blocks")
+
+    def __init__(self, phase, sign, active, union, w_words, select_words):
+        self.phase = phase
+        self.sign = sign
+        self.active = active          # (C, K) bool, for retiling
+        self.union = union            # sorted active-lane indices
+        self.w_words = w_words        # (C, W, |union|) time-major
+        self.select_words = select_words
+        self.blocks = []
+
+
+class SplitMatmulPlan:
+    """Precompiled split-unipolar matmul: gather/mask/block plan baked in.
+
+    Compiles everything :func:`split_or_matmul_counts` re-derives on
+    every call — time-major weight words, zero-weight lane masks, the
+    channel-block partition — into a reusable plan for one fixed
+    ``(weights, length, bits, scheme, seed, accumulator)``.
+    :meth:`execute` is then bit-identical to the generic word kernel by
+    construction (asserted across the zoo in
+    ``tests/test_plan_specialization.py``) while doing strictly less
+    work:
+
+    - lanes whose weight phase component is zero everywhere are dropped
+      at *encode* time (``lane_subset``), not just at the AND: the
+      "skipped" of ACOUSTIC's or-unipolar skipped SC;
+    - per channel block, the active-lane union and the pre-sliced weight
+      words are compile-time constants;
+    - the block partition is retilable (:meth:`retile`) so a per-layer
+      autotuner can pick ``block_bytes`` from measurement.
+
+    The optional ``jit_or`` argument to :meth:`execute` is a drop-in
+    fused AND/OR/popcount inner loop (see :mod:`repro.simulator.jit`);
+    the pure-numpy path remains the canonical one.
+    """
+
+    def __init__(self, weights: np.ndarray, *, length: int, bits: int,
+                 scheme: str, seed: int, accumulator: str = "or",
+                 block_bytes: int = None, chunk_positions: int = 256,
+                 weight_streams: tuple = None, encode_cache: bool = True):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be (C, K)")
+        if accumulator not in ("or", "apc", "mux"):
+            raise ValueError(f"unknown accumulator {accumulator!r}")
+        self.length = length
+        self.bits = bits
+        self.scheme = scheme
+        self.seed = seed
+        self.accumulator = accumulator
+        self.chunk_positions = chunk_positions
+        self.encode_cache = encode_cache
+        self.n_chan, self.fan_in = weights.shape
+        self.n_words = (length + 63) // 64
+        if weight_streams is None:
+            weight_streams = encode_split_weight_streams(
+                weights, length=length, bits=bits, scheme=scheme, seed=seed)
+        self.phases = []
+        for phase, (w_part, w_packed) in enumerate(weight_streams):
+            active = w_part > 0
+            union = np.flatnonzero(active.any(axis=0))
+            w_words = _time_major(words_from_bytes(w_packed))
+            select_words = None
+            if accumulator == "mux":
+                select_words = _time_major(words_from_bytes(
+                    _mux_select_matrix(self.fan_in, length,
+                                       seed + 104_729 * (phase + 1))))
+            if union.size < self.fan_in:
+                w_words = np.ascontiguousarray(w_words[:, :, union])
+                if select_words is not None:
+                    select_words = np.ascontiguousarray(
+                        select_words[:, union])
+            self.phases.append(_SplitPhase(
+                phase, 1 if phase == 0 else -1, active, union, w_words,
+                select_words))
+        self.retile(block_bytes)
+
+    # -- tiling -------------------------------------------------------
+
+    def retile(self, block_bytes: int = None) -> "SplitMatmulPlan":
+        """(Re)derive the channel-block partition for ``block_bytes``.
+
+        The partition never changes a single output bit — popcounts are
+        exact integers and channels are independent — so the autotuner
+        is free to measure any candidate.  Returns ``self``.
+        """
+        self.block_bytes = (block_bytes if block_bytes is not None
+                            else DEFAULT_BLOCK_BYTES)
+        cb = _channel_block(self.n_chan, self.chunk_positions, self.fan_in,
+                            self.n_words, self.block_bytes)
+        self.channel_block = cb
+        for ph in self.phases:
+            ph.blocks = []
+            for c0 in range(0, self.n_chan, cb):
+                c1 = min(c0 + cb, self.n_chan)
+                if self.accumulator == "mux":
+                    # MUX gates with the select stream once per chunk;
+                    # lane skipping happens at the union level only.
+                    ph.blocks.append((c0, c1, None,
+                                      np.ascontiguousarray(
+                                          ph.w_words[c0:c1])))
+                    continue
+                lanes = np.flatnonzero(ph.active[c0:c1].any(axis=0))
+                if lanes.size == 0:
+                    continue    # all-zero block: contributes nothing
+                rel = np.searchsorted(ph.union, lanes)
+                if rel.size == ph.union.size:
+                    rel = None  # block spans every encoded lane
+                    ww = np.ascontiguousarray(ph.w_words[c0:c1])
+                else:
+                    ww = np.ascontiguousarray(ph.w_words[c0:c1][:, :, rel])
+                ph.blocks.append((c0, c1, rel, ww))
+        return self
+
+    # -- skip accounting ----------------------------------------------
+
+    @property
+    def encode_lanes_skipped(self) -> int:
+        """Fan-in lanes never encoded, summed over phases."""
+        return sum(self.fan_in - ph.union.size for ph in self.phases)
+
+    @property
+    def dense_product_lanes(self) -> int:
+        """(channel, lane) AND pairs a dense kernel would clock."""
+        return len(self.phases) * self.n_chan * self.fan_in
+
+    @property
+    def active_product_lanes(self) -> int:
+        """(channel, lane) AND pairs this plan actually clocks."""
+        total = 0
+        for ph in self.phases:
+            for c0, c1, rel, _ in ph.blocks:
+                lanes = ph.union.size if rel is None else rel.size
+                total += (c1 - c0) * lanes
+        return total
+
+    @property
+    def lanes_skipped_fraction(self) -> float:
+        dense = self.dense_product_lanes
+        if not dense:
+            return 0.0
+        return 1.0 - self.active_product_lanes / dense
+
+    # -- execution ----------------------------------------------------
+
+    def execute(self, acts: np.ndarray, *, jit_or=None,
+                record: bool = True) -> np.ndarray:
+        """Run the planned matmul; bit-identical to
+        :func:`split_or_matmul_counts` on the same operands.
+
+        ``jit_or`` is an optional ``(aw, ww) -> (P, C) popcount`` fused
+        inner loop for the OR accumulator; ``record=False`` skips the
+        kernel-counter accounting (autotune probes must not pollute the
+        serving metrics).
+        """
+        acts = np.asarray(acts, dtype=np.float64)
+        if acts.ndim != 2 or acts.shape[1] != self.fan_in:
+            raise ValueError(
+                f"acts must be (P, {self.fan_in}), got {acts.shape}")
+        n_pos = acts.shape[0]
+        counts = np.zeros((n_pos, self.n_chan), dtype=np.int64)
+        if self.fan_in == 0 or n_pos == 0 or self.n_chan == 0:
+            return counts
+        section = (_Timed(f"plan:{self.accumulator}") if record
+                   else _NULL_SECTION)
+        with section:
+            section.add_counter("positions", n_pos)
+            section.add_counter("channels", self.n_chan)
+            section.add_counter(
+                "product_bits",
+                n_pos * self.active_product_lanes * self.length)
+            section.add_counter(
+                "product_bits_skipped",
+                n_pos * (self.dense_product_lanes
+                         - self.active_product_lanes) * self.length)
+            for ph in self.phases:
+                if ph.union.size == 0:
+                    continue
+                self._execute_phase(ph, acts, counts, jit_or)
+        return counts
+
+    def _execute_phase(self, ph, acts, counts, jit_or) -> None:
+        subset = ph.union if ph.union.size < self.fan_in else None
+        for start in range(0, acts.shape[0], self.chunk_positions):
+            sl = slice(start, min(start + self.chunk_positions,
+                                  acts.shape[0]))
+            a_words = _encode_chunk_words(
+                acts[sl], self.length, self.bits, self.scheme,
+                seed=(self.seed + 15_485_863 * (ph.phase + 1)
+                      + 104_651 * start),
+                use_cache=self.encode_cache, lane_subset=subset,
+            )
+            if self.accumulator == "mux":
+                a_words = a_words & ph.select_words[None, :, :]
+            for c0, c1, rel, ww in ph.blocks:
+                aw = a_words if rel is None else a_words[:, :, rel]
+                if self.accumulator == "apc":
+                    prods = aw[:, None, :, :] & ww[None, :, :, :]
+                    counts[sl, c0:c1] += ph.sign * popcount_words(
+                        prods, axis=(-2, -1))
+                elif jit_or is not None:
+                    counts[sl, c0:c1] += ph.sign * jit_or(aw, ww)
+                else:
+                    prods = aw[:, None, :, :] & ww[None, :, :, :]
+                    acc = np.bitwise_or.reduce(prods, axis=-1)
+                    counts[sl, c0:c1] += ph.sign * popcount_words(
+                        acc, axis=-1)
+
+
+class BipolarMatmulPlan:
+    """Precompiled bipolar XNOR/MUX matmul (prior-work datapath).
+
+    Bakes the select-gated weight operand ``~w & sel`` and the channel
+    partition at compile time; no lane skipping — a zero bipolar weight
+    encodes to a half-density stream, not silence.  :meth:`execute` is
+    bit-identical to :func:`bipolar_mux_matmul_counts`.
+    """
+
+    def __init__(self, weights: np.ndarray, *, length: int, bits: int,
+                 scheme: str, seed: int, block_bytes: int = None,
+                 chunk_positions: int = 256,
+                 weight_stream: np.ndarray = None,
+                 encode_cache: bool = True):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be (C, K)")
+        self.length = length
+        self.bits = bits
+        self.scheme = scheme
+        self.seed = seed
+        self.chunk_positions = chunk_positions
+        self.encode_cache = encode_cache
+        self.n_chan, self.fan_in = weights.shape
+        self.n_words = (length + 63) // 64
+        if weight_stream is None:
+            weight_stream = encode_bipolar_weight_stream(
+                weights, length=length, bits=bits, scheme=scheme, seed=seed)
+        select = _mux_select_matrix(self.fan_in, length, seed + 104_729)
+        self.select_words = _time_major(words_from_bytes(select))
+        self.w_sel = (~_time_major(words_from_bytes(weight_stream))
+                      & self.select_words[None, :, :])
+        self.retile(block_bytes)
+
+    def retile(self, block_bytes: int = None) -> "BipolarMatmulPlan":
+        self.block_bytes = (block_bytes if block_bytes is not None
+                            else DEFAULT_BLOCK_BYTES)
+        cb = _channel_block(self.n_chan, self.chunk_positions, self.fan_in,
+                            self.n_words, self.block_bytes)
+        self.channel_block = cb
+        self.blocks = [(c0, min(c0 + cb, self.n_chan))
+                       for c0 in range(0, self.n_chan, cb)]
+        return self
+
+    encode_lanes_skipped = 0
+    lanes_skipped_fraction = 0.0
+
+    @property
+    def dense_product_lanes(self) -> int:
+        return self.n_chan * self.fan_in
+
+    active_product_lanes = dense_product_lanes
+
+    def execute(self, acts: np.ndarray, *,
+                record: bool = True) -> np.ndarray:
+        """Planned bipolar matmul over ``acts`` in [0, 1] (the plan
+        applies the ``(v + 1) / 2`` bipolar encoding itself, exactly
+        like the generic kernel)."""
+        acts = np.asarray(acts, dtype=np.float64)
+        if acts.ndim != 2 or acts.shape[1] != self.fan_in:
+            raise ValueError(
+                f"acts must be (P, {self.fan_in}), got {acts.shape}")
+        n_pos = acts.shape[0]
+        counts = np.zeros((n_pos, self.n_chan), dtype=np.int64)
+        if self.fan_in == 0 or n_pos == 0 or self.n_chan == 0:
+            return counts
+        section = _Timed("plan:bipolar") if record else _NULL_SECTION
+        with section:
+            section.add_counter("positions", n_pos)
+            section.add_counter("channels", self.n_chan)
+            section.add_counter(
+                "product_bits",
+                n_pos * self.n_chan * self.fan_in * self.length)
+            for start in range(0, n_pos, self.chunk_positions):
+                sl = slice(start, min(start + self.chunk_positions, n_pos))
+                a_words = _encode_chunk_words(
+                    (acts[sl] + 1.0) / 2.0, self.length, self.bits,
+                    self.scheme, seed=self.seed + 15_485_863
+                    + 104_651 * start,
+                    use_cache=self.encode_cache,
+                )
+                a_sel = a_words & self.select_words[None, :, :]
+                for c0, c1 in self.blocks:
+                    gated = a_sel[:, None, :, :] ^ self.w_sel[None, c0:c1]
+                    acc = np.bitwise_or.reduce(gated, axis=-1)
+                    counts[sl, c0:c1] += popcount_words(acc, axis=-1)
+        return counts
 
 
 def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,

@@ -57,8 +57,10 @@ class TestExecutionPlan:
         assert "Execution plan" in plan.describe()
 
     def test_compile_warms_caches(self):
+        # Pin the generic path: a specialized plan embeds the packed
+        # streams in its kernel plans and never re-fetches at run time.
         _, sc = tiny_network()
-        plan = ExecutionPlan(sc, SHAPE)
+        plan = ExecutionPlan(sc, SHAPE, specialize=False)
         hits, misses = plan.cache_counters()
         assert misses == 2 and hits == 0
         plan.run(np.random.default_rng(1).uniform(0, 1, (2,) + SHAPE))
