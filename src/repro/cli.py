@@ -32,7 +32,10 @@ Commands
 ``bench <network> [--workers N] [--batch N] [--repeats R]``
     Benchmark the batched inference runtime: serial uncached vs planned
     (weight-stream cache) vs planned parallel, with bit-identity
-    verification and the runtime metrics snapshot.
+    verification and the runtime metrics snapshot.  With
+    ``--progressive`` [--start-phase-length N --margin-z Z], benchmark
+    confidence-gated anytime inference against the fixed-length
+    baseline instead (docs/progressive.md).
 ``profile <network> [--out trace.json] [--format chrome|json]``
     Run a traced inference workload, write a Chrome-trace-loadable
     artifact, and print the top-N span summary with per-IR-layer wall
@@ -41,7 +44,8 @@ Commands
     Run the asyncio inference server: warm-compiled plans for the named
     networks, dynamic batching, per-client quotas, queue-depth admission
     control, request deadlines, a metrics endpoint, graceful drain on
-    SIGINT (see docs/serving.md).
+    SIGINT (see docs/serving.md).  ``--progressive-*`` flags set the
+    default anytime-inference policy for ``progressive: true`` requests.
 ``loadtest <network> [--mode closed|open] [--duration S] [--rate RPS]``
     Self-contained traffic-replay load bench: in-process server plus a
     seeded Poisson trace, closed- or open-loop replay, latency
@@ -291,6 +295,19 @@ def _cmd_lint(args) -> int:
 def _cmd_bench(args) -> int:
     from .runtime import format_bench, run_bench
 
+    if args.progressive:
+        from .runtime import format_progressive_bench, run_progressive_bench
+
+        result = run_progressive_bench(
+            args.network, requests=args.repeats * args.batch, batch=1,
+            phase_length=args.phase_length,
+            start_phase_length=args.start_phase_length,
+            margin_z=args.margin_z, growth=args.growth,
+            seed=args.seed, specialize=args.specialize,
+            train_epochs=args.train_epochs,
+        )
+        print(format_progressive_bench(result))
+        return 0 if result.agreement >= args.min_agreement else 1
     result = run_bench(
         args.network, batch=args.batch, repeats=args.repeats,
         workers=args.workers, backend=args.backend,
@@ -320,6 +337,10 @@ def _cmd_serve(args) -> int:
     from .runtime import RuntimeConfig
     from .serve import ServeConfig, Server
 
+    progressive = {"start_phase_length": args.progressive_start,
+                   "growth": args.progressive_growth,
+                   "margin_z": args.progressive_margin_z,
+                   "max_phase_length": args.progressive_max}
     config = ServeConfig(
         host=args.host, port=args.port, models=tuple(args.network),
         max_loaded=max(args.max_loaded, len(args.network)),
@@ -332,6 +353,7 @@ def _cmd_serve(args) -> int:
             shard_size=args.shard, max_batch=args.max_batch,
             max_wait_s=args.max_wait,
         ),
+        progressive=progressive,
     )
 
     async def _main() -> None:
@@ -487,6 +509,25 @@ def build_parser() -> argparse.ArgumentParser:
                            action="store_false",
                            help="pin the generic kernels — the B side of "
                                 "the specialization A/B comparison")
+    bench_cmd.add_argument("--progressive", action="store_true",
+                           help="benchmark confidence-gated anytime "
+                                "inference against the fixed-length "
+                                "baseline (docs/progressive.md); "
+                                "--batch*--repeats single-sample requests")
+    bench_cmd.add_argument("--start-phase-length", type=int, default=8,
+                           help="progressive starting length")
+    bench_cmd.add_argument("--margin-z", type=float, default=0.5,
+                           help="margin gate z-score (the bound is "
+                                "z/sqrt(n))")
+    bench_cmd.add_argument("--growth", type=float, default=2.0,
+                           help="geometric extension factor")
+    bench_cmd.add_argument("--min-agreement", type=float, default=0.9,
+                           help="exit nonzero when progressive/fixed "
+                                "argmax agreement falls below this")
+    bench_cmd.add_argument("--train-epochs", type=int, default=0,
+                           help="train on the synthetic dataset first so "
+                                "logit margins are real (0 = untrained "
+                                "random weights)")
 
     profile_cmd = sub.add_parser(
         "profile", help="trace a workload and write a Chrome-loadable "
@@ -549,6 +590,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="dynamic batcher flush size")
     serve_cmd.add_argument("--max-wait", type=float, default=0.002,
                            help="dynamic batcher flush window [s]")
+    serve_cmd.add_argument("--progressive-start", type=int, default=16,
+                           help="default anytime-inference starting "
+                                "length for 'progressive: true' requests")
+    serve_cmd.add_argument("--progressive-max", type=int, default=None,
+                           help="default anytime-inference maximum length "
+                                "(default: the model's phase length)")
+    serve_cmd.add_argument("--progressive-margin-z", type=float,
+                           default=2.0,
+                           help="default margin-gate z-score (the accept "
+                                "bound is z/sqrt(n))")
+    serve_cmd.add_argument("--progressive-growth", type=float, default=2.0,
+                           help="default geometric extension factor")
 
     loadtest_cmd = sub.add_parser(
         "loadtest", help="traffic-replay load bench against an "

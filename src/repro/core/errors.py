@@ -20,6 +20,7 @@ __all__ = [
     "bipolar_length_multiplier",
     "length_for_rms_unipolar",
     "length_for_rms_bipolar",
+    "decision_margin_bound",
     "empirical_rms",
 ]
 
@@ -47,15 +48,56 @@ def bipolar_length_multiplier(v):
 
 
 def length_for_rms_unipolar(v, target_rms):
-    """Minimum unipolar stream length for a target RMS error."""
+    """Minimum unipolar stream length for a target RMS error.
+
+    Clamped to at least 1: the variance vanishes at ``v = 0`` and
+    ``v = 1`` (the stream is constant), but a zero-length stream cannot
+    be clocked, so the exactly-representable endpoints still need one
+    bit.
+    """
     v = np.asarray(v, dtype=np.float64)
-    return np.ceil(v * (1.0 - v) / (target_rms**2)).astype(np.int64)
+    n = np.ceil(v * (1.0 - v) / (target_rms**2)).astype(np.int64)
+    return np.maximum(n, 1)
 
 
 def length_for_rms_bipolar(v, target_rms):
-    """Minimum bipolar stream length for a target RMS error."""
+    """Minimum bipolar stream length for a target RMS error.
+
+    Clamped to at least 1 (the variance vanishes at ``v = +-1``, cf.
+    :func:`length_for_rms_unipolar`).
+    """
     v = np.asarray(v, dtype=np.float64)
-    return np.ceil((1.0 - v * v) / (target_rms**2)).astype(np.int64)
+    n = np.ceil((1.0 - v * v) / (target_rms**2)).astype(np.int64)
+    return np.maximum(n, 1)
+
+
+def decision_margin_bound(phase_length, z: float = 2.0,
+                          representation: str = "split-unipolar"):
+    """Worst-case ``z``-sigma bound on a top-1/top-2 logit margin.
+
+    Used by the progressive early-exit gate: a classification decided at
+    phase length ``n`` is trusted when the observed margin between the
+    two largest logits exceeds this bound, i.e. the margin is unlikely
+    to be an artifact of stream noise.
+
+    Split-unipolar logits decode as ``up/n - down/n``; each phase count
+    has worst-case variance ``0.25 / n`` (at ``v = 0.5``), so one logit
+    carries variance ``<= 0.5 / n`` and a difference of two independent
+    logits ``<= 1 / n`` — worst-case margin RMS ``1 / sqrt(n)``.  A
+    bipolar stream of total length ``2 n`` has per-value variance
+    ``<= 1 / (2 n)``, giving the same ``1 / sqrt(n)`` margin RMS.  The
+    bound is deliberately conservative (real logit densities sit far
+    from 0.5, and OR/APC accumulation correlates the counts downward);
+    ``z`` tunes how conservative.
+    """
+    if z <= 0:
+        raise ValueError("z must be positive")
+    n = np.asarray(phase_length, dtype=np.float64)
+    if np.any(n < 1):
+        raise ValueError("phase_length must be at least 1")
+    if representation not in ("split-unipolar", "bipolar"):
+        raise ValueError(f"unknown representation: {representation!r}")
+    return z / np.sqrt(n)
 
 
 def empirical_rms(estimates: np.ndarray, truth) -> float:

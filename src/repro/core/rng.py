@@ -22,6 +22,7 @@ __all__ = [
     "NumpyRandomSource",
     "VanDerCorputSource",
     "make_source",
+    "prefix_stable_scheme",
 ]
 
 #: Feedback tap positions (1-indexed bit numbers; tap ``k`` reads register
@@ -143,6 +144,11 @@ class LfsrSource:
     #: Cached full-period threshold cycles keyed by (width, bits).
     _cycle_cache: dict = {}
 
+    #: Threshold column ``t`` depends only on the absolute clock index,
+    #: never on the requested window length, so streams can be extended
+    #: bit-exactly (see :meth:`thresholds` ``offset``).
+    prefix_stable = True
+
     def __init__(self, bits: int = 8, width: int = None, seed: int = 1):
         self.bits = bits
         # Width defaults to the comparator precision, as in hardware SNGs:
@@ -174,7 +180,8 @@ class LfsrSource:
             LfsrSource._cycle_cache[key] = cycle
         return cycle
 
-    def thresholds(self, lanes: int, length: int) -> np.ndarray:
+    def thresholds(self, lanes: int, length: int,
+                   offset: int = 0) -> np.ndarray:
         """Return an ``(lanes, length)`` uint32 array of thresholds.
 
         Lane ``k`` reads the shared cycle starting at a golden-ratio phase
@@ -185,6 +192,12 @@ class LfsrSource:
         permutations of the shared LFSR taps) and are the standard way to
         decorrelate many SNGs fed from one register.  Streams longer than
         the LFSR period wrap, exactly as the hardware register would.
+
+        ``offset`` starts the window at absolute clock ``offset`` instead
+        of 0: ``thresholds(l, a + b)`` equals ``thresholds(l, a)``
+        concatenated with ``thresholds(l, b, offset=a)`` — the resumable
+        kernels rely on this to extend streams without recomputing the
+        prefix.
         """
         cycle = self._cycle()
         period = cycle.shape[0]
@@ -193,7 +206,8 @@ class LfsrSource:
         lane_ids = np.uint64(self.seed) + np.arange(lanes, dtype=np.uint64)
         offsets = (lane_ids * np.uint64(stride)) % np.uint64(period)
         idx = (
-            offsets[:, None] + np.arange(length, dtype=np.uint64)[None, :]
+            offsets[:, None]
+            + np.arange(offset, offset + length, dtype=np.uint64)[None, :]
         ) % np.uint64(period)
         out = cycle[idx.astype(np.int64)]
         # Per-lane decorrelation: a bit rotation followed by an XOR mask
@@ -226,14 +240,24 @@ class NumpyRandomSource:
     :class:`LfsrSource` isolates the cost of cheap hardware randomness.
     """
 
+    #: Each ``thresholds`` call draws a fresh block from the stateful
+    #: generator row-major, so column ``t`` of a length-``n`` window does
+    #: NOT match column ``t`` of a longer window: this scheme cannot be
+    #: extended bit-exactly and progressive evaluation rejects it.
+    prefix_stable = False
+
     def __init__(self, bits: int = 8, seed: int = 0):
         self.bits = bits
         self._rng = np.random.default_rng(seed)
 
-    def thresholds(self, lanes: int, length: int) -> np.ndarray:
-        return self._rng.integers(
-            0, 1 << self.bits, size=(lanes, length), dtype=np.uint32
+    def thresholds(self, lanes: int, length: int,
+                   offset: int = 0) -> np.ndarray:
+        # ``offset`` only skips columns within this one draw; it does not
+        # make the stateful source resumable across calls.
+        out = self._rng.integers(
+            0, 1 << self.bits, size=(lanes, offset + length), dtype=np.uint32
         )
+        return out[:, offset:]
 
 
 class VanDerCorputSource:
@@ -244,6 +268,10 @@ class VanDerCorputSource:
     [20] in the paper).  Lane ``k`` uses a different integer offset into
     the sequence so operand pairs stay decorrelated.
     """
+
+    #: Column ``t`` is a pure function of the absolute index ``t`` (see
+    #: :meth:`thresholds`), so windows extend bit-exactly.
+    prefix_stable = True
 
     def __init__(self, bits: int = 8, seed: int = 0):
         self.bits = bits
@@ -258,7 +286,8 @@ class VanDerCorputSource:
             v >>= 1
         return out
 
-    def thresholds(self, lanes: int, length: int) -> np.ndarray:
+    def thresholds(self, lanes: int, length: int,
+                   offset: int = 0) -> np.ndarray:
         levels = 1 << self.bits
         # Lane k walks the index space with its own odd stride (a
         # bijection mod 2**bits, so every lane is perfectly
@@ -272,11 +301,22 @@ class VanDerCorputSource:
         offsets = ((lane_ids * np.uint64(0xD1B54A32D192ED03)) >> np.uint64(40)).astype(
             np.uint32
         )
-        t = np.arange(length, dtype=np.uint32)
+        t = np.arange(offset, offset + length, dtype=np.uint32)
         idx = (strides[:, None] * t[None, :] + offsets[:, None]) & np.uint32(
             levels - 1
         )
         return self._bit_reverse(idx, self.bits)
+
+
+def prefix_stable_scheme(scheme: str) -> bool:
+    """Whether ``scheme``'s thresholds depend only on the absolute clock.
+
+    Prefix-stable schemes (``lfsr``, ``vdc``) can extend an encoded
+    stream bit-exactly via the ``offset`` argument of ``thresholds``;
+    the stateful ``random`` scheme cannot, so resumable/progressive
+    evaluation is gated on this predicate.
+    """
+    return getattr(make_source(scheme), "prefix_stable", False)
 
 
 def make_source(scheme: str, bits: int = 8, seed: int = 1):

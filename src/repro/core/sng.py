@@ -61,7 +61,8 @@ class StochasticNumberGenerator:
             scheme, bits=bits, seed=seed
         )
 
-    def generate(self, p: np.ndarray, lanes: str = "per-element") -> np.ndarray:
+    def generate(self, p: np.ndarray, lanes: str = "per-element",
+                 offset: int = 0) -> np.ndarray:
         """Encode probabilities ``p`` (any shape, values in [0, 1]).
 
         Returns a uint8 array of shape ``p.shape + (length,)``.
@@ -73,6 +74,11 @@ class StochasticNumberGenerator:
         - ``"shared"``: all elements share a single lane.  The streams
           are then maximally correlated — useful to demonstrate why RNG
           sharing between multiplier operands is forbidden.
+
+        ``offset`` encodes the window of clocks ``[offset, offset +
+        length)`` instead of ``[0, length)``; with a prefix-stable
+        threshold source this is exactly the continuation of the shorter
+        stream (see :func:`repro.core.rng.prefix_stable_scheme`).
         """
         p = np.asarray(p, dtype=np.float64)
         if p.size and (p.min() < 0 or p.max() > 1):
@@ -81,10 +87,12 @@ class StochasticNumberGenerator:
         levels = 1 << self.bits
         targets = np.round(flat * levels).astype(np.uint32)[:, None]
         if lanes == "per-element":
-            thresholds = self._source.thresholds(flat.size, self.length)
+            thresholds = self._source.thresholds(flat.size, self.length,
+                                                 offset=offset)
         elif lanes == "shared":
             thresholds = np.broadcast_to(
-                self._source.thresholds(1, self.length), (flat.size, self.length)
+                self._source.thresholds(1, self.length, offset=offset),
+                (flat.size, self.length)
             )
         else:
             raise ValueError(f"unknown lane mode: {lanes!r}")

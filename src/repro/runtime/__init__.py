@@ -22,11 +22,15 @@ machinery a production deployment needs:
 """
 
 from .batcher import BatcherClosedError, DynamicBatcher
-from .bench import BENCH_NETWORKS, BenchResult, format_bench, run_bench
+from .bench import (BENCH_NETWORKS, BenchResult, ProgressiveBenchResult,
+                    format_bench, format_progressive_bench, run_bench,
+                    run_progressive_bench)
 from .config import RuntimeConfig
 from .metrics import MetricsSnapshot, RuntimeMetrics
 from .plan import ExecutionPlan, LayerPlan
 from .profile import ProfileResult, format_profile, run_profile
+from .progressive import (ProgressiveOutcome, ProgressivePolicy,
+                          run_progressive, top2_margin)
 from .runtime import InferenceRuntime
 from .specialize import (GatherPlan, KernelPlan, Specialization,
                          build_specialization, clear_specialization_cache,
@@ -35,12 +39,16 @@ from .specialize import (GatherPlan, KernelPlan, Specialization,
 from .workers import WorkerPool
 
 __all__ = [
-    "BENCH_NETWORKS", "BenchResult", "format_bench", "run_bench",
+    "BENCH_NETWORKS", "BenchResult", "ProgressiveBenchResult",
+    "format_bench", "format_progressive_bench", "run_bench",
+    "run_progressive_bench",
     "BatcherClosedError", "DynamicBatcher",
     "RuntimeConfig",
     "MetricsSnapshot", "RuntimeMetrics",
     "ExecutionPlan", "LayerPlan",
     "ProfileResult", "format_profile", "run_profile",
+    "ProgressiveOutcome", "ProgressivePolicy", "run_progressive",
+    "top2_margin",
     "InferenceRuntime",
     "GatherPlan", "KernelPlan", "Specialization", "build_specialization",
     "clear_specialization_cache", "specialization_cache_info",

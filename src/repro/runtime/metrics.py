@@ -67,6 +67,29 @@ class MetricsSnapshot:
     #: Per-IR-layer ``{"layer:<i>:<kind>": (calls, seconds)}`` from the
     #: repro.obs trace tree; populated only while tracing is enabled.
     layer_seconds: dict = field(default_factory=dict)
+    #: Anytime-inference counters: requests served progressively, how
+    #: many extension rounds they took, how many stopped before the
+    #: maximum length because the margin gate fired, and the summed
+    #: final base phase length (for the mean).
+    progressive_requests: int = 0
+    progressive_extensions: int = 0
+    progressive_early_exits: int = 0
+    progressive_final_length: int = 0
+
+    @property
+    def progressive_mean_final_length(self) -> float:
+        """Mean base phase length progressive requests settled at."""
+        if not self.progressive_requests:
+            return 0.0
+        return self.progressive_final_length / self.progressive_requests
+
+    @property
+    def progressive_early_exit_rate(self) -> float:
+        """Fraction of progressive requests the margin gate stopped
+        before the maximum length."""
+        if not self.progressive_requests:
+            return 0.0
+        return self.progressive_early_exits / self.progressive_requests
 
     @property
     def cache_hit_rate(self) -> float:
@@ -105,6 +128,13 @@ class MetricsSnapshot:
             ("act-encode-cache hit rate", f"{self.act_cache_hit_rate:.3f}"),
             ("queue depth (now/max)",
              f"{self.queue_depth}/{self.max_queue_depth}"),
+            *([("progressive requests", self.progressive_requests),
+               ("progressive extensions", self.progressive_extensions),
+               ("progressive early-exit rate",
+                f"{self.progressive_early_exit_rate:.3f}"),
+               ("progressive mean final length",
+                f"{self.progressive_mean_final_length:.1f}")]
+              if self.progressive_requests else []),
             ("samples/s", f"{self.samples_per_s:.2f}"),
             ("product bits simulated", f"{self.bits_simulated:.3e}"),
             ("product bits/s", f"{self.bits_per_s:.3e}"),
@@ -162,6 +192,10 @@ class RuntimeMetrics:
     queue_depth: int = 0
     max_queue_depth: int = 0
     bits_simulated: int = 0
+    progressive_requests: int = 0
+    progressive_extensions: int = 0
+    progressive_early_exits: int = 0
+    progressive_final_length: int = 0
     stage_seconds: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _started: float = field(default_factory=time.perf_counter, repr=False)
@@ -179,7 +213,11 @@ class RuntimeMetrics:
     def add_counts(self, *, requests: int = 0, batches: int = 0,
                    shards: int = 0, samples: int = 0, fallbacks: int = 0,
                    errors: int = 0, cache_hits: int = 0,
-                   cache_misses: int = 0, bits_simulated: int = 0) -> None:
+                   cache_misses: int = 0, bits_simulated: int = 0,
+                   progressive_requests: int = 0,
+                   progressive_extensions: int = 0,
+                   progressive_early_exits: int = 0,
+                   progressive_final_length: int = 0) -> None:
         with self._lock:
             self.requests += requests
             self.batches += batches
@@ -190,6 +228,10 @@ class RuntimeMetrics:
             self.cache_hits += cache_hits
             self.cache_misses += cache_misses
             self.bits_simulated += bits_simulated
+            self.progressive_requests += progressive_requests
+            self.progressive_extensions += progressive_extensions
+            self.progressive_early_exits += progressive_early_exits
+            self.progressive_final_length += progressive_final_length
 
     def observe_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -225,6 +267,10 @@ class RuntimeMetrics:
                 queue_depth=self.queue_depth,
                 max_queue_depth=self.max_queue_depth,
                 bits_simulated=self.bits_simulated,
+                progressive_requests=self.progressive_requests,
+                progressive_extensions=self.progressive_extensions,
+                progressive_early_exits=self.progressive_early_exits,
+                progressive_final_length=self.progressive_final_length,
                 elapsed_s=time.perf_counter() - self._started,
                 kernel_seconds=dict(kernel_seconds or {}),
                 act_cache_hits=act_cache_hits,

@@ -199,6 +199,45 @@ class ExecutionPlan:
             return self.specialization.run(x)
         return self.network.forward(x)
 
+    def run_progressive(self, x: np.ndarray, policy=None):
+        """Anytime inference: short run first, extend only while the
+        decision margin is below the noise bound.
+
+        Drives a resumable evaluation
+        (:class:`~repro.simulator.progressive.ProgressiveExecutor`,
+        reusing this plan's gather tables and warmed weight-stream
+        caches) under a
+        :class:`~repro.runtime.progressive.ProgressivePolicy` (default
+        policy if ``None``).  Returns a
+        :class:`~repro.runtime.progressive.ProgressiveOutcome`; its
+        logits are bit-identical to :meth:`run` under the same config
+        at the outcome's final ``phase_length``.  Requires a
+        prefix-stable RNG scheme and the word kernel."""
+        from .progressive import ProgressivePolicy, run_progressive
+        if policy is None:
+            policy = ProgressivePolicy()
+        executor = self._progressive_executor()
+        return run_progressive(
+            lambda length: executor.start(x, length), policy,
+            reference_length=self.config.phase_length,
+            representation=self.config.representation,
+        )
+
+    def _progressive_executor(self):
+        """The plan's lazily-built (and cached) resumable executor."""
+        executor = getattr(self, "_prog_executor", None)
+        if executor is None:
+            from ..simulator.progressive import ProgressiveExecutor
+            gathers = {}
+            if self.specialization is not None:
+                gathers = {index: p.gather
+                           for index, p in self.specialization.plans.items()
+                           if p.gather is not None}
+            executor = ProgressiveExecutor(self.network, self.config,
+                                           gathers=gathers)
+            self._prog_executor = executor
+        return executor
+
     # -- introspection -----------------------------------------------
 
     @property

@@ -102,6 +102,33 @@ class InferenceRuntime:
         self._check_input(x)
         return self.batcher.submit(x)
 
+    def infer_progressive(self, x: np.ndarray, policy=None):
+        """Synchronous anytime inference with confidence-gated early
+        exit.
+
+        Runs the plan's resumable evaluation
+        (:meth:`ExecutionPlan.run_progressive`) under ``policy`` (a
+        :class:`~repro.runtime.progressive.ProgressivePolicy`; default
+        if ``None``) and returns the
+        :class:`~repro.runtime.progressive.ProgressiveOutcome`.
+        Bypasses the dynamic batcher and worker sharding — a
+        progressive request is one resumable evaluation whose state
+        lives across extension rounds.  Chosen-length and early-exit
+        counters land in :meth:`snapshot`.
+        """
+        self._check_input(x)
+        x = np.asarray(x, dtype=np.float64)
+        with self.metrics.stage("compute"):
+            outcome = self.plan.run_progressive(x, policy)
+        self.metrics.add_counts(
+            requests=1, batches=1, samples=x.shape[0],
+            progressive_requests=1,
+            progressive_extensions=outcome.extensions,
+            progressive_early_exits=int(outcome.early_exit),
+            progressive_final_length=outcome.phase_length,
+        )
+        return outcome
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Synchronous argmax over :meth:`infer` logits."""
         x = np.asarray(x)

@@ -48,7 +48,11 @@ from .. import obs
 from ..core.sng import quantize_probability
 from ..simulator import jit as scjit
 from ..simulator.engine import BipolarMatmulPlan, SplitMatmulPlan
-from ..simulator.layers import SCConv2d, SCLinear, SCResidual
+from ..simulator.layers import (SCConv2d, SCLinear, SCResidual,
+                                decode_bipolar_conv_counts,
+                                decode_bipolar_linear_counts,
+                                decode_split_conv_counts,
+                                decode_split_linear_counts)
 from ..training.im2col import conv_output_size
 
 __all__ = [
@@ -192,56 +196,28 @@ class Specialization:
 
     def _conv_forward(self, layer, plan, x):
         config = self.config
-        c_out = layer.weight.shape[0]
         n = x.shape[0]
         oh, ow = plan.gather.out_hw
-        k = plan.gather.fan_in
         cols = plan.gather.take(quantize_probability(x, config.bits))
         matmul = plan.matmul
-        length = matmul.length
         if plan.variant == "bipolar":
-            counts = matmul.execute(cols).reshape(n, oh, ow, c_out)
-            values = 2.0 * counts / length - 1.0
-            if layer.pool_size > 1:
-                p = layer.pool_size
-                values = values.reshape(n, oh // p, p, ow // p, p, c_out)
-                values = values.mean(axis=(2, 4))
-            return values.transpose(0, 3, 1, 2)
-        counts = matmul.execute(cols, jit_or=_jit_or()) \
-            .reshape(n, oh, ow, c_out)
-        if layer.pool_size > 1:
-            p = layer.pool_size
-            if oh % p or ow % p:
-                raise ValueError(
-                    f"pool window {p} must tile conv output {oh}x{ow}"
-                )
-            if config.computation_skipping:
-                windows = counts.reshape(n, oh // p, p, ow // p, p, c_out)
-                counts = windows.sum(axis=(2, 4))
-                values = counts / (layer.pool_area * length)
-            else:
-                values = counts / length
-                values = values.reshape(n, oh // p, p, ow // p, p, c_out)
-                values = values.mean(axis=(2, 4))
-        else:
-            values = counts / length
-        out = values.transpose(0, 3, 1, 2)
-        if config.accumulator == "mux":
-            out = out * k
-        return out
+            return decode_bipolar_conv_counts(
+                matmul.execute(cols), layer, matmul.length, n, oh, ow)
+        counts = matmul.execute(cols, jit_or=_jit_or())
+        return decode_split_conv_counts(counts, layer, config,
+                                        matmul.length, n, oh, ow,
+                                        plan.gather.fan_in)
 
     def _linear_forward(self, layer, plan, x):
         config = self.config
         matmul = plan.matmul
         values = quantize_probability(x, config.bits)
         if plan.variant == "bipolar":
-            counts = matmul.execute(values)
-            return 2.0 * counts / matmul.length - 1.0
+            return decode_bipolar_linear_counts(matmul.execute(values),
+                                                matmul.length)
         counts = matmul.execute(values, jit_or=_jit_or())
-        out = counts / matmul.length
-        if config.accumulator == "mux":
-            out = out * x.shape[-1]
-        return out
+        return decode_split_linear_counts(counts, config, matmul.length,
+                                          x.shape[-1])
 
     # -- introspection -----------------------------------------------
 

@@ -63,8 +63,14 @@ class Client:
             return await read_message(self._reader)
 
     async def predict_raw(self, model: str, x, *, deadline_s: float = None,
-                          request_id=None) -> dict:
-        """One predict; returns the raw response dict (ok, shed, ...)."""
+                          request_id=None, progressive=None) -> dict:
+        """One predict; returns the raw response dict (ok, shed, ...).
+
+        ``progressive=True`` (or a policy dict, e.g. ``{"start_phase_
+        length": 8, "margin_z": 1.0}``) requests anytime inference; the
+        response then carries a ``"progressive"`` object with the
+        chosen ``phase_length``, extension count, and early-exit flag.
+        """
         message = {"type": "predict", "model": model,
                    "x": encode_array(np.asarray(x))}
         if deadline_s is not None:
@@ -73,6 +79,8 @@ class Client:
             message["id"] = request_id
         if self.client_id is not None:
             message["client"] = self.client_id
+        if progressive is not None:
+            message["progressive"] = progressive
         return await self.request(message)
 
     async def predict(self, model: str, x, *, deadline_s: float = None):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..runtime import RuntimeConfig
+from ..runtime import ProgressivePolicy, RuntimeConfig
 
 __all__ = ["ServeConfig"]
 
@@ -47,6 +47,12 @@ class ServeConfig:
     runtime:
         :class:`~repro.runtime.RuntimeConfig` template for every model
         runtime the registry constructs.
+    progressive:
+        Default :class:`~repro.runtime.ProgressivePolicy` for requests
+        that opt into anytime inference with ``"progressive": true``
+        (a dict is accepted and normalized).  Per-request policy
+        objects override individual fields.  ``None`` uses the policy
+        defaults.
     """
 
     host: str = "127.0.0.1"
@@ -63,8 +69,13 @@ class ServeConfig:
         workers=2, backend="thread", shard_size=4, max_batch=16,
         max_wait_s=0.002,
     ))
+    progressive: ProgressivePolicy = None
 
     def __post_init__(self):
+        if isinstance(self.progressive, dict):
+            self.progressive = ProgressivePolicy(**self.progressive)
+        if self.progressive is None:
+            self.progressive = ProgressivePolicy()
         if isinstance(self.models, str):
             self.models = (self.models,)
         self.models = tuple(self.models)

@@ -10,9 +10,17 @@ Request types (the ``type`` field):
 
 ``predict``
     ``{"type": "predict", "model": name, "x": nested lists or
-    encode_array() dict, "id": opt, "client": opt, "deadline_s": opt}``
+    encode_array() dict, "id": opt, "client": opt, "deadline_s": opt,
+    "progressive": opt}``
     -> ``{"ok": true, "id": ..., "logits": [...], "argmax": [...],
     "latency_s": ...}`` or a shed/error response (below).
+    ``progressive`` opts into anytime inference: ``true`` for the
+    server's default policy or an object overriding
+    :class:`~repro.runtime.ProgressivePolicy` fields
+    (``start_phase_length``, ``max_phase_length``, ``growth``,
+    ``margin_z``, ``target_rms``); the success response then adds
+    ``"progressive": {"phase_length", "extensions", "early_exit",
+    "margin", "margin_bound", "history"}``.
 ``metrics``
     -> ``{"ok": true, "server": {...}, "models": {name: snapshot},
     "kernels": {name: [calls, seconds]}}`` — the ``/metrics``-style

@@ -34,6 +34,7 @@ import numpy as np
 
 from .. import obs
 from ..runtime import BatcherClosedError
+from ..runtime.progressive import ProgressivePolicy
 from .admission import AdmissionController
 from .config import ServeConfig
 from .protocol import (ProtocolError, decode_array, encode_array,
@@ -51,6 +52,9 @@ def snapshot_to_dict(snapshot) -> dict:
     data["act_cache_hit_rate"] = snapshot.act_cache_hit_rate
     data["samples_per_s"] = snapshot.samples_per_s
     data["bits_per_s"] = snapshot.bits_per_s
+    data["progressive_early_exit_rate"] = snapshot.progressive_early_exit_rate
+    data["progressive_mean_final_length"] = \
+        snapshot.progressive_mean_final_length
     return data
 
 
@@ -216,6 +220,10 @@ class Server:
                     "id": rid}
         if x.shape == tuple(runtime.plan.input_shape):
             x = x[None]   # single un-batched sample
+        spec = message.get("progressive")
+        if spec:
+            return await self._run_progressive(runtime, x, spec, model,
+                                               rid, deadline_s, t0)
         try:
             future = runtime.submit(x)
         except BatcherClosedError:
@@ -262,6 +270,78 @@ class Server:
             "logits": encode_array(logits),
             "argmax": np.argmax(logits, axis=-1).tolist(),
             "latency_s": latency_s,
+        }
+
+    async def _run_progressive(self, runtime, x, spec, model, rid,
+                               deadline_s, t0: float) -> dict:
+        """Anytime-inference branch of ``predict``.
+
+        Runs the runtime's confidence-gated extension loop on a worker
+        thread (a progressive request is one resumable evaluation, so
+        it bypasses the dynamic batcher).  The deadline is best-effort:
+        an expiry answers ``error: deadline`` but cannot interrupt the
+        extension round already computing on its thread.
+        """
+        try:
+            policy = ProgressivePolicy.from_request(
+                spec, default=self.config.progressive)
+        except (TypeError, ValueError) as exc:
+            self.counters["bad_requests"] += 1
+            return {"ok": False, "error": "bad_request", "id": rid,
+                    "detail": str(exc)}
+        task = asyncio.ensure_future(asyncio.to_thread(
+            runtime.infer_progressive, x, policy))
+        try:
+            if deadline_s is not None:
+                remaining = deadline_s - (time.perf_counter() - t0)
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(task), timeout=remaining)
+            else:
+                outcome = await task
+        except asyncio.TimeoutError:
+            self.counters["deadline_expired"] += 1
+            task.add_done_callback(lambda t: t.exception())
+            return {"ok": False, "error": "deadline", "id": rid,
+                    "deadline_s": deadline_s}
+        except BatcherClosedError:
+            self.counters["shed_draining"] += 1
+            return {"ok": False, "error": "shed", "reason": "draining",
+                    "id": rid}
+        except asyncio.CancelledError:
+            raise
+        except ValueError as exc:
+            # Non-resumable config (byte kernel / non-prefix-stable
+            # scheme) or bad input — the client's request cannot be
+            # served progressively on this model.
+            self.counters["bad_requests"] += 1
+            return {"ok": False, "error": "bad_request", "id": rid,
+                    "detail": str(exc)}
+        except Exception as exc:
+            self.counters["errors"] += 1
+            return {"ok": False, "error": "internal", "id": rid,
+                    "detail": f"{type(exc).__name__}: {exc}"}
+        latency_s = time.perf_counter() - t0
+        obs.tracer().record_span(
+            f"request:{rid}", latency_s, category="request",
+            counters={"samples": int(x.shape[0]),
+                      "phase_length": int(outcome.phase_length)},
+        )
+        self.counters["completed"] += 1
+        return {
+            "ok": True, "id": rid, "model": model,
+            "logits": encode_array(outcome.logits),
+            "argmax": np.argmax(outcome.logits, axis=-1).tolist(),
+            "latency_s": latency_s,
+            "progressive": {
+                "phase_length": int(outcome.phase_length),
+                "extensions": int(outcome.extensions),
+                "early_exit": bool(outcome.early_exit),
+                "margin": float(outcome.margin),
+                "margin_bound": float(outcome.margin_bound),
+                "history": [int(l) for l in outcome.history],
+            },
         }
 
     # -- metrics ------------------------------------------------------

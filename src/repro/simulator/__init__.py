@@ -19,6 +19,7 @@ from .layers import (SCAvgPool, SCConv2d, SCFlatten, SCLinear, SCReLU,
 from .metrics import (confusion_matrix, evaluate_classifier,
                       per_class_accuracy, top_k_accuracy)
 from .network import SCNetwork, sc_graph_of
+from .progressive import ProgressiveExecutor, ProgressiveResult
 from .reference import ReferenceSplitUnipolarMac
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "SCAvgPool", "SCConv2d", "SCFlatten", "SCLinear", "SCReLU", "SCResidual",
     "WeightStreamCache",
     "SCNetwork", "sc_graph_of",
+    "ProgressiveExecutor", "ProgressiveResult",
     "confusion_matrix", "evaluate_classifier", "per_class_accuracy",
     "top_k_accuracy",
     "ReferenceSplitUnipolarMac",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
 __all__ = ["SCConfig"]
@@ -71,6 +72,60 @@ class SCConfig:
             raise ValueError(f"unknown kernel {self.kernel!r}")
         if self.block_kib < 1:
             raise ValueError("block_kib must be positive")
+        if self.layer_phase_lengths is not None:
+            self.layer_phase_lengths = self._normalized_overrides(
+                self.layer_phase_lengths)
+
+    @staticmethod
+    def _normalized_overrides(overrides) -> dict:
+        """Validate and copy ``layer_phase_lengths``.
+
+        Keys must be layer indices and values positive phase lengths,
+        both real ``int``s (``bool`` is rejected explicitly — it passes
+        an ``isinstance`` check but is never a meaningful index or
+        length).  The mapping is copied so later caller-side mutation
+        cannot desynchronize a config from plans or caches keyed on it.
+        """
+        try:
+            items = list(overrides.items())
+        except AttributeError:
+            raise TypeError(
+                "layer_phase_lengths must be a mapping of "
+                "{layer_index: phase_length}, got "
+                f"{type(overrides).__name__}"
+            ) from None
+        normalized = {}
+        for key, value in items:
+            if isinstance(key, bool) or isinstance(value, bool):
+                raise TypeError(
+                    "layer_phase_lengths entries must be ints, got a "
+                    f"bool in {key!r}: {value!r}"
+                )
+            try:
+                key = operator.index(key)
+            except TypeError:
+                raise TypeError(
+                    f"layer_phase_lengths key {key!r} is not an int "
+                    "layer index"
+                ) from None
+            try:
+                value = operator.index(value)
+            except TypeError:
+                raise TypeError(
+                    f"layer_phase_lengths[{key}] = {value!r} is not an "
+                    "int phase length"
+                ) from None
+            if key < 0:
+                raise ValueError(
+                    f"layer_phase_lengths key {key} is negative"
+                )
+            if value < 1:
+                raise ValueError(
+                    f"layer_phase_lengths[{key}] = {value} must be "
+                    "positive"
+                )
+            normalized[key] = value
+        return normalized
 
     @property
     def total_length(self) -> int:

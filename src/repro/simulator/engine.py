@@ -113,16 +113,18 @@ def _quantize_targets(values: np.ndarray, bits: int) -> np.ndarray:
 
 
 def _build_encode_table(scheme: str, bits: int, seed: int, lanes: int,
-                        length: int) -> np.ndarray:
+                        length: int, offset: int = 0) -> np.ndarray:
     """Value -> word-packed stream table, ``(lanes, 2**bits + 1, W)``.
 
     Row ``[k, v]`` is the packed stream a comparator SNG on lane ``k``
     emits for target ``v`` — identical bits to encoding ``v / 2**bits``
-    directly, for every representable value at once.
+    directly, for every representable value at once.  ``offset`` builds
+    the table for clock window ``[offset, offset + length)`` — the
+    continuation segment of a resumable evaluation.
     """
     with _Timed("encode:table"):
         source = make_source(scheme, bits=bits, seed=seed)
-        thresholds = source.thresholds(lanes, length)
+        thresholds = source.thresholds(lanes, length, offset=offset)
         levels = 1 << bits
         n_words = (length + 63) // 64
         table = np.empty((lanes, levels + 1, n_words), dtype=np.uint64)
@@ -139,12 +141,15 @@ def _build_encode_table(scheme: str, bits: int, seed: int, lanes: int,
 class ActivationEncodeCache:
     """LRU cache of :func:`_build_encode_table` results.
 
-    Keyed by ``(scheme, bits, seed, lanes, length)`` — everything the
-    table is a pure function of.  The per-chunk activation seed is part
-    of the key, so a steady-traffic runtime hits this cache on every
-    chunk after the first pass over a given layer shape.  Eviction is
-    by total byte budget (``REPRO_ENCODE_CACHE_MB``, default 128) so
-    huge layers cannot wedge a worker.
+    Keyed by ``(scheme, bits, seed, lanes, length, offset)`` —
+    everything the table is a pure function of.  The clock-window
+    ``offset`` in the key keeps a continuation segment of a resumable
+    run from ever aliasing the table of a from-zero run with the same
+    length.  The per-chunk activation seed is part of the key, so a
+    steady-traffic runtime hits this cache on every chunk after the
+    first pass over a given layer shape.  Eviction is by total byte
+    budget (``REPRO_ENCODE_CACHE_MB``, default 128) so huge layers
+    cannot wedge a worker.
 
     Safe for concurrent readers; a race at worst builds the same
     deterministic table twice.
@@ -162,15 +167,15 @@ class ActivationEncodeCache:
         self._lock = threading.Lock()
 
     def table(self, scheme: str, bits: int, seed: int, lanes: int,
-              length: int) -> np.ndarray:
-        key = (scheme, bits, seed, lanes, length)
+              length: int, offset: int = 0) -> np.ndarray:
+        key = (scheme, bits, seed, lanes, length, offset)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return entry
-        built = _build_encode_table(scheme, bits, seed, lanes, length)
+        built = _build_encode_table(scheme, bits, seed, lanes, length, offset)
         with self._lock:
             self.misses += 1
             if key not in self._entries:
@@ -202,8 +207,9 @@ ENCODE_CACHE = ActivationEncodeCache()
 
 
 def _act_thresholds(scheme: str, bits: int, seed: int, lanes: int,
-                    length: int) -> np.ndarray:
-    return make_source(scheme, bits=bits, seed=seed).thresholds(lanes, length)
+                    length: int, offset: int = 0) -> np.ndarray:
+    return make_source(scheme, bits=bits, seed=seed).thresholds(
+        lanes, length, offset=offset)
 
 
 _ROTATION_MEMO = OrderedDict()
@@ -245,18 +251,33 @@ def _lane_rotation(n_pos: int, fan_in: int, scale: int = 1) -> np.ndarray:
     return rotation
 
 
+def _lane_rotation_rows(positions: np.ndarray, fan_in: int,
+                        scale: int = 1) -> np.ndarray:
+    """:func:`_lane_rotation` rows for explicit chunk-local positions.
+
+    A row-subset re-execution (resumable extension of only the changed
+    output positions) must reproduce each position's original lane
+    assignment, which depends on its place *within the chunk* — not on
+    how many rows are being re-encoded.  Not memoized: subsets vary.
+    """
+    positions = np.asarray(positions)
+    k = np.arange(fan_in)[None, :]
+    return ((positions[:, None] + k) % fan_in) * scale
+
+
 def _encode_chunk_bytes(values: np.ndarray, length: int, bits: int,
-                        scheme: str, seed: int) -> np.ndarray:
+                        scheme: str, seed: int, offset: int = 0) -> np.ndarray:
     """Shared-lane chunk encode, byte-packed: ``(P, K) -> (P, K, B)``.
 
     A bank of ``fan_in`` SNG lanes is time-multiplexed across the
     chunk's positions with the :func:`_lane_rotation` assignment; bit
-    ``[p, k, t]`` is ``threshold[(p+k) % K, t] < round(v[p, k] * 2**bits)``.
+    ``[p, k, t]`` is ``threshold[(p+k) % K, offset + t] <
+    round(v[p, k] * 2**bits)``.
     """
     with _Timed("encode:act"):
         targets = _quantize_targets(values, bits)
         thresholds = _act_thresholds(scheme, bits, seed, values.shape[1],
-                                     length)
+                                     length, offset=offset)
         thr = thresholds[_lane_rotation(*values.shape)]
         return np.packbits(thr < targets[:, :, None], axis=-1)
 
@@ -275,7 +296,8 @@ def _time_major(words: np.ndarray) -> np.ndarray:
 
 def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
                         scheme: str, seed: int, use_cache: bool,
-                        lane_subset: np.ndarray = None) -> np.ndarray:
+                        lane_subset: np.ndarray = None, offset: int = 0,
+                        positions: np.ndarray = None) -> np.ndarray:
     """Shared-lane chunk encode, time-major: ``(P, K) -> (P, W, K)``.
 
     Bit-identical streams to :func:`_encode_chunk_bytes`.  With the
@@ -289,6 +311,13 @@ def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
     so a subset encode is a pure column selection, never a re-seeding:
     this is how precompiled plans skip all-zero weight lanes without
     perturbing a single bit of the lanes they keep.
+
+    ``offset`` encodes the clock window ``[offset, offset + length)``
+    (a resumable continuation segment); ``positions`` gives explicit
+    chunk-local row positions for the lane rotation when ``values``
+    holds only a subset of a chunk's rows — row ``i`` gets the exact
+    lane assignment it would have at position ``positions[i]`` of a
+    full-chunk encode.
     """
     lanes = values.shape[1]
     if lane_subset is not None and lane_subset.size == lanes:
@@ -297,13 +326,19 @@ def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
         traced = obs.enabled()
         if traced:
             h0, m0 = ENCODE_CACHE.counters()
-        table = ENCODE_CACHE.table(scheme, bits, seed, lanes, length)
+        table = ENCODE_CACHE.table(scheme, bits, seed, lanes, length,
+                                   offset=offset)
         with _Timed("encode:act") as section:
             if traced:
                 h1, m1 = ENCODE_CACHE.counters()
                 section.add_counter("encode_cache_hits", h1 - h0)
                 section.add_counter("encode_cache_misses", m1 - m0)
-            rotation = _lane_rotation(*values.shape, scale=table.shape[1])
+            if positions is None:
+                rotation = _lane_rotation(*values.shape,
+                                          scale=table.shape[1])
+            else:
+                rotation = _lane_rotation_rows(positions, lanes,
+                                               scale=table.shape[1])
             if lane_subset is not None:
                 rotation = rotation[:, lane_subset]
                 values = values[:, lane_subset]
@@ -311,8 +346,12 @@ def _encode_chunk_words(values: np.ndarray, length: int, bits: int,
             flat = table.reshape(-1, table.shape[-1])
             return _time_major(np.take(flat, rows, axis=0))
     with _Timed("encode:act"):
-        thresholds = _act_thresholds(scheme, bits, seed, lanes, length)
-        rotation = _lane_rotation(*values.shape)
+        thresholds = _act_thresholds(scheme, bits, seed, lanes, length,
+                                     offset=offset)
+        if positions is None:
+            rotation = _lane_rotation(*values.shape)
+        else:
+            rotation = _lane_rotation_rows(positions, lanes)
         if lane_subset is not None:
             rotation = rotation[:, lane_subset]
             values = values[:, lane_subset]
@@ -329,27 +368,31 @@ def _channel_block(n_chan: int, n_pos: int, n_lanes: int, n_words: int,
 
 
 def encode_packed(values: np.ndarray, length: int, bits: int, scheme: str,
-                  seed: int) -> np.ndarray:
+                  seed: int, offset: int = 0) -> np.ndarray:
     """Encode probabilities to bit-packed streams, one lane per element.
 
     Returns shape ``values.shape + (ceil(length / 8),)``.  This is the
     *weight* encoding path — every ``(channel, k)`` weight element keeps
     its own SNG lane; activations use the shared-lane chunk encoders.
+    ``offset`` encodes clocks ``[offset, offset + length)``.
     """
     sng = StochasticNumberGenerator(length, bits=bits, scheme=scheme, seed=seed)
-    return np.packbits(sng.generate(values), axis=-1)
+    return np.packbits(sng.generate(values, offset=offset), axis=-1)
 
 
 def encode_split_weight_streams(weights: np.ndarray, *, length: int,
-                                bits: int, scheme: str, seed: int) -> tuple:
+                                bits: int, scheme: str, seed: int,
+                                offset: int = 0) -> tuple:
     """Pre-encode the two split-unipolar weight phase streams.
 
     Weight streams are constant for a fixed ``(length, bits, scheme,
-    seed)``, so callers running many forward passes encode them once and
-    pass the result to :func:`split_or_matmul_counts` via
+    seed, offset)``, so callers running many forward passes encode them
+    once and pass the result to :func:`split_or_matmul_counts` via
     ``weight_streams``.  Returns a 2-tuple of ``(w_part, w_packed)``
     pairs — the up (positive) and down (negative) phase — bit-identical
-    to what the matmul would generate internally.
+    to what the matmul would generate internally.  ``offset`` encodes
+    the continuation window ``[offset, offset + length)`` for resumable
+    extension segments.
     """
     weights = np.asarray(weights, dtype=np.float64)
     with _Timed("encode:weights"):
@@ -357,14 +400,15 @@ def encode_split_weight_streams(weights: np.ndarray, *, length: int,
         for phase, w_part in ((0, np.maximum(weights, 0.0)),
                               (1, np.maximum(-weights, 0.0))):
             w_packed = encode_packed(w_part, length, bits, scheme,
-                                     seed=seed + 7_368_787 * (phase + 1))
+                                     seed=seed + 7_368_787 * (phase + 1),
+                                     offset=offset)
             phases.append((w_part, w_packed))
         return tuple(phases)
 
 
 def encode_bipolar_weight_stream(weights: np.ndarray, *, length: int,
-                                 bits: int, scheme: str,
-                                 seed: int) -> np.ndarray:
+                                 bits: int, scheme: str, seed: int,
+                                 offset: int = 0) -> np.ndarray:
     """Pre-encode the bipolar weight streams for the XNOR/MUX datapath.
 
     Bit-identical to the encoding :func:`bipolar_mux_matmul_counts`
@@ -373,13 +417,21 @@ def encode_bipolar_weight_stream(weights: np.ndarray, *, length: int,
     weights = np.asarray(weights, dtype=np.float64)
     with _Timed("encode:weights"):
         return encode_packed((weights + 1.0) / 2.0, length, bits, scheme,
-                             seed=seed + 7_368_787)
+                             seed=seed + 7_368_787, offset=offset)
 
 
-def _mux_select_matrix(fan_in: int, length: int, seed: int) -> np.ndarray:
-    """One-hot (fan_in, length) selection for MUX accumulation, packed."""
+def _mux_select_matrix(fan_in: int, length: int, seed: int,
+                       offset: int = 0) -> np.ndarray:
+    """One-hot (fan_in, length) selection for MUX accumulation, packed.
+
+    The select draw at clock ``t`` depends only on ``(seed, t)`` — a
+    seeded ``default_rng`` emits the same leading integers for any
+    requested size — so ``offset`` slices the window ``[offset,
+    offset + length)`` out of one longer draw and MUX accumulation
+    stays prefix-stable like the threshold sources.
+    """
     rng = np.random.default_rng(seed)
-    select = rng.integers(0, fan_in, size=length)
+    select = rng.integers(0, fan_in, size=offset + length)[offset:]
     onehot = (np.arange(fan_in)[:, None] == select[None, :]).astype(np.uint8)
     return np.packbits(onehot, axis=-1)
 
@@ -391,7 +443,8 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                            weight_streams: tuple = None,
                            kernel: str = None,
                            block_bytes: int = None,
-                           encode_cache: bool = True) -> np.ndarray:
+                           encode_cache: bool = True,
+                           start_bit: int = 0) -> np.ndarray:
     """Bitstream-exact split-unipolar matrix multiply.
 
     Parameters
@@ -403,6 +456,13 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
         ``(C, K)`` signed weights in [-1, 1] (C output channels).
     length:
         Per-phase stream length in clocks.
+    start_bit:
+        Count the clock window ``[start_bit, start_bit + length)``
+        instead of ``[0, length)``.  With a prefix-stable RNG scheme,
+        counts over disjoint windows sum to the one-shot count over
+        their union — the additivity the resumable evaluation path is
+        built on.  Pre-encoded ``weight_streams`` must be encoded at
+        the same ``start_bit``.
     accumulator:
         ``"or"`` — OR-reduce product streams (ACOUSTIC);
         ``"apc"`` — exact popcount across fan-in (binary accumulation);
@@ -446,7 +506,8 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
         # Weight streams: one lane per (channel, k) element, regenerated
         # per phase with an independent seed space.
         weight_streams = encode_split_weight_streams(
-            weights, length=length, bits=bits, scheme=scheme, seed=seed
+            weights, length=length, bits=bits, scheme=scheme, seed=seed,
+            offset=start_bit
         )
     for _, (_, w_packed) in enumerate(weight_streams):
         if w_packed.shape[:2] != (n_chan, fan_in):
@@ -455,7 +516,7 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
         return counts
 
     args = (counts, acts, weight_streams, length, bits, scheme, seed,
-            accumulator, chunk_positions)
+            accumulator, chunk_positions, start_bit)
     with _Timed(f"{kernel}:{accumulator}") as section:
         section.add_counter("positions", n_pos)
         section.add_counter("channels", n_chan)
@@ -471,7 +532,8 @@ def split_or_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
 
 
 def _split_matmul_byte(counts, acts, weight_streams, length, bits, scheme,
-                       seed, accumulator, chunk_positions) -> None:
+                       seed, accumulator, chunk_positions,
+                       start_bit) -> None:
     """Reference byte-path: uint8 packing, per-channel Python loops."""
     n_pos, fan_in = acts.shape
     n_chan = counts.shape[1]
@@ -484,12 +546,14 @@ def _split_matmul_byte(counts, acts, weight_streams, length, bits, scheme,
         active_lanes = [np.flatnonzero(w_part[c] > 0) for c in range(n_chan)]
         if accumulator == "mux":
             select = _mux_select_matrix(fan_in, length,
-                                        seed + 104_729 * (phase + 1))
+                                        seed + 104_729 * (phase + 1),
+                                        offset=start_bit)
         for start in range(0, n_pos, chunk_positions):
             sl = slice(start, min(start + chunk_positions, n_pos))
             a_packed = _encode_chunk_bytes(
                 acts[sl], length, bits, scheme,
                 seed=seed + 15_485_863 * (phase + 1) + 104_651 * start,
+                offset=start_bit,
             )
             # a_packed: (p, K, B); w_packed: (C, K, B).
             if accumulator == "or":
@@ -520,8 +584,8 @@ def _split_matmul_byte(counts, acts, weight_streams, length, bits, scheme,
 
 
 def _split_matmul_word(counts, acts, weight_streams, length, bits, scheme,
-                       seed, accumulator, chunk_positions, block_bytes,
-                       encode_cache) -> None:
+                       seed, accumulator, chunk_positions, start_bit,
+                       block_bytes, encode_cache) -> None:
     """uint64 word path: channel-blocked broadcast kernels.
 
     Operands are held time-major (``(..., W, K)``, see
@@ -537,13 +601,14 @@ def _split_matmul_word(counts, acts, weight_streams, length, bits, scheme,
         active = w_part > 0                                  # (C, K)
         if accumulator == "mux":
             select_words = _time_major(words_from_bytes(_mux_select_matrix(
-                fan_in, length, seed + 104_729 * (phase + 1))))  # (W, K)
+                fan_in, length, seed + 104_729 * (phase + 1),
+                offset=start_bit)))                          # (W, K)
         for start in range(0, n_pos, chunk_positions):
             sl = slice(start, min(start + chunk_positions, n_pos))
             a_words = _encode_chunk_words(
                 acts[sl], length, bits, scheme,
                 seed=seed + 15_485_863 * (phase + 1) + 104_651 * start,
-                use_cache=encode_cache,
+                use_cache=encode_cache, offset=start_bit,
             )                                                # (p, W, K)
             p = a_words.shape[0]
             cb = _channel_block(n_chan, p, fan_in, n_words, block_bytes)
@@ -642,12 +707,15 @@ class SplitMatmulPlan:
     def __init__(self, weights: np.ndarray, *, length: int, bits: int,
                  scheme: str, seed: int, accumulator: str = "or",
                  block_bytes: int = None, chunk_positions: int = 256,
-                 weight_streams: tuple = None, encode_cache: bool = True):
+                 weight_streams: tuple = None, encode_cache: bool = True,
+                 bit_offset: int = 0):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError("weights must be (C, K)")
         if accumulator not in ("or", "apc", "mux"):
             raise ValueError(f"unknown accumulator {accumulator!r}")
+        if bit_offset < 0:
+            raise ValueError("bit_offset must be non-negative")
         self.length = length
         self.bits = bits
         self.scheme = scheme
@@ -655,11 +723,18 @@ class SplitMatmulPlan:
         self.accumulator = accumulator
         self.chunk_positions = chunk_positions
         self.encode_cache = encode_cache
+        #: Absolute clock the plan's window starts at: the plan counts
+        #: bits ``[bit_offset, bit_offset + length)`` of the conceptual
+        #: streams.  A segment plan of a resumable evaluation; 0 for the
+        #: ordinary from-zero case.  Pre-supplied ``weight_streams``
+        #: must be encoded at the same offset.
+        self.bit_offset = bit_offset
         self.n_chan, self.fan_in = weights.shape
         self.n_words = (length + 63) // 64
         if weight_streams is None:
             weight_streams = encode_split_weight_streams(
-                weights, length=length, bits=bits, scheme=scheme, seed=seed)
+                weights, length=length, bits=bits, scheme=scheme, seed=seed,
+                offset=bit_offset)
         self.phases = []
         for phase, (w_part, w_packed) in enumerate(weight_streams):
             active = w_part > 0
@@ -669,7 +744,8 @@ class SplitMatmulPlan:
             if accumulator == "mux":
                 select_words = _time_major(words_from_bytes(
                     _mux_select_matrix(self.fan_in, length,
-                                       seed + 104_729 * (phase + 1))))
+                                       seed + 104_729 * (phase + 1),
+                                       offset=bit_offset)))
             if union.size < self.fan_in:
                 w_words = np.ascontiguousarray(w_words[:, :, union])
                 if select_words is not None:
@@ -794,22 +870,84 @@ class SplitMatmulPlan:
                 seed=(self.seed + 15_485_863 * (ph.phase + 1)
                       + 104_651 * start),
                 use_cache=self.encode_cache, lane_subset=subset,
+                offset=self.bit_offset,
             )
-            if self.accumulator == "mux":
-                a_words = a_words & ph.select_words[None, :, :]
-            for c0, c1, rel, ww in ph.blocks:
-                aw = a_words if rel is None else a_words[:, :, rel]
-                if self.accumulator == "apc":
-                    prods = aw[:, None, :, :] & ww[None, :, :, :]
-                    counts[sl, c0:c1] += ph.sign * popcount_words(
-                        prods, axis=(-2, -1))
-                elif jit_or is not None:
-                    counts[sl, c0:c1] += ph.sign * jit_or(aw, ww)
-                else:
-                    prods = aw[:, None, :, :] & ww[None, :, :, :]
-                    acc = np.bitwise_or.reduce(prods, axis=-1)
-                    counts[sl, c0:c1] += ph.sign * popcount_words(
-                        acc, axis=-1)
+            self._apply_blocks(ph, a_words, counts, sl, jit_or)
+
+    def _apply_blocks(self, ph, a_words, counts, sel, jit_or) -> None:
+        """Accumulate one chunk's encoded words into ``counts[sel]``.
+
+        ``sel`` is either a contiguous slice (full-chunk execution) or
+        an integer-array row index (subset re-execution); the math is
+        identical either way.
+        """
+        if self.accumulator == "mux":
+            a_words = a_words & ph.select_words[None, :, :]
+        for c0, c1, rel, ww in ph.blocks:
+            aw = a_words if rel is None else a_words[:, :, rel]
+            if self.accumulator == "apc":
+                prods = aw[:, None, :, :] & ww[None, :, :, :]
+                counts[sel, c0:c1] += ph.sign * popcount_words(
+                    prods, axis=(-2, -1))
+            elif jit_or is not None:
+                counts[sel, c0:c1] += ph.sign * jit_or(aw, ww)
+            else:
+                prods = aw[:, None, :, :] & ww[None, :, :, :]
+                acc = np.bitwise_or.reduce(prods, axis=-1)
+                counts[sel, c0:c1] += ph.sign * popcount_words(
+                    acc, axis=-1)
+
+    def execute_rows(self, acts: np.ndarray, rows: np.ndarray, *,
+                     jit_or=None, record: bool = True) -> np.ndarray:
+        """Run the planned matmul for a *subset* of output positions.
+
+        ``acts`` holds the activation rows at absolute positions
+        ``rows`` (strictly increasing) of a conceptual ``(P, fan_in)``
+        matrix; the result is bit-identical to
+        ``self.execute(full_acts)[rows]``.  Each row is grouped back
+        into its original chunk so it sees the exact per-chunk SNG seed
+        and in-chunk lane rotation a full run would give it — this is
+        what lets a resumable extension recompute only the rows whose
+        inputs changed.
+        """
+        acts = np.asarray(acts, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        if acts.ndim != 2 or acts.shape[1] != self.fan_in:
+            raise ValueError(
+                f"acts must be (R, {self.fan_in}), got {acts.shape}")
+        if rows.ndim != 1 or rows.shape[0] != acts.shape[0]:
+            raise ValueError("rows must be 1-D and match acts rows")
+        if rows.size and (rows[0] < 0 or np.any(np.diff(rows) <= 0)):
+            raise ValueError("rows must be strictly increasing and >= 0")
+        counts = np.zeros((rows.size, self.n_chan), dtype=np.int64)
+        if self.fan_in == 0 or rows.size == 0 or self.n_chan == 0:
+            return counts
+        chunk_ids = rows // self.chunk_positions
+        bounds = np.flatnonzero(np.diff(chunk_ids)) + 1
+        groups = np.split(np.arange(rows.size), bounds)
+        section = (_Timed(f"plan:{self.accumulator}") if record
+                   else _NULL_SECTION)
+        with section:
+            section.add_counter("positions", rows.size)
+            section.add_counter("channels", self.n_chan)
+            section.add_counter(
+                "product_bits",
+                rows.size * self.active_product_lanes * self.length)
+            for ph in self.phases:
+                if ph.union.size == 0:
+                    continue
+                subset = ph.union if ph.union.size < self.fan_in else None
+                for g in groups:
+                    start = int(chunk_ids[g[0]]) * self.chunk_positions
+                    a_words = _encode_chunk_words(
+                        acts[g], self.length, self.bits, self.scheme,
+                        seed=(self.seed + 15_485_863 * (ph.phase + 1)
+                              + 104_651 * start),
+                        use_cache=self.encode_cache, lane_subset=subset,
+                        offset=self.bit_offset, positions=rows[g] - start,
+                    )
+                    self._apply_blocks(ph, a_words, counts, g, jit_or)
+        return counts
 
 
 class BipolarMatmulPlan:
@@ -825,22 +963,28 @@ class BipolarMatmulPlan:
                  scheme: str, seed: int, block_bytes: int = None,
                  chunk_positions: int = 256,
                  weight_stream: np.ndarray = None,
-                 encode_cache: bool = True):
+                 encode_cache: bool = True, bit_offset: int = 0):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError("weights must be (C, K)")
+        if bit_offset < 0:
+            raise ValueError("bit_offset must be non-negative")
         self.length = length
         self.bits = bits
         self.scheme = scheme
         self.seed = seed
         self.chunk_positions = chunk_positions
         self.encode_cache = encode_cache
+        #: See :attr:`SplitMatmulPlan.bit_offset`.
+        self.bit_offset = bit_offset
         self.n_chan, self.fan_in = weights.shape
         self.n_words = (length + 63) // 64
         if weight_stream is None:
             weight_stream = encode_bipolar_weight_stream(
-                weights, length=length, bits=bits, scheme=scheme, seed=seed)
-        select = _mux_select_matrix(self.fan_in, length, seed + 104_729)
+                weights, length=length, bits=bits, scheme=scheme, seed=seed,
+                offset=bit_offset)
+        select = _mux_select_matrix(self.fan_in, length, seed + 104_729,
+                                    offset=bit_offset)
         self.select_words = _time_major(words_from_bytes(select))
         self.w_sel = (~_time_major(words_from_bytes(weight_stream))
                       & self.select_words[None, :, :])
@@ -891,13 +1035,55 @@ class BipolarMatmulPlan:
                     (acts[sl] + 1.0) / 2.0, self.length, self.bits,
                     self.scheme, seed=self.seed + 15_485_863
                     + 104_651 * start,
-                    use_cache=self.encode_cache,
+                    use_cache=self.encode_cache, offset=self.bit_offset,
                 )
-                a_sel = a_words & self.select_words[None, :, :]
-                for c0, c1 in self.blocks:
-                    gated = a_sel[:, None, :, :] ^ self.w_sel[None, c0:c1]
-                    acc = np.bitwise_or.reduce(gated, axis=-1)
-                    counts[sl, c0:c1] += popcount_words(acc, axis=-1)
+                self._apply_blocks(a_words, counts, sl)
+        return counts
+
+    def _apply_blocks(self, a_words, counts, sel) -> None:
+        a_sel = a_words & self.select_words[None, :, :]
+        for c0, c1 in self.blocks:
+            gated = a_sel[:, None, :, :] ^ self.w_sel[None, c0:c1]
+            acc = np.bitwise_or.reduce(gated, axis=-1)
+            counts[sel, c0:c1] += popcount_words(acc, axis=-1)
+
+    def execute_rows(self, acts: np.ndarray, rows: np.ndarray, *,
+                     record: bool = True) -> np.ndarray:
+        """Subset-of-positions variant of :meth:`execute`; bit-identical
+        to ``self.execute(full_acts)[rows]`` (see
+        :meth:`SplitMatmulPlan.execute_rows`)."""
+        acts = np.asarray(acts, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        if acts.ndim != 2 or acts.shape[1] != self.fan_in:
+            raise ValueError(
+                f"acts must be (R, {self.fan_in}), got {acts.shape}")
+        if rows.ndim != 1 or rows.shape[0] != acts.shape[0]:
+            raise ValueError("rows must be 1-D and match acts rows")
+        if rows.size and (rows[0] < 0 or np.any(np.diff(rows) <= 0)):
+            raise ValueError("rows must be strictly increasing and >= 0")
+        counts = np.zeros((rows.size, self.n_chan), dtype=np.int64)
+        if self.fan_in == 0 or rows.size == 0 or self.n_chan == 0:
+            return counts
+        chunk_ids = rows // self.chunk_positions
+        bounds = np.flatnonzero(np.diff(chunk_ids)) + 1
+        groups = np.split(np.arange(rows.size), bounds)
+        section = _Timed("plan:bipolar") if record else _NULL_SECTION
+        with section:
+            section.add_counter("positions", rows.size)
+            section.add_counter("channels", self.n_chan)
+            section.add_counter(
+                "product_bits",
+                rows.size * self.n_chan * self.fan_in * self.length)
+            for g in groups:
+                start = int(chunk_ids[g[0]]) * self.chunk_positions
+                a_words = _encode_chunk_words(
+                    (acts[g] + 1.0) / 2.0, self.length, self.bits,
+                    self.scheme,
+                    seed=self.seed + 15_485_863 + 104_651 * start,
+                    use_cache=self.encode_cache, offset=self.bit_offset,
+                    positions=rows[g] - start,
+                )
+                self._apply_blocks(a_words, counts, g)
         return counts
 
 
@@ -907,7 +1093,8 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                               weight_stream: np.ndarray = None,
                               kernel: str = None,
                               block_bytes: int = None,
-                              encode_cache: bool = True) -> np.ndarray:
+                              encode_cache: bool = True,
+                              start_bit: int = 0) -> np.ndarray:
     """Bitstream-exact *bipolar* matrix multiply with MUX accumulation.
 
     This is the datapath of prior SC accelerators (SC-DCNN, HEIF, ...):
@@ -919,8 +1106,9 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     ACOUSTIC's OR-unipolar design.
 
     ``acts`` in [0, 1] (post-ReLU), ``weights`` in [-1, 1].  ``kernel``/
-    ``block_bytes``/``encode_cache`` as in
-    :func:`split_or_matmul_counts`.
+    ``block_bytes``/``encode_cache``/``start_bit`` as in
+    :func:`split_or_matmul_counts` (a pre-encoded ``weight_stream``
+    must match ``start_bit``).
     """
     acts = np.asarray(acts, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)
@@ -934,7 +1122,8 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     counts = np.zeros((n_pos, n_chan), dtype=np.int64)
     if weight_stream is None:
         weight_stream = encode_bipolar_weight_stream(
-            weights, length=length, bits=bits, scheme=scheme, seed=seed
+            weights, length=length, bits=bits, scheme=scheme, seed=seed,
+            offset=start_bit
         )
     w_packed = weight_stream
     if w_packed.shape[:2] != (n_chan, fan_in):
@@ -946,7 +1135,8 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
     # is computed as (a & sel) ^ (~w & sel): ~(a ^ w) & sel distributes
     # over XOR, letting both kernels hoist the activation gating out of
     # the channel dimension and pre-gate the weights once per call.
-    select = _mux_select_matrix(fan_in, length, seed + 104_729)
+    select = _mux_select_matrix(fan_in, length, seed + 104_729,
+                                offset=start_bit)
     n_words = (length + 63) // 64
     with _Timed(f"{kernel}:bipolar") as section:
         section.add_counter("positions", n_pos)
@@ -961,7 +1151,7 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                 a_words = _encode_chunk_words(
                     (acts[sl] + 1.0) / 2.0, length, bits, scheme,
                     seed=seed + 15_485_863 + 104_651 * start,
-                    use_cache=encode_cache,
+                    use_cache=encode_cache, offset=start_bit,
                 )                                                 # (p, W, K)
                 a_sel = a_words & select_words[None, :, :]
                 p = a_sel.shape[0]
@@ -977,6 +1167,7 @@ def bipolar_mux_matmul_counts(acts: np.ndarray, weights: np.ndarray, *,
                 a_packed = _encode_chunk_bytes(
                     (acts[sl] + 1.0) / 2.0, length, bits, scheme,
                     seed=seed + 15_485_863 + 104_651 * start,
+                    offset=start_bit,
                 )
                 a_sel = a_packed & select[None, :, :]
                 for c in range(n_chan):

@@ -26,7 +26,80 @@ from .engine import (bipolar_mux_matmul_counts, encode_bipolar_weight_stream,
                      encode_split_weight_streams, split_or_matmul_counts)
 
 __all__ = ["SCConv2d", "SCLinear", "SCReLU", "SCAvgPool", "SCFlatten",
-           "SCResidual", "WeightStreamCache"]
+           "SCResidual", "WeightStreamCache", "decode_split_conv_counts",
+           "decode_bipolar_conv_counts", "decode_split_linear_counts",
+           "decode_bipolar_linear_counts"]
+
+
+# -- counter decoding --------------------------------------------------
+#
+# The count -> value conversion (counter readout, fused pooling, MUX
+# rescale) is shared by three executors of the same math: the generic
+# layer forwards below, the specialized kernel plans
+# (repro.runtime.specialize), and the resumable progressive evaluator
+# (repro.simulator.progressive).  One implementation keeps them
+# bit-identical by construction.
+
+
+def decode_split_conv_counts(counts: np.ndarray, layer: "SCConv2d",
+                             config: SCConfig, length: int, n: int,
+                             oh: int, ow: int, fan_in: int) -> np.ndarray:
+    """Split-unipolar conv counter readout: ``(n*oh*ow, c_out)`` raw
+    matmul counts at per-pass ``length`` -> NCHW activation values,
+    including the fused-pooling counter semantics."""
+    c_out = counts.shape[-1]
+    counts = counts.reshape(n, oh, ow, c_out)
+    if layer.pool_size > 1:
+        p = layer.pool_size
+        if oh % p or ow % p:
+            raise ValueError(
+                f"pool window {p} must tile conv output {oh}x{ow}"
+            )
+        if config.computation_skipping:
+            # Counters accumulate the window across shortened passes.
+            windows = counts.reshape(n, oh // p, p, ow // p, p, c_out)
+            values = windows.sum(axis=(2, 4)) / (layer.pool_area * length)
+        else:
+            # Full-length passes followed by stream-level scaled
+            # addition; at the counter this is the window average.
+            values = counts / length
+            values = values.reshape(n, oh // p, p, ow // p, p, c_out)
+            values = values.mean(axis=(2, 4))
+    else:
+        values = counts / length
+    out = values.transpose(0, 3, 1, 2)
+    if config.accumulator == "mux":
+        out = out * fan_in  # undo the 1/k MUX scaling
+    return out
+
+
+def decode_bipolar_conv_counts(counts: np.ndarray, layer: "SCConv2d",
+                               length: int, n: int, oh: int,
+                               ow: int) -> np.ndarray:
+    """Bipolar conv counter readout (XNOR/MUX datapath): MUX ones-counts
+    to NCHW values, pooling on converted activations."""
+    c_out = counts.shape[-1]
+    values = 2.0 * counts.reshape(n, oh, ow, c_out) / length - 1.0
+    if layer.pool_size > 1:
+        p = layer.pool_size
+        values = values.reshape(n, oh // p, p, ow // p, p, c_out)
+        values = values.mean(axis=(2, 4))
+    return values.transpose(0, 3, 1, 2)
+
+
+def decode_split_linear_counts(counts: np.ndarray, config: SCConfig,
+                               length: int, fan_in: int) -> np.ndarray:
+    """Split-unipolar linear counter readout."""
+    out = counts / length
+    if config.accumulator == "mux":
+        out = out * fan_in
+    return out
+
+
+def decode_bipolar_linear_counts(counts: np.ndarray,
+                                 length: int) -> np.ndarray:
+    """Bipolar linear counter readout."""
+    return 2.0 * counts / length - 1.0
 
 
 class WeightStreamCache:
@@ -35,9 +108,12 @@ class WeightStreamCache:
     Weight streams are a pure function of the weight tensor and the
     encoding parameters, so a layer whose weights are fixed can encode
     them once and replay the packed arrays on every forward pass.
-    Entries are keyed by ``(representation, length, bits, scheme, seed)``
-    and evicted LRU beyond ``max_entries`` (each distinct SC
-    configuration contributes one entry; inference uses exactly one).
+    Entries are keyed by ``(representation, length, bits, scheme, seed,
+    offset)`` and evicted LRU beyond ``max_entries`` (each distinct SC
+    configuration contributes one entry; fixed-length inference uses
+    exactly one, a progressive schedule one per extension segment —
+    hence the default room for a full geometric schedule alongside the
+    from-zero streams).
 
     ``hits``/``misses`` counters feed the runtime's encode-cache hit-rate
     metric.  The cache is safe for concurrent readers (thread-backed
@@ -45,7 +121,7 @@ class WeightStreamCache:
     constant streams twice.
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(self, max_entries: int = 16):
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -88,14 +164,16 @@ class WeightStreamCache:
 
 def _cached_weight_streams(cache: WeightStreamCache, weights_2d: np.ndarray,
                            *, representation: str, length: int, bits: int,
-                           scheme: str, seed: int):
+                           scheme: str, seed: int, offset: int = 0):
     """Fetch (or encode and memoize) one layer's packed weight streams."""
-    key = (representation, length, bits, scheme, seed)
+    key = (representation, length, bits, scheme, seed, offset)
     if representation == "bipolar":
         return cache.get_or_encode(key, lambda: encode_bipolar_weight_stream(
-            weights_2d, length=length, bits=bits, scheme=scheme, seed=seed))
+            weights_2d, length=length, bits=bits, scheme=scheme, seed=seed,
+            offset=offset))
     return cache.get_or_encode(key, lambda: encode_split_weight_streams(
-        weights_2d, length=length, bits=bits, scheme=scheme, seed=seed))
+        weights_2d, length=length, bits=bits, scheme=scheme, seed=seed,
+        offset=offset))
 
 
 class SCConv2d:
@@ -125,12 +203,17 @@ class SCConv2d:
         return self.pool_size * self.pool_size
 
     def packed_weight_streams(self, *, representation: str, length: int,
-                              bits: int, scheme: str, seed: int):
-        """Cached packed weight streams for one encoding configuration."""
+                              bits: int, scheme: str, seed: int,
+                              offset: int = 0):
+        """Cached packed weight streams for one encoding configuration.
+
+        ``offset`` selects the clock window ``[offset, offset + length)``
+        — the continuation segment streams of a resumable evaluation.
+        """
         return _cached_weight_streams(
             self.stream_cache, self.weight.reshape(self.weight.shape[0], -1),
             representation=representation, length=length, bits=bits,
-            scheme=scheme, seed=seed,
+            scheme=scheme, seed=seed, offset=offset,
         )
 
     def phase_length(self, config: SCConfig, layer_index: int = None) -> int:
@@ -164,31 +247,9 @@ class SCConv2d:
                 bits=config.bits, scheme=config.scheme, seed=seed,
             ),
             **config.kernel_kwargs(),
-        ).reshape(n, oh, ow, c_out)
-
-        if self.pool_size > 1:
-            p = self.pool_size
-            if oh % p or ow % p:
-                raise ValueError(
-                    f"pool window {p} must tile conv output {oh}x{ow}"
-                )
-            if config.computation_skipping:
-                # Counters accumulate the window across shortened passes.
-                windows = counts.reshape(n, oh // p, p, ow // p, p, c_out)
-                counts = windows.sum(axis=(2, 4))
-                values = counts / (self.pool_area * length)
-            else:
-                # Full-length passes followed by stream-level scaled
-                # addition; at the counter this is the window average.
-                values = counts / length
-                values = values.reshape(n, oh // p, p, ow // p, p, c_out)
-                values = values.mean(axis=(2, 4))
-        else:
-            values = counts / length
-        out = values.transpose(0, 3, 1, 2)
-        if config.accumulator == "mux":
-            out = out * k  # undo the 1/k MUX scaling
-        return out
+        )
+        return decode_split_conv_counts(counts, self, config, length,
+                                        n, oh, ow, k)
 
     def _forward_bipolar(self, cols: np.ndarray, config: SCConfig,
                          layer_index: int) -> np.ndarray:
@@ -216,13 +277,8 @@ class SCConv2d:
                 scheme=config.scheme, seed=seed,
             ),
             **config.kernel_kwargs(),
-        ).reshape(n, oh, ow, c_out)
-        values = 2.0 * counts / length - 1.0
-        if self.pool_size > 1:
-            p = self.pool_size
-            values = values.reshape(n, oh // p, p, ow // p, p, c_out)
-            values = values.mean(axis=(2, 4))
-        return values.transpose(0, 3, 1, 2)
+        )
+        return decode_bipolar_conv_counts(counts, self, length, n, oh, ow)
 
 
 class SCLinear:
@@ -238,12 +294,14 @@ class SCLinear:
         self.stream_cache = WeightStreamCache()
 
     def packed_weight_streams(self, *, representation: str, length: int,
-                              bits: int, scheme: str, seed: int):
-        """Cached packed weight streams for one encoding configuration."""
+                              bits: int, scheme: str, seed: int,
+                              offset: int = 0):
+        """Cached packed weight streams for one encoding configuration
+        (``offset`` as in :meth:`SCConv2d.packed_weight_streams`)."""
         return _cached_weight_streams(
             self.stream_cache, self.weight,
             representation=representation, length=length, bits=bits,
-            scheme=scheme, seed=seed,
+            scheme=scheme, seed=seed, offset=offset,
         )
 
     def forward(self, x: np.ndarray, config: SCConfig,
@@ -263,7 +321,7 @@ class SCLinear:
                 ),
                 **config.kernel_kwargs(),
             )
-            return 2.0 * counts / config.total_length - 1.0
+            return decode_bipolar_linear_counts(counts, config.total_length)
         phase_length = config.phase_length_for(layer_index)
         counts = split_or_matmul_counts(
             quantize_probability(x, config.bits),
@@ -279,10 +337,8 @@ class SCLinear:
             ),
             **config.kernel_kwargs(),
         )
-        out = counts / phase_length
-        if config.accumulator == "mux":
-            out = out * x.shape[-1]
-        return out
+        return decode_split_linear_counts(counts, config, phase_length,
+                                          x.shape[-1])
 
 
 class SCReLU:

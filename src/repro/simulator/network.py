@@ -127,6 +127,20 @@ class SCNetwork:
             return x, intermediates
         return x
 
+    def forward_partial(self, x: np.ndarray, phase_length: int = None):
+        """Begin a resumable (anytime) evaluation of ``x``.
+
+        Returns a :class:`~repro.simulator.progressive.ProgressiveResult`
+        holding the logits at base ``phase_length`` (default: the
+        config's); ``result.extend(longer)`` grows the evaluation
+        without recomputing the already-counted prefix, bit-identical
+        to a one-shot :meth:`forward` at the final length.  Requires a
+        prefix-stable RNG scheme (``lfsr``/``vdc``) and the word
+        kernel — see :class:`ProgressiveExecutor`.
+        """
+        from .progressive import ProgressiveExecutor
+        return ProgressiveExecutor(self).start(x, phase_length)
+
     def _layer_span_names(self) -> list:
         """``layer:<index>:<kind>`` trace names, built once per network."""
         names = getattr(self, "_span_names", None)

@@ -1,0 +1,336 @@
+"""Resumable (anytime) SC evaluation built on popcount additivity.
+
+A stochastic-computing inference at phase length ``n`` is a popcount
+over ``n`` clocks of deterministic bitstreams.  With a *prefix-stable*
+RNG scheme — the threshold a lane compares against at absolute clock
+``t`` depends only on ``(seed, t)``, never on the window being generated
+(``lfsr`` and ``vdc``; see :func:`repro.core.rng.prefix_stable_scheme`)
+— the counts over the disjoint clock windows ``[0, a)`` and ``[a, a+b)``
+sum to exactly the one-shot count over ``[0, a+b)``.  That additivity
+makes partial evaluations *resumable*: run short, keep the per-layer
+counts, and extend by another window without recomputing the prefix.
+
+The catch is the layer boundary.  The hardware (and the simulator)
+converts counts to fixed-point binary between layers, so extending an
+upstream layer changes some of a downstream layer's *inputs* — and a
+changed input invalidates that row's counts entirely.  The executor
+therefore diffs each layer's quantized input matrix against the previous
+round: unchanged rows add only the new window's counts
+(:meth:`~repro.simulator.engine.SplitMatmulPlan.execute_rows` on a
+``bit_offset`` segment plan), changed rows recompute their full window.
+Early layers see few changed rows (the input image never changes), so
+the work of an extension concentrates where the network actually moved.
+
+The result is **bit-identical** to a one-shot run at the final length:
+``network.forward_partial(x, 16).extend(64).logits`` equals
+``forward(x)`` under ``replace(config, phase_length=64)`` exactly, for
+every accumulator and both representations.  ``layer_phase_lengths``
+overrides stay pinned (an override layer does not grow with the base
+length — exactly as a one-shot run would treat it).
+
+This module stays inside the simulator layer: it reuses the engine's
+segment plans and the shared counter decoders, and accepts the runtime's
+gather tables and jit loop duck-typed, without importing them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.rng import prefix_stable_scheme
+from ..core.sng import quantize_probability
+from ..training.im2col import im2col
+from . import jit as scjit
+from .config import SCConfig
+from .engine import BipolarMatmulPlan, SplitMatmulPlan, default_kernel
+from .layers import (SCConv2d, SCLinear, SCResidual,
+                     decode_bipolar_conv_counts, decode_bipolar_linear_counts,
+                     decode_split_conv_counts, decode_split_linear_counts)
+
+__all__ = ["ProgressiveExecutor", "ProgressiveResult"]
+
+#: Segment matmul plans kept per executor (LRU).  A geometric schedule
+#: touches a handful of windows per layer; the cap only matters for
+#: pathological many-tiny-extension patterns.
+_MAX_SEGMENT_PLANS = 128
+
+
+class ProgressiveResult:
+    """One resumable evaluation: logits now, more precision on demand.
+
+    Returned by :meth:`ProgressiveExecutor.start` (or
+    :meth:`SCNetwork.forward_partial`).  ``logits`` holds the counter
+    readout at the current base ``phase_length``; :meth:`extend` grows
+    the evaluation to a longer length in place — reusing every popcount
+    bit the shorter run already paid for — and returns ``self``.
+    """
+
+    def __init__(self, executor: "ProgressiveExecutor", x: np.ndarray):
+        self._executor = executor
+        self._x = x
+        self.logits = None
+        #: Current base phase length (per-layer lengths derive from it
+        #: exactly as in a one-shot run: pooling-fused convs divide by
+        #: the pool area, bipolar doubles, overrides pin).
+        self.phase_length = 0
+        #: Number of :meth:`extend` calls that grew the evaluation.
+        self.extensions = 0
+        #: Base lengths evaluated so far, in order.
+        self.history = []
+        self._states = {}      # layer key -> {"acts", "counts", "length"}
+
+    def extend(self, phase_length: int) -> "ProgressiveResult":
+        """Grow the evaluation to base ``phase_length`` (monotone).
+
+        Bit-identical to a one-shot run at ``phase_length``; extending
+        to the current length is a no-op.  Returns ``self``.
+        """
+        phase_length = int(phase_length)
+        if phase_length < 1:
+            raise ValueError("phase_length must be positive")
+        if phase_length < self.phase_length:
+            raise ValueError(
+                f"cannot shrink a resumable evaluation: at "
+                f"{self.phase_length}, asked for {phase_length}"
+            )
+        if phase_length == self.phase_length:
+            return self
+        first = self.phase_length == 0
+        self.logits = self._executor._evaluate(self._x, phase_length,
+                                               self._states)
+        self.phase_length = phase_length
+        self.history.append(phase_length)
+        if not first:
+            self.extensions += 1
+        return self
+
+
+class ProgressiveExecutor:
+    """Builds and extends resumable evaluations for one network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.simulator.network.SCNetwork` to evaluate.
+    config:
+        Optional :class:`SCConfig` override (defaults to the
+        network's).  ``phase_length`` acts as the *reference* length;
+        each evaluation picks its own base length per round.
+    gathers:
+        Optional ``{layer_key: gather}`` of precompiled im2col gathers
+        (duck-typed: ``take``/``out_hw``/``fan_in`` — the runtime's
+        :class:`~repro.runtime.specialize.GatherPlan`).  Layers without
+        one fall back to :func:`~repro.training.im2col.im2col`; both
+        produce bit-identical patch matrices.
+    jit_or:
+        Optional fused OR/popcount inner loop (defaults to the
+        process-wide :func:`repro.simulator.jit.or_popcount_loop`).
+
+    Raises
+    ------
+    ValueError
+        If the config's RNG scheme is not prefix-stable (``"random"``
+        draws its thresholds statefully, so a longer window rewrites
+        the prefix and nothing can be resumed), or if the byte
+        reference kernel is pinned (segments run through the word-path
+        plan classes).
+    """
+
+    def __init__(self, network, config: SCConfig = None, *,
+                 gathers: dict = None, jit_or=None):
+        self.network = network
+        self.config = config if config is not None else network.config
+        if not prefix_stable_scheme(self.config.scheme):
+            raise ValueError(
+                f"progressive evaluation needs a prefix-stable RNG "
+                f"scheme; {self.config.scheme!r} regenerates its prefix "
+                "at every length — use 'lfsr' or 'vdc'"
+            )
+        kernel = self.config.kernel if self.config.kernel \
+            else default_kernel()
+        if kernel != "word":
+            raise ValueError(
+                "progressive evaluation runs on the word kernel's "
+                f"matmul plans; config pins kernel={kernel!r}"
+            )
+        self._gathers = dict(gathers) if gathers else {}
+        self._jit_or = jit_or if jit_or is not None \
+            else scjit.or_popcount_loop()
+        self._plans = OrderedDict()    # (key, start, length) -> plan
+        self._plans_lock = threading.Lock()
+
+    def start(self, x: np.ndarray,
+              phase_length: int = None) -> ProgressiveResult:
+        """Begin a resumable evaluation of ``x`` at ``phase_length``
+        (default: the config's reference length)."""
+        if phase_length is None:
+            phase_length = self.config.phase_length
+        x = np.asarray(x, dtype=np.float64)
+        return ProgressiveResult(self, x).extend(phase_length)
+
+    # -- evaluation walk ----------------------------------------------
+
+    def _evaluate(self, x, base_length: int, states: dict) -> np.ndarray:
+        """One full forward walk at base ``base_length``, resuming from
+        (and updating) ``states``."""
+        config_l = replace(self.config, phase_length=base_length)
+        for index, layer in enumerate(self.network.layers):
+            x = self._forward_layer(layer, x, index, states, config_l)
+        return x
+
+    def _forward_layer(self, layer, x, key: int, states, config_l):
+        # Exact types only: a subclass may override forward (fault
+        # injection, experiments) and must keep that behavior — it is
+        # re-run from scratch each round instead of resumed.
+        if type(layer) is SCConv2d:
+            return self._conv_forward(layer, x, key, states, config_l)
+        if type(layer) is SCLinear:
+            return self._linear_forward(layer, x, key, states, config_l)
+        if type(layer) is SCResidual:
+            out = x
+            for offset, sub in enumerate(layer.body):
+                # SCResidual.forward's sub-index derivation, so body
+                # layers resume under the seeds they run with.
+                out = self._forward_layer(sub, out, key * 131 + offset + 1,
+                                          states, config_l)
+            if out.shape != x.shape:
+                raise ValueError(
+                    f"residual body changed shape {x.shape} -> {out.shape}"
+                )
+            return x + out
+        return layer.forward(x, config_l, key)
+
+    def _conv_forward(self, layer, x, key, states, config_l):
+        gather = self._gathers.get(key)
+        if gather is not None:
+            n = x.shape[0]
+            oh, ow = gather.out_hw
+            fan_in = gather.fan_in
+            cols = gather.take(quantize_probability(x, config_l.bits))
+        else:
+            kh, kw = layer.weight.shape[2], layer.weight.shape[3]
+            raw = im2col(x, kh, kw, layer.stride, layer.padding)
+            n, oh, ow, fan_in = raw.shape
+            cols = quantize_probability(raw.reshape(-1, fan_in),
+                                        config_l.bits)
+        if config_l.representation == "bipolar":
+            length = config_l.total_length
+        else:
+            length = layer.phase_length(config_l, key)
+        counts = self._matmul_counts(layer, key, cols, length, states,
+                                     config_l)
+        if config_l.representation == "bipolar":
+            return decode_bipolar_conv_counts(counts, layer, length,
+                                              n, oh, ow)
+        return decode_split_conv_counts(counts, layer, config_l, length,
+                                        n, oh, ow, fan_in)
+
+    def _linear_forward(self, layer, x, key, states, config_l):
+        values = quantize_probability(x, config_l.bits)
+        if config_l.representation == "bipolar":
+            length = config_l.total_length
+        else:
+            length = config_l.phase_length_for(key)
+        counts = self._matmul_counts(layer, key, values, length, states,
+                                     config_l)
+        if config_l.representation == "bipolar":
+            return decode_bipolar_linear_counts(counts, length)
+        return decode_split_linear_counts(counts, config_l, length,
+                                          x.shape[-1])
+
+    # -- resumable counts ---------------------------------------------
+
+    def _matmul_counts(self, layer, key, acts, length, states, config_l):
+        """Counter values for one layer at window ``[0, length)``,
+        resuming the layer's previous window where its inputs held."""
+        state = states.get(key)
+        if state is None:
+            counts = self._execute(layer, key, 0, length, acts, None)
+            states[key] = {"acts": acts, "counts": counts,
+                           "length": length}
+            return counts
+        old_acts = state["acts"]
+        old_length = state["length"]
+        counts = state["counts"]
+        if acts.shape != old_acts.shape or length < old_length:
+            # A shape change cannot happen on a fixed input; a shorter
+            # window only via a pinned per-layer override, which keeps
+            # length == old_length.  Recompute defensively.
+            counts = self._execute(layer, key, 0, length, acts, None)
+        else:
+            moved = np.any(acts != old_acts, axis=1)
+            changed = np.flatnonzero(moved)
+            if length > old_length:
+                kept = np.flatnonzero(~moved)
+                if kept.size:
+                    counts[kept] += self._execute(
+                        layer, key, old_length, length - old_length,
+                        acts, kept)
+            if changed.size:
+                counts[changed] = self._execute(layer, key, 0, length,
+                                                acts, changed)
+        state["acts"] = acts
+        state["counts"] = counts
+        state["length"] = length
+        return counts
+
+    def _execute(self, layer, key, start, length, acts, rows):
+        """Run one clock-window matmul over all rows (``rows=None``) or
+        a row subset of ``acts``."""
+        plan = self._segment_plan(layer, key, start, length)
+        split = isinstance(plan, SplitMatmulPlan)
+        if rows is None:
+            if split:
+                return plan.execute(acts, jit_or=self._jit_or)
+            return plan.execute(acts)
+        if rows.size == acts.shape[0]:
+            if split:
+                return plan.execute(acts, jit_or=self._jit_or)
+            return plan.execute(acts)
+        if split:
+            return plan.execute_rows(acts[rows], rows, jit_or=self._jit_or)
+        return plan.execute_rows(acts[rows], rows)
+
+    def _segment_plan(self, layer, key, start: int, length: int):
+        """Matmul plan for layer ``key``'s clock window
+        ``[start, start + length)``, LRU-cached per executor (weight
+        streams additionally persist in the layer's own cache)."""
+        cache_key = (key, start, length)
+        with self._plans_lock:
+            plan = self._plans.get(cache_key)
+            if plan is not None:
+                self._plans.move_to_end(cache_key)
+                return plan
+        config = self.config
+        seed = config.layer_seed(key, 0)
+        weights_2d = layer.weight.reshape(layer.weight.shape[0], -1)
+        block_bytes = config.block_kib * 1024
+        if config.representation == "bipolar":
+            stream = layer.packed_weight_streams(
+                representation="bipolar", length=length, bits=config.bits,
+                scheme=config.scheme, seed=seed, offset=start)
+            plan = BipolarMatmulPlan(
+                weights_2d, length=length, bits=config.bits,
+                scheme=config.scheme, seed=seed, block_bytes=block_bytes,
+                weight_stream=stream, encode_cache=config.encode_cache,
+                bit_offset=start)
+        else:
+            streams = layer.packed_weight_streams(
+                representation="split-unipolar", length=length,
+                bits=config.bits, scheme=config.scheme, seed=seed,
+                offset=start)
+            plan = SplitMatmulPlan(
+                weights_2d, length=length, bits=config.bits,
+                scheme=config.scheme, seed=seed,
+                accumulator=config.accumulator, block_bytes=block_bytes,
+                weight_streams=streams, encode_cache=config.encode_cache,
+                bit_offset=start)
+        with self._plans_lock:
+            self._plans[cache_key] = plan
+            while len(self._plans) > _MAX_SEGMENT_PLANS:
+                self._plans.popitem(last=False)
+        return plan

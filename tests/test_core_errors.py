@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.errors import (
     bipolar_length_multiplier,
+    decision_margin_bound,
     empirical_rms,
     length_for_rms_bipolar,
     length_for_rms_unipolar,
@@ -66,6 +67,66 @@ class TestLengthForRms:
         assert length_for_rms_bipolar(v, target) >= 2 * length_for_rms_unipolar(
             v, target
         )
+
+    def test_exact_endpoints_clamp_to_one_bit(self):
+        # Variance vanishes at the representable endpoints, but a
+        # zero-length stream cannot be clocked.
+        assert length_for_rms_unipolar(0.0, 0.01) == 1
+        assert length_for_rms_unipolar(1.0, 0.01) == 1
+        assert length_for_rms_bipolar(1.0, 0.01) == 1
+        assert length_for_rms_bipolar(-1.0, 0.01) == 1
+
+    def test_near_endpoint_still_positive(self):
+        n = length_for_rms_unipolar(1e-9, 0.05)
+        assert n >= 1
+        assert rms_error_unipolar(1e-9, int(n)) <= 0.05
+
+    def test_vectorized(self):
+        n = length_for_rms_unipolar(np.array([0.0, 0.5, 1.0]), 0.05)
+        assert n.shape == (3,)
+        assert n[0] == n[2] == 1
+        assert n[1] == 100
+
+    def test_integer_dtype(self):
+        assert np.issubdtype(
+            np.asarray(length_for_rms_unipolar(0.5, 0.1)).dtype,
+            np.integer)
+
+    @given(st.floats(0.01, 0.99), st.floats(0.005, 0.2))
+    @settings(max_examples=50, deadline=None)
+    def test_returned_length_always_suffices(self, v, target):
+        n = int(length_for_rms_unipolar(v, target))
+        assert rms_error_unipolar(v, n) <= target
+        # Minimality: one bit less would miss the target (unless
+        # already at the 1-bit clamp).
+        if n > 1:
+            assert rms_error_unipolar(v, n - 1) > target
+
+
+class TestDecisionMarginBound:
+    def test_value(self):
+        assert decision_margin_bound(64) == pytest.approx(2.0 / 8.0)
+        assert decision_margin_bound(64, z=1.0) == pytest.approx(1.0 / 8.0)
+
+    def test_bipolar_same_scale(self):
+        assert decision_margin_bound(64, representation="bipolar") == \
+            pytest.approx(decision_margin_bound(64))
+
+    def test_shrinks_with_length(self):
+        assert decision_margin_bound(256) == \
+            pytest.approx(decision_margin_bound(64) / 2)
+
+    def test_vectorized(self):
+        bounds = decision_margin_bound(np.array([16, 64]))
+        np.testing.assert_allclose(bounds, [0.5, 0.25])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="z must be positive"):
+            decision_margin_bound(16, z=0.0)
+        with pytest.raises(ValueError, match="at least 1"):
+            decision_margin_bound(0)
+        with pytest.raises(ValueError, match="representation"):
+            decision_margin_bound(16, representation="ternary")
 
 
 class TestEmpiricalRms:

@@ -304,3 +304,74 @@ class TestGracefulDrain:
 
         pong = asyncio.run(run())
         assert pong["ok"] and pong["draining"] is True
+
+
+class TestProgressive:
+    def test_round_trip_matches_library(self):
+        # A gate-disabled progressive request extends to the model's
+        # full phase length — and must return exactly the logits a
+        # plain predict (and the library runtime) would.
+        x = _x(2)
+        spec = {"start_phase_length": 2, "margin_z": None}
+
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    plain = await client.predict_raw("mnist_mlp", x)
+                    prog = await client.predict_raw("mnist_mlp", x,
+                                                    progressive=spec)
+                    metrics = await client.metrics()
+                    return plain, prog, metrics
+
+        plain, prog, metrics = asyncio.run(run())
+        assert prog["ok"], prog
+        info = prog["progressive"]
+        assert info["phase_length"] == PHASE
+        assert info["early_exit"] is False
+        assert info["history"][0] == 2
+        assert info["extensions"] == len(info["history"]) - 1
+        np.testing.assert_array_equal(
+            np.asarray(prog["logits"]["data"]),
+            np.asarray(plain["logits"]["data"]))
+        snap = metrics["models"]["mnist_mlp"]
+        assert snap["progressive_requests"] == 1
+        assert snap["progressive_mean_final_length"] == float(PHASE)
+
+    def test_progressive_true_uses_server_default_policy(self):
+        config = _config(progressive={"start_phase_length": 2,
+                                      "margin_z": None})
+
+        async def run():
+            async with Server(config) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict_raw("mnist_mlp", _x(1),
+                                                    progressive=True)
+
+        response = asyncio.run(run())
+        assert response["ok"], response
+        assert response["progressive"]["history"][0] == 2
+        assert response["progressive"]["phase_length"] == PHASE
+
+    def test_unknown_policy_field_is_bad_request(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict_raw(
+                        "mnist_mlp", _x(1), progressive={"bogus": 1})
+
+        response = asyncio.run(run())
+        assert not response["ok"]
+        assert response["error"] == "bad_request"
+        assert "bogus" in response["detail"]
+
+    def test_invalid_policy_value_is_bad_request(self):
+        async def run():
+            async with Server(_config()) as server:
+                async with Client("127.0.0.1", server.port) as client:
+                    return await client.predict_raw(
+                        "mnist_mlp", _x(1),
+                        progressive={"start_phase_length": 0})
+
+        response = asyncio.run(run())
+        assert not response["ok"]
+        assert response["error"] == "bad_request"
