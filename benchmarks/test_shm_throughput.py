@@ -1,0 +1,193 @@
+"""Shared-memory plan publication vs per-process rebuild (PR 9 A/B).
+
+Emits machine-readable ``BENCH_9.json`` (repo root) — see
+``docs/performance.md`` for the schema.
+
+The process backend's cold-start cost is dominated by redundant stream
+generation: without shared memory, *every* worker rebuilds the
+activation value -> stream encode tables for the model it was handed
+(and, under spawn, unpickles its own warm plan), serialized on however
+few cores the host has.  The shm path builds the tables exactly once
+in the parent, publishes plan + tables into one segment, and the warm
+protocol attaches every worker zero-copy before the first wave.
+
+The benchmark therefore measures the **cold-start serving path**: from
+a compiled plan to the first completed wave, across worker counts, for
+``shm='never'`` (the canonical per-process fallback) vs
+``shm='always'``.  The parent's encode cache is cleared before each
+session so a forked worker cannot inherit tables a previous session
+built — each session models a fresh serving process (registry load /
+model churn), which is exactly where the redundancy bites.  Steady-
+state wave latency is reported too (it must *not* differ: the compute
+is identical either way), and both modes' logits are verified
+bit-identical to the serial reference.
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke job) shrinks phase length,
+workers, and sessions and relaxes the speedup assertion to a sanity
+bound; the committed BENCH_9.json comes from a full run.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.runtime import (InferenceRuntime, RuntimeConfig, shm,
+                           shm_supported)
+from repro.networks import mnist_mlp
+from repro.simulator import SCConfig, SCNetwork
+from repro.simulator.engine import ENCODE_CACHE
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_9.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+NETWORK = "mnist_mlp"
+SHAPE = (1, 28, 28)
+PHASE_LENGTH = 64 if QUICK else 256
+SHARD_SIZE = 2
+WORKER_COUNTS = (1, 2) if QUICK else (1, 2, 4)
+SESSIONS = 1 if QUICK else 3
+
+
+def _network():
+    return SCNetwork.from_trained(mnist_mlp(seed=0),
+                                  SCConfig(phase_length=PHASE_LENGTH))
+
+
+def _cold_session(sc, x, workers, shm_mode):
+    """One cold serving session: compile (untimed), first wave, steady
+    wave, teardown.  Returns the session's timings and counters.
+
+    ``ENCODE_CACHE.clear()`` models a fresh parent process: forked
+    workers must not inherit activation tables that only exist because
+    an earlier session built them.
+    """
+    ENCODE_CACHE.clear()
+    config = RuntimeConfig(workers=workers, backend="process",
+                           shard_size=SHARD_SIZE, shm=shm_mode)
+    runtime = InferenceRuntime(sc, SHAPE, config=config)
+    try:
+        t0 = time.perf_counter()
+        logits = runtime.infer(x)
+        first_wave_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        runtime.infer(x)
+        steady_wave_s = time.perf_counter() - t0
+        return {
+            "first_wave_s": first_wave_s,
+            "steady_wave_s": steady_wave_s,
+            "publish_s": runtime.metrics.stage_seconds.get("publish", 0.0),
+            "attach_s": runtime.metrics.shm_attach_seconds,
+            "worker_act_misses": runtime.metrics.act_cache_misses,
+            "worker_act_hits": runtime.metrics.act_cache_hits,
+            "logits": logits,
+        }
+    finally:
+        runtime.close()
+
+
+def _run_mode(sc, x, workers, shm_mode):
+    """Best-of-``SESSIONS`` cold-start stats for one (mode, workers)."""
+    sessions = [_cold_session(sc, x, workers, shm_mode)
+                for _ in range(SESSIONS)]
+    best = min(sessions, key=lambda s: s["first_wave_s"])
+    out = {k: v for k, v in best.items() if k != "logits"}
+    out["workers"] = workers
+    out["throughput_img_per_s"] = x.shape[0] / best["first_wave_s"]
+    return out, best["logits"]
+
+
+def run_suite():
+    sc = _network()
+    batch = SHARD_SIZE * max(WORKER_COUNTS)
+    x = np.random.default_rng(0).uniform(0, 1, (batch,) + SHAPE)
+
+    with InferenceRuntime(sc, SHAPE, config=RuntimeConfig(
+            shard_size=SHARD_SIZE)) as serial:
+        reference = serial.infer(x)
+
+    modes = {"fallback": [], "shm": []}
+    identical = True
+    # Fallback first: a prior shm session must never pre-warm it.
+    for mode, shm_mode in (("fallback", "never"), ("shm", "always")):
+        for workers in WORKER_COUNTS:
+            stats, logits = _run_mode(sc, x, workers, shm_mode)
+            identical = identical and bool(np.array_equal(logits,
+                                                          reference))
+            modes[mode].append(stats)
+
+    speedups = {
+        str(f["workers"]): f["first_wave_s"] / s["first_wave_s"]
+        for f, s in zip(modes["fallback"], modes["shm"])
+    }
+    return modes, speedups, identical
+
+
+@pytest.mark.skipif(not shm_supported(),
+                    reason="no shared memory on this host")
+def test_shm_throughput(benchmark, report):
+    modes, speedups, identical = benchmark.pedantic(run_suite, rounds=1,
+                                                    iterations=1)
+
+    payload = {
+        "bench": "BENCH_9",
+        "title": "shared-memory plan publication vs per-process rebuild",
+        "quick": QUICK,
+        "config": {
+            "network": NETWORK,
+            "phase_length": PHASE_LENGTH,
+            "shard_size": SHARD_SIZE,
+            "batch": SHARD_SIZE * max(WORKER_COUNTS),
+            "sessions": SESSIONS,
+            "worker_counts": list(WORKER_COUNTS),
+        },
+        "modes": modes,
+        "cold_start_speedup": speedups,
+        "identical": identical,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = []
+    for f, s in zip(modes["fallback"], modes["shm"]):
+        rows.append((
+            str(f["workers"]),
+            f"{f['first_wave_s'] * 1e3:.1f}",
+            f"{s['first_wave_s'] * 1e3:.1f}",
+            f"{speedups[str(f['workers'])]:.2f}x",
+            str(f["worker_act_misses"]),
+            str(s["worker_act_misses"]),
+            f"{s['steady_wave_s'] * 1e3:.1f}",
+        ))
+    table = format_table(
+        ["workers", "fallback cold ms", "shm cold ms", "speedup",
+         "fallback misses", "shm misses", "shm steady ms"],
+        rows,
+        title=f"Cold-start serving, {NETWORK} @ phase {PHASE_LENGTH}, "
+              f"shard {SHARD_SIZE} (encode tables once per model vs "
+              f"once per worker)",
+    )
+    report("shm_throughput", table + f"\n[json saved to {BENCH_PATH}]")
+
+    assert identical
+    # The structural claim, timing-independent: shm-warmed workers
+    # never rebuild an activation encode table; fallback workers must.
+    for s in modes["shm"]:
+        assert s["worker_act_misses"] == 0
+        assert s["worker_act_hits"] > 0
+    for f in modes["fallback"]:
+        assert f["worker_act_misses"] > 0
+    top = str(max(WORKER_COUNTS))
+    if QUICK:
+        # Smoke bound only — shared CI runners are too noisy for the
+        # real bar, which the committed BENCH_9.json documents.
+        assert speedups[top] > 1.0
+    else:
+        # The PR's acceptance criterion: encode-once-per-model makes
+        # cold process-pool serving >= 2x faster at the top worker
+        # count.
+        assert speedups[top] >= 2.0

@@ -16,6 +16,9 @@ machinery a production deployment needs:
   simulated bits/sec, queue depth;
 - :class:`InferenceRuntime` — the assembled front-end, with optional
   graceful degradation to fixed-point reference execution;
+- :mod:`repro.runtime.shm` — zero-copy shared-memory publication of
+  compiled plans and activation encode tables for the process backend:
+  encode once per model, attach every worker;
 - :func:`run_profile` — the ``python -m repro profile`` harness: a
   traced workload, a Chrome-loadable artifact, and per-IR-layer wall
   time attribution via :mod:`repro.obs`.
@@ -32,6 +35,9 @@ from .profile import ProfileResult, format_profile, run_profile
 from .progressive import (ProgressiveOutcome, ProgressivePolicy,
                           run_progressive, top2_margin)
 from .runtime import InferenceRuntime
+from .shm import (SHARED_PLANS, PlanRef, SharedPlanRegistry, attach_plan,
+                  build_encode_tables, cleanup_orphan_segments, detach_plan,
+                  publish_plan, shm_supported)
 from .specialize import (GatherPlan, KernelPlan, Specialization,
                          build_specialization, clear_specialization_cache,
                          specialization_cache_info,
@@ -50,6 +56,9 @@ __all__ = [
     "ProgressiveOutcome", "ProgressivePolicy", "run_progressive",
     "top2_margin",
     "InferenceRuntime",
+    "SHARED_PLANS", "PlanRef", "SharedPlanRegistry", "attach_plan",
+    "build_encode_tables", "cleanup_orphan_segments", "detach_plan",
+    "publish_plan", "shm_supported",
     "GatherPlan", "KernelPlan", "Specialization", "build_specialization",
     "clear_specialization_cache", "specialization_cache_info",
     "specialization_fingerprint",

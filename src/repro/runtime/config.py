@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["RuntimeConfig", "BACKENDS", "FALLBACKS"]
+__all__ = ["RuntimeConfig", "BACKENDS", "FALLBACKS", "SHM_MODES"]
 
 #: Worker-pool backends.  ``"serial"`` runs shards in the calling thread
 #: (the reference execution order), ``"thread"`` shares the plan across a
@@ -18,6 +18,13 @@ BACKENDS = ("serial", "thread", "process")
 #: fixed-point reference network (the infinite-stream-length limit of the
 #: SC datapath) and records the degradation in the metrics.
 FALLBACKS = ("none", "fixedpoint")
+
+#: Shared-memory plan publication for the process backend.  ``"auto"``
+#: uses :mod:`repro.runtime.shm` when the platform supports it and
+#: falls back to shipping a pickled plan per worker otherwise;
+#: ``"always"`` raises if shared memory is unavailable; ``"never"``
+#: pins the per-process fallback (the canonical, bit-identical path).
+SHM_MODES = ("auto", "always", "never")
 
 
 @dataclass
@@ -57,6 +64,13 @@ class RuntimeConfig:
         Compile-time budget for the per-layer block-schedule
         measurement pass (``0`` disables measurement and keeps the
         global ``SCConfig.block_kib``).
+    shm:
+        One of :data:`SHM_MODES`: whether the process backend publishes
+        the compiled plan and pre-built activation encode tables
+        through :mod:`repro.runtime.shm` (zero-copy shared segments,
+        encode-once-per-model) instead of shipping a pickled plan to
+        every worker.  Ignored by the serial/thread backends, which
+        share the caller's plan directly.
     """
 
     workers: int = 1
@@ -68,6 +82,7 @@ class RuntimeConfig:
     trace: bool = False
     specialize: bool = True
     autotune_budget_s: float = 0.25
+    shm: str = "auto"
 
     def __post_init__(self):
         if self.workers < 1:
@@ -89,3 +104,7 @@ class RuntimeConfig:
             )
         if self.autotune_budget_s < 0:
             raise ValueError("autotune_budget_s must be non-negative")
+        if self.shm not in SHM_MODES:
+            raise ValueError(
+                f"unknown shm mode {self.shm!r}; expected one of {SHM_MODES}"
+            )

@@ -19,7 +19,10 @@ from ..analysis import format_table
 __all__ = ["RuntimeMetrics", "MetricsSnapshot", "StageTimer"]
 
 #: Canonical stage names, in pipeline order (rendering preserves this).
-STAGES = ("plan", "queue", "dispatch", "compute", "merge", "fallback")
+#: ``publish`` is the one-time shared-memory publication (pickling the
+#: plan + pre-building encode tables into the segment).
+STAGES = ("plan", "publish", "queue", "dispatch", "compute", "merge",
+          "fallback")
 
 
 def _layer_order(item):
@@ -75,6 +78,16 @@ class MetricsSnapshot:
     progressive_extensions: int = 0
     progressive_early_exits: int = 0
     progressive_final_length: int = 0
+    #: Shared-memory plan publication counters (process backend with
+    #: ``RuntimeConfig.shm`` enabled): publications made by this
+    #: runtime's pool, bytes and encode tables published, workers that
+    #: attached through the warm protocol, and their summed attach
+    #: time.  All zero on the per-process fallback path.
+    shm_publications: int = 0
+    shm_bytes: int = 0
+    shm_tables: int = 0
+    shm_attached_workers: int = 0
+    shm_attach_seconds: float = 0.0
 
     @property
     def progressive_mean_final_length(self) -> float:
@@ -128,6 +141,14 @@ class MetricsSnapshot:
             ("act-encode-cache hit rate", f"{self.act_cache_hit_rate:.3f}"),
             ("queue depth (now/max)",
              f"{self.queue_depth}/{self.max_queue_depth}"),
+            *([("shm publications", self.shm_publications),
+               ("shm bytes published", self.shm_bytes),
+               ("shm tables published", self.shm_tables),
+               ("shm workers attached", self.shm_attached_workers),
+               ("shm attach wall [ms]",
+                f"{self.shm_attach_seconds * 1e3:.2f}")]
+              if self.shm_publications or self.shm_attached_workers
+              else []),
             *([("progressive requests", self.progressive_requests),
                ("progressive extensions", self.progressive_extensions),
                ("progressive early-exit rate",
@@ -196,6 +217,13 @@ class RuntimeMetrics:
     progressive_extensions: int = 0
     progressive_early_exits: int = 0
     progressive_final_length: int = 0
+    act_cache_hits: int = 0
+    act_cache_misses: int = 0
+    shm_publications: int = 0
+    shm_bytes: int = 0
+    shm_tables: int = 0
+    shm_attached_workers: int = 0
+    shm_attach_seconds: float = 0.0
     stage_seconds: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _started: float = field(default_factory=time.perf_counter, repr=False)
@@ -214,6 +242,7 @@ class RuntimeMetrics:
                    shards: int = 0, samples: int = 0, fallbacks: int = 0,
                    errors: int = 0, cache_hits: int = 0,
                    cache_misses: int = 0, bits_simulated: int = 0,
+                   act_cache_hits: int = 0, act_cache_misses: int = 0,
                    progressive_requests: int = 0,
                    progressive_extensions: int = 0,
                    progressive_early_exits: int = 0,
@@ -228,10 +257,23 @@ class RuntimeMetrics:
             self.cache_hits += cache_hits
             self.cache_misses += cache_misses
             self.bits_simulated += bits_simulated
+            self.act_cache_hits += act_cache_hits
+            self.act_cache_misses += act_cache_misses
             self.progressive_requests += progressive_requests
             self.progressive_extensions += progressive_extensions
             self.progressive_early_exits += progressive_early_exits
             self.progressive_final_length += progressive_final_length
+
+    def observe_shm(self, *, publications: int = 0, nbytes: int = 0,
+                    tables: int = 0, attached_workers: int = 0,
+                    attach_seconds: float = 0.0) -> None:
+        """Record shared-memory publication / warm-protocol events."""
+        with self._lock:
+            self.shm_publications += publications
+            self.shm_bytes += nbytes
+            self.shm_tables += tables
+            self.shm_attached_workers += attached_workers
+            self.shm_attach_seconds += attach_seconds
 
     def observe_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -250,8 +292,11 @@ class RuntimeMetrics:
         cache counters (thread/serial backends mutate the plan's own
         layer caches, which are not routed through ``add_counts``).
         ``kernel_seconds`` and ``act_cache_*`` carry the engine's
-        per-kernel timings and activation-encode cache counters;
-        ``layer_seconds`` the per-IR-layer span totals when tracing.
+        per-kernel timings and activation-encode cache counters
+        (worker-reported deltas accumulated via :meth:`add_counts` are
+        folded in on top — the parent's process-global cache never sees
+        pool-process activity); ``layer_seconds`` the per-IR-layer span
+        totals when tracing.
         """
         with self._lock:
             return MetricsSnapshot(
@@ -273,8 +318,13 @@ class RuntimeMetrics:
                 progressive_final_length=self.progressive_final_length,
                 elapsed_s=time.perf_counter() - self._started,
                 kernel_seconds=dict(kernel_seconds or {}),
-                act_cache_hits=act_cache_hits,
-                act_cache_misses=act_cache_misses,
+                act_cache_hits=self.act_cache_hits + act_cache_hits,
+                act_cache_misses=self.act_cache_misses + act_cache_misses,
+                shm_publications=self.shm_publications,
+                shm_bytes=self.shm_bytes,
+                shm_tables=self.shm_tables,
+                shm_attached_workers=self.shm_attached_workers,
+                shm_attach_seconds=self.shm_attach_seconds,
                 layer_seconds=dict(layer_seconds or {}),
             )
 

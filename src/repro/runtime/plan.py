@@ -240,6 +240,35 @@ class ExecutionPlan:
 
     # -- introspection -----------------------------------------------
 
+    def fingerprint(self) -> str:
+        """Content hash identifying the compiled artifacts.
+
+        The same value-based
+        :func:`~repro.runtime.specialize.specialization_fingerprint`
+        the artifact cache uses (input shape, SC config, layer
+        structure, exact weight bytes) — two plans with equal
+        fingerprints produce bit-identical logits, which is what makes
+        it the shared-memory publication key: pools serving the same
+        compiled model attach to one segment.  Cached after the first
+        call.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            from .specialize import specialization_fingerprint
+            cached = specialization_fingerprint(
+                self.network, self.input_shape, self.config)
+            self._fingerprint = cached
+        return cached
+
+    def encode_table_keys(self, max_samples: int) -> list:
+        """Activation encode-table keys a run of ``max_samples`` rows
+        touches (empty for generic plans — see
+        :meth:`~repro.runtime.specialize.Specialization.
+        encode_table_keys`)."""
+        if self.specialization is None:
+            return []
+        return self.specialization.encode_table_keys(max_samples)
+
     @property
     def bits_per_sample(self) -> int:
         """Product-lane bits simulated for one input sample."""

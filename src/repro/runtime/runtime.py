@@ -48,11 +48,15 @@ class InferenceRuntime:
         Optional fallback executor for ``fallback="fixedpoint"`` — a
         :class:`FixedPointNetwork`, or a trained
         :class:`~repro.training.network.Sequential` to wrap in one.
+    name:
+        Optional model name; becomes the model component of the
+        shared-memory publication key (the serve registry passes its
+        registry name so segment accounting reads naturally).
     """
 
     def __init__(self, network: SCNetwork, input_shape: tuple,
                  sc_config: SCConfig = None, config: RuntimeConfig = None,
-                 reference=None):
+                 reference=None, name: str = None):
         self.config = config if config is not None else RuntimeConfig()
         if self.config.trace:
             obs.enable()
@@ -70,7 +74,7 @@ class InferenceRuntime:
                 "fallback='fixedpoint' requires a reference network"
             )
         self.pool = WorkerPool(self.plan, self.config, self.metrics,
-                               reference=reference)
+                               reference=reference, name=name)
         self.batcher = DynamicBatcher(
             self.pool.execute_many,
             max_batch=self.config.max_batch,
@@ -169,6 +173,11 @@ class InferenceRuntime:
     def describe(self) -> str:
         """The compiled plan's per-layer table."""
         return self.plan.describe()
+
+    def shm_stats(self) -> dict:
+        """The pool's shared-memory publication record (see
+        :meth:`~repro.runtime.workers.WorkerPool.shm_stats`)."""
+        return self.pool.shm_stats()
 
     # -- lifecycle ---------------------------------------------------
 

@@ -17,6 +17,8 @@ the failure is recorded in the metrics instead of crashing the caller.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -24,6 +26,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 import numpy as np
 
 from .. import obs
+from ..simulator.engine import ENCODE_CACHE
+from . import shm
 from .batcher import BatcherClosedError
 from .config import RuntimeConfig
 from .metrics import RuntimeMetrics
@@ -32,28 +36,93 @@ from .plan import ExecutionPlan
 __all__ = ["WorkerPool"]
 
 # Per-process plan installed by the ProcessPoolExecutor initializer; the
-# plan (with warm weight-stream caches) is shipped once per worker
-# instead of once per shard.
+# plan is either attached zero-copy from the parent's shared-memory
+# publication (shm path) or shipped as a warm pickled copy per worker
+# (fallback path).  The token identifies the executor generation that
+# installed it: shards carry the generation they were compiled against,
+# so a stale module-global plan (e.g. left behind by a respawned pool)
+# can never silently serve new traffic.
 _WORKER_PLAN = None
+_WORKER_TOKEN = None
+_WORKER_BARRIER = None
+_WORKER_ATTACH = None
+
+#: Workers wait at most this long for the warm-up barrier; a broken
+#: barrier degrades to serving without the all-attached guarantee
+#: rather than wedging the pool.
+_HANDSHAKE_TIMEOUT_S = 30.0
 
 
-def _init_worker(plan: ExecutionPlan) -> None:
-    global _WORKER_PLAN
+def _init_worker(plan: ExecutionPlan, token: int) -> None:
+    global _WORKER_PLAN, _WORKER_TOKEN, _WORKER_BARRIER, _WORKER_ATTACH
     _WORKER_PLAN = plan
+    _WORKER_TOKEN = token
+    _WORKER_BARRIER = None
+    _WORKER_ATTACH = None
 
 
-def _run_shard_in_worker(x: np.ndarray) -> tuple:
+def _init_worker_shm(ref, token: int, barrier) -> None:
+    """Pool initializer for the shared-memory path.
+
+    Attaches the parent's published segment (zero-copy read-only views
+    of the plan's packed weight streams and the pre-built activation
+    encode tables, pinned into this process's encode cache) and stows
+    the warm-up barrier for the handshake tasks.
+    """
+    global _WORKER_PLAN, _WORKER_TOKEN, _WORKER_BARRIER, _WORKER_ATTACH
+    t0 = time.perf_counter()
+    payload = shm.attach_plan(ref)
+    _WORKER_PLAN = payload["plan"]
+    _WORKER_TOKEN = token
+    _WORKER_BARRIER = barrier
+    _WORKER_ATTACH = {
+        "pid": os.getpid(),
+        "segment": ref.segment,
+        "segment_bytes": ref.total_bytes,
+        "tables": ref.table_count,
+        "attach_seconds": time.perf_counter() - t0,
+    }
+
+
+def _worker_handshake() -> dict:
+    """One warm-protocol task per worker: rendezvous, report attach.
+
+    The parent submits exactly ``workers`` of these before the first
+    wave; each blocks on the shared barrier, so every worker process is
+    spawned *and attached* before any returns — no wave can land on a
+    cold worker, and the parent gets per-worker attach stats back.
+    """
+    info = dict(_WORKER_ATTACH or {"pid": os.getpid()})
+    barrier = _WORKER_BARRIER
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=_HANDSHAKE_TIMEOUT_S)
+        except threading.BrokenBarrierError:
+            info["barrier_broken"] = True
+    return info
+
+
+def _run_shard_in_worker(x: np.ndarray, token: int) -> tuple:
     """Execute one shard in a pool process; returns stats for the parent.
 
-    Worker processes have their own copies of the layer caches, so the
-    hit/miss deltas are measured here and folded into the parent metrics
-    with the result.
+    Worker processes have their own cache counters, so the weight- and
+    activation-encode hit/miss deltas are measured here and folded into
+    the parent metrics with the result.  ``token`` must match the plan
+    generation installed by this process's initializer.
     """
+    if token != _WORKER_TOKEN:
+        raise RuntimeError(
+            f"worker holds plan generation {_WORKER_TOKEN}, shard wants "
+            f"{token}; the pool was respawned without reinstalling"
+        )
     t0 = time.perf_counter()
     h0, m0 = _WORKER_PLAN.cache_counters()
+    a_h0, a_m0 = ENCODE_CACHE.counters()
     logits = _WORKER_PLAN.run(x)
     h1, m1 = _WORKER_PLAN.cache_counters()
-    return logits, time.perf_counter() - t0, h1 - h0, m1 - m0
+    a_h1, a_m1 = ENCODE_CACHE.counters()
+    return (logits, time.perf_counter() - t0, h1 - h0, m1 - m0,
+            a_h1 - a_h0, a_m1 - a_m0)
 
 
 class WorkerPool:
@@ -65,14 +134,21 @@ class WorkerPool:
     """
 
     def __init__(self, plan: ExecutionPlan, config: RuntimeConfig,
-                 metrics: RuntimeMetrics, reference=None):
+                 metrics: RuntimeMetrics, reference=None,
+                 name: str = None):
         self.plan = plan
         self.config = config
         self.metrics = metrics
         self.reference = reference
+        #: Model name component of the shared-memory publication key
+        #: (the serve registry passes its registry name through).
+        self.name = name or "plan"
         self._executor = None
         self._executor_lock = threading.Lock()
         self._closed = False
+        self._plan_token = 0
+        self._plan_ref = None
+        self._warm_info = None
 
     # -- public API --------------------------------------------------
 
@@ -122,13 +198,43 @@ class WorkerPool:
         Concurrent closers all wait for in-flight shards to finish
         (``shutdown(wait=True)`` is itself reentrant); submits racing a
         close fail with :class:`BatcherClosedError` instead of silently
-        respawning an executor after shutdown.
+        respawning an executor after shutdown.  Releases this pool's
+        reference on the shared-memory publication — the segment is
+        unlinked when the last pool serving this compiled model closes.
         """
         with self._executor_lock:
             self._closed = True
             executor = self._executor
+            ref, self._plan_ref = self._plan_ref, None
         if executor is not None:
             executor.shutdown(wait=True)
+        if ref is not None:
+            shm.SHARED_PLANS.release(ref.key)
+
+    def respawn(self, plan: ExecutionPlan = None) -> None:
+        """Tear down the executor and reopen the pool, optionally with a
+        new plan.
+
+        A closed (or live) pool comes back serving the *current* plan:
+        the old executor's workers — whose module-global plan is now
+        stale — are shut down, the shared-memory publication for the
+        old plan is released, and the next wave builds a fresh executor
+        whose initializer installs ``self.plan`` under a new generation
+        token.  Shards always carry their generation, so a worker that
+        somehow survived with the old plan fails loudly instead of
+        returning the old model's logits.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            ref, self._plan_ref = self._plan_ref, None
+            self._warm_info = None
+            self._closed = False
+            if plan is not None:
+                self.plan = plan
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if ref is not None:
+            shm.SHARED_PLANS.release(ref.key)
 
     def __enter__(self):
         return self
@@ -152,11 +258,19 @@ class WorkerPool:
             return [_Immediate(self._run_local, shard, parent)
                     for shard in shards]
         executor = self._ensure_executor()
-        if backend == "thread":
-            return [executor.submit(self._run_local, shard, parent)
+        try:
+            if backend == "thread":
+                return [executor.submit(self._run_local, shard, parent)
+                        for shard in shards]
+            token = self._plan_token
+            return [executor.submit(_run_shard_in_worker, shard, token)
                     for shard in shards]
-        return [executor.submit(_run_shard_in_worker, shard)
-                for shard in shards]
+        except RuntimeError as exc:
+            # close() may shut the executor down between _ensure_executor
+            # and submit (a registry evicting this model during an
+            # in-flight wave); that is a closed pool, not an internal
+            # error.
+            raise BatcherClosedError("worker pool is closed") from exc
 
     def _collect(self, future, shard: np.ndarray) -> np.ndarray:
         """Resolve one shard, applying the fallback policy on failure."""
@@ -168,9 +282,11 @@ class WorkerPool:
                 raise
             return self._run_fallback(shard)
         if self.config.backend == "process":
-            logits, compute_s, hits, misses = result
+            logits, compute_s, hits, misses, act_hits, act_misses = result
             self.metrics.add_stage_time("compute", compute_s)
-            self.metrics.add_counts(cache_hits=hits, cache_misses=misses)
+            self.metrics.add_counts(cache_hits=hits, cache_misses=misses,
+                                    act_cache_hits=act_hits,
+                                    act_cache_misses=act_misses)
             # Spans cannot cross the process boundary; attach the
             # worker-reported compute time as a synthetic span so the
             # trace still attributes shard wall time (per-layer detail
@@ -179,7 +295,9 @@ class WorkerPool:
                 "shard:compute", compute_s, category="shard",
                 counters={"samples": shard.shape[0],
                           "weight_cache_hits": hits,
-                          "weight_cache_misses": misses},
+                          "weight_cache_misses": misses,
+                          "act_cache_hits": act_hits,
+                          "act_cache_misses": act_misses},
             )
         else:
             logits = result
@@ -232,12 +350,118 @@ class WorkerPool:
                         thread_name_prefix="repro-runtime",
                     )
                 else:
-                    self._executor = ProcessPoolExecutor(
-                        max_workers=self.config.workers,
-                        initializer=_init_worker,
-                        initargs=(self.plan,),
-                    )
+                    self._spawn_process_pool()
             return self._executor
+
+    def _spawn_process_pool(self) -> None:
+        """Build the process executor (caller holds the lock).
+
+        Each executor generation gets a fresh token; with shared memory
+        enabled the parent publishes the plan + encode tables once and
+        runs the warm protocol so every worker is attached before the
+        first wave.  The fallback initializer ships a pickled warm plan
+        per worker — the canonical, bit-identical path.
+        """
+        self._plan_token += 1
+        token = self._plan_token
+        workers = self.config.workers
+        if self._shm_enabled():
+            ref = self._publish()
+            barrier = multiprocessing.Barrier(workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker_shm,
+                initargs=(ref, token, barrier),
+            )
+            self._warm_up(workers)
+        else:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.plan, token),
+            )
+
+    def _shm_enabled(self) -> bool:
+        if self.config.backend != "process":
+            return False
+        mode = self.config.shm
+        if mode == "never":
+            return False
+        supported = shm.shm_supported()
+        if mode == "always" and not supported:
+            raise RuntimeError(
+                "RuntimeConfig(shm='always') but shared memory is not "
+                "supported on this host"
+            )
+        return supported
+
+    def _publish(self):
+        """Acquire (or reuse) the shared publication for this plan."""
+        if self._plan_ref is None:
+            key = (self.name, self.plan.fingerprint(), 0)
+
+            def build():
+                tables = shm.build_encode_tables(self.plan,
+                                                 self.config.shard_size)
+                return self.plan, tables
+
+            with self.metrics.stage("publish"):
+                self._plan_ref = shm.SHARED_PLANS.acquire(key, build)
+            self.metrics.observe_shm(
+                publications=1, nbytes=self._plan_ref.total_bytes,
+                tables=self._plan_ref.table_count,
+            )
+        return self._plan_ref
+
+    def _warm_up(self, workers: int) -> None:
+        """Run the cache-warm handshake: one barrier task per worker.
+
+        Submitting ``workers`` blocking tasks forces the executor to
+        spawn its full complement (a barrier-parked worker cannot take
+        a second task), and the barrier releases only once all of them
+        have run their initializer — i.e. attached the segment.  A
+        degraded handshake (timeout, broken barrier) is recorded but
+        not fatal: workers still serve correctly, they just may attach
+        lazily.
+        """
+        futures = [self._executor.submit(_worker_handshake)
+                   for _ in range(workers)]
+        infos = []
+        for future in futures:
+            try:
+                infos.append(future.result(
+                    timeout=_HANDSHAKE_TIMEOUT_S + 10.0))
+            except Exception:
+                self.metrics.add_counts(errors=1)
+        attached = [i for i in infos if "attach_seconds" in i]
+        self._warm_info = {
+            "workers": workers,
+            "attached": len(attached),
+            "broken": sum(1 for i in infos if i.get("barrier_broken")),
+            "attach_seconds": sum(i["attach_seconds"] for i in attached),
+        }
+        self.metrics.observe_shm(
+            attached_workers=len(attached),
+            attach_seconds=self._warm_info["attach_seconds"],
+        )
+
+    def shm_stats(self) -> dict:
+        """This pool's view of the shared publication (or fallback)."""
+        with self._executor_lock:
+            ref = self._plan_ref
+            warm = dict(self._warm_info or {})
+        if ref is None:
+            return {"enabled": False, "mode": self.config.shm}
+        return {
+            "enabled": True,
+            "mode": self.config.shm,
+            "segment": ref.segment,
+            "bytes": ref.total_bytes,
+            "tables": ref.table_count,
+            "table_bytes": ref.table_bytes,
+            "weight_bytes": ref.weight_bytes,
+            "warm": warm,
+        }
 
 
 class _Immediate:

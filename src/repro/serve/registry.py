@@ -22,6 +22,7 @@ from collections import OrderedDict
 
 from .. import obs
 from ..runtime import BENCH_NETWORKS, InferenceRuntime, RuntimeConfig
+from ..runtime import shm
 from ..simulator import SCConfig, SCNetwork
 
 __all__ = ["ModelRegistry"]
@@ -70,13 +71,20 @@ class ModelRegistry:
             self.get(name)
 
     def close(self) -> None:
-        """Close every loaded runtime; idempotent."""
+        """Close every loaded runtime; idempotent.
+
+        Closing a runtime releases its pool's reference on any
+        shared-memory plan publication (last reference unlinks the
+        segment); as a backstop, segments orphaned by crashed processes
+        are reclaimed afterwards.
+        """
         with self._lock:
             self._closed = True
             runtimes = list(self._loaded.values())
             self._loaded.clear()
         for runtime in runtimes:
             runtime.close()
+        shm.cleanup_orphan_segments()
 
     def __enter__(self):
         return self
@@ -115,6 +123,17 @@ class ModelRegistry:
             items = list(self._loaded.items())
         return {name: runtime.plan.specialization_summary()
                 for name, runtime in items}
+
+    def shm_info(self) -> dict:
+        """Shared-memory accounting: the process-wide publication
+        registry (segments, bytes, refcounts keyed by model /
+        fingerprint) plus each resident runtime's pool-level view."""
+        info = shm.SHARED_PLANS.stats()
+        with self._lock:
+            items = list(self._loaded.items())
+        info["models"] = {name: runtime.shm_stats()
+                          for name, runtime in items}
+        return info
 
     def get(self, name: str) -> InferenceRuntime:
         """The runtime for ``name``, compiling and/or evicting as needed.
@@ -172,5 +191,6 @@ class ModelRegistry:
                 SCConfig(phase_length=self.phase_length),
             )
             return InferenceRuntime(
-                network, shape, config=dataclasses.replace(self._template)
+                network, shape, config=dataclasses.replace(self._template),
+                name=name,
             )

@@ -164,6 +164,7 @@ class ActivationEncodeCache:
         self.misses = 0
         self._bytes = 0
         self._entries = OrderedDict()
+        self._pinned = set()
         self._lock = threading.Lock()
 
     def table(self, scheme: str, bits: int, seed: int, lanes: int,
@@ -181,19 +182,65 @@ class ActivationEncodeCache:
             if key not in self._entries:
                 self._entries[key] = built
                 self._bytes += built.nbytes
-                while self._bytes > self.max_bytes and len(self._entries) > 1:
-                    _, evicted = self._entries.popitem(last=False)
-                    self._bytes -= evicted.nbytes
+                self._evict_locked()
             return self._entries[key]
+
+    def install(self, key, table: np.ndarray, *,
+                pinned: bool = True) -> np.ndarray:
+        """Install a pre-built table under ``key`` without encoding.
+
+        This is the shared-memory attach path
+        (:mod:`repro.runtime.shm`): a worker receives the parent's
+        value -> stream tables as zero-copy read-only views and seeds
+        its cache with them, so its first forward pass gathers instead
+        of rebuilding.  ``pinned`` entries are excluded from the byte
+        budget and never evicted — a shared segment's pages are not
+        this process's private memory, so evicting the view would save
+        nothing and force a rebuild.  If ``key`` is already present the
+        existing entry wins (installs never clobber live tables).
+        """
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = table
+            if pinned:
+                self._pinned.add(key)
+            else:
+                self._bytes += table.nbytes
+                self._evict_locked()
+            return table
+
+    def _evict_locked(self):
+        """Drop oldest unpinned entries beyond the byte budget (but
+        always keep at least one, so a single over-budget table still
+        serves)."""
+        while self._bytes > self.max_bytes:
+            victims = [k for k in self._entries if k not in self._pinned]
+            if len(victims) <= 1:
+                break
+            evicted = self._entries.pop(victims[0])
+            self._bytes -= evicted.nbytes
 
     def counters(self) -> tuple:
         """``(hits, misses)`` since construction (or :meth:`clear`)."""
         with self._lock:
             return self.hits, self.misses
 
+    def info(self) -> dict:
+        """Point-in-time cache accounting (entries, pinned, bytes)."""
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "pinned": len(self._pinned),
+                    "bytes": self._bytes,
+                    "max_bytes": self.max_bytes,
+                    "hits": self.hits,
+                    "misses": self.misses}
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._pinned.clear()
             self._bytes = 0
             self.hits = 0
             self.misses = 0
@@ -822,6 +869,34 @@ class SplitMatmulPlan:
             return 0.0
         return 1.0 - self.active_product_lanes / dense
 
+    # -- encode-table publication -------------------------------------
+
+    def encode_table_keys(self, n_positions: int) -> list:
+        """Every :data:`ENCODE_CACHE` key :meth:`execute` will touch for
+        up to ``n_positions`` activation rows.
+
+        The per-chunk SNG seed is a pure function of (phase, chunk
+        start), so the tables a worker would build are enumerable at
+        compile time — this is what lets the parent pre-build them once
+        and publish them through shared memory
+        (:mod:`repro.runtime.shm`) instead of paying the build in every
+        pool process.  Keys match the cache-eligibility conditions of
+        ``_encode_chunk_words`` exactly (cache on, ``bits <= 8``,
+        non-empty fan-in, non-empty phase union).
+        """
+        keys = []
+        if not self.encode_cache or self.bits > 8 or self.fan_in == 0:
+            return keys
+        for ph in self.phases:
+            if ph.union.size == 0:
+                continue
+            for start in range(0, n_positions, self.chunk_positions):
+                keys.append((self.scheme, self.bits,
+                             self.seed + 15_485_863 * (ph.phase + 1)
+                             + 104_651 * start,
+                             self.fan_in, self.length, self.bit_offset))
+        return keys
+
     # -- execution ----------------------------------------------------
 
     def execute(self, acts: np.ndarray, *, jit_or=None,
@@ -1008,6 +1083,18 @@ class BipolarMatmulPlan:
         return self.n_chan * self.fan_in
 
     active_product_lanes = dense_product_lanes
+
+    def encode_table_keys(self, n_positions: int) -> list:
+        """See :meth:`SplitMatmulPlan.encode_table_keys` (the bipolar
+        datapath has a single temporal phase)."""
+        keys = []
+        if not self.encode_cache or self.bits > 8 or self.fan_in == 0:
+            return keys
+        for start in range(0, n_positions, self.chunk_positions):
+            keys.append((self.scheme, self.bits,
+                         self.seed + 15_485_863 + 104_651 * start,
+                         self.fan_in, self.length, self.bit_offset))
+        return keys
 
     def execute(self, acts: np.ndarray, *,
                 record: bool = True) -> np.ndarray:

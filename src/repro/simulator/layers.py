@@ -149,6 +149,23 @@ class WeightStreamCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def nbytes(self) -> int:
+        """Total packed-stream bytes held (what a shared-memory
+        publication of this cache ships once instead of per worker)."""
+        with self._lock:
+            return sum(self._entry_nbytes(v) for v in self._entries.values())
+
+    @staticmethod
+    def _entry_nbytes(value) -> int:
+        """Entries are arrays or (nested) tuples of arrays — the split
+        representation stores ``((part, packed), ...)`` per phase."""
+        if isinstance(value, np.ndarray):
+            return value.nbytes
+        if isinstance(value, (tuple, list)):
+            return sum(WeightStreamCache._entry_nbytes(v) for v in value)
+        return 0
+
     # Locks are not picklable; process-backed worker pools ship layers
     # (cache included, so forked/spawned workers start warm) and each
     # worker recreates its own lock.

@@ -1,0 +1,223 @@
+"""Concurrency stress: shared registry, pool respawn, plan generations.
+
+Everything here synchronizes on barriers/events — never sleeps — so the
+interleavings under test (simultaneous warm-up, eviction during
+in-flight waves, respawn racing traffic) actually occur rather than
+being timing lottery wins.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import (BatcherClosedError, ExecutionPlan,
+                           InferenceRuntime, RuntimeConfig, RuntimeMetrics,
+                           WorkerPool, shm_supported)
+from repro.runtime import shm
+from repro.runtime.workers import _init_worker, _run_shard_in_worker
+from repro.serve import ModelRegistry
+from repro.serve import registry as registry_mod
+from repro.simulator import SCConfig, SCNetwork
+from repro.training import (Flatten, ReLU, Sequential, SplitOrConv2d,
+                            SplitOrLinear)
+
+SHAPE = (1, 8, 8)
+MLP_SHAPE = (1, 28, 28)
+
+
+def tiny_network(seed=0, phase_length=16):
+    rng = np.random.default_rng(seed)
+    net = Sequential([
+        SplitOrConv2d(1, 3, 3, rng=rng), ReLU(),
+        Flatten(),
+        SplitOrLinear(3 * 6 * 6, 4, rng=rng),
+    ])
+    return SCNetwork.from_trained(net, SCConfig(phase_length=phase_length))
+
+
+@pytest.fixture
+def fast_zoo(monkeypatch):
+    """Aliases resolving to the cheap MLP builder (test_serve idiom)."""
+    mlp = registry_mod.BENCH_NETWORKS["mnist_mlp"]
+    for alias in ("zoo_a", "zoo_b"):
+        monkeypatch.setitem(registry_mod.BENCH_NETWORKS, alias, mlp)
+    return ("zoo_a", "zoo_b")
+
+
+class TestRespawn:
+    """A respawned process pool must serve the *current* plan — never a
+    stale module-global left in recycled worker state."""
+
+    @pytest.mark.parametrize("shm_mode", ["auto", "never"])
+    def test_respawn_after_close_serves_new_plan(self, shm_mode):
+        config = RuntimeConfig(workers=2, backend="process", shard_size=2,
+                               shm=shm_mode)
+        x = np.random.default_rng(0).uniform(0, 1, (4,) + SHAPE)
+        old_plan = ExecutionPlan(tiny_network(seed=0), SHAPE)
+        new_plan = ExecutionPlan(tiny_network(seed=7), SHAPE)
+        with WorkerPool(new_plan, RuntimeConfig(shard_size=2),
+                        RuntimeMetrics()) as reference:
+            expected = reference.run_batch(x)
+        pool = WorkerPool(old_plan, config, RuntimeMetrics(), name="resp")
+        try:
+            old_logits = pool.run_batch(x)
+            pool.close()
+            with pytest.raises(BatcherClosedError):
+                pool.run_batch(x)
+            pool.respawn(new_plan)
+            fresh = pool.run_batch(x)
+            assert np.array_equal(fresh, expected)
+            assert not np.array_equal(fresh, old_logits)
+        finally:
+            pool.close()
+
+    def test_respawn_without_new_plan_keeps_current(self):
+        config = RuntimeConfig(workers=1, backend="process", shard_size=2)
+        x = np.random.default_rng(1).uniform(0, 1, (2,) + SHAPE)
+        pool = WorkerPool(ExecutionPlan(tiny_network(), SHAPE), config,
+                          RuntimeMetrics(), name="keep")
+        try:
+            before = pool.run_batch(x)
+            pool.respawn()
+            assert np.array_equal(pool.run_batch(x), before)
+        finally:
+            pool.close()
+
+    def test_stale_generation_fails_loudly(self):
+        """The in-worker guard itself: a shard carrying a different
+        generation than the installed plan raises instead of silently
+        computing with the wrong model."""
+        plan = ExecutionPlan(tiny_network(), SHAPE)
+        x = np.random.default_rng(2).uniform(0, 1, (1,) + SHAPE)
+        _init_worker(plan, token=1)
+        try:
+            assert _run_shard_in_worker(x, 1)[0].shape == (1, 4)
+            with pytest.raises(RuntimeError, match="generation"):
+                _run_shard_in_worker(x, 2)
+        finally:
+            _init_worker(None, None)
+
+
+class TestRegistryConcurrency:
+    CONFIG = dict(workers=1, backend="process", shard_size=2)
+
+    def test_simultaneous_warm_up_builds_once(self, fast_zoo):
+        """N threads racing the first get() compile one runtime and
+        publish one segment, and every thread serves from it."""
+        n_threads = 4
+        x = np.random.default_rng(3).uniform(0, 1, (2,) + MLP_SHAPE)
+        start = threading.Barrier(n_threads)
+        results, errors = [None] * n_threads, []
+
+        with ModelRegistry(warm=(), max_loaded=2, phase_length=4,
+                           runtime_config=RuntimeConfig(**self.CONFIG),
+                           ) as registry:
+            def hammer(i):
+                try:
+                    start.wait(timeout=60)
+                    results[i] = registry.get("zoo_a").infer(x)
+                except Exception as exc:   # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors
+            assert registry.loads == 1
+            for out in results[1:]:
+                np.testing.assert_array_equal(out, results[0])
+            if shm_supported():
+                pubs = [p for p in shm.SHARED_PLANS.stats()["publications"]
+                        if p["model"] == "zoo_a"]
+                assert len(pubs) == 1
+        pubs = [p for p in shm.SHARED_PLANS.stats()["publications"]
+                if p["model"] == "zoo_a"]
+        assert not pubs    # close() released the publication
+
+    def test_eviction_during_inflight_waves(self, fast_zoo):
+        """Evicting a model while another thread drives traffic through
+        it must end in BatcherClosedError, never a crash or a wrong
+        answer."""
+        x = np.random.default_rng(4).uniform(0, 1, (2,) + MLP_SHAPE)
+        overlap = threading.Barrier(2)
+        done = threading.Event()
+        outputs, errors = [], []
+
+        with ModelRegistry(warm=(), max_loaded=1, phase_length=4,
+                           runtime_config=RuntimeConfig(
+                               workers=2, backend="thread", shard_size=2),
+                           ) as registry:
+            expected = registry.get("zoo_a").infer(x)
+
+            def traffic():
+                try:
+                    runtime = registry.get("zoo_a")
+                    overlap.wait(timeout=60)
+                    while not done.is_set():
+                        outputs.append(runtime.infer(x))
+                except BatcherClosedError:
+                    pass               # evicted mid-stream: expected
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            thread = threading.Thread(target=traffic)
+            thread.start()
+            overlap.wait(timeout=60)
+            registry.get("zoo_b")      # max_loaded=1: evicts zoo_a
+            done.set()
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+            assert not errors
+            for out in outputs:
+                np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.slow
+    def test_stress_threads_and_process_pool(self, fast_zoo):
+        """The full mix: threads hammering a shared registry whose
+        models run on shm-backed process pools, with max_loaded forcing
+        continuous eviction churn underneath the traffic."""
+        n_threads, iterations = 4, 5
+        x = np.random.default_rng(5).uniform(0, 1, (2,) + MLP_SHAPE)
+        start = threading.Barrier(n_threads)
+        collected, errors = [], []
+        lock = threading.Lock()
+        segments_before = set(shm.list_repro_segments())
+
+        with ModelRegistry(warm=(), max_loaded=1, phase_length=4,
+                           runtime_config=RuntimeConfig(**self.CONFIG),
+                           ) as registry:
+            expected = {name: registry.get(name).infer(x)
+                        for name in fast_zoo}
+
+            def hammer(i):
+                try:
+                    start.wait(timeout=60)
+                    for step in range(iterations):
+                        name = fast_zoo[(i + step) % len(fast_zoo)]
+                        try:
+                            out = registry.get(name).infer(x)
+                        except BatcherClosedError:
+                            continue   # lost an eviction race: retryable
+                        with lock:
+                            collected.append((name, out))
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            assert not any(t.is_alive() for t in threads)
+            assert not errors
+            assert collected           # churn cannot starve everyone
+            for name, out in collected:
+                np.testing.assert_array_equal(out, expected[name])
+            assert registry.evictions > 0
+        # Registry close released every publication this test created.
+        assert set(shm.list_repro_segments()) <= segments_before
