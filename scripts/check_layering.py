@@ -169,6 +169,48 @@ def check_deprecated_helpers(root: pathlib.Path = _SRC) -> list:
     return violations
 
 
+#: AlexNet perfsim goldens captured immediately before the grouped-conv
+#: lowering landed: the refactor threads ``groups`` through the IR and
+#: kernels but must not move a single perf-model number.  Values are
+#: compared bit-equal (``==`` on floats) — any drift means the lowering
+#: changed the cost arithmetic, not just the plumbing.
+ALEXNET_PERFSIM_GOLDEN = {
+    "lp": {
+        "total_cycles": 1027003.546875,
+        "compute_cycles": 209040.0,
+        "energy_j": 0.0003067073153124273,
+        "dram_bytes": 61110243.0,
+    },
+    "ulp": {
+        "total_cycles": 6576415.0,
+        "compute_cycles": 6576584.0,
+        "energy_j": 0.00023968621158128246,
+        "dram_bytes": 0.0,
+    },
+}
+
+
+def check_perfsim_goldens() -> list:
+    """AlexNet LP/ULP perfsim results must be bit-equal to the values
+    captured before grouped-conv lowering (golden-equivalence guard)."""
+    sys.path.insert(0, str(_SRC.parent))
+    try:
+        from repro.arch import LP_CONFIG, ULP_CONFIG, simulate_network
+        from repro.networks.zoo import NETWORK_SPECS
+    except Exception as exc:   # import failure is itself a violation
+        return [f"cannot import repro for the perfsim golden check: {exc}"]
+    violations = []
+    configs = {"lp": LP_CONFIG, "ulp": ULP_CONFIG}
+    for name, golden in ALEXNET_PERFSIM_GOLDEN.items():
+        result = simulate_network(NETWORK_SPECS["alexnet"](), configs[name])
+        for field, want in golden.items():
+            got = getattr(result, field)
+            if got != want:
+                violations.append(
+                    f"alexnet {name} {field}: got {got!r}, golden {want!r}")
+    return violations
+
+
 def main() -> int:
     violations = []
     for root, forbidden in BOTTOM_LAYERS.items():
@@ -190,10 +232,18 @@ def main() -> int:
         for violation in deprecated:
             print(f"  {violation}")
         return 1
+    goldens = check_perfsim_goldens()
+    if goldens:
+        print("perfsim goldens drifted from the pre-grouped-lowering "
+              "values:")
+        for violation in goldens:
+            print(f"  {violation}")
+        return 1
     print("layering OK: repro.ir and repro.obs import nothing from the "
           "upper layers (sole waiver: repro.ir.passes -> repro.obs), "
-          "repro.serve is imported only by the CLI, and no module "
-          "re-imports the deprecated lowering helpers")
+          "repro.serve is imported only by the CLI, no module re-imports "
+          "the deprecated lowering helpers, and the AlexNet perfsim "
+          "goldens are bit-equal to their pre-grouped-lowering values")
     return 0
 
 

@@ -79,6 +79,7 @@ __all__ = [
     "PassContext",
     "PassError",
     "PassManager",
+    "check_conv_groups",
     "fusion_groups",
     "group_facts",
     "lower",
@@ -247,6 +248,31 @@ def fusion_groups(nodes) -> list:
     return groups
 
 
+def check_conv_groups(node, where: str = "") -> int:
+    """THE grouped-convolution legality check, shared by every lowering.
+
+    The training builder and the SC simulator used to carry private
+    (and divergent) rejection messages for ``groups != 1``; now that
+    grouped convolutions lower end-to-end, both call this instead and
+    only structurally impossible configurations are rejected, with one
+    canonical message.  Returns the validated ``groups`` as an ``int``.
+    """
+    groups = int(node.groups)
+    label = where or node.kind
+    if groups < 1:
+        raise ValueError(f"{label}: groups={groups} must be >= 1")
+    if node.kind != "conv":
+        if groups != 1:
+            raise ValueError(
+                f"{label}: groups={groups} is only legal on conv nodes")
+        return groups
+    if node.in_channels % groups or node.out_channels % groups:
+        raise ValueError(
+            f"{label}: groups={groups} must divide in_channels="
+            f"{node.in_channels} and out_channels={node.out_channels}")
+    return groups
+
+
 @dataclass(frozen=True)
 class GroupFacts:
     """Compile-time facts about one fused node, for kernel specializers.
@@ -271,6 +297,16 @@ class GroupFacts:
     #: Spatial output positions one sample streams through the MAC
     #: (``oh * ow`` pre-pool for conv, 1 for linear, 0 otherwise).
     positions: int
+    #: Channel groups of a conv node (1 everywhere else).  ``fan_in`` is
+    #: always the *per-group* fan-in each output channel reads.
+    groups: int = 1
+    #: Lanes of the dense block-diagonal weight plane the kernels stream
+    #: (``in_channels * kh * kw`` for conv; ``fan_in * groups``).
+    dense_fan_in: int = 0
+    #: Per-group ``(lane_start, lane_stop)`` spans in the dense im2col
+    #: lane ordering — group ``g`` owns input channels
+    #: ``[g * C_in/g, (g+1) * C_in/g)``, a contiguous lane block.
+    group_lane_spans: tuple = ()
     #: Facts of a residual node's body, in body order.
     body: tuple = ()
 
@@ -301,13 +337,22 @@ def _node_facts(info, index: int) -> GroupFacts:
             positions = oh * ow
         else:
             positions = 1
+    groups = check_conv_groups(node, f"layer {index}")
+    dense_fan_in = 0
+    spans = ()
+    if node.kind in ("conv", "linear"):
+        dense_fan_in = node.fan_in * groups
+        lanes_g = node.fan_in
+        spans = tuple((g * lanes_g, (g + 1) * lanes_g)
+                      for g in range(groups))
     return GroupFacts(
         index=index, kind=node.kind, fan_in=node.fan_in,
         out_channels=(node.out_channels if node.kind == "conv"
                       else node.out_features if node.kind == "linear"
                       else 0),
         weight_count=node.weight_count, zero_weight_lanes=zero_lanes,
-        sparsity=sparsity, positions=positions,
+        sparsity=sparsity, positions=positions, groups=groups,
+        dense_fan_in=dense_fan_in, group_lane_spans=spans,
     )
 
 

@@ -11,8 +11,8 @@ from .graph import NetworkGraph, ShapeInfo, conv_output_hw
 
 __all__ = ["DESCRIBE_HEADERS", "describe_rows", "describe_title"]
 
-DESCRIBE_HEADERS = ["layer", "kind", "out shape", "fan-in", "MACs",
-                    "weight lanes", "phase len"]
+DESCRIBE_HEADERS = ["layer", "kind", "out shape", "groups", "fan-in",
+                    "MACs", "weight lanes", "phase len"]
 
 
 def describe_rows(graph: NetworkGraph) -> list:
@@ -37,7 +37,7 @@ def _rows(infos, prefix, rows) -> None:
         if node.kind == "residual":
             rows.append((index, "residual",
                          "x".join(str(d) for d in info.out_shape),
-                         "-", "-", "-", "-"))
+                         "-", "-", "-", "-", "-"))
             _rows(info.body, f"{index}.", rows)
             _rows(info.shortcut, f"{index}.s", rows)
             continue
@@ -45,6 +45,7 @@ def _rows(infos, prefix, rows) -> None:
             index,
             node.kind,
             "x".join(str(d) for d in info.out_shape),
+            node.groups if node.kind == "conv" else "-",
             node.fan_in or "-",
             _macs(info) or "-",
             node.weight_count or "-",

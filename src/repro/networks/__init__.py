@@ -5,7 +5,8 @@ from .zoo import (NETWORK_GRAPHS, NETWORK_SPECS, TRAINABLE_GRAPHS, LayerSpec,
                   cifar10_cnn_graph, cifar10_cnn_reference_graph,
                   cifar10_cnn_spec, lenet5, lenet5_graph,
                   lenet5_reference_graph, lenet5_spec, mnist_mlp,
-                  mnist_mlp_graph, resnet18_graph, resnet18_spec, svhn_cnn,
+                  mnist_mlp_graph, mobilenet_mini, mobilenet_mini_graph,
+                  mobilenet_mini_spec, resnet18_graph, resnet18_spec, svhn_cnn,
                   svhn_cnn_graph, tiny_resnet, tiny_resnet_graph, vgg16_graph,
                   vgg16_spec)
 
@@ -17,6 +18,7 @@ __all__ = [
     "cifar10_cnn_spec",
     "lenet5", "lenet5_graph", "lenet5_reference_graph", "lenet5_spec",
     "mnist_mlp", "mnist_mlp_graph",
+    "mobilenet_mini", "mobilenet_mini_graph", "mobilenet_mini_spec",
     "resnet18_graph", "resnet18_spec",
     "svhn_cnn", "svhn_cnn_graph",
     "tiny_resnet", "tiny_resnet_graph",

@@ -40,14 +40,17 @@ __all__ = [
     "svhn_cnn",
     "tiny_resnet",
     "mnist_mlp",
+    "mobilenet_mini",
     "lenet5_graph",
     "cifar10_cnn_graph",
     "svhn_cnn_graph",
     "tiny_resnet_graph",
     "mnist_mlp_graph",
+    "mobilenet_mini_graph",
     "lenet5_reference_graph",
     "cifar10_cnn_reference_graph",
     "alexnet_graph",
+    "alexnet_sc_graph",
     "vgg16_graph",
     "resnet18_graph",
     "lenet5_spec",
@@ -55,6 +58,7 @@ __all__ = [
     "alexnet_spec",
     "vgg16_spec",
     "resnet18_spec",
+    "mobilenet_mini_spec",
     "NETWORK_SPECS",
     "NETWORK_GRAPHS",
     "TRAINABLE_GRAPHS",
@@ -140,6 +144,36 @@ def mnist_mlp_graph(or_mode: str = "approx",
     ])
 
 
+def mobilenet_mini_graph(or_mode: str = "approx",
+                         stream_length: int = None) -> NetworkGraph:
+    """A depthwise-separable CIFAR classifier (32x32x3 -> 10 classes).
+
+    The MobileNet-class workload the grouped-conv lowering opens up:
+    each block is a depthwise 3x3 conv (``groups == channels``, fan-in
+    9) followed by a pointwise 1x1 conv.  The tiny per-group fan-in is
+    what makes depthwise stages a natural fit for OR accumulation — an
+    OR over 9 product lanes saturates far less than one over the
+    hundreds of lanes a dense 3x3 conv feeds it (see
+    ``benchmarks/test_grouped_throughput.py``).  SC block ordering:
+    conv -> pool -> ReLU, because the output counters accumulate the
+    pooling window before the conversion-time ReLU.
+    """
+    m = dict(or_mode=or_mode, stream_length=stream_length)
+    return NetworkGraph("mobilenet_mini", (3, 32, 32), [
+        ir.conv(3, 16, 3, padding=1, **m), ir.avgpool(2), ir.relu(),
+        ir.conv(16, 16, 3, padding=1, groups=16, **m), ir.relu(),
+        ir.conv(16, 32, 1, **m), ir.relu(),
+        ir.conv(32, 32, 3, padding=1, groups=32, **m), ir.avgpool(2),
+        ir.relu(),
+        ir.conv(32, 64, 1, **m), ir.relu(),
+        ir.conv(64, 64, 3, padding=1, groups=64, **m), ir.avgpool(2),
+        ir.relu(),
+        ir.conv(64, 64, 1, **m), ir.relu(),
+        ir.flatten(),
+        ir.linear(64 * 4 * 4, 10, **m),
+    ])
+
+
 # --------------------------------------------------------------------------
 # Trainable builders (graph -> Sequential; rng order matches the graph walk)
 # --------------------------------------------------------------------------
@@ -184,6 +218,13 @@ def mnist_mlp(or_mode: str = "approx", seed: int = 0,
                                  seed=seed)
 
 
+def mobilenet_mini(or_mode: str = "approx", seed: int = 0,
+                   stream_length: int = None) -> Sequential:
+    """A depthwise-separable CIFAR classifier (32x32x3 -> 10 classes)."""
+    return Sequential.from_graph(
+        mobilenet_mini_graph(or_mode, stream_length), seed=seed)
+
+
 # --------------------------------------------------------------------------
 # Reference graphs (performance-model topologies; never trained here)
 # --------------------------------------------------------------------------
@@ -219,6 +260,30 @@ def alexnet_graph() -> NetworkGraph:
         ir.conv(384, 256, 3, padding=1, groups=2), ir.avgpool(2), ir.relu(),
         ir.flatten(),
         ir.linear(9216, 4096), ir.relu(),
+        ir.linear(4096, 4096), ir.relu(),
+        ir.linear(4096, 1000),
+    ])
+
+
+def alexnet_sc_graph() -> NetworkGraph:
+    """AlexNet sized for the bitstream-exact simulator (231x231 input).
+
+    Same topology as :func:`alexnet_graph` — including the grouped
+    conv2/conv4/conv5 of the published two-GPU split — but on a 231x231
+    input so every pooling stage divides exactly (56 -> 28 -> 14 -> 7):
+    the simulator's exact-pool legalization rejects the canonical 227
+    input, whose 55x55 conv1 output does not tile into 2x2 windows.
+    The flattened head is 256*7*7 = 12544, so the FC stack differs from
+    the 227-input reference (9216) by construction.
+    """
+    return NetworkGraph("alexnet_sc", (3, 231, 231), [
+        ir.conv(3, 96, 11, stride=4), ir.avgpool(2), ir.relu(),
+        ir.conv(96, 256, 5, padding=2, groups=2), ir.avgpool(2), ir.relu(),
+        ir.conv(256, 384, 3, padding=1), ir.relu(),
+        ir.conv(384, 384, 3, padding=1, groups=2), ir.relu(),
+        ir.conv(384, 256, 3, padding=1, groups=2), ir.avgpool(2), ir.relu(),
+        ir.flatten(),
+        ir.linear(256 * 7 * 7, 4096), ir.relu(),
         ir.linear(4096, 4096), ir.relu(),
         ir.linear(4096, 1000),
     ])
@@ -303,6 +368,10 @@ def resnet18_spec() -> NetworkSpec:
     return lower_to_spec(resnet18_graph())
 
 
+def mobilenet_mini_spec() -> NetworkSpec:
+    return lower_to_spec(mobilenet_mini_graph())
+
+
 #: Legacy registry: name -> spec factory (graph lowerings since the IR).
 NETWORK_SPECS = {
     "lenet5": lenet5_spec,
@@ -310,6 +379,7 @@ NETWORK_SPECS = {
     "alexnet": alexnet_spec,
     "vgg16": vgg16_spec,
     "resnet18": resnet18_spec,
+    "mobilenet_mini": mobilenet_mini_spec,
 }
 
 #: name -> zero-argument graph builder for every network in the zoo
@@ -318,11 +388,13 @@ NETWORK_GRAPHS = {
     "lenet5": lenet5_reference_graph,
     "cifar10_cnn": cifar10_cnn_reference_graph,
     "alexnet": alexnet_graph,
+    "alexnet_sc": alexnet_sc_graph,
     "vgg16": vgg16_graph,
     "resnet18": resnet18_graph,
     "svhn_cnn": svhn_cnn_graph,
     "tiny_resnet": tiny_resnet_graph,
     "mnist_mlp": mnist_mlp_graph,
+    "mobilenet_mini": mobilenet_mini_graph,
 }
 
 #: name -> trainable graph builder (split-unipolar metadata threaded).
@@ -332,4 +404,5 @@ TRAINABLE_GRAPHS = {
     "svhn_cnn": svhn_cnn_graph,
     "tiny_resnet": tiny_resnet_graph,
     "mnist_mlp": mnist_mlp_graph,
+    "mobilenet_mini": mobilenet_mini_graph,
 }

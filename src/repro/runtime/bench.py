@@ -22,8 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis import format_table
-from ..networks import (cifar10_cnn, lenet5, mnist_mlp, svhn_cnn,
-                        tiny_resnet)
+from ..networks import (cifar10_cnn, lenet5, mnist_mlp, mobilenet_mini,
+                        svhn_cnn, tiny_resnet)
 from ..simulator import SCConfig, SCNetwork
 from ..simulator.layers import SCResidual
 from .config import RuntimeConfig
@@ -40,6 +40,7 @@ BENCH_NETWORKS = {
     "cifar10_cnn": (cifar10_cnn, (3, 32, 32)),
     "svhn_cnn": (svhn_cnn, (3, 32, 32)),
     "tiny_resnet": (tiny_resnet, (3, 32, 32)),
+    "mobilenet_mini": (mobilenet_mini, (3, 32, 32)),
 }
 
 

@@ -49,6 +49,10 @@ class LayerPlan:
     #: length, per phase.  Upper bound — operand gating skips the lanes
     #: whose weight phase component is zero (roughly half of them).
     product_bits_per_sample: int
+    #: Channel groups for conv layers (1 = dense); grouped layers run
+    #: through the same dense block-diagonal kernels, so this is a cost
+    #: annotation (fan-in per output is ``weight_lanes / out_channels``).
+    groups: int = 1
 
 
 #: IR node kind -> plan row kind (pool nodes in an SC graph are always
@@ -140,6 +144,7 @@ class ExecutionPlan:
                     phases * oh * ow * node.out_channels * node.fan_in
                     * length
                 ),
+                groups=node.groups,
             ))
         elif node.kind == "linear":
             length, phases = self._stream_params(layer, index)
@@ -316,6 +321,7 @@ class ExecutionPlan:
             kp = kernel_plans.get(p.index)
             rows.append(
                 (p.index, p.kind, "x".join(str(d) for d in p.output_shape),
+                 p.groups if p.kind == "conv" else "-",
                  p.phase_length or "-", p.weight_lanes or "-",
                  f"{p.product_bits_per_sample:.2e}"
                  if p.product_bits_per_sample else "-",
@@ -332,8 +338,8 @@ class ExecutionPlan:
                       f"layers, {totals['lanes_skipped_pct']}% lanes "
                       f"skipped)")
         return format_table(
-            ["layer", "kind", "out shape", "phase len", "weight lanes",
-             "bits/sample", "variant", "block KiB", "skip"],
+            ["layer", "kind", "out shape", "groups", "phase len",
+             "weight lanes", "bits/sample", "variant", "block KiB", "skip"],
             rows,
             title=title,
         )

@@ -137,6 +137,9 @@ class KernelPlan:
     encode_lanes_skipped: int
     zero_weight_lanes: int
     sparsity: float
+    #: Channel groups of a lowered grouped conv (1 elsewhere); the
+    #: matmul plan's channel blocks never cross group boundaries.
+    groups: int = 1
 
 
 class Specialization:
@@ -250,6 +253,7 @@ class Specialization:
             layers.append({
                 "index": plan.index,
                 "kind": plan.kind,
+                "groups": plan.groups,
                 "variant": plan.variant,
                 "phase_length": plan.phase_length,
                 "block_kib": plan.block_kib,
@@ -316,7 +320,8 @@ def specialization_fingerprint(network, input_shape, config) -> str:
                 meta = (type(layer).__name__, layer.weight.shape,
                         getattr(layer, "stride", 0),
                         getattr(layer, "padding", 0),
-                        getattr(layer, "pool_size", 1))
+                        getattr(layer, "pool_size", 1),
+                        getattr(layer, "groups", 1))
                 digest.update(repr((prefix, i, meta)).encode())
                 digest.update(np.ascontiguousarray(layer.weight).tobytes())
             else:
@@ -415,8 +420,10 @@ def _build_node(plans, info, fact, layer, index, config, deadline) -> None:
 def _build_conv(layer, info, fact, index, config, deadline) -> KernelPlan:
     kh, kw = layer.weight.shape[2], layer.weight.shape[3]
     gather = GatherPlan(info.in_shape, kh, kw, layer.stride, layer.padding)
-    weights_2d = layer.weight.reshape(layer.weight.shape[0], -1)
-    matmul, variant, length = _build_matmul(layer, weights_2d, index,
+    # The dense block-diagonal weight plane: for grouped convs the
+    # cross-group lanes are exact zeros, which the split plan's lane
+    # skipping (group-aligned via channel_groups) never clocks.
+    matmul, variant, length = _build_matmul(layer, layer.weight_2d, index,
                                             config)
     block_kib, autotuned = _autotune(matmul, gather.positions, config,
                                      deadline)
@@ -427,6 +434,7 @@ def _build_conv(layer, info, fact, index, config, deadline) -> KernelPlan:
         lanes_skipped_fraction=matmul.lanes_skipped_fraction,
         encode_lanes_skipped=matmul.encode_lanes_skipped,
         zero_weight_lanes=fact.zero_weight_lanes, sparsity=fact.sparsity,
+        groups=layer.groups,
     )
 
 
@@ -448,6 +456,7 @@ def _build_matmul(layer, weights_2d, index, config):
     """Engine matmul plan for one layer, reusing its warmed streams."""
     seed = config.layer_seed(index, 0)
     block_bytes = config.block_kib * 1024
+    channel_groups = getattr(layer, "groups", 1)
     if config.representation == "bipolar":
         length = config.total_length
         stream = layer.packed_weight_streams(
@@ -456,7 +465,8 @@ def _build_matmul(layer, weights_2d, index, config):
         matmul = BipolarMatmulPlan(
             weights_2d, length=length, bits=config.bits,
             scheme=config.scheme, seed=seed, block_bytes=block_bytes,
-            weight_stream=stream, encode_cache=config.encode_cache)
+            weight_stream=stream, encode_cache=config.encode_cache,
+            channel_groups=channel_groups)
         return matmul, "bipolar", length
     if isinstance(layer, SCConv2d):
         length = layer.phase_length(config, index)
@@ -469,7 +479,7 @@ def _build_matmul(layer, weights_2d, index, config):
         weights_2d, length=length, bits=config.bits, scheme=config.scheme,
         seed=seed, accumulator=config.accumulator,
         block_bytes=block_bytes, weight_streams=streams,
-        encode_cache=config.encode_cache)
+        encode_cache=config.encode_cache, channel_groups=channel_groups)
     return matmul, f"split-{config.accumulator}", length
 
 

@@ -414,6 +414,20 @@ def _channel_block(n_chan: int, n_pos: int, n_lanes: int, n_words: int,
     return max(1, min(n_chan, block_bytes // per_channel))
 
 
+def _group_channel_bounds(n_chan: int, channel_groups: int) -> list:
+    """``(start, stop)`` output-channel ranges, one per channel group.
+
+    The group-aligned tiling constraint of a lowered grouped conv:
+    channel blocks are carved within these bounds so no block mixes
+    output channels from different groups (whose active fan-in lanes are
+    disjoint under a block-diagonal weight plane).
+    """
+    if channel_groups <= 1:
+        return [(0, n_chan)]
+    size = n_chan // channel_groups
+    return [(g * size, (g + 1) * size) for g in range(channel_groups)]
+
+
 def encode_packed(values: np.ndarray, length: int, bits: int, scheme: str,
                   seed: int, offset: int = 0) -> np.ndarray:
     """Encode probabilities to bit-packed streams, one lane per element.
@@ -749,13 +763,21 @@ class SplitMatmulPlan:
     The optional ``jit_or`` argument to :meth:`execute` is a drop-in
     fused AND/OR/popcount inner loop (see :mod:`repro.simulator.jit`);
     the pure-numpy path remains the canonical one.
+
+    ``channel_groups > 1`` declares the weight plane block-diagonal over
+    that many equal channel groups (a lowered grouped convolution): the
+    channel-block partition is then derived *within* group boundaries,
+    so every block's active-lane union stays confined to its own group's
+    fan-in lanes and the AND stage clocks at most ``1/groups`` of the
+    dense lanes.  Tiling is value-neutral — the grouping changes which
+    channels share a block, never a single output bit.
     """
 
     def __init__(self, weights: np.ndarray, *, length: int, bits: int,
                  scheme: str, seed: int, accumulator: str = "or",
                  block_bytes: int = None, chunk_positions: int = 256,
                  weight_streams: tuple = None, encode_cache: bool = True,
-                 bit_offset: int = 0):
+                 bit_offset: int = 0, channel_groups: int = 1):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError("weights must be (C, K)")
@@ -763,6 +785,11 @@ class SplitMatmulPlan:
             raise ValueError(f"unknown accumulator {accumulator!r}")
         if bit_offset < 0:
             raise ValueError("bit_offset must be non-negative")
+        if channel_groups < 1 or weights.shape[0] % channel_groups:
+            raise ValueError(
+                f"channel_groups={channel_groups} must divide "
+                f"n_chan={weights.shape[0]}")
+        self.channel_groups = channel_groups
         self.length = length
         self.bits = bits
         self.scheme = scheme
@@ -819,25 +846,29 @@ class SplitMatmulPlan:
         self.channel_block = cb
         for ph in self.phases:
             ph.blocks = []
-            for c0 in range(0, self.n_chan, cb):
-                c1 = min(c0 + cb, self.n_chan)
-                if self.accumulator == "mux":
-                    # MUX gates with the select stream once per chunk;
-                    # lane skipping happens at the union level only.
-                    ph.blocks.append((c0, c1, None,
-                                      np.ascontiguousarray(
-                                          ph.w_words[c0:c1])))
-                    continue
-                lanes = np.flatnonzero(ph.active[c0:c1].any(axis=0))
-                if lanes.size == 0:
-                    continue    # all-zero block: contributes nothing
-                rel = np.searchsorted(ph.union, lanes)
-                if rel.size == ph.union.size:
-                    rel = None  # block spans every encoded lane
-                    ww = np.ascontiguousarray(ph.w_words[c0:c1])
-                else:
-                    ww = np.ascontiguousarray(ph.w_words[c0:c1][:, :, rel])
-                ph.blocks.append((c0, c1, rel, ww))
+            for g0, g1 in _group_channel_bounds(self.n_chan,
+                                                self.channel_groups):
+                for c0 in range(g0, g1, cb):
+                    c1 = min(c0 + cb, g1)
+                    if self.accumulator == "mux":
+                        # MUX gates with the select stream once per
+                        # chunk; lane skipping happens at the union
+                        # level only.
+                        ph.blocks.append((c0, c1, None,
+                                          np.ascontiguousarray(
+                                              ph.w_words[c0:c1])))
+                        continue
+                    lanes = np.flatnonzero(ph.active[c0:c1].any(axis=0))
+                    if lanes.size == 0:
+                        continue    # all-zero block: contributes nothing
+                    rel = np.searchsorted(ph.union, lanes)
+                    if rel.size == ph.union.size:
+                        rel = None  # block spans every encoded lane
+                        ww = np.ascontiguousarray(ph.w_words[c0:c1])
+                    else:
+                        ww = np.ascontiguousarray(
+                            ph.w_words[c0:c1][:, :, rel])
+                    ph.blocks.append((c0, c1, rel, ww))
         return self
 
     # -- skip accounting ----------------------------------------------
@@ -1038,12 +1069,20 @@ class BipolarMatmulPlan:
                  scheme: str, seed: int, block_bytes: int = None,
                  chunk_positions: int = 256,
                  weight_stream: np.ndarray = None,
-                 encode_cache: bool = True, bit_offset: int = 0):
+                 encode_cache: bool = True, bit_offset: int = 0,
+                 channel_groups: int = 1):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError("weights must be (C, K)")
         if bit_offset < 0:
             raise ValueError("bit_offset must be non-negative")
+        if channel_groups < 1 or weights.shape[0] % channel_groups:
+            raise ValueError(
+                f"channel_groups={channel_groups} must divide "
+                f"n_chan={weights.shape[0]}")
+        # No lane skipping on the bipolar path, so group-aligned tiling
+        # buys nothing — accepted for API symmetry with the split plan.
+        self.channel_groups = channel_groups
         self.length = length
         self.bits = bits
         self.scheme = scheme
@@ -1071,8 +1110,10 @@ class BipolarMatmulPlan:
         cb = _channel_block(self.n_chan, self.chunk_positions, self.fan_in,
                             self.n_words, self.block_bytes)
         self.channel_block = cb
-        self.blocks = [(c0, min(c0 + cb, self.n_chan))
-                       for c0 in range(0, self.n_chan, cb)]
+        self.blocks = [(c0, min(c0 + cb, g1))
+                       for g0, g1 in _group_channel_bounds(
+                           self.n_chan, self.channel_groups)
+                       for c0 in range(g0, g1, cb)]
         return self
 
     encode_lanes_skipped = 0

@@ -20,7 +20,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..core.sng import quantize_probability
-from ..training.im2col import im2col
+from ..training.im2col import expand_grouped_weight, im2col
 from .config import SCConfig
 from .engine import (bipolar_mux_matmul_counts, encode_bipolar_weight_stream,
                      encode_split_weight_streams, split_or_matmul_counts)
@@ -200,20 +200,56 @@ class SCConv2d:
     shortened by the pooling area and the output counters accumulate the
     window without resetting (paper Sec. II-C), cutting the conv work by
     ``pool_size**2``.
+
+    ``groups > 1`` lowers a grouped (``groups == in_channels``:
+    depthwise) convolution.  The compact weight is stored as
+    ``(C_out, C_in/groups, kh, kw)``; every kernel call site consumes
+    :attr:`weight_2d`, the dense block-diagonal ``(C_out, C_in*kh*kw)``
+    expansion, so grouped forward passes are bit-identical to a dense
+    conv with block-diagonal weights for every accumulator and
+    representation.  OR/APC/MUX accumulation never mixes groups because
+    the cross-group weight lanes are exact zeros (and the engine skips
+    those all-zero operand lanes at the product stage).
     """
 
     def __init__(self, weight: np.ndarray, stride: int = 1, padding: int = 0,
-                 pool_size: int = 1):
+                 pool_size: int = 1, groups: int = 1):
         weight = np.asarray(weight, dtype=np.float64)
         if weight.ndim != 4:
-            raise ValueError("conv weight must be (C_out, C_in, kh, kw)")
+            raise ValueError("conv weight must be (C_out, C_in/g, kh, kw)")
         if np.abs(weight).max() > 1:
             raise ValueError("SC weights must lie in [-1, 1]")
+        if groups < 1 or weight.shape[0] % groups:
+            raise ValueError(
+                f"groups={groups} must divide out_channels={weight.shape[0]}")
         self.weight = weight
         self.stride = stride
         self.padding = padding
         self.pool_size = pool_size
+        self.groups = groups
         self.stream_cache = WeightStreamCache()
+        self._weight_2d = None
+
+    @property
+    def in_channels(self) -> int:
+        """Input channels of the convolution (all groups)."""
+        return self.weight.shape[1] * self.groups
+
+    @property
+    def weight_2d(self) -> np.ndarray:
+        """Dense block-diagonal ``(C_out, C_in*kh*kw)`` weight plane.
+
+        The single weight view every executor (generic kernels,
+        specialized plans, progressive segments) encodes and streams;
+        cached because SC weights are fixed after training.
+        """
+        if self.groups == 1:
+            # A plain reshape view — never cached, so pickled layers
+            # (process-pool shipping) carry the weight bytes only once.
+            return self.weight.reshape(self.weight.shape[0], -1)
+        if self._weight_2d is None:
+            self._weight_2d = expand_grouped_weight(self.weight, self.groups)
+        return self._weight_2d
 
     @property
     def pool_area(self) -> int:
@@ -228,7 +264,7 @@ class SCConv2d:
         — the continuation segment streams of a resumable evaluation.
         """
         return _cached_weight_streams(
-            self.stream_cache, self.weight.reshape(self.weight.shape[0], -1),
+            self.stream_cache, self.weight_2d,
             representation=representation, length=length, bits=bits,
             scheme=scheme, seed=seed, offset=offset,
         )
@@ -243,7 +279,6 @@ class SCConv2d:
 
     def forward(self, x: np.ndarray, config: SCConfig,
                 layer_index: int) -> np.ndarray:
-        c_out = self.weight.shape[0]
         kh, kw = self.weight.shape[2], self.weight.shape[3]
         cols = im2col(x, kh, kw, self.stride, self.padding)
         n, oh, ow, k = cols.shape
@@ -253,7 +288,7 @@ class SCConv2d:
         seed = config.layer_seed(layer_index, 0)
         counts = split_or_matmul_counts(
             quantize_probability(cols.reshape(-1, k), config.bits),
-            self.weight.reshape(c_out, -1),
+            self.weight_2d,
             length=length,
             bits=config.bits,
             scheme=config.scheme,
@@ -278,13 +313,12 @@ class SCConv2d:
         stream length; what short streams destroy is *precision*, which
         is the ablation's point.
         """
-        c_out = self.weight.shape[0]
         n, oh, ow, k = cols.shape
         length = config.total_length  # single representation, no phases
         seed = config.layer_seed(layer_index, 0)
         counts = bipolar_mux_matmul_counts(
             quantize_probability(cols.reshape(-1, k), config.bits),
-            self.weight.reshape(c_out, -1),
+            self.weight_2d,
             length=length,
             bits=config.bits,
             scheme=config.scheme,

@@ -196,20 +196,17 @@ def _layers_from_fused(nodes) -> list:
     No fusion happens here: conv nodes already carry their pooling
     window in ``pool`` (see :mod:`repro.ir.passes`), so the mapping is
     a straight 1:1 walk enforcing the simulator's legality rules
-    (weights present, bias-free, no grouped convs, identity skips).
+    (weights present, bias-free, legal channel groups, identity skips).
     """
     sc_layers = []
     for node in nodes:
         if node.kind == "conv":
             _reject_bias(node, "conv")
-            if node.groups != 1:
-                raise TypeError(
-                    "grouped convolutions exist only in the performance "
-                    "models; the SC simulator cannot lower them"
-                )
+            groups = ir.passes.check_conv_groups(node)
             sc_layers.append(
                 SCConv2d(_node_weight(node, "conv"), stride=node.stride,
-                         padding=node.padding, pool_size=node.pool)
+                         padding=node.padding, pool_size=node.pool,
+                         groups=groups)
             )
         elif node.kind == "linear":
             _reject_bias(node, "linear")
@@ -260,11 +257,12 @@ def _nodes_from_sc_layers(layers) -> list:
     nodes = []
     for layer in layers:
         if isinstance(layer, SCConv2d):
-            c_out, c_in, kh, kw = layer.weight.shape
+            c_out, c_in_g, kh, kw = layer.weight.shape
             nodes.append(ir.conv(
-                c_in, c_out, kh if kh == kw else (kh, kw),
+                c_in_g * layer.groups, c_out, kh if kh == kw else (kh, kw),
                 stride=layer.stride, padding=layer.padding,
-                pool=layer.pool_size, weight=layer.weight))
+                pool=layer.pool_size, groups=layer.groups,
+                weight=layer.weight))
         elif isinstance(layer, SCLinear):
             out_f, in_f = layer.weight.shape
             nodes.append(ir.linear(in_f, out_f, weight=layer.weight))

@@ -307,7 +307,10 @@ class ProgressiveExecutor:
                 return plan
         config = self.config
         seed = config.layer_seed(key, 0)
-        weights_2d = layer.weight.reshape(layer.weight.shape[0], -1)
+        # Conv layers expose the dense block-diagonal plane (grouped
+        # convs included); linear weights are already 2-D.
+        weights_2d = getattr(layer, "weight_2d", layer.weight)
+        channel_groups = getattr(layer, "groups", 1)
         block_bytes = config.block_kib * 1024
         if config.representation == "bipolar":
             stream = layer.packed_weight_streams(
@@ -317,7 +320,7 @@ class ProgressiveExecutor:
                 weights_2d, length=length, bits=config.bits,
                 scheme=config.scheme, seed=seed, block_bytes=block_bytes,
                 weight_stream=stream, encode_cache=config.encode_cache,
-                bit_offset=start)
+                bit_offset=start, channel_groups=channel_groups)
         else:
             streams = layer.packed_weight_streams(
                 representation="split-unipolar", length=length,
@@ -328,7 +331,7 @@ class ProgressiveExecutor:
                 scheme=config.scheme, seed=seed,
                 accumulator=config.accumulator, block_bytes=block_bytes,
                 weight_streams=streams, encode_cache=config.encode_cache,
-                bit_offset=start)
+                bit_offset=start, channel_groups=channel_groups)
         with self._plans_lock:
             self._plans[cache_key] = plan
             while len(self._plans) > _MAX_SEGMENT_PLANS:

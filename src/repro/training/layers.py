@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .im2col import col2im, im2col
+from .im2col import (col2im, collapse_grouped_grad, expand_grouped_weight,
+                     im2col)
 from .initializers import he_normal, scaled_uniform
 from .or_approx import (exact_or_forward, exact_or_grad_scale, or_approx,
                         or_approx2, or_approx2_grads, or_approx_grad)
@@ -60,21 +61,40 @@ class Layer:
         return self.forward(x, training=training)
 
 
+def _check_groups(in_channels: int, out_channels: int, groups: int) -> None:
+    """Grouped-conv legality for the training layers (mirrors the IR's
+    :func:`repro.ir.passes.check_conv_groups`, which the graph builders
+    run; this guards direct layer construction)."""
+    if groups < 1 or in_channels % groups or out_channels % groups:
+        raise ValueError(
+            f"groups={groups} must divide in_channels={in_channels} "
+            f"and out_channels={out_channels}")
+
+
 class Conv2d(Layer):
-    """Standard 2-D convolution (used by the fixed-point baseline nets)."""
+    """Standard 2-D convolution (used by the fixed-point baseline nets).
+
+    ``groups > 1`` stores the compact ``(C_out, C_in/groups, k, k)``
+    weight and computes through its dense block-diagonal expansion, so a
+    grouped layer is numerically identical to a dense conv whose
+    cross-group weights are pinned at zero.
+    """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
-                 rng: np.random.Generator = None):
+                 groups: int = 1, rng: np.random.Generator = None):
         rng = rng if rng is not None else np.random.default_rng(0)
+        _check_groups(in_channels, out_channels, groups)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        fan_in = in_channels * kernel_size * kernel_size
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
         self.weight = he_normal(
-            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            (out_channels, in_channels // groups, kernel_size, kernel_size),
+            fan_in, rng
         )
         self.bias = np.zeros(out_channels) if bias else None
         self.dweight = np.zeros_like(self.weight)
@@ -96,7 +116,7 @@ class Conv2d(Layer):
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         cols = im2col(x, self.kernel_size, self.kernel_size, self.stride,
                       self.padding)
-        w_flat = self.weight.reshape(self.out_channels, -1)
+        w_flat = expand_grouped_weight(self.weight, self.groups)
         out = cols @ w_flat.T
         if self.bias is not None:
             out = out + self.bias
@@ -107,10 +127,10 @@ class Conv2d(Layer):
     def backward(self, dout: np.ndarray) -> np.ndarray:
         x_shape, cols = self._cache
         dout_nhwc = dout.transpose(0, 2, 3, 1)
-        w_flat = self.weight.reshape(self.out_channels, -1)
-        self.dweight[...] = np.einsum(
-            "nhwo,nhwk->ok", dout_nhwc, cols
-        ).reshape(self.weight.shape)
+        w_flat = expand_grouped_weight(self.weight, self.groups)
+        self.dweight[...] = collapse_grouped_grad(
+            np.einsum("nhwo,nhwk->ok", dout_nhwc, cols),
+            self.weight.shape, self.groups)
         if self.bias is not None:
             self.dbias[...] = dout_nhwc.sum(axis=(0, 1, 2))
         dcols = dout_nhwc @ w_flat
@@ -336,8 +356,13 @@ class _SplitOrMixin:
     of the hardware.  Outputs therefore live in [-1, 1].
     """
 
+    def _flat_weight(self) -> np.ndarray:
+        """The 2-D weight the split math runs on; grouped conv layers
+        override this with the dense block-diagonal expansion."""
+        return self.weight.reshape(self._out_units, -1)
+
     def _split_weights(self):
-        w_flat = self.weight.reshape(self._out_units, -1)
+        w_flat = self._flat_weight()
         return np.maximum(w_flat, 0.0), np.maximum(-w_flat, 0.0)
 
     def _forward_split(self, acts: np.ndarray, training: bool):
@@ -411,7 +436,7 @@ class _SplitOrMixin:
     def _backward_split(self, dout: np.ndarray):
         """Returns (dacts, dweight_flat) for ``dout`` shaped (..., out)."""
         w_pos, w_neg = self._split_weights()
-        w_flat = self.weight.reshape(self._out_units, -1)
+        w_flat = self._flat_weight()
         if self.or_mode == "approx":
             acts, s_pos, s_neg = self._cache
             g_pos = dout * or_approx_grad(s_pos)
@@ -486,29 +511,42 @@ class SplitOrConv2d(_SplitOrMixin, Layer):
     ``or_mode="approx"`` uses Eq. (1); ``or_mode="exact"`` evaluates the
     true OR product form (slow — used to validate the approximation).
     No bias: the ACOUSTIC datapath has no additive-constant path.
+
+    ``groups > 1`` trains a grouped (``groups == in_channels``:
+    depthwise) convolution through the dense block-diagonal weight
+    expansion, with gradients gathered back to the compact
+    ``(C_out, C_in/groups, k, k)`` weight — so the initializer and the
+    OR saturation both see the true per-group fan-in, which for
+    depthwise 3x3 is just 9 lanes (the sweet spot of OR accumulation).
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, or_mode: str = "approx",
-                 stream_length: int = None, rng: np.random.Generator = None):
+                 stream_length: int = None, groups: int = 1,
+                 rng: np.random.Generator = None):
         rng = rng if rng is not None else np.random.default_rng(0)
+        _check_groups(in_channels, out_channels, groups)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self._out_units = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.groups = groups
         self.or_mode = or_mode
         self.stream_length = stream_length
         self._noise_rng = np.random.default_rng(rng.integers(1 << 31))
-        fan_in = in_channels * kernel_size * kernel_size
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
         self.weight = scaled_uniform(
-            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng,
-            gain=3.0,
+            (out_channels, in_channels // groups, kernel_size, kernel_size),
+            fan_in, rng, gain=3.0,
         )
         self.dweight = np.zeros_like(self.weight)
         self._cache = None
         self._x_shape = None
+
+    def _flat_weight(self) -> np.ndarray:
+        return expand_grouped_weight(self.weight, self.groups)
 
     def params(self) -> dict:
         return {"weight": self.weight}
@@ -527,7 +565,8 @@ class SplitOrConv2d(_SplitOrMixin, Layer):
     def backward(self, dout: np.ndarray) -> np.ndarray:
         dout_nhwc = np.ascontiguousarray(dout.transpose(0, 2, 3, 1))
         dcols, dweight_flat = self._backward_split(dout_nhwc)
-        self.dweight[...] = dweight_flat.reshape(self.weight.shape)
+        self.dweight[...] = collapse_grouped_grad(
+            dweight_flat, self.weight.shape, self.groups)
         return col2im(dcols, self._x_shape, self.kernel_size,
                       self.kernel_size, self.stride, self.padding)
 

@@ -124,10 +124,7 @@ def _build_layers(nodes, rng) -> list:
             if kh != kw:
                 raise ValueError("training layers require square kernels; "
                                  f"got {kh}x{kw}")
-            if node.groups != 1:
-                raise ValueError(
-                    "grouped convolutions exist only in the performance "
-                    "models; the training runtime cannot build them")
+            groups = ir.passes.check_conv_groups(node)
             if node.pool > 1:
                 raise ValueError(
                     "fused conv+pool nodes are a simulator/performance "
@@ -136,7 +133,7 @@ def _build_layers(nodes, rng) -> list:
                 layers.append(Conv2d(node.in_channels, node.out_channels,
                                      kh, stride=node.stride,
                                      padding=node.padding, bias=node.bias,
-                                     rng=rng))
+                                     groups=groups, rng=rng))
             else:
                 if node.bias:
                     raise ValueError("split-unipolar conv layers are "
@@ -145,7 +142,7 @@ def _build_layers(nodes, rng) -> list:
                     node.in_channels, node.out_channels, kh,
                     stride=node.stride, padding=node.padding,
                     or_mode=node.or_mode, stream_length=node.stream_length,
-                    rng=rng))
+                    groups=groups, rng=rng))
         elif node.kind == "linear":
             if node.or_mode in (None, "none"):
                 layers.append(Linear(node.in_features, node.out_features,
@@ -223,12 +220,13 @@ def _nodes_of(layers) -> list:
             nodes.append(ir.conv(
                 layer.in_channels, layer.out_channels, layer.kernel_size,
                 stride=layer.stride, padding=layer.padding,
+                groups=layer.groups,
                 or_mode=layer.or_mode, stream_length=layer.stream_length,
                 weight=layer.weight))
         elif isinstance(layer, tlayers.Conv2d):
             node = ir.conv(layer.in_channels, layer.out_channels,
                            layer.kernel_size, stride=layer.stride,
-                           padding=layer.padding,
+                           padding=layer.padding, groups=layer.groups,
                            bias=layer.bias is not None, weight=layer.weight)
             if layer.bias is not None:
                 node.params["bias"] = layer.bias

@@ -160,10 +160,15 @@ class TestSequentialFromGraph:
         assert net.graph is not None
         assert net.graph.name == "lenet5"
 
-    def test_grouped_conv_rejected(self):
+    def test_grouped_conv_lowered(self):
+        # Grouped convs lower end-to-end now; only an illegal (non-divisor)
+        # group count is rejected, by the centralized legality check.
         graph = NetworkGraph("g", (4, 8, 8), [ir.conv(4, 4, 3, groups=2)])
-        with pytest.raises(ValueError, match="grouped"):
-            Sequential.from_graph(graph)
+        net = Sequential.from_graph(graph)
+        assert net.layers[0].groups == 2
+        bad = NetworkGraph("g", (4, 8, 8), [ir.conv(4, 4, 3, groups=3)])
+        with pytest.raises(ValueError, match="groups=3"):
+            Sequential.from_graph(bad)
 
     def test_fused_pool_rejected(self):
         graph = NetworkGraph("g", (1, 8, 8), [ir.conv(1, 2, 3, pool=2)])
@@ -236,7 +241,8 @@ class TestDescribeRows:
         conv_row = rows[0]
         assert conv_row[1] == "conv"
         assert conv_row[2] == "6x24x24"
-        assert conv_row[6] == 128                   # phase length
+        assert conv_row[3] == 1                     # groups (dense conv)
+        assert conv_row[7] == 128                   # phase length
         assert "lenet5" in ir.describe_title(graph)
 
     def test_residual_rows_nested(self):

@@ -185,6 +185,7 @@ def legacy_fused_records(nodes) -> list:
             "kernel_hw": node.kernel_hw,
             "stride": node.stride,
             "padding": node.padding,
+            "groups": node.groups,
             "pool": pool,
             "pool_kind": node.pool_kind,
             "or_mode": None if node.or_mode == "none" else node.or_mode,
@@ -206,6 +207,7 @@ def pipeline_records(nodes) -> list:
         "kernel_hw": n.kernel_hw,
         "stride": n.stride,
         "padding": n.padding,
+        "groups": n.groups,
         "pool": n.pool,
         "pool_kind": n.pool_kind,
         "or_mode": n.or_mode,
@@ -269,8 +271,11 @@ class TestScLoweringMatchesLegacyStructure:
                     assert layer.pool_size == record["pool"]
                     assert layer.stride == record["stride"]
                     assert layer.padding == record["padding"]
+                    assert layer.groups == record["groups"]
+                    # Grouped layers store the compact per-group weight.
                     assert layer.weight.shape == (
-                        record["out_channels"], record["in_channels"],
+                        record["out_channels"],
+                        record["in_channels"] // record["groups"],
                         *record["kernel_hw"])
                 elif record["kind"] == "linear":
                     assert layer.weight.shape == (

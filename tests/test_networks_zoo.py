@@ -78,7 +78,8 @@ class TestLayerSpec:
 class TestNetworkSpecs:
     def test_registry_complete(self):
         assert set(NETWORK_SPECS) == {
-            "lenet5", "cifar10_cnn", "alexnet", "vgg16", "resnet18"
+            "lenet5", "cifar10_cnn", "alexnet", "vgg16", "resnet18",
+            "mobilenet_mini",
         }
 
     def test_alexnet_mac_count(self):

@@ -297,7 +297,8 @@ class TestDynamicBatcher:
 class TestBench:
     def test_registry_networks_exist(self):
         assert set(BENCH_NETWORKS) == {
-            "mnist_mlp", "lenet5", "cifar10_cnn", "svhn_cnn", "tiny_resnet"
+            "mnist_mlp", "lenet5", "cifar10_cnn", "svhn_cnn", "tiny_resnet",
+            "mobilenet_mini",
         }
 
     def test_tiny_bench_run(self):
